@@ -1,0 +1,45 @@
+//! # dra-adjgraph — the paper's adjacency graph and differential cost model
+//!
+//! Section 4 of *Differential Register Allocation* (Zhuang & Pande, PLDI
+//! 2005) models the interaction between register numbering and differential
+//! encoding with an **adjacency graph** (Definition 2): a directed weighted
+//! graph whose nodes are live ranges (during allocation) or registers
+//! (post-allocation), with an edge `v_i -> v_j` of weight `w_ij` when `v_j`
+//! immediately follows `v_i` in the register access sequence `w_ij` times.
+//!
+//! An edge is *satisfied* by an assignment of register numbers when
+//! condition (3) holds:
+//!
+//! ```text
+//! 0 <= (reg_no(v_j) - reg_no(v_i)) mod RegN < DiffN
+//! ```
+//!
+//! The differential allocators minimize the summed weight of unsatisfied
+//! edges — each unsatisfied adjacent access pair costs one `set_last_reg`.
+//!
+//! ```
+//! use dra_adjgraph::{AdjacencyGraph, DiffParams};
+//!
+//! // Figure 1 of the paper: registers on a clock face.
+//! let params = DiffParams::new(12, 8);
+//! assert_eq!(params.encode(2, 4), 2);          // R2 -> R4: two hops
+//! assert_eq!(params.encode(4, 2), 10);         // wraps the circle
+//! assert_eq!(params.decode(2, 2), 4);
+//! assert!(params.in_range(2, 4));              // 2 < DiffN
+//! assert!(!params.in_range(4, 2));             // 10 >= DiffN: needs repair
+//!
+//! let mut g = AdjacencyGraph::new(3);
+//! g.add_edge(0, 1, 2.0);
+//! g.add_edge(1, 2, 1.0);
+//! // Identity assignment satisfies both edges (differences of 1).
+//! let cost = g.assignment_cost(|n| Some(n as u8), params);
+//! assert_eq!(cost, 0.0);
+//! ```
+
+pub mod build;
+pub mod graph;
+pub mod params;
+
+pub use build::{build_preg_adjacency, build_preg_adjacency_ordered, build_vreg_adjacency, AccessSequence};
+pub use graph::{AdjacencyGraph, AdjacencyIndex};
+pub use params::DiffParams;

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the allocators themselves (compile-time cost,
+//! the quantity Section 10's "very small compilation time" claim covers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_adjgraph::DiffParams;
+use dra_regalloc::{
+    coalesce_allocate, irc_allocate, ospill_allocate, AllocConfig, CoalesceConfig, OspillConfig,
+};
+use dra_workloads::benchmark;
+use std::hint::black_box;
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocators");
+    group.sample_size(10);
+    for name in ["crc32", "bitcount", "sha"] {
+        let prog = benchmark(name);
+        group.bench_with_input(BenchmarkId::new("baseline-irc", name), &prog, |b, p| {
+            b.iter(|| {
+                let mut f = p.funcs[0].clone();
+                irc_allocate(&mut f, &AllocConfig::baseline(8)).unwrap();
+                black_box(f);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("differential-select", name),
+            &prog,
+            |b, p| {
+                b.iter(|| {
+                    let mut f = p.funcs[0].clone();
+                    irc_allocate(&mut f, &AllocConfig::differential(DiffParams::new(12, 8)))
+                        .unwrap();
+                    black_box(f);
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("o-spill", name), &prog, |b, p| {
+            b.iter(|| {
+                let mut f = p.funcs[0].clone();
+                ospill_allocate(&mut f, &OspillConfig::new(8)).unwrap();
+                black_box(f);
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("differential-coalesce", name),
+            &prog,
+            |b, p| {
+                b.iter(|| {
+                    let mut f = p.funcs[0].clone();
+                    coalesce_allocate(&mut f, &CoalesceConfig::new(DiffParams::new(12, 8)))
+                        .unwrap();
+                    black_box(f);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

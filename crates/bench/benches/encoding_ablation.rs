@@ -1,0 +1,105 @@
+//! Ablations D1 (repair placement), D3 (coalesce evaluation depth), and
+//! D5 (access order) from DESIGN.md §6: runtime via Criterion, solution
+//! quality printed once per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_adjgraph::DiffParams;
+use dra_encoding::{insert_set_last_reg_program, EncodingConfig, RepairPlacement};
+use dra_ir::AccessOrder;
+use dra_regalloc::{
+    coalesce_allocate, irc_allocate_program, AllocConfig, CoalesceConfig, CoalesceEval,
+};
+use dra_workloads::benchmark;
+use std::hint::black_box;
+
+fn allocated(name: &str) -> dra_ir::Program {
+    let mut p = benchmark(name);
+    let mut cfg = AllocConfig::baseline(12);
+    cfg.call_clobbers = vec![dra_ir::PReg(0), dra_ir::PReg(1)];
+    irc_allocate_program(&mut p, &cfg).unwrap();
+    p
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let params = DiffParams::new(12, 8);
+    let progs: Vec<(&str, dra_ir::Program)> = ["bitcount", "qsort", "sha"]
+        .iter()
+        .map(|&n| (n, allocated(n)))
+        .collect();
+
+    // --- D1: repair placement -----------------------------------------
+    let mut group = c.benchmark_group("d1-repair-placement");
+    for placement in [RepairPlacement::AtJoinEntry, RepairPlacement::AtPredecessors] {
+        let total: usize = progs
+            .iter()
+            .map(|(_, p)| {
+                let mut p = p.clone();
+                let cfg = EncodingConfig::new(params).with_placement(placement);
+                insert_set_last_reg_program(&mut p, &cfg).inserted
+            })
+            .sum();
+        eprintln!("D1 {placement:?}: {total} static set_last_regs over 3 benchmarks");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{placement:?}")),
+            &placement,
+            |b, &pl| {
+                b.iter(|| {
+                    for (_, p) in &progs {
+                        let mut p = p.clone();
+                        let cfg = EncodingConfig::new(params).with_placement(pl);
+                        black_box(insert_set_last_reg_program(&mut p, &cfg));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // --- D5: access order ----------------------------------------------
+    for order in [AccessOrder::SrcsThenDst, AccessOrder::DstThenSrcs] {
+        let total: usize = progs
+            .iter()
+            .map(|(_, p)| {
+                let mut p = p.clone();
+                let cfg = EncodingConfig::new(params).with_order(order);
+                insert_set_last_reg_program(&mut p, &cfg).inserted
+            })
+            .sum();
+        eprintln!("D5 {order:?}: {total} static set_last_regs over 3 benchmarks");
+    }
+
+    // --- D3: coalesce evaluation depth ----------------------------------
+    let mut group = c.benchmark_group("d3-coalesce-eval");
+    group.sample_size(10);
+    for eval in [CoalesceEval::Full, CoalesceEval::Incremental] {
+        let f0 = benchmark("bitcount").funcs[0].clone();
+        let cfg = CoalesceConfig {
+            eval,
+            ..CoalesceConfig::new(params)
+        };
+        let mut probe = f0.clone();
+        let stats = coalesce_allocate(&mut probe, &cfg).unwrap();
+        eprintln!(
+            "D3 {eval:?}: {} moves coalesced, final differential cost {:.1}",
+            stats.moves_coalesced, stats.final_cost
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{eval:?}")),
+            &eval,
+            |b, &e| {
+                b.iter(|| {
+                    let mut f = f0.clone();
+                    let cfg = CoalesceConfig {
+                        eval: e,
+                        ..CoalesceConfig::new(params)
+                    };
+                    black_box(coalesce_allocate(&mut f, &cfg).unwrap());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation D2 (DESIGN.md): differential remapping's exhaustive search vs
+//! the greedy multi-start descent — runtime and solution quality on the
+//! same allocated programs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_adjgraph::DiffParams;
+use dra_core::lowend::{compile_benchmark, Approach, LowEndSetup};
+use dra_regalloc::{remap_function, RemapConfig};
+use std::hint::black_box;
+
+fn bench_remap(c: &mut Criterion) {
+    // A program allocated with 12 registers via the plain allocator; the
+    // remap pass is then applied with different search settings.
+    let setup = LowEndSetup::default();
+    let (prog, _) = compile_benchmark("bitcount", Approach::Remapping, &setup).unwrap();
+    let func = prog.funcs[0].clone();
+
+    let mut group = c.benchmark_group("remap-search");
+    group.sample_size(10);
+    // Greedy restarts sweep (the paper uses 1000 starts).
+    for starts in [8u32, 64, 256, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("greedy-{starts}")),
+            &func,
+            |b, f| {
+                b.iter(|| {
+                    let mut f = f.clone();
+                    let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+                    cfg.exhaustive_limit = 0; // force greedy
+                    cfg.starts = starts;
+                    black_box(remap_function(&mut f, &cfg));
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Quality report printed once (criterion benches may print).
+    let quality = |starts: u32| {
+        let mut f = func.clone();
+        let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+        cfg.exhaustive_limit = 0;
+        cfg.starts = starts;
+        remap_function(&mut f, &cfg).cost_after
+    };
+    eprintln!(
+        "remap quality (adjacency cost): 8 starts = {}, 64 = {}, 1000 = {}",
+        quality(8),
+        quality(64),
+        quality(1000)
+    );
+}
+
+criterion_group!(benches, bench_remap);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the modulo scheduler and the full pipelining
+//! flow (Table 2's per-loop compile path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_sim::VliwConfig;
+use dra_swp::{modulo_schedule, pipeline_loop, LoopDdg, PipelineConfig};
+use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let suite = generate_loop_suite(&LoopSuiteConfig {
+        n_loops: 40,
+        hungry_fraction: 0.11,
+        seed: 17,
+    });
+    let common: &LoopDdg = &suite.iter().find(|l| !l.hungry).unwrap().ddg;
+    let hungry: &LoopDdg = &suite.iter().find(|l| l.hungry).unwrap().ddg;
+    let machine = VliwConfig::default();
+
+    let mut group = c.benchmark_group("modulo-schedule");
+    group.sample_size(20);
+    group.bench_with_input(BenchmarkId::from_parameter("common"), common, |b, d| {
+        b.iter(|| black_box(modulo_schedule(d, &machine, 512).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("hungry"), hungry, |b, d| {
+        b.iter(|| black_box(modulo_schedule(d, &machine, 512).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pipeline-loop");
+    group.sample_size(10);
+    for reg_n in [32u16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("hungry-regn{reg_n}")),
+            hungry,
+            |b, d| {
+                b.iter(|| black_box(pipeline_loop(d, &PipelineConfig::highend(reg_n)).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Beyond the paper's five setups: the Section 8.2 **adaptive** mode
+//! (differential encoding only where pressure warrants it) and
+//! **profile-guided** weights (Section 4's suggestion), compared against
+//! the best in-paper approaches.
+
+use dra_bench::{average, render_table};
+use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
+use dra_core::profile::compile_and_run_profiled;
+use dra_workloads::benchmark_names;
+
+fn main() {
+    let setup = LowEndSetup::default();
+    let mut rows = Vec::new();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 4];
+
+    for name in benchmark_names() {
+        let base = compile_and_run(name, Approach::Baseline, &setup)
+            .unwrap_or_else(|e| panic!("{name}/baseline: {e}"));
+        let spd = |cycles: u64| 100.0 * (base.cycles as f64 - cycles as f64) / cycles as f64;
+
+        let select = compile_and_run(name, Approach::Select, &setup).unwrap();
+        let coalesce = compile_and_run(name, Approach::Coalesce, &setup).unwrap();
+        let adaptive = compile_and_run(name, Approach::Adaptive, &setup).unwrap();
+        let profiled = compile_and_run_profiled(name, Approach::Adaptive, &setup).unwrap();
+        for r in [&select, &coalesce, &adaptive, &profiled] {
+            assert_eq!(r.ret_value, base.ret_value, "{name}: result diverged");
+        }
+
+        let vals = [
+            spd(select.cycles),
+            spd(coalesce.cycles),
+            spd(adaptive.cycles),
+            spd(profiled.cycles),
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            speedups[i].push(*v);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:+.2}%", vals[0]),
+            format!("{:+.2}%", vals[1]),
+            format!("{:+.2}%", vals[2]),
+            format!("{:+.2}%", vals[3]),
+        ]);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for col in &speedups {
+        avg.push(format!("{:+.2}%", average(col)));
+    }
+    rows.push(avg);
+
+    print!(
+        "{}",
+        render_table(
+            "Extensions: speedup over baseline",
+            &[
+                "benchmark".to_string(),
+                "select".to_string(),
+                "coalesce".to_string(),
+                "adaptive (8.2)".to_string(),
+                "adaptive+profile".to_string(),
+            ],
+            &rows
+        )
+    );
+    println!("\nadaptive = differential encoding only in functions whose pressure exceeds");
+    println!("the direct registers; profile = simulator block counts as edge weights.");
+}

@@ -1,0 +1,21 @@
+//! Table 1 — the low-end machine configuration (ARM/THUMB-like).
+
+use dra_bench::render_table;
+use dra_sim::LowEndConfig;
+
+fn main() {
+    let cfg = LowEndConfig::default();
+    let rows: Vec<Vec<String>> = cfg
+        .table1()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Table 1: low-end machine configuration",
+            &["parameter".to_string(), "value".to_string()],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,106 @@
+//! # dra-bench — shared harness utilities for the experiment binaries
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | Binary   | Reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 — low-end machine configuration |
+//! | `fig11`  | Figure 11 — static spill percentage per benchmark |
+//! | `fig12`  | Figure 12 — `set_last_reg` cost percentage |
+//! | `fig13`  | Figure 13 — code size normalized to the baseline |
+//! | `fig14`  | Figure 14 — speedup over the baseline |
+//! | `table2` | Table 2 — loop speedups across the `RegN` sweep |
+//! | `table3` | Table 3 — loop spills and code growth across the sweep |
+//! | `extensions` | beyond the paper: Section 8.2 adaptive mode + profile-guided weights |
+//!
+//! Run with `cargo run -p dra-bench --release --bin <name>`. The loop-suite
+//! binaries honor `DRA_LOOPS=<n>` to shrink the 1928-loop suite for quick
+//! runs.
+
+use std::fmt::Write as _;
+
+/// Geometric mean of percentage values given as ratios.
+pub fn average(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Render an aligned text table: a header row plus data rows.
+pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let fmt_row = |row: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(line, "{:<w$}", cell, w = widths[i]);
+            } else {
+                let _ = write!(line, "  {:>w$}", cell, w = widths[i]);
+            }
+        }
+        line
+    };
+    let _ = writeln!(out, "{}", fmt_row(header, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    let _ = writeln!(out, "{}", "-".repeat(total));
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Loop-suite size: `DRA_LOOPS` env override, defaulting to the paper's
+/// 1928.
+pub fn suite_size() -> usize {
+    std::env::var("DRA_LOOPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1928)
+}
+
+/// Format a percentage with sign, e.g. `+1.13%` / `-4.00%`.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_values() {
+        assert_eq!(average(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(average(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            "T",
+            &["name".into(), "x".into()],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("long-name"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(1.5), "+1.50%");
+        assert_eq!(pct(-2.0), "-2.00%");
+    }
+}

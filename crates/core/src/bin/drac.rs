@@ -1,0 +1,190 @@
+//! `drac` — the differential register allocation compiler driver.
+//!
+//! ```text
+//! drac list
+//! drac compile --bench sha --approach coalesce [--emit ir|stats|bits|json] [--profile]
+//! drac run     --bench sha --approach select   [--profile]
+//! drac sweep   --bench sha
+//! ```
+//!
+//! A thin command-line front end over `dra-core`: compile any built-in
+//! benchmark under any setup, inspect the allocated+encoded IR, dump the
+//! assembled LEAF16 words, or run the cycle-level simulation.
+
+use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
+use dra_core::profile::compile_and_run_profiled;
+use dra_encoding::EncodingConfig;
+use dra_workloads::benchmark_names;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n\napproaches: baseline remapping select o-spill coalesce adaptive"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_approach(s: &str) -> Option<Approach> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" => Approach::Baseline,
+        "remapping" | "remap" => Approach::Remapping,
+        "select" => Approach::Select,
+        "o-spill" | "ospill" => Approach::OSpill,
+        "coalesce" => Approach::Coalesce,
+        "adaptive" => Approach::Adaptive,
+        _ => return None,
+    })
+}
+
+struct Args {
+    bench: Option<String>,
+    approach: Option<Approach>,
+    emit: String,
+    profile: bool,
+}
+
+fn parse_args(rest: &[String]) -> Option<Args> {
+    let mut args = Args {
+        bench: None,
+        approach: None,
+        emit: "stats".to_string(),
+        profile: false,
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => args.bench = Some(it.next()?.clone()),
+            "--approach" => args.approach = Some(parse_approach(it.next()?)?),
+            "--emit" => args.emit = it.next()?.clone(),
+            "--profile" => args.profile = true,
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            for n in benchmark_names() {
+                println!("{n}");
+            }
+            ExitCode::SUCCESS
+        }
+        "compile" | "run" => {
+            let Some(args) = parse_args(&argv[1..]) else {
+                return usage();
+            };
+            let (Some(bench), Some(approach)) = (args.bench, args.approach) else {
+                return usage();
+            };
+            let setup = LowEndSetup::default();
+            let run = if args.profile {
+                compile_and_run_profiled(&bench, approach, &setup)
+            } else {
+                compile_and_run(&bench, approach, &setup)
+            };
+            let run = match run {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match (cmd.as_str(), args.emit.as_str()) {
+                ("compile", "json") | ("run", "json") => {
+                    // Flat JSON object, hand-emitted (no JSON dependency).
+                    println!(
+                        "{{\"benchmark\":\"{bench}\",\"approach\":\"{}\",\"instructions\":{},\"spill_insts\":{},\"set_last_regs\":{},\"code_bits\":{},\"cycles\":{},\"dynamic_spills\":{},\"dynamic_set_last_regs\":{},\"icache_misses\":{},\"dcache_misses\":{},\"result\":{}}}",
+                        approach.label(),
+                        run.total_insts,
+                        run.spill_insts,
+                        run.set_last_regs,
+                        run.code_bits,
+                        run.cycles,
+                        run.dynamic_spills,
+                        run.dynamic_set_last_regs,
+                        run.icache_misses,
+                        run.dcache_misses,
+                        run.ret_value.map_or("null".to_string(), |v| v.to_string()),
+                    );
+                }
+                ("compile", "ir") => print!("{}", run.program),
+                ("compile", "bits") => {
+                    let geom = setup.machine.geometry;
+                    let enc = EncodingConfig::new(setup.diff);
+                    for f in &run.program.funcs {
+                        match dra_encoding::assemble_function(f, &enc, &geom) {
+                            Ok(img) => {
+                                println!("; {} — {} bits", f.name, img.size_bits());
+                                for chunk in img.words.chunks(8) {
+                                    let hex: Vec<String> =
+                                        chunk.iter().map(|w| format!("{w:04x}")).collect();
+                                    println!("  {}", hex.join(" "));
+                                }
+                            }
+                            Err(e) => println!("; {} — not assemblable: {e}", f.name),
+                        }
+                    }
+                }
+                _ => {
+                    println!("benchmark      {bench}");
+                    println!("approach       {}", approach.label());
+                    println!("instructions   {}", run.total_insts);
+                    println!(
+                        "spills         {} ({:.2}%)",
+                        run.spill_insts,
+                        run.spill_percent()
+                    );
+                    println!(
+                        "set_last_regs  {} ({:.2}%)",
+                        run.set_last_regs,
+                        run.cost_percent()
+                    );
+                    println!("code size      {} bits", run.code_bits);
+                    println!("cycles         {}", run.cycles);
+                    println!("dyn spills     {}", run.dynamic_spills);
+                    println!("dyn repairs    {}", run.dynamic_set_last_regs);
+                    println!("i-cache misses {}", run.icache_misses);
+                    println!("d-cache misses {}", run.dcache_misses);
+                    println!("result         {:?}", run.ret_value);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "sweep" => {
+            let Some(args) = parse_args(&argv[1..]) else {
+                return usage();
+            };
+            let Some(bench) = args.bench else {
+                return usage();
+            };
+            let setup = LowEndSetup::default();
+            println!(
+                "{:<11} {:>7} {:>7} {:>11} {:>10}",
+                "approach", "spill%", "slr%", "code(bits)", "cycles"
+            );
+            let mut approaches = Approach::ALL.to_vec();
+            approaches.push(Approach::Adaptive);
+            for a in approaches {
+                match compile_and_run(&bench, a, &setup) {
+                    Ok(r) => println!(
+                        "{:<11} {:>6.2}% {:>6.2}% {:>11} {:>10}",
+                        a.label(),
+                        r.spill_percent(),
+                        r.cost_percent(),
+                        r.code_bits,
+                        r.cycles
+                    ),
+                    Err(e) => println!("{:<11} error: {e}", a.label()),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

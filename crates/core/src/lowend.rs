@@ -1,0 +1,397 @@
+//! The Section 10.1 pipeline: allocate → encode → verify → simulate.
+
+use dra_adjgraph::DiffParams;
+use dra_encoding::{insert_set_last_reg_program, verify_program, EncodingConfig};
+use dra_ir::Program;
+use dra_isa::{code_size_bits, IsaGeometry};
+use dra_regalloc::{
+    coalesce_allocate_program, irc_allocate_program, ospill_allocate_program, remap_program,
+    AllocConfig, CoalesceConfig, OspillConfig, RemapConfig, SelectStrategy,
+};
+use dra_sim::{simulate, LowEndConfig, SimResult};
+use dra_workloads::benchmark;
+use std::error::Error;
+use std::fmt;
+
+/// The five experimental setups of Section 10.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// Iterated register coalescing with the 8 directly-encodable
+    /// registers (`RegN = DiffN = 8`; no differential encoding).
+    Baseline,
+    /// Baseline allocation with 12 registers, then post-pass differential
+    /// remapping (Section 5).
+    Remapping,
+    /// Differential select inside the allocator (Section 6).
+    Select,
+    /// Optimal-spill allocation with 8 registers, direct encoding
+    /// (the `O-spill` comparator).
+    OSpill,
+    /// Differential coalesce on the optimal-spill pipeline (Section 7).
+    Coalesce,
+    /// Section 8.2 selective enabling (an extension beyond the paper's
+    /// five evaluated setups): differential encoding per *function*, only
+    /// where register pressure exceeds the direct registers — low-pressure
+    /// functions stay direct-encoded and repair-free.
+    Adaptive,
+}
+
+impl Approach {
+    /// All five setups in the paper's presentation order.
+    pub const ALL: [Approach; 5] = [
+        Approach::Baseline,
+        Approach::Remapping,
+        Approach::Select,
+        Approach::OSpill,
+        Approach::Coalesce,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::Baseline => "baseline",
+            Approach::Remapping => "remapping",
+            Approach::Select => "select",
+            Approach::OSpill => "O-spill",
+            Approach::Coalesce => "coalesce",
+            Approach::Adaptive => "adaptive",
+        }
+    }
+
+    /// Does this approach use differential encoding (RegN > DiffN)?
+    /// (`Adaptive` decides per function and handles its own repairs.)
+    pub fn is_differential(self) -> bool {
+        matches!(
+            self,
+            Approach::Remapping | Approach::Select | Approach::Coalesce
+        )
+    }
+}
+
+/// Machine and encoding parameters of the low-end experiment.
+#[derive(Clone, Debug)]
+pub struct LowEndSetup {
+    /// Registers for the direct-encoded setups (`RegN = DiffN = 8`).
+    pub direct_regs: u16,
+    /// Differential parameters for the differential setups
+    /// (`RegN = 12, DiffN = 8` in Figures 11–14).
+    pub diff: DiffParams,
+    /// Call-clobbered physical registers (calling-convention pressure).
+    pub call_clobbers: Vec<dra_ir::PReg>,
+    /// The simulated machine.
+    pub machine: LowEndConfig,
+    /// Entry arguments for simulation.
+    pub args: Vec<i64>,
+}
+
+impl Default for LowEndSetup {
+    fn default() -> Self {
+        LowEndSetup {
+            direct_regs: 8,
+            diff: DiffParams::new(12, 8),
+            call_clobbers: vec![dra_ir::PReg(0), dra_ir::PReg(1)],
+            machine: LowEndConfig::default(),
+            args: vec![],
+        }
+    }
+}
+
+/// Everything measured about one compiled-and-simulated benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LowEndRun {
+    /// Which setup produced it.
+    pub approach: Approach,
+    /// Static spill instructions.
+    pub spill_insts: usize,
+    /// Static `set_last_reg` instructions.
+    pub set_last_regs: usize,
+    /// Total static instructions (including spills and repairs).
+    pub total_insts: usize,
+    /// Code size in bits under the LEAF16 geometry.
+    pub code_bits: u64,
+    /// Cycles on the 5-stage machine.
+    pub cycles: u64,
+    /// Dynamic spill accesses.
+    pub dynamic_spills: u64,
+    /// Dynamic `set_last_reg` fetches.
+    pub dynamic_set_last_regs: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// The program's result (must agree across approaches).
+    pub ret_value: Option<i64>,
+    /// Dynamic block trace of the entry function (for decode round-trips).
+    pub entry_trace: Vec<dra_ir::BlockId>,
+    /// Per-(function, block) execution counts (profile feedback).
+    pub block_counts: std::collections::HashMap<(u32, u32), u64>,
+    /// The compiled program (for further inspection).
+    pub program: Program,
+}
+
+impl LowEndRun {
+    /// Static spill instructions as a percentage of all instructions
+    /// (the Figure 11 metric).
+    pub fn spill_percent(&self) -> f64 {
+        100.0 * self.spill_insts as f64 / self.total_insts.max(1) as f64
+    }
+
+    /// Static `set_last_reg` percentage (the Figure 12 metric).
+    pub fn cost_percent(&self) -> f64 {
+        100.0 * self.set_last_regs as f64 / self.total_insts.max(1) as f64
+    }
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Register allocation failed.
+    Alloc(dra_regalloc::AllocError),
+    /// The encoded program failed decode verification.
+    Encoding(dra_encoding::DecodeError),
+    /// Simulation failed.
+    Sim(dra_sim::SimError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Alloc(e) => write!(f, "allocation: {e}"),
+            PipelineError::Encoding(e) => write!(f, "encoding: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<dra_regalloc::AllocError> for PipelineError {
+    fn from(e: dra_regalloc::AllocError) -> Self {
+        PipelineError::Alloc(e)
+    }
+}
+
+impl From<dra_encoding::DecodeError> for PipelineError {
+    fn from(e: dra_encoding::DecodeError) -> Self {
+        PipelineError::Encoding(e)
+    }
+}
+
+impl From<dra_sim::SimError> for PipelineError {
+    fn from(e: dra_sim::SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+/// Compile a named benchmark under `approach`.
+///
+/// Returns the fully physical, differential-encoded (where applicable),
+/// decode-verified program plus the static `set_last_reg` count.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_benchmark(
+    name: &str,
+    approach: Approach,
+    setup: &LowEndSetup,
+) -> Result<(Program, usize), PipelineError> {
+    let mut p = benchmark(name);
+    compile_program(&mut p, approach, setup)?;
+    let set_last_regs = p.count_insts(|i| i.is_set_last_reg());
+    Ok((p, set_last_regs))
+}
+
+/// Compile an arbitrary program in place under `approach`.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_program(
+    p: &mut Program,
+    approach: Approach,
+    setup: &LowEndSetup,
+) -> Result<(), PipelineError> {
+    match approach {
+        Approach::Baseline => {
+            let mut cfg = AllocConfig::baseline(setup.direct_regs);
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            irc_allocate_program(p, &cfg)?;
+        }
+        Approach::Remapping => {
+            // Allocate with the larger register file using the plain
+            // allocator, then permute the numbers post-pass.
+            let mut cfg = AllocConfig::baseline(setup.diff.reg_n());
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            irc_allocate_program(p, &cfg)?;
+            let remap_cfg = RemapConfig::new(setup.diff);
+            remap_program(p, &remap_cfg);
+        }
+        Approach::Select => {
+            let mut cfg = AllocConfig::differential(setup.diff);
+            cfg.strategy = SelectStrategy::Differential;
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            irc_allocate_program(p, &cfg)?;
+            // Figure 4: remapping may always run after approach 2.
+            remap_program(p, &RemapConfig::new(setup.diff));
+        }
+        Approach::OSpill => {
+            let mut cfg = OspillConfig::new(setup.direct_regs);
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            ospill_allocate_program(p, &cfg)?;
+        }
+        Approach::Coalesce => {
+            let mut cfg = CoalesceConfig::new(setup.diff);
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            coalesce_allocate_program(p, &cfg)?;
+            // Figure 4: remapping may always run after approach 3.
+            remap_program(p, &RemapConfig::new(setup.diff));
+        }
+        Approach::Adaptive => {
+            // Section 8.2: "we only need to enable differential encoding
+            // when the benefits … exceed the extra costs due to
+            // set_last_reg instructions." Functions whose pressure fits
+            // the direct registers stay direct-encoded (no repairs at
+            // all); the pressured ones get the full differential-select
+            // treatment.
+            let enc = EncodingConfig::new(setup.diff);
+            for f in &mut p.funcs {
+                let pressure = dra_ir::Liveness::compute(f).max_pressure(f);
+                if pressure <= setup.direct_regs as usize {
+                    let mut cfg = AllocConfig::baseline(setup.direct_regs);
+                    cfg.call_clobbers = setup.call_clobbers.clone();
+                    dra_regalloc::irc_allocate(f, &cfg)?;
+                } else {
+                    let mut cfg = AllocConfig::differential(setup.diff);
+                    cfg.call_clobbers = setup.call_clobbers.clone();
+                    dra_regalloc::irc_allocate(f, &cfg)?;
+                    dra_regalloc::remap_function(f, &RemapConfig::new(setup.diff));
+                    dra_encoding::insert_set_last_reg(f, &enc);
+                    dra_encoding::verify_function(f, &enc)?;
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    // Differential approaches need the repair pass and verification.
+    if approach.is_differential() {
+        let enc = EncodingConfig::new(setup.diff);
+        insert_set_last_reg_program(p, &enc);
+        verify_program(p, &enc)?;
+    }
+    Ok(())
+}
+
+/// Compile and simulate a benchmark; the full Figure 11–14 measurement.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_and_run(
+    name: &str,
+    approach: Approach,
+    setup: &LowEndSetup,
+) -> Result<LowEndRun, PipelineError> {
+    let (program, set_last_regs) = compile_benchmark(name, approach, setup)?;
+    let sim: SimResult = simulate(&program, &setup.machine, &setup.args)?;
+    let geometry: IsaGeometry = setup.machine.geometry;
+    Ok(LowEndRun {
+        approach,
+        spill_insts: program.count_insts(|i| i.is_spill()),
+        set_last_regs,
+        total_insts: program.num_insts(),
+        code_bits: code_size_bits(&program, &geometry),
+        cycles: sim.cycles,
+        dynamic_spills: sim.spill_accesses,
+        dynamic_set_last_regs: sim.set_last_regs,
+        icache_misses: sim.icache_misses,
+        dcache_misses: sim.dcache_misses,
+        ret_value: sim.ret_value,
+        entry_trace: sim.entry_trace,
+        block_counts: sim.block_counts,
+        program,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_workloads::benchmark_names;
+
+    #[test]
+    fn all_approaches_compile_and_agree_on_crc32() {
+        let setup = LowEndSetup::default();
+        let runs: Vec<LowEndRun> = Approach::ALL
+            .iter()
+            .map(|&a| compile_and_run("crc32", a, &setup).unwrap())
+            .collect();
+        let expected = runs[0].ret_value;
+        for r in &runs {
+            assert_eq!(
+                r.ret_value,
+                expected,
+                "{} computed a different answer",
+                r.approach.label()
+            );
+        }
+    }
+
+    #[test]
+    fn differential_approaches_reduce_spills_on_pressured_bench() {
+        let setup = LowEndSetup::default();
+        let base = compile_and_run("sha", Approach::Baseline, &setup).unwrap();
+        let select = compile_and_run("sha", Approach::Select, &setup).unwrap();
+        assert!(
+            select.spill_insts < base.spill_insts,
+            "12 registers must beat 8: {} vs {}",
+            select.spill_insts,
+            base.spill_insts
+        );
+        assert!(select.set_last_regs > 0, "differential encoding has a cost");
+        assert_eq!(base.set_last_regs, 0, "baseline is direct-encoded");
+    }
+
+    #[test]
+    fn remapping_has_higher_cost_than_select() {
+        // Figure 12's headline: the post-pass generates far more
+        // set_last_regs than the integrated approaches.
+        let setup = LowEndSetup::default();
+        let mut remap_total = 0usize;
+        let mut select_total = 0usize;
+        for name in ["sha", "blowfish", "fft"] {
+            remap_total += compile_and_run(name, Approach::Remapping, &setup)
+                .unwrap()
+                .set_last_regs;
+            select_total += compile_and_run(name, Approach::Select, &setup)
+                .unwrap()
+                .set_last_regs;
+        }
+        assert!(
+            remap_total > select_total,
+            "remapping {remap_total} vs select {select_total}"
+        );
+    }
+
+    #[test]
+    fn every_benchmark_runs_under_baseline_and_coalesce() {
+        let setup = LowEndSetup::default();
+        for name in benchmark_names() {
+            let b = compile_and_run(name, Approach::Baseline, &setup)
+                .unwrap_or_else(|e| panic!("{name} baseline: {e}"));
+            let c = compile_and_run(name, Approach::Coalesce, &setup)
+                .unwrap_or_else(|e| panic!("{name} coalesce: {e}"));
+            assert_eq!(b.ret_value, c.ret_value, "{name} result mismatch");
+        }
+    }
+
+    #[test]
+    fn metrics_are_consistent() {
+        let setup = LowEndSetup::default();
+        let r = compile_and_run("bitcount", Approach::Select, &setup).unwrap();
+        assert!(r.spill_percent() >= 0.0 && r.spill_percent() <= 100.0);
+        assert!(r.cost_percent() >= 0.0 && r.cost_percent() <= 100.0);
+        assert!(r.code_bits >= 16 * r.total_insts as u64);
+        assert!(r.cycles > 0);
+    }
+}

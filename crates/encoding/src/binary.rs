@@ -1,0 +1,313 @@
+//! Whole-function binary emission and bit-level decoding.
+//!
+//! Combines the field encoder with `dra-isa`'s word assembler: a function
+//! becomes an actual word stream in which every register field holds a
+//! differential code. [`disassemble_trace`] then plays the full hardware
+//! front end — it walks a dynamic block trace *reading only the bits*,
+//! reconstructs every instruction boundary from the opcodes, runs the
+//! `last_reg` machine over the decoded fields, and returns the register
+//! numbers the datapath would see. Matching them against the IR closes the
+//! loop from compiler output to fetch stream.
+
+use crate::repair::EncodingConfig;
+use crate::state::{class_accesses_ordered, DecodeState, LastReg};
+use crate::verify::{encode_fields, DecodeError};
+use dra_ir::{BlockId, Function, Inst};
+use dra_isa::{decode_inst, encode_inst, AsmError, IsaGeometry};
+use std::error::Error;
+use std::fmt;
+
+/// A fully assembled function image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssembledFunction {
+    /// The word stream (u16 halves; LEAF32 words occupy two).
+    pub words: Vec<u16>,
+    /// Word offset of each block's first instruction.
+    pub block_offsets: Vec<usize>,
+    /// Instruction count per block (for boundary-free iteration).
+    pub insts_per_block: Vec<usize>,
+}
+
+impl AssembledFunction {
+    /// Image size in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.words.len() as u64 * 16
+    }
+}
+
+/// Assembly pipeline errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BinaryError {
+    /// The differential field encoder failed (unrepaired function).
+    Encode(DecodeError),
+    /// Word assembly failed.
+    Asm(AsmError),
+    /// Bit-level decode disagreed with the source of truth.
+    Mismatch {
+        /// Block where the disagreement surfaced.
+        block: BlockId,
+        /// Instruction index within the block.
+        inst: usize,
+    },
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryError::Encode(e) => write!(f, "field encoding: {e}"),
+            BinaryError::Asm(e) => write!(f, "assembly: {e}"),
+            BinaryError::Mismatch { block, inst } => {
+                write!(f, "bit-level decode mismatch at {block}:{inst}")
+            }
+        }
+    }
+}
+
+impl Error for BinaryError {}
+
+impl From<DecodeError> for BinaryError {
+    fn from(e: DecodeError) -> Self {
+        BinaryError::Encode(e)
+    }
+}
+
+impl From<AsmError> for BinaryError {
+    fn from(e: AsmError) -> Self {
+        BinaryError::Asm(e)
+    }
+}
+
+/// Assemble a (repaired, fully physical) function with differential
+/// register fields.
+///
+/// # Errors
+///
+/// [`BinaryError::Encode`] if the function is not decodable (run
+/// [`crate::insert_set_last_reg`] first), [`BinaryError::Asm`] if a field
+/// code exceeds the geometry.
+pub fn assemble_function(
+    f: &Function,
+    cfg: &EncodingConfig,
+    geom: &IsaGeometry,
+) -> Result<AssembledFunction, BinaryError> {
+    let fields = encode_fields(f, cfg)?;
+    let mut words = Vec::new();
+    let mut block_offsets = Vec::with_capacity(f.num_blocks());
+    let mut insts_per_block = Vec::with_capacity(f.num_blocks());
+    for (b, blk) in f.iter_blocks() {
+        block_offsets.push(words.len());
+        insts_per_block.push(blk.insts.len());
+        for (ii, inst) in blk.insts.iter().enumerate() {
+            let w = encode_inst(inst, geom, &fields[b.index()][ii])?;
+            words.extend(w);
+        }
+    }
+    Ok(AssembledFunction {
+        words,
+        block_offsets,
+        insts_per_block,
+    })
+}
+
+/// Decode a dynamic block trace **from the bits alone** and return the
+/// register numbers the hardware would hand the datapath, in access order.
+///
+/// The decoder sees: the word stream, the block offset table (what a
+/// branch unit knows), and the trace. Instruction boundaries come from the
+/// opcodes; register numbers from the `last_reg` machine.
+///
+/// # Errors
+///
+/// [`BinaryError`] on malformed streams; [`BinaryError::Mismatch`] when the
+/// reconstruction disagrees with the IR (which would mean the compiler
+/// emitted an inconsistent binary).
+pub fn disassemble_trace(
+    af: &AssembledFunction,
+    f: &Function,
+    cfg: &EncodingConfig,
+    geom: &IsaGeometry,
+    trace: &[BlockId],
+) -> Result<Vec<u8>, BinaryError> {
+    let mut last = LastReg::default();
+    // Warm-start convention: the verifier's entry state is Top, and the
+    // first field of the entry block always rides behind a repair, so an
+    // unknown initial last_reg is fine.
+    let mut out = Vec::new();
+    for &b in trace {
+        let mut pos = af.block_offsets[b.index()];
+        for ii in 0..af.insts_per_block[b.index()] {
+            let d = decode_inst(&af.words[pos..], geom)?;
+            pos += d.words;
+            let ir_inst = &f.blocks[b.index()].insts[ii];
+            // set_last_reg: the decoded imm packs (value << 3) | delay.
+            if let Inst::SetLastReg { class, .. } = ir_inst {
+                if *class == cfg.class {
+                    let packed = d.imm.unwrap_or(0) as u16;
+                    last.set((packed >> 3) as u8, (packed & 7) as u8);
+                }
+                continue;
+            }
+            // Decode this instruction's register fields.
+            let expected = class_accesses_ordered(f, ir_inst, cfg.class, cfg.order);
+            for (k, &code) in d.fields.iter().take(expected.len()).enumerate() {
+                let reg = decode_field(cfg, &mut last, code)
+                    .ok_or(BinaryError::Mismatch { block: b, inst: ii })?;
+                if reg != expected[k] {
+                    return Err(BinaryError::Mismatch { block: b, inst: ii });
+                }
+                out.push(reg);
+            }
+            if matches!(ir_inst, Inst::Call { .. }) {
+                last.clobber();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decode one register field code against the decoder state.
+fn decode_field(cfg: &EncodingConfig, last: &mut LastReg, code: u16) -> Option<u8> {
+    if code >= cfg.effective_diff_n() {
+        let idx = (code - cfg.effective_diff_n()) as usize;
+        let r = *cfg.reserved.iter().nth(idx)?;
+        last.after_field(None);
+        return Some(r);
+    }
+    let prev = last.current()?;
+    let r = cfg.params.decode(prev, code);
+    last.after_field(Some(r));
+    Some(r)
+}
+
+/// Convenience check used by tests: `Top` entry state means the image
+/// must open with a repair before its first register field.
+pub fn entry_needs_repair(f: &Function, cfg: &EncodingConfig) -> bool {
+    let states = crate::state::block_entry_states_ordered(f, cfg.class, cfg.order);
+    states[f.entry.index()] == DecodeState::Top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::insert_set_last_reg;
+    use dra_adjgraph::DiffParams;
+    use dra_ir::{Cond, FunctionBuilder, PReg};
+
+    fn mov(dst: u8, src: u8) -> Inst {
+        Inst::Mov {
+            dst: PReg(dst).into(),
+            src: PReg(src).into(),
+        }
+    }
+
+    fn geom() -> IsaGeometry {
+        IsaGeometry::leaf16(3)
+    }
+
+    fn diamond() -> (Function, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.push(mov(1, 0));
+        b.cond_br(Cond::Eq, PReg(0).into(), PReg(1).into(), t, e);
+        b.switch_to(t);
+        b.push(mov(5, 1));
+        b.br(j);
+        b.switch_to(e);
+        b.push(mov(9, 1));
+        b.br(j);
+        b.switch_to(j);
+        b.push(mov(3, 2));
+        b.ret(None);
+        (b.finish(), t, e, j)
+    }
+
+    #[test]
+    fn assembled_size_matches_size_accounting() {
+        let (mut f, ..) = diamond();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        insert_set_last_reg(&mut f, &cfg);
+        let af = assemble_function(&f, &cfg, &geom()).unwrap();
+        assert_eq!(
+            af.size_bits(),
+            dra_isa::function_size_bits(&f, &geom()),
+            "assembler and size model must agree"
+        );
+    }
+
+    #[test]
+    fn bits_decode_along_both_paths() {
+        let (mut f, t, e, j) = diamond();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        insert_set_last_reg(&mut f, &cfg);
+        let af = assemble_function(&f, &cfg, &geom()).unwrap();
+        assert!(entry_needs_repair(&f, &cfg));
+        let g = geom();
+        let via_t = disassemble_trace(&af, &f, &cfg, &g, &[BlockId(0), t, j])
+            .expect("then path decodes");
+        let via_e = disassemble_trace(&af, &f, &cfg, &g, &[BlockId(0), e, j])
+            .expect("else path decodes");
+        // Both paths reconstruct the join block's registers (2 then 3).
+        assert_eq!(&via_t[via_t.len() - 2..], &[2, 3]);
+        assert_eq!(&via_e[via_e.len() - 2..], &[2, 3]);
+    }
+
+    #[test]
+    fn unrepaired_function_cannot_assemble() {
+        let (f, ..) = diamond();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        let err = assemble_function(&f, &cfg, &geom()).unwrap_err();
+        assert!(matches!(err, BinaryError::Encode(_)));
+    }
+
+    #[test]
+    fn direct_12_registers_cannot_assemble_in_3_bits() {
+        // The motivating bottleneck, at the bit level: direct encoding of
+        // r9 needs a 4-bit field.
+        let mut b = FunctionBuilder::new("f");
+        b.push(mov(9, 0));
+        b.ret(None);
+        let mut f = b.finish();
+        let direct = EncodingConfig::new(DiffParams::direct(12));
+        insert_set_last_reg(&mut f, &direct);
+        let err = assemble_function(&f, &direct, &geom()).unwrap_err();
+        assert!(
+            matches!(err, BinaryError::Asm(AsmError::FieldTooWide { code: 9, .. })),
+            "{err}"
+        );
+        // Differentially, the same function fits.
+        let mut f2 = {
+            let mut b = FunctionBuilder::new("f");
+            b.push(mov(9, 0));
+            b.ret(None);
+            b.finish()
+        };
+        let diff = EncodingConfig::new(DiffParams::new(12, 8));
+        insert_set_last_reg(&mut f2, &diff);
+        assemble_function(&f2, &diff, &geom()).unwrap();
+    }
+
+    #[test]
+    fn loop_trace_decodes_from_bits() {
+        let mut b = FunctionBuilder::new("f");
+        let h = b.new_block();
+        let body = b.new_block();
+        let ex = b.new_block();
+        b.push(mov(1, 0));
+        b.br(h);
+        b.switch_to(h);
+        b.cond_br(Cond::Lt, PReg(1).into(), PReg(2).into(), body, ex);
+        b.switch_to(body);
+        b.push(mov(11, 4));
+        b.br(h);
+        b.switch_to(ex);
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        insert_set_last_reg(&mut f, &cfg);
+        let af = assemble_function(&f, &cfg, &geom()).unwrap();
+        let trace = [BlockId(0), h, body, h, body, h, ex];
+        disassemble_trace(&af, &f, &cfg, &geom(), &trace).unwrap();
+    }
+}

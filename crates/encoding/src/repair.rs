@@ -1,0 +1,643 @@
+//! The `set_last_reg` insertion (repair) pass.
+//!
+//! Walks each block with the decode state from [`crate::state`] and inserts
+//! `set_last_reg(value, delay)` (Section 2.3) wherever
+//!
+//! * the state is unknown (`Top`) at a register access — function entry,
+//!   control-flow join with disagreeing predecessors, or after a call — or
+//! * the difference to the next accessed register falls outside
+//!   `[0, DiffN)` (Section 2.2.1).
+//!
+//! Repairs always target the *about-to-be-accessed* register, so the
+//! repaired field encodes difference 0, and the `delay` operand counts the
+//! fields of the same instruction that decode before the assignment takes
+//! effect — exactly the paper's `set_last_reg(2, 1)` example.
+
+use crate::state::{block_entry_states_ordered, class_accesses_ordered, transfer_block_ordered, DecodeState, LastReg};
+use dra_adjgraph::DiffParams;
+use dra_ir::{AccessOrder, Function, Inst, Program, RegClass};
+use std::collections::BTreeSet;
+
+/// Configuration of the encoder for one register class.
+#[derive(Clone, Debug)]
+pub struct EncodingConfig {
+    /// `RegN` / `DiffN` of the scheme.
+    pub params: DiffParams,
+    /// Register class being encoded.
+    pub class: RegClass,
+    /// Register numbers reserved for direct encoding (special-purpose
+    /// registers, Section 9.2). Accesses to them occupy a reserved code
+    /// point and do **not** update `last_reg`.
+    pub reserved: BTreeSet<u8>,
+    /// Nominal within-instruction access order (Section 9.4 ablation;
+    /// encoder and decoder must agree on it).
+    pub order: AccessOrder,
+    /// Where multi-path-inconsistency repairs are placed (ablation D1).
+    pub placement: RepairPlacement,
+}
+
+impl EncodingConfig {
+    /// A configuration with no reserved registers.
+    pub fn new(params: DiffParams) -> Self {
+        EncodingConfig {
+            params,
+            class: RegClass::Int,
+            reserved: BTreeSet::new(),
+            order: AccessOrder::SrcsThenDst,
+            placement: RepairPlacement::AtJoinEntry,
+        }
+    }
+
+    /// Use a different within-instruction access order (ablation D5).
+    pub fn with_order(mut self, order: AccessOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Place join repairs at predecessor exits instead of join entries
+    /// (ablation D1).
+    pub fn with_placement(mut self, placement: RepairPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Reserve `regs` for direct encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reserving them leaves no differential code points
+    /// (`DiffN` must stay positive after subtracting the reserved codes).
+    pub fn with_reserved(mut self, regs: impl IntoIterator<Item = u8>) -> Self {
+        self.reserved = regs.into_iter().collect();
+        assert!(
+            (self.reserved.len() as u16) < self.params.diff_n(),
+            "reserving {} codes exhausts DiffN = {}",
+            self.reserved.len(),
+            self.params.diff_n()
+        );
+        self
+    }
+
+    /// Differences usable after reserving code points:
+    /// `DiffN - |reserved|` (Section 9.2's `DiffN < 2^DiffW`).
+    pub fn effective_diff_n(&self) -> u16 {
+        self.params.diff_n() - self.reserved.len() as u16
+    }
+
+    /// Is the `prev -> cur` transition encodable without repair?
+    pub fn in_range(&self, prev: u8, cur: u8) -> bool {
+        self.params.encode(prev, cur) < self.effective_diff_n()
+    }
+}
+
+/// Where a multi-path-inconsistency repair is inserted (Section 2.3: "we
+/// can insert a set_last_reg at the entry point of BB3. Alternatively, we
+/// can insert such instruction at the end of one or more predecessors").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairPlacement {
+    /// One `set_last_reg` at the join's entry — always works, executes on
+    /// every entry to the join (the paper's cost model and our default).
+    #[default]
+    AtJoinEntry,
+    /// `set_last_reg` at the end of each *disagreeing* predecessor —
+    /// possibly more static instructions, but paths that already agree pay
+    /// nothing. Falls back to entry placement when a predecessor's
+    /// terminator itself carries register fields or feeds other
+    /// successors.
+    AtPredecessors,
+}
+
+/// Statistics from one repair run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// `set_last_reg` instructions inserted.
+    pub inserted: usize,
+    /// How many were forced by out-of-range differences.
+    pub out_of_range: usize,
+    /// How many were forced by unknown state (joins, entry, calls).
+    pub inconsistency: usize,
+}
+
+/// Insert the `set_last_reg` instructions that make `f` decodable.
+///
+/// The function must be fully physical for `cfg.class`. Idempotent: a
+/// second run inserts nothing.
+pub fn insert_set_last_reg(f: &mut Function, cfg: &EncodingConfig) -> RepairStats {
+    let mut stats = RepairStats::default();
+    if cfg.placement == RepairPlacement::AtPredecessors {
+        stats.inserted += repair_at_predecessors(f, cfg, &mut stats.inconsistency);
+    }
+    let entry_states = block_entry_states_ordered(f, cfg.class, cfg.order);
+
+    #[allow(clippy::needless_range_loop)] // `f.blocks[bi]` is mutated below
+    for bi in 0..f.blocks.len() {
+        let mut last = match entry_states[bi] {
+            DecodeState::Known(v) => LastReg::known(v),
+            _ => LastReg::default(),
+        };
+        let old = std::mem::take(&mut f.blocks[bi].insts);
+        let mut new_insts = Vec::with_capacity(old.len());
+        for inst in old {
+            match &inst {
+                Inst::SetLastReg { class, value, delay } if *class == cfg.class => {
+                    last.set(*value, *delay);
+                    new_insts.push(inst);
+                    continue;
+                }
+                _ => {}
+            }
+            // Repairs for this instruction are accumulated first so that
+            // pre-existing delayed sets queue ahead of them (FIFO firing
+            // order makes the later push win at the same field boundary).
+            let accesses = class_accesses_ordered(f, &inst, cfg.class, cfg.order);
+            let mut repairs = Vec::new();
+            for (k, &r) in accesses.iter().enumerate() {
+                if cfg.reserved.contains(&r) {
+                    last.after_field(None);
+                    continue;
+                }
+                let ok = match last.current() {
+                    Some(prev) => cfg.in_range(prev, r),
+                    None => false,
+                };
+                if !ok {
+                    match last.current() {
+                        Some(_) => stats.out_of_range += 1,
+                        None => stats.inconsistency += 1,
+                    }
+                    repairs.push(Inst::SetLastReg {
+                        class: cfg.class,
+                        value: r,
+                        delay: k as u8,
+                    });
+                    stats.inserted += 1;
+                    // The repair fires right before this field decodes.
+                    last.value = Some(r);
+                }
+                last.after_field(Some(r));
+            }
+            new_insts.extend(repairs);
+            if matches!(inst, Inst::Call { .. }) {
+                last.clobber();
+            }
+            new_insts.push(inst);
+        }
+        f.blocks[bi].insts = new_insts;
+    }
+    f.recompute_cfg();
+    stats
+}
+
+/// The `AtPredecessors` pre-pass: for every join whose predecessors
+/// disagree, align each eligible disagreeing predecessor to a canonical
+/// value by appending a `set_last_reg` before its (field-free, single-
+/// successor) terminator. Joins whose predecessors cannot all be aligned
+/// are left for the entry-placement walk.
+fn repair_at_predecessors(
+    f: &mut Function,
+    cfg: &EncodingConfig,
+    inconsistency: &mut usize,
+) -> usize {
+    let states = block_entry_states_ordered(f, cfg.class, cfg.order);
+    let mut inserted = 0;
+    for bi in 0..f.blocks.len() {
+        if states[bi] != DecodeState::Top || f.blocks[bi].preds.is_empty() {
+            continue;
+        }
+        // Only worth repairing if the block actually accesses registers.
+        let has_access = f.blocks[bi].insts.iter().any(|i| {
+            !i.is_set_last_reg() && !class_accesses_ordered(f, i, cfg.class, cfg.order).is_empty()
+        });
+        if !has_access {
+            continue;
+        }
+        let preds = f.blocks[bi].preds.clone();
+        // Out-state of each predecessor.
+        let outs: Vec<DecodeState> = preds
+            .iter()
+            .map(|p| {
+                transfer_block_ordered(f, p.index(), cfg.class, cfg.order, states[p.index()])
+            })
+            .collect();
+        // Canonical value: the most common Known out-state.
+        let mut counts: std::collections::BTreeMap<u8, usize> = std::collections::BTreeMap::new();
+        for o in &outs {
+            if let DecodeState::Known(v) = o {
+                *counts.entry(*v).or_insert(0) += 1;
+            }
+        }
+        let Some((&canonical, _)) = counts.iter().max_by_key(|(_, &c)| c) else {
+            continue;
+        };
+        // Every disagreeing predecessor must be eligible: a field-free
+        // terminator (so the set survives to the block edge) and this join
+        // as its only successor (so other paths are not disturbed).
+        let disagreeing: Vec<_> = preds
+            .iter()
+            .zip(&outs)
+            .filter(|(_, o)| **o != DecodeState::Known(canonical))
+            .map(|(p, _)| *p)
+            .collect();
+        let eligible = disagreeing.iter().all(|p| {
+            let blk = f.block(*p);
+            blk.succs.len() == 1
+                && blk.insts.last().is_some_and(|term| {
+                    class_accesses_ordered(f, term, cfg.class, cfg.order).is_empty()
+                })
+        });
+        if !eligible || disagreeing.is_empty() {
+            continue;
+        }
+        for p in disagreeing {
+            let insts = &mut f.blocks[p.index()].insts;
+            let at = insts.len() - 1; // before the terminator
+            insts.insert(
+                at,
+                Inst::SetLastReg {
+                    class: cfg.class,
+                    value: canonical,
+                    delay: 0,
+                },
+            );
+            inserted += 1;
+            *inconsistency += 1;
+        }
+    }
+    f.recompute_cfg();
+    inserted
+}
+
+/// Repair every function of a program; returns the summed statistics.
+pub fn insert_set_last_reg_program(p: &mut Program, cfg: &EncodingConfig) -> RepairStats {
+    let mut total = RepairStats::default();
+    for f in &mut p.funcs {
+        let s = insert_set_last_reg(f, cfg);
+        total.inserted += s.inserted;
+        total.out_of_range += s.out_of_range;
+        total.inconsistency += s.inconsistency;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+    use dra_ir::{Cond, FunctionBuilder, Inst, PReg};
+
+    fn mov(dst: u8, src: u8) -> Inst {
+        Inst::Mov {
+            dst: PReg(dst).into(),
+            src: PReg(src).into(),
+        }
+    }
+
+    #[test]
+    fn in_range_code_needs_single_entry_repair() {
+        // Accesses 0,1,2,…: all diffs are 1, but the entry state is
+        // unknown, so exactly one repair lands before the first access.
+        let mut b = FunctionBuilder::new("f");
+        b.push(mov(1, 0));
+        b.push(mov(2, 1));
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.inconsistency, 1);
+        verify_function(&f, &cfg).unwrap();
+    }
+
+    #[test]
+    fn paper_section_2_3_example() {
+        // "instruction R1 = R0 + R2 cannot be differential encoded because
+        //  the difference between first and second source operands is
+        //  larger than 1 (assume DiffN = 2). We can put set_last_reg(2, 1)
+        //  in front of this instruction."
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::SetLastReg {
+            class: RegClass::Int,
+            value: 0,
+            delay: 0,
+        }); // pin entry state to R0 so only the paper's repair is needed
+        b.push(Inst::Bin {
+            op: dra_ir::BinOp::Add,
+            dst: PReg(1).into(),
+            lhs: PReg(0).into(),
+            rhs: PReg(2).into(),
+        });
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(4, 2));
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        // The R0->R2 hop needs the paper's repair; the destination R1 then
+        // sits 3 hops from R2 (the example elides this) and needs another.
+        assert_eq!(stats.out_of_range, 2);
+        // The inserted instruction is set_last_reg(2, 1): value 2, delay 1.
+        let slr = f
+            .iter_insts()
+            .filter_map(|i| match i {
+                Inst::SetLastReg { value, delay, .. } => Some((*value, *delay)),
+                _ => None,
+            })
+            .nth(1)
+            .expect("repair inserted");
+        assert_eq!(slr, (2, 1));
+        verify_function(&f, &cfg).unwrap();
+    }
+
+    #[test]
+    fn figure3_join_gets_one_repair() {
+        let mut b = FunctionBuilder::new("fig3");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Cond::Eq, PReg(0).into(), PReg(0).into(), t, e);
+        b.switch_to(t);
+        b.push(mov(1, 0));
+        b.br(j);
+        b.switch_to(e);
+        b.push(mov(2, 0));
+        b.br(j);
+        b.switch_to(j);
+        b.push(mov(3, 2));
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        // One for the unknown entry, one at the join.
+        assert_eq!(stats.inconsistency, 2);
+        let in_join = f.blocks[j.index()]
+            .insts
+            .iter()
+            .filter(|i| i.is_set_last_reg())
+            .count();
+        assert_eq!(in_join, 1, "join repaired exactly once");
+        verify_function(&f, &cfg).unwrap();
+    }
+
+    #[test]
+    fn call_forces_repair_after_return() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(mov(1, 0));
+        b.call(0, vec![], None);
+        b.push(mov(2, 1));
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        // Entry repair + post-call repair. (The call has no register
+        // fields of its own here.)
+        assert_eq!(stats.inserted, 2);
+        verify_function(&f, &cfg).unwrap();
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(mov(9, 0));
+        b.push(mov(0, 9));
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        let first = insert_set_last_reg(&mut f, &cfg);
+        assert!(first.inserted > 0);
+        let again = insert_set_last_reg(&mut f, &cfg);
+        assert_eq!(again.inserted, 0, "second run inserts nothing");
+    }
+
+    #[test]
+    fn direct_encoding_needs_no_repairs_beyond_entry() {
+        // DiffN == RegN: every difference is in range; even the entry needs
+        // nothing because any value decodes correctly… except the state is
+        // unknown — but all diffs being legal means in_range always holds
+        // only when state is Known. Entry still needs one repair.
+        let mut b = FunctionBuilder::new("f");
+        b.push(mov(7, 0));
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::direct(8));
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        assert_eq!(stats.out_of_range, 0);
+        assert_eq!(stats.inconsistency, 1);
+    }
+
+    #[test]
+    fn reserved_register_is_transparent() {
+        // r7 reserved (stack-pointer style): accesses to it do not disturb
+        // the differential chain 0 -> 1.
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::SetLastReg {
+            class: RegClass::Int,
+            value: 0,
+            delay: 0,
+        });
+        b.push(Inst::Load {
+            dst: PReg(1).into(),
+            base: PReg(7).into(),
+            offset: 0,
+        }); // accesses r7 (reserved), then r1 — diff from r0 is 1: fine
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(8, 4)).with_reserved([7]);
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        assert_eq!(stats.inserted, 0, "reserved access costs nothing:\n{f}");
+        verify_function(&f, &cfg).unwrap();
+    }
+
+    #[test]
+    fn reserved_shrinks_effective_diffn() {
+        let cfg = EncodingConfig::new(DiffParams::new(16, 8)).with_reserved([15]);
+        assert_eq!(cfg.effective_diff_n(), 7);
+        assert!(cfg.in_range(0, 6));
+        assert!(!cfg.in_range(0, 7), "difference 7 now reserved");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausts DiffN")]
+    fn reserving_everything_rejected() {
+        let _ = EncodingConfig::new(DiffParams::new(4, 2)).with_reserved([0, 1]);
+    }
+
+    #[test]
+    fn program_level_totals() {
+        let build = || {
+            let mut b = FunctionBuilder::new("g");
+            b.push(mov(9, 0));
+            b.ret(None);
+            b.finish()
+        };
+        let mut p = Program {
+            funcs: vec![build(), build()],
+            entry: 0,
+        };
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        let stats = insert_set_last_reg_program(&mut p, &cfg);
+        // Per function: one entry repair plus one for the 0 -> 9 hop.
+        assert_eq!(stats.inserted, 4);
+        assert_eq!(stats.inconsistency, 2);
+        assert_eq!(stats.out_of_range, 2);
+    }
+}
+
+#[cfg(test)]
+mod placement_tests {
+    use super::*;
+    use crate::verify::{decode_trace, verify_function};
+    use dra_ir::{BlockId, Cond, FunctionBuilder, Inst, PReg};
+
+    fn mov(dst: u8, src: u8) -> Inst {
+        Inst::Mov {
+            dst: PReg(dst).into(),
+            src: PReg(src).into(),
+        }
+    }
+
+    /// The Figure 3 diamond where both arms end in a plain `br`.
+    fn diamond() -> (dra_ir::Function, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("fig3");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.push(Inst::SetLastReg {
+            class: RegClass::Int,
+            value: 0,
+            delay: 0,
+        });
+        b.cond_br(Cond::Eq, PReg(0).into(), PReg(0).into(), t, e);
+        b.switch_to(t);
+        b.push(mov(1, 0));
+        b.br(j);
+        b.switch_to(e);
+        b.push(mov(2, 0));
+        b.br(j);
+        b.switch_to(j);
+        b.push(mov(3, 2));
+        b.ret(None);
+        (b.finish(), t, e, j)
+    }
+
+    #[test]
+    fn predecessor_placement_repairs_in_the_arms() {
+        let (mut f, t, e, j) = diamond();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8))
+            .with_placement(RepairPlacement::AtPredecessors);
+        insert_set_last_reg(&mut f, &cfg);
+        verify_function(&f, &cfg).unwrap();
+        // The join itself carries no repair; at least one arm does.
+        let in_join = f.blocks[j.index()]
+            .insts
+            .iter()
+            .filter(|i| i.is_set_last_reg())
+            .count();
+        assert_eq!(in_join, 0, "join repaired at predecessors instead:\n{f}");
+        let in_arms: usize = [t, e]
+            .iter()
+            .map(|b| {
+                f.blocks[b.index()]
+                    .insts
+                    .iter()
+                    .filter(|i| i.is_set_last_reg())
+                    .count()
+            })
+            .sum();
+        assert!(in_arms >= 1);
+        // Both dynamic paths decode.
+        decode_trace(&f, &cfg, &[BlockId(0), t, j]).unwrap();
+        decode_trace(&f, &cfg, &[BlockId(0), e, j]).unwrap();
+    }
+
+    #[test]
+    fn entry_and_predecessor_placement_agree_semantically() {
+        let (mut fe, t, e, j) = diamond();
+        let cfg_e = EncodingConfig::new(DiffParams::new(12, 8));
+        insert_set_last_reg(&mut fe, &cfg_e);
+        verify_function(&fe, &cfg_e).unwrap();
+
+        let (mut fp, ..) = diamond();
+        let cfg_p = EncodingConfig::new(DiffParams::new(12, 8))
+            .with_placement(RepairPlacement::AtPredecessors);
+        insert_set_last_reg(&mut fp, &cfg_p);
+        verify_function(&fp, &cfg_p).unwrap();
+        let _ = (t, e, j);
+    }
+
+    #[test]
+    fn condbr_predecessor_falls_back_to_entry() {
+        // A join whose predecessor ends in a CondBr (register fields in
+        // the terminator): predecessor placement is ineligible there, so
+        // the entry repair must appear.
+        let mut b = FunctionBuilder::new("f");
+        let l = b.new_block();
+        let j = b.new_block();
+        b.push(Inst::SetLastReg {
+            class: RegClass::Int,
+            value: 0,
+            delay: 0,
+        });
+        b.push(mov(1, 0));
+        b.br(l);
+        b.switch_to(l);
+        // Loop: leaves different last regs on iteration paths.
+        b.push(mov(9, 0));
+        b.cond_br(Cond::Lt, PReg(1).into(), PReg(2).into(), l, j);
+        b.switch_to(j);
+        b.push(mov(3, 2));
+        b.ret(None);
+        let mut f = b.finish();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8))
+            .with_placement(RepairPlacement::AtPredecessors);
+        insert_set_last_reg(&mut f, &cfg);
+        verify_function(&f, &cfg).unwrap();
+    }
+
+    #[test]
+    fn dst_first_access_order_roundtrips() {
+        let (mut f, t, e, _) = diamond();
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8))
+            .with_order(AccessOrder::DstThenSrcs);
+        insert_set_last_reg(&mut f, &cfg);
+        verify_function(&f, &cfg).unwrap();
+        decode_trace(&f, &cfg, &[BlockId(0), t, BlockId(3)]).unwrap();
+        decode_trace(&f, &cfg, &[BlockId(0), e, BlockId(3)]).unwrap();
+    }
+
+    #[test]
+    fn access_order_changes_repair_counts() {
+        // dst-first makes `x = op(x, y)` start with the same register it
+        // ended the previous def with — orders genuinely differ in cost.
+        let build = || {
+            let mut b = FunctionBuilder::new("f");
+            b.push(Inst::SetLastReg {
+                class: RegClass::Int,
+                value: 0,
+                delay: 0,
+            });
+            for _ in 0..4 {
+                // srcs-first sequence: 0,9,9 (one long hop per inst);
+                // dst-first sequence: 9,0,9 (two long hops per inst).
+                b.push(Inst::Bin {
+                    op: dra_ir::BinOp::Add,
+                    dst: PReg(9).into(),
+                    lhs: PReg(0).into(),
+                    rhs: PReg(9).into(),
+                });
+            }
+            b.ret(None);
+            b.finish()
+        };
+        let params = DiffParams::new(12, 8);
+        let mut f1 = build();
+        let c1 = EncodingConfig::new(params);
+        let s1 = insert_set_last_reg(&mut f1, &c1);
+        let mut f2 = build();
+        let c2 = EncodingConfig::new(params).with_order(AccessOrder::DstThenSrcs);
+        let s2 = insert_set_last_reg(&mut f2, &c2);
+        assert_ne!(
+            s1.inserted, s2.inserted,
+            "orders should cost differently on this pattern"
+        );
+        verify_function(&f1, &c1).unwrap();
+        verify_function(&f2, &c2).unwrap();
+    }
+}

@@ -1,0 +1,411 @@
+//! The decoder-state dataflow.
+//!
+//! Decoding is dynamic — the hardware updates `last_reg` as instructions
+//! stream past — but encodability is a static property: at every register
+//! field the encoder must know a *unique* value `last_reg` will hold on
+//! every path reaching it. This module computes that knowledge as a
+//! forward dataflow over the CFG with the three-point lattice
+//!
+//! ```text
+//!        Top  (unknown / paths disagree — needs a repair)
+//!       /   \
+//!  Known(0) Known(1) …
+//!       \   /
+//!        Bot  (unreached)
+//! ```
+
+use dra_ir::{AccessOrder, Function, Inst, RegClass};
+use std::collections::VecDeque;
+
+/// The concrete decoder state: `last_reg` plus pending delayed assignments
+/// from `set_last_reg(value, delay)` instructions.
+///
+/// `value = None` models an unknown `last_reg` (power-on, post-call, or a
+/// join of disagreeing paths). Both the static encoder/repair walk and the
+/// dynamic trace decoder drive this same machine, which is what guarantees
+/// they agree on delayed-set semantics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LastReg {
+    /// Current `last_reg` (None = unknown).
+    pub value: Option<u8>,
+    pending: VecDeque<(u8, u8)>,
+}
+
+impl LastReg {
+    /// A decoder whose `last_reg` is known to be `v`.
+    pub fn known(v: u8) -> Self {
+        LastReg {
+            value: Some(v),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Execute `set_last_reg(value, delay)`.
+    pub fn set(&mut self, value: u8, delay: u8) {
+        if delay == 0 {
+            self.value = Some(value);
+            self.pending.clear();
+        } else {
+            self.pending.push_back((value, delay));
+        }
+    }
+
+    /// `last_reg` as seen by the next field to decode.
+    pub fn current(&self) -> Option<u8> {
+        self.value
+    }
+
+    /// Account one decoded field: update `last_reg` to the decoded register
+    /// (pass `None` for reserved direct codes, which leave it untouched),
+    /// then fire any pending delayed assignment whose delay has elapsed.
+    pub fn after_field(&mut self, decoded_updates_last: Option<u8>) {
+        if let Some(r) = decoded_updates_last {
+            self.value = Some(r);
+        }
+        for p in self.pending.iter_mut() {
+            p.1 -= 1;
+        }
+        while let Some(&(v, d)) = self.pending.front() {
+            if d == 0 {
+                self.value = Some(v);
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Scramble the state (a call transferred control to an unknown
+    /// instruction stream).
+    pub fn clobber(&mut self) {
+        self.value = None;
+        self.pending.clear();
+    }
+}
+
+/// Abstract value of the decoder's `last_reg` for one register class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeState {
+    /// No path reaches this point (initial value).
+    Bot,
+    /// Every path agrees: `last_reg` holds this register number.
+    Known(u8),
+    /// Paths disagree, or a call clobbered the state.
+    Top,
+}
+
+impl DecodeState {
+    /// Lattice meet (used at control-flow joins).
+    pub fn meet(self, other: DecodeState) -> DecodeState {
+        match (self, other) {
+            (DecodeState::Bot, x) | (x, DecodeState::Bot) => x,
+            (DecodeState::Known(a), DecodeState::Known(b)) if a == b => DecodeState::Known(a),
+            _ => DecodeState::Top,
+        }
+    }
+}
+
+/// Apply one block's instructions to an incoming state, yielding the state
+/// at block exit. `set_last_reg` instructions are honored; a `Call`
+/// clobbers the state (the callee's instruction stream leaves `last_reg`
+/// unpredictable); any other instruction with register accesses of the
+/// class leaves `last_reg` holding its final access.
+pub fn transfer_block(f: &Function, block: usize, class: RegClass, inp: DecodeState) -> DecodeState {
+    transfer_block_ordered(f, block, class, AccessOrder::SrcsThenDst, inp)
+}
+
+/// [`transfer_block`] under an explicit access order.
+pub fn transfer_block_ordered(
+    f: &Function,
+    block: usize,
+    class: RegClass,
+    order: AccessOrder,
+    inp: DecodeState,
+) -> DecodeState {
+    let mut st = inp;
+    for inst in &f.blocks[block].insts {
+        st = transfer_inst_ordered(f, inst, class, order, st);
+    }
+    st
+}
+
+/// Apply a single instruction to the decode state (paper access order).
+pub fn transfer_inst(f: &Function, inst: &Inst, class: RegClass, inp: DecodeState) -> DecodeState {
+    transfer_inst_ordered(f, inst, class, AccessOrder::SrcsThenDst, inp)
+}
+
+/// [`transfer_inst`] under an explicit access order.
+pub fn transfer_inst_ordered(
+    f: &Function,
+    inst: &Inst,
+    class: RegClass,
+    order: AccessOrder,
+    inp: DecodeState,
+) -> DecodeState {
+    match inst {
+        Inst::SetLastReg {
+            class: c, value, ..
+        } if *c == class => {
+            // The delayed variant also ends with `last_reg = value` once
+            // the delay elapses — and the delay is always consumed by the
+            // very next instruction's fields, so at instruction
+            // granularity the final state is simply `value`. (Any fields
+            // decoded before the delay elapses are checked against the
+            // pre-assignment state by the verifier.)
+            DecodeState::Known(*value)
+        }
+        Inst::Call { .. } => {
+            // Fields of the call itself decode before the jump; afterwards
+            // the callee's stream leaves last_reg unknown.
+            DecodeState::Top
+        }
+        _ => {
+            let accesses: Vec<u8> = class_accesses_ordered(f, inst, class, order);
+            match accesses.last() {
+                Some(&r) => DecodeState::Known(r),
+                None => inp,
+            }
+        }
+    }
+}
+
+/// The physical register numbers this instruction accesses, filtered to
+/// `class`, in the paper's nominal access order.
+///
+/// # Panics
+///
+/// Panics if the instruction still holds virtual registers of the class —
+/// encoding requires allocated code.
+pub fn class_accesses(f: &Function, inst: &Inst, class: RegClass) -> Vec<u8> {
+    class_accesses_ordered(f, inst, class, AccessOrder::SrcsThenDst)
+}
+
+/// [`class_accesses`] under an explicit access order.
+///
+/// # Panics
+///
+/// As [`class_accesses`].
+pub fn class_accesses_ordered(
+    f: &Function,
+    inst: &Inst,
+    class: RegClass,
+    order: AccessOrder,
+) -> Vec<u8> {
+    inst.accesses_in(order)
+        .into_iter()
+        .filter(|r| match r {
+            dra_ir::Reg::Virt(v) => f.vreg_class(*v) == class,
+            dra_ir::Reg::Phys(_) => class == RegClass::Int,
+        })
+        .map(|r| r.expect_phys().number())
+        .collect()
+}
+
+/// Compute the decode state at the entry of every block (fixpoint).
+///
+/// The entry block starts at `Top`: a function may be reached from any call
+/// site, so `last_reg` is unknown on entry.
+pub fn block_entry_states(f: &Function, class: RegClass) -> Vec<DecodeState> {
+    block_entry_states_ordered(f, class, AccessOrder::SrcsThenDst)
+}
+
+/// [`block_entry_states`] under an explicit access order.
+pub fn block_entry_states_ordered(
+    f: &Function,
+    class: RegClass,
+    order: AccessOrder,
+) -> Vec<DecodeState> {
+    let nb = f.num_blocks();
+    let mut in_st = vec![DecodeState::Bot; nb];
+    in_st[f.entry.index()] = DecodeState::Top;
+
+    let rpo = f.reverse_postorder();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let bi = b.index();
+            let mut inp = if b == f.entry {
+                DecodeState::Top
+            } else {
+                DecodeState::Bot
+            };
+            for &p in &f.blocks[bi].preds {
+                let pout =
+                    transfer_block_ordered(f, p.index(), class, order, in_st[p.index()]);
+                inp = inp.meet(pout);
+            }
+            if inp != in_st[bi] {
+                in_st[bi] = inp;
+                changed = true;
+            }
+        }
+    }
+    in_st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::{BlockId, Cond, FunctionBuilder, Inst, PReg};
+
+    #[test]
+    fn meet_lattice_laws() {
+        use DecodeState::*;
+        assert_eq!(Bot.meet(Known(3)), Known(3));
+        assert_eq!(Known(3).meet(Known(3)), Known(3));
+        assert_eq!(Known(3).meet(Known(4)), Top);
+        assert_eq!(Top.meet(Known(3)), Top);
+        assert_eq!(Bot.meet(Bot), Bot);
+        // Commutativity on a sample.
+        assert_eq!(Known(1).meet(Top), Top.meet(Known(1)));
+    }
+
+    #[test]
+    fn straight_line_state_tracks_last_access() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Mov {
+            dst: PReg(3).into(),
+            src: PReg(1).into(),
+        });
+        b.ret(None);
+        let f = b.finish();
+        let out = transfer_block(&f, 0, RegClass::Int, DecodeState::Top);
+        assert_eq!(out, DecodeState::Known(3), "dst decoded last");
+    }
+
+    #[test]
+    fn set_last_reg_fixes_state() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::SetLastReg {
+            class: RegClass::Int,
+            value: 7,
+            delay: 0,
+        });
+        b.ret(None);
+        let f = b.finish();
+        let out = transfer_block(&f, 0, RegClass::Int, DecodeState::Top);
+        assert_eq!(out, DecodeState::Known(7));
+    }
+
+    #[test]
+    fn call_clobbers_state() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Mov {
+            dst: PReg(2).into(),
+            src: PReg(1).into(),
+        });
+        b.call(0, vec![], None);
+        b.ret(None);
+        let f = b.finish();
+        let out = transfer_block(&f, 0, RegClass::Int, DecodeState::Known(0));
+        assert_eq!(out, DecodeState::Top);
+    }
+
+    #[test]
+    fn other_class_set_last_reg_ignored() {
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::SetLastReg {
+            class: RegClass::Float,
+            value: 7,
+            delay: 0,
+        });
+        b.ret(None);
+        let f = b.finish();
+        let out = transfer_block(&f, 0, RegClass::Int, DecodeState::Known(2));
+        assert_eq!(out, DecodeState::Known(2));
+    }
+
+    /// Figure 3 of the paper: two predecessors leave different last
+    /// registers; the join sees `Top`.
+    #[test]
+    fn figure3_multi_path_inconsistency() {
+        let mut b = FunctionBuilder::new("fig3");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Cond::Eq, PReg(0).into(), PReg(0).into(), t, e);
+        b.switch_to(t);
+        b.push(Inst::Mov {
+            dst: PReg(1).into(),
+            src: PReg(0).into(),
+        }); // leaves last_reg = 1
+        b.br(j);
+        b.switch_to(e);
+        b.push(Inst::Mov {
+            dst: PReg(2).into(),
+            src: PReg(0).into(),
+        }); // leaves last_reg = 2
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let states = block_entry_states(&f, RegClass::Int);
+        assert_eq!(states[j.index()], DecodeState::Top, "paths disagree");
+        assert_eq!(states[t.index()], DecodeState::Known(0), "branch lhs/rhs last");
+    }
+
+    #[test]
+    fn agreeing_paths_stay_known() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Cond::Eq, PReg(0).into(), PReg(0).into(), t, e);
+        b.switch_to(t);
+        b.push(Inst::Mov {
+            dst: PReg(5).into(),
+            src: PReg(0).into(),
+        });
+        b.br(j);
+        b.switch_to(e);
+        b.push(Inst::Mov {
+            dst: PReg(5).into(),
+            src: PReg(1).into(),
+        });
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let states = block_entry_states(&f, RegClass::Int);
+        assert_eq!(states[j.index()], DecodeState::Known(5));
+    }
+
+    #[test]
+    fn loop_backedge_reaches_fixpoint() {
+        // A loop whose body ends on the same register the header expects.
+        let mut b = FunctionBuilder::new("f");
+        let h = b.new_block();
+        let body = b.new_block();
+        let ex = b.new_block();
+        b.push(Inst::Mov {
+            dst: PReg(1).into(),
+            src: PReg(0).into(),
+        });
+        b.br(h);
+        b.switch_to(h);
+        b.cond_br(Cond::Lt, PReg(1).into(), PReg(2).into(), body, ex);
+        b.switch_to(body);
+        b.push(Inst::Mov {
+            dst: PReg(1).into(),
+            src: PReg(2).into(),
+        }); // leaves 1
+        b.br(h);
+        b.switch_to(ex);
+        b.ret(None);
+        let f = b.finish();
+        let states = block_entry_states(&f, RegClass::Int);
+        // Entry leaves last=1 (mov dst); body leaves last=1: header agrees.
+        assert_eq!(states[h.index()], DecodeState::Known(1));
+        assert_eq!(states[BlockId(0).index()], DecodeState::Top, "entry unknown");
+    }
+
+    #[test]
+    fn entry_block_is_top() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let f = b.finish();
+        let states = block_entry_states(&f, RegClass::Int);
+        assert_eq!(states[0], DecodeState::Top);
+    }
+}

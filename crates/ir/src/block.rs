@@ -1,0 +1,89 @@
+//! Basic blocks and block identifiers.
+
+use crate::inst::Inst;
+use std::fmt;
+
+/// Identifier of a basic block within one [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Dense index of the block.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// terminator, plus CFG edges and a static execution-frequency estimate.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BasicBlock {
+    /// Instructions, the last of which is the terminator once the function
+    /// is sealed.
+    pub insts: Vec<Inst>,
+    /// Successor blocks (derived from the terminator by [`crate::Function::recompute_cfg`]).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks (derived).
+    pub preds: Vec<BlockId>,
+    /// Static execution frequency estimate used to weight adjacency-graph
+    /// edges and spill costs (10^loop-depth by default, profile-assignable).
+    pub freq: f64,
+}
+
+impl BasicBlock {
+    /// An empty block with unit frequency.
+    pub fn new() -> Self {
+        BasicBlock {
+            insts: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            freq: 1.0,
+        }
+    }
+
+    /// The block's terminator, if the block is non-empty and sealed.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(format!("{}", BlockId(3)), "bb3");
+        assert_eq!(BlockId(3).index(), 3);
+    }
+
+    #[test]
+    fn empty_block_has_no_terminator() {
+        let b = BasicBlock::new();
+        assert!(b.terminator().is_none());
+        assert_eq!(b.freq, 1.0);
+    }
+
+    #[test]
+    fn terminator_detected() {
+        let mut b = BasicBlock::new();
+        b.insts.push(Inst::Nop);
+        assert!(b.terminator().is_none(), "nop is not a terminator");
+        b.insts.push(Inst::Ret { value: None });
+        assert_eq!(b.terminator(), Some(&Inst::Ret { value: None }));
+    }
+}

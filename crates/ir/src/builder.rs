@@ -1,0 +1,280 @@
+//! A convenience builder for constructing [`Function`]s.
+//!
+//! The builder keeps a *current block*, appends instructions to it, and
+//! seals the CFG (recomputing edges) on [`FunctionBuilder::finish`].
+
+use crate::block::{BasicBlock, BlockId};
+use crate::function::Function;
+use crate::inst::{BinOp, Cond, Inst, SpillSlot};
+use crate::reg::{Reg, RegClass, VReg};
+
+/// Incremental builder of a [`Function`].
+///
+/// ```
+/// use dra_ir::{FunctionBuilder, BinOp, Cond, Reg};
+///
+/// // `for (i = 0; i < 10; i++) acc += i;`
+/// let mut b = FunctionBuilder::new("sum");
+/// let i = b.new_vreg();
+/// let acc = b.new_vreg();
+/// b.mov_imm(i, 0);
+/// b.mov_imm(acc, 0);
+/// let header = b.new_block();
+/// let body = b.new_block();
+/// let exit = b.new_block();
+/// b.br(header);
+/// b.switch_to(header);
+/// let ten = b.new_vreg();
+/// b.mov_imm(ten, 10);
+/// b.cond_br(Cond::Lt, i.into(), ten.into(), body, exit);
+/// b.switch_to(body);
+/// b.bin(BinOp::Add, acc, acc.into(), i.into());
+/// b.bin_imm(BinOp::Add, i, i.into(), 1);
+/// b.br(header);
+/// b.switch_to(exit);
+/// b.ret(Some(acc.into()));
+/// let f = b.finish();
+/// assert_eq!(f.num_blocks(), 4);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with a fresh entry block selected.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            func: Function::new(name),
+            current: BlockId(0),
+        }
+    }
+
+    /// Create a fresh integer virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        self.func.new_vreg()
+    }
+
+    /// Create a fresh virtual register of `class`.
+    pub fn new_vreg_of(&mut self, class: RegClass) -> VReg {
+        self.func.new_vreg_of(class)
+    }
+
+    /// Declare a function parameter: a fresh vreg defined by a
+    /// [`Inst::GetParam`] emitted into the *current* block (normally the
+    /// entry, before any control flow).
+    pub fn new_param(&mut self) -> VReg {
+        let v = self.func.new_vreg();
+        let index = self.func.params.len() as u8;
+        self.func.params.push(v);
+        self.push(Inst::GetParam {
+            dst: v.into(),
+            index,
+        });
+        v
+    }
+
+    /// Append a new, empty block and return its id (selection unchanged).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(BasicBlock::new());
+        BlockId(self.func.blocks.len() as u32 - 1)
+    }
+
+    /// Select the block that subsequently emitted instructions go to.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(b.index() < self.func.blocks.len(), "no such block {b}");
+        self.current = b;
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Append an arbitrary instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.current.index()].insts.push(inst);
+    }
+
+    /// `dst = op(lhs, rhs)`.
+    pub fn bin(&mut self, op: BinOp, dst: VReg, lhs: Reg, rhs: Reg) {
+        self.push(Inst::Bin {
+            op,
+            dst: dst.into(),
+            lhs,
+            rhs,
+        });
+    }
+
+    /// `dst = op(src, imm)`.
+    pub fn bin_imm(&mut self, op: BinOp, dst: VReg, src: Reg, imm: i32) {
+        self.push(Inst::BinImm {
+            op,
+            dst: dst.into(),
+            src,
+            imm,
+        });
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: VReg, src: Reg) {
+        self.push(Inst::Mov {
+            dst: dst.into(),
+            src,
+        });
+    }
+
+    /// `dst = imm`.
+    pub fn mov_imm(&mut self, dst: VReg, imm: i32) {
+        self.push(Inst::MovImm {
+            dst: dst.into(),
+            imm,
+        });
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: VReg, base: Reg, offset: i32) {
+        self.push(Inst::Load {
+            dst: dst.into(),
+            base,
+            offset,
+        });
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Store { src, base, offset });
+    }
+
+    /// Reload from a spill slot.
+    pub fn spill_load(&mut self, dst: VReg, slot: SpillSlot) {
+        self.push(Inst::SpillLoad {
+            dst: dst.into(),
+            slot,
+        });
+    }
+
+    /// Spill to a slot.
+    pub fn spill_store(&mut self, src: Reg, slot: SpillSlot) {
+        self.push(Inst::SpillStore { src, slot });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Inst::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Cond, lhs: Reg, rhs: Reg, then_bb: BlockId, else_bb: BlockId) {
+        self.push(Inst::CondBr {
+            cond,
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Direct call to `callee` (program function index).
+    pub fn call(&mut self, callee: u32, args: Vec<Reg>, ret: Option<VReg>) {
+        self.push(Inst::Call {
+            callee,
+            args,
+            ret: ret.map(Reg::from),
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Reg>) {
+        self.push(Inst::Ret { value });
+    }
+
+    /// Seal the function: recompute CFG edges and return it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reachable block lacks a terminator — such a function
+    /// would fall off the end of a block.
+    pub fn finish(mut self) -> Function {
+        self.func.recompute_cfg();
+        for b in self.func.reverse_postorder() {
+            assert!(
+                self.func.block(b).terminator().is_some(),
+                "reachable block {b} of `{}` lacks a terminator",
+                self.func.name
+            );
+        }
+        self.func
+    }
+
+    /// Seal without the terminator check (for deliberately partial
+    /// functions in tests).
+    pub fn finish_unchecked(mut self) -> Function {
+        self.func.recompute_cfg();
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 5);
+        b.ret(Some(x.into()));
+        let f = b.finish();
+        assert_eq!(f.num_blocks(), 1);
+        assert_eq!(f.num_insts(), 2);
+        assert_eq!(f.vreg_count, 1);
+    }
+
+    #[test]
+    fn params_are_recorded() {
+        let mut b = FunctionBuilder::new("f");
+        let p = b.new_param();
+        b.ret(Some(p.into()));
+        let f = b.finish();
+        assert_eq!(f.params, vec![p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_reachable_block_panics() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn unchecked_finish_allows_partial() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        let f = b.finish_unchecked();
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn multi_block_cfg_sealed() {
+        let mut b = FunctionBuilder::new("f");
+        let t = b.new_block();
+        b.br(t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.block(BlockId(0)).succs, vec![t]);
+        assert_eq!(f.block(t).preds, vec![BlockId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such block")]
+    fn switch_to_invalid_block_panics() {
+        let mut b = FunctionBuilder::new("f");
+        b.switch_to(BlockId(99));
+    }
+}

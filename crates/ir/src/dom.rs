@@ -1,0 +1,177 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::block::BlockId;
+use crate::function::Function;
+
+/// Immediate-dominator table for the reachable blocks of a function.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator of block `b`; `None` for the entry
+    /// and for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder used during computation (reachable blocks only).
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`; `usize::MAX` for unreachable.
+    rpo_pos: Vec<usize>,
+}
+
+impl Dominators {
+    /// Compute dominators for `f`.
+    pub fn compute(f: &Function) -> Dominators {
+        let nb = f.num_blocks();
+        let rpo = f.reverse_postorder();
+        let mut rpo_pos = vec![usize::MAX; nb];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; nb];
+        idom[f.entry.index()] = Some(f.entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &f.block(b).preds {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_pos, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The entry's self-idom is an implementation detail; expose None.
+        idom[f.entry.index()] = None;
+        Dominators { idom, rpo, rpo_pos }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_pos: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_pos[a.index()] > rpo_pos[b.index()] {
+                a = idom[a.index()].expect("walk reaches entry");
+            }
+            while rpo_pos[b.index()] > rpo_pos[a.index()] {
+                b = idom[b.index()].expect("walk reaches entry");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry / unreachable).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive: every block dominates itself.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[b.index()] == usize::MAX {
+            return false; // unreachable blocks are dominated by nothing
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(i) => cur = i,
+                None => return false,
+            }
+        }
+    }
+
+    /// Reverse postorder of reachable blocks (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    /// entry -> (a | b) -> join -> ret, with a loop around `a`.
+    fn build() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut bld = FunctionBuilder::new("f");
+        let c = bld.new_vreg();
+        bld.mov_imm(c, 0);
+        let a = bld.new_block();
+        let b = bld.new_block();
+        let join = bld.new_block();
+        let cr: Reg = c.into();
+        bld.cond_br(Cond::Eq, cr, cr, a, b);
+        bld.switch_to(a);
+        bld.cond_br(Cond::Ne, cr, cr, a, join); // self-loop on a
+        bld.switch_to(b);
+        bld.br(join);
+        bld.switch_to(join);
+        bld.ret(None);
+        let f = bld.finish();
+        (f, BlockId(0), a, b, join)
+    }
+
+    #[test]
+    fn idoms_of_diamond() {
+        let (f, entry, a, b, join) = build();
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom(entry), None);
+        assert_eq!(d.idom(a), Some(entry));
+        assert_eq!(d.idom(b), Some(entry));
+        assert_eq!(d.idom(join), Some(entry), "join's idom skips the arms");
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (f, entry, a, _b, join) = build();
+        let d = Dominators::compute(&f);
+        assert!(d.dominates(entry, entry));
+        assert!(d.dominates(entry, a));
+        assert!(d.dominates(entry, join));
+        assert!(!d.dominates(a, join));
+        assert!(!d.dominates(join, a));
+    }
+
+    #[test]
+    fn unreachable_block_not_dominated() {
+        let (mut f, entry, ..) = build();
+        f.blocks.push(crate::block::BasicBlock::new());
+        f.blocks[4].insts.push(crate::inst::Inst::Ret { value: None });
+        f.recompute_cfg();
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom(BlockId(4)), None);
+        assert!(!d.dominates(entry, BlockId(4)));
+    }
+
+    #[test]
+    fn linear_chain_dominators() {
+        let mut bld = FunctionBuilder::new("f");
+        let b1 = bld.new_block();
+        let b2 = bld.new_block();
+        bld.br(b1);
+        bld.switch_to(b1);
+        bld.br(b2);
+        bld.switch_to(b2);
+        bld.ret(None);
+        let f = bld.finish();
+        let d = Dominators::compute(&f);
+        assert_eq!(d.idom(b1), Some(BlockId(0)));
+        assert_eq!(d.idom(b2), Some(b1));
+        assert!(d.dominates(b1, b2));
+    }
+}

@@ -1,0 +1,326 @@
+//! Functions and whole programs.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::inst::Inst;
+use crate::reg::{Reg, RegClass, VReg};
+use std::fmt;
+
+/// A function: a CFG of basic blocks over a pool of virtual registers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block (always `bb0` for builder-produced functions).
+    pub entry: BlockId,
+    /// Number of virtual registers ever created; `VReg(i)` for `i <
+    /// vreg_count` are valid.
+    pub vreg_count: u32,
+    /// Number of spill slots allocated in the frame.
+    pub spill_slots: u32,
+    /// Register class of each virtual register (dense, `vreg_count` long).
+    pub vreg_classes: Vec<RegClass>,
+    /// Formal parameters, read from these virtual registers at entry.
+    pub params: Vec<VReg>,
+}
+
+impl Function {
+    /// An empty function with a single unsealed entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        Function {
+            name: name.into(),
+            blocks: vec![BasicBlock::new()],
+            entry: BlockId(0),
+            vreg_count: 0,
+            spill_slots: 0,
+            vreg_classes: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total instruction count across all blocks.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterate over `(BlockId, &BasicBlock)` in index order (which is also
+    /// layout order for code-size purposes).
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Create a fresh virtual register of the integer class.
+    pub fn new_vreg(&mut self) -> VReg {
+        self.new_vreg_of(RegClass::Int)
+    }
+
+    /// Create a fresh virtual register of a given class.
+    pub fn new_vreg_of(&mut self, class: RegClass) -> VReg {
+        let v = VReg(self.vreg_count);
+        self.vreg_count += 1;
+        self.vreg_classes.push(class);
+        v
+    }
+
+    /// The class of a virtual register.
+    pub fn vreg_class(&self, v: VReg) -> RegClass {
+        self.vreg_classes[v.index()]
+    }
+
+    /// Recompute `succs`/`preds` for every block from the terminators.
+    ///
+    /// Must be called after any transformation that adds, removes, or
+    /// retargets terminators. The builder calls it automatically.
+    pub fn recompute_cfg(&mut self) {
+        let n = self.blocks.len();
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, b) in self.blocks.iter().enumerate() {
+            if let Some(t) = b.insts.last() {
+                for tgt in t.branch_targets() {
+                    succs[i].push(tgt);
+                    preds[tgt.index()].push(BlockId(i as u32));
+                }
+            }
+        }
+        for (i, b) in self.blocks.iter_mut().enumerate() {
+            b.succs = std::mem::take(&mut succs[i]);
+            b.preds = std::mem::take(&mut preds[i]);
+        }
+    }
+
+    /// Blocks reachable from the entry, in reverse postorder.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit "children pending" state.
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(top) = stack.len().checked_sub(1) {
+            let (b, next) = stack[top];
+            let succs = &self.blocks[b.index()].succs;
+            if next < succs.len() {
+                stack[top].1 += 1;
+                let s = succs[next];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Apply `f` to every register operand of every instruction.
+    pub fn map_all_regs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        for b in &mut self.blocks {
+            for i in &mut b.insts {
+                i.map_regs(&mut f);
+            }
+        }
+    }
+
+    /// Iterate over all instructions in layout order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+
+    /// Count instructions satisfying a predicate (spills, moves, …).
+    pub fn count_insts(&self, pred: impl Fn(&Inst) -> bool) -> usize {
+        self.iter_insts().filter(|i| pred(i)).count()
+    }
+
+    /// True once every register operand is physical (post-allocation).
+    pub fn is_fully_physical(&self) -> bool {
+        self.iter_insts()
+            .all(|i| i.accesses().iter().all(|r| !r.is_virt()))
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}({:?}):", self.name, self.params)?;
+        for (id, b) in self.iter_blocks() {
+            writeln!(f, "{id}:  ; freq={:.1} preds={:?}", b.freq, b.preds)?;
+            for i in &b.insts {
+                writeln!(f, "    {i}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole program: several functions plus a designated entry function.
+///
+/// Calls name callees by index into [`Program::funcs`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// The functions of the program.
+    pub funcs: Vec<Function>,
+    /// Index of the entry function in [`Program::funcs`].
+    pub entry: u32,
+}
+
+impl Program {
+    /// A program with a single entry function.
+    pub fn single(func: Function) -> Self {
+        Program {
+            funcs: vec![func],
+            entry: 0,
+        }
+    }
+
+    /// The entry function.
+    pub fn entry_func(&self) -> &Function {
+        &self.funcs[self.entry as usize]
+    }
+
+    /// Total instruction count across every function.
+    pub fn num_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.num_insts()).sum()
+    }
+
+    /// Count instructions satisfying a predicate across all functions.
+    pub fn count_insts(&self, pred: impl Fn(&Inst) -> bool + Copy) -> usize {
+        self.funcs.iter().map(|f| f.count_insts(pred)).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.funcs.iter().enumerate() {
+            writeln!(f, "; f{i}")?;
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Cond};
+
+    fn diamond() -> Function {
+        // bb0 -> bb1, bb2; bb1 -> bb3; bb2 -> bb3; bb3 -> ret
+        let mut f = Function::new("diamond");
+        let a = f.new_vreg();
+        let b = f.new_vreg();
+        f.blocks = vec![
+            BasicBlock::new(),
+            BasicBlock::new(),
+            BasicBlock::new(),
+            BasicBlock::new(),
+        ];
+        f.blocks[0].insts = vec![
+            Inst::MovImm { dst: a.into(), imm: 1 },
+            Inst::CondBr {
+                cond: Cond::Eq,
+                lhs: a.into(),
+                rhs: a.into(),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            },
+        ];
+        f.blocks[1].insts = vec![
+            Inst::BinImm {
+                op: BinOp::Add,
+                dst: b.into(),
+                src: a.into(),
+                imm: 1,
+            },
+            Inst::Br { target: BlockId(3) },
+        ];
+        f.blocks[2].insts = vec![
+            Inst::BinImm {
+                op: BinOp::Sub,
+                dst: b.into(),
+                src: a.into(),
+                imm: 1,
+            },
+            Inst::Br { target: BlockId(3) },
+        ];
+        f.blocks[3].insts = vec![Inst::Ret {
+            value: Some(b.into()),
+        }];
+        f.recompute_cfg();
+        f
+    }
+
+    #[test]
+    fn cfg_recompute_builds_edges() {
+        let f = diamond();
+        assert_eq!(f.block(BlockId(0)).succs, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(f.block(BlockId(3)).preds, vec![BlockId(1), BlockId(2)]);
+        assert!(f.block(BlockId(3)).succs.is_empty());
+        assert!(f.block(BlockId(0)).preds.is_empty());
+    }
+
+    #[test]
+    fn reverse_postorder_visits_entry_first_and_join_last() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo[3], BlockId(3));
+    }
+
+    #[test]
+    fn rpo_skips_unreachable_blocks() {
+        let mut f = diamond();
+        f.blocks.push(BasicBlock::new()); // unreachable bb4
+        f.blocks[4].insts.push(Inst::Ret { value: None });
+        f.recompute_cfg();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert!(!rpo.contains(&BlockId(4)));
+    }
+
+    #[test]
+    fn inst_counting() {
+        let f = diamond();
+        assert_eq!(f.num_insts(), 7);
+        assert_eq!(f.count_insts(|i| i.is_terminator()), 4);
+        assert!(!f.is_fully_physical());
+    }
+
+    #[test]
+    fn program_aggregates() {
+        let p = Program::single(diamond());
+        assert_eq!(p.num_insts(), 7);
+        assert_eq!(p.entry_func().name, "diamond");
+        assert_eq!(p.count_insts(|i| i.is_terminator()), 4);
+    }
+
+    #[test]
+    fn display_contains_blocks() {
+        let f = diamond();
+        let s = format!("{f}");
+        assert!(s.contains("bb0"));
+        assert!(s.contains("ret"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Natural-loop detection and static execution-frequency estimation.
+//!
+//! The paper weights adjacency-graph edges by estimated execution frequency
+//! ("profile information could be incorporated", Section 4); absent a
+//! profile it relies on static estimation. We use the classic heuristic:
+//! each loop multiplies the frequency of its blocks by a constant
+//! ([`LOOP_FREQ_MULTIPLIER`]).
+
+use crate::block::BlockId;
+use crate::dom::Dominators;
+use crate::function::Function;
+use std::collections::BTreeSet;
+
+/// Assumed iteration count of a loop for static frequency estimation.
+pub const LOOP_FREQ_MULTIPLIER: f64 = 10.0;
+
+/// A natural loop: header plus body (header included).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks of the loop, header included.
+    pub blocks: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Number of blocks in the loop.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the loop has no blocks (never produced by the finder).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// Find all natural loops of `f` (one per back edge, merged per header).
+pub fn find_loops(f: &Function) -> Vec<NaturalLoop> {
+    let dom = Dominators::compute(f);
+    let mut by_header: Vec<(BlockId, BTreeSet<BlockId>)> = Vec::new();
+    for (b, blk) in f.iter_blocks() {
+        for &s in &blk.succs {
+            if dom.dominates(s, b) {
+                // Back edge b -> s; collect the natural loop of s.
+                let body = natural_loop_body(f, s, b);
+                match by_header.iter_mut().find(|(h, _)| *h == s) {
+                    Some((_, set)) => set.extend(body),
+                    None => by_header.push((s, body)),
+                }
+            }
+        }
+    }
+    by_header
+        .into_iter()
+        .map(|(header, blocks)| NaturalLoop { header, blocks })
+        .collect()
+}
+
+/// Blocks of the natural loop with header `h` and back edge from `tail`.
+fn natural_loop_body(f: &Function, h: BlockId, tail: BlockId) -> BTreeSet<BlockId> {
+    let mut body: BTreeSet<BlockId> = BTreeSet::new();
+    body.insert(h);
+    let mut stack = vec![tail];
+    while let Some(b) = stack.pop() {
+        if body.insert(b) {
+            for &p in &f.block(b).preds {
+                stack.push(p);
+            }
+        }
+    }
+    body
+}
+
+/// Loop-nesting depth of every block (0 = not in any loop).
+pub fn loop_depths(f: &Function) -> Vec<u32> {
+    let loops = find_loops(f);
+    let mut depth = vec![0u32; f.num_blocks()];
+    for l in &loops {
+        for &b in &l.blocks {
+            depth[b.index()] += 1;
+        }
+    }
+    depth
+}
+
+/// Assign static frequency estimates to every block of `f`:
+/// `freq = LOOP_FREQ_MULTIPLIER ^ depth`.
+pub fn assign_static_frequencies(f: &mut Function) {
+    let depths = loop_depths(f);
+    for (i, d) in depths.iter().enumerate() {
+        f.blocks[i].freq = LOOP_FREQ_MULTIPLIER.powi(*d as i32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Cond};
+
+    /// Two nested counted loops.
+    fn nested() -> (Function, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.new_vreg();
+        let j = b.new_vreg();
+        let n = b.new_vreg();
+        b.mov_imm(i, 0);
+        b.mov_imm(n, 4);
+        let oh = b.new_block(); // outer header
+        let ob = b.new_block(); // outer body = inner init
+        let ih = b.new_block(); // inner header
+        let ib = b.new_block(); // inner body
+        let ol = b.new_block(); // outer latch
+        let ex = b.new_block();
+        b.br(oh);
+        b.switch_to(oh);
+        b.cond_br(Cond::Lt, i.into(), n.into(), ob, ex);
+        b.switch_to(ob);
+        b.mov_imm(j, 0);
+        b.br(ih);
+        b.switch_to(ih);
+        b.cond_br(Cond::Lt, j.into(), n.into(), ib, ol);
+        b.switch_to(ib);
+        b.bin_imm(BinOp::Add, j, j.into(), 1);
+        b.br(ih);
+        b.switch_to(ol);
+        b.bin_imm(BinOp::Add, i, i.into(), 1);
+        b.br(oh);
+        b.switch_to(ex);
+        b.ret(None);
+        (b.finish(), oh, ih)
+    }
+
+    #[test]
+    fn finds_both_loops() {
+        let (f, oh, ih) = nested();
+        let loops = find_loops(&f);
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.header == oh).expect("outer loop");
+        let inner = loops.iter().find(|l| l.header == ih).expect("inner loop");
+        assert!(outer.len() > inner.len());
+        for &b in &inner.blocks {
+            assert!(outer.contains(b), "inner loop nested in outer");
+        }
+        assert!(!inner.is_empty());
+    }
+
+    #[test]
+    fn depths_reflect_nesting() {
+        let (f, oh, ih) = nested();
+        let d = loop_depths(&f);
+        assert_eq!(d[0], 0, "entry outside loops");
+        assert_eq!(d[oh.index()], 1);
+        assert_eq!(d[ih.index()], 2);
+    }
+
+    #[test]
+    fn frequencies_scale_with_depth() {
+        let (mut f, oh, ih) = nested();
+        assign_static_frequencies(&mut f);
+        assert_eq!(f.block(crate::block::BlockId(0)).freq, 1.0);
+        assert_eq!(f.block(oh).freq, 10.0);
+        assert_eq!(f.block(ih).freq, 100.0);
+    }
+
+    #[test]
+    fn acyclic_function_has_no_loops() {
+        let mut b = FunctionBuilder::new("f");
+        b.ret(None);
+        let f = b.finish();
+        assert!(find_loops(&f).is_empty());
+        assert_eq!(loop_depths(&f), vec![0]);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut b = FunctionBuilder::new("f");
+        let c = b.new_vreg();
+        b.mov_imm(c, 0);
+        let l = b.new_block();
+        let ex = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        b.cond_br(Cond::Eq, c.into(), c.into(), l, ex);
+        b.switch_to(ex);
+        b.ret(None);
+        let f = b.finish();
+        let loops = find_loops(&f);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, l);
+        assert_eq!(loops[0].len(), 1);
+    }
+}

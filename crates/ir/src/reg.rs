@@ -1,0 +1,236 @@
+//! Register identifiers: virtual, physical, and the classes they live in.
+
+use std::fmt;
+
+/// A virtual register, produced by the front end / workload generators and
+/// consumed by the register allocators.
+///
+/// Virtual registers are dense small integers scoped to one [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Index into dense per-function arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A physical (architected) register number.
+///
+/// Differential encoding is entirely about which *numbers* live ranges
+/// receive, so `PReg` is a transparent small integer. The paper's `RegN`
+/// is the count of these registers exposed through differential encoding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PReg(pub u8);
+
+impl PReg {
+    /// Index into dense register-file arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw register number, as it would appear under direct encoding.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Register classes (Section 9.1 of the paper).
+///
+/// Encoding and decoding are performed separately per class, with one
+/// `last_reg` decoder register for each class. The reproduction exercises
+/// the integer class throughout and the float class in targeted tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum RegClass {
+    /// General-purpose integer registers.
+    #[default]
+    Int,
+    /// Floating-point registers.
+    Float,
+}
+
+impl RegClass {
+    /// All classes, in a fixed order usable for dense indexing.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Float];
+
+    /// Dense index of this class.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Float => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Float => write!(f, "float"),
+        }
+    }
+}
+
+/// An operand register: virtual before allocation, physical after.
+///
+/// The allocators rewrite every `Reg::Virt` into a `Reg::Phys`; the
+/// encoder and simulators require fully physical code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// A virtual register (pre-allocation).
+    Virt(VReg),
+    /// A physical register (post-allocation, or precolored).
+    Phys(PReg),
+}
+
+impl Reg {
+    /// Returns the virtual register, if this operand is virtual.
+    #[inline]
+    pub fn as_virt(self) -> Option<VReg> {
+        match self {
+            Reg::Virt(v) => Some(v),
+            Reg::Phys(_) => None,
+        }
+    }
+
+    /// Returns the physical register, if this operand is physical.
+    #[inline]
+    pub fn as_phys(self) -> Option<PReg> {
+        match self {
+            Reg::Phys(p) => Some(p),
+            Reg::Virt(_) => None,
+        }
+    }
+
+    /// True when the operand is still virtual.
+    #[inline]
+    pub fn is_virt(self) -> bool {
+        matches!(self, Reg::Virt(_))
+    }
+
+    /// Returns the physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is still virtual; use only on allocated code.
+    #[inline]
+    #[track_caller]
+    pub fn expect_phys(self) -> PReg {
+        match self {
+            Reg::Phys(p) => p,
+            Reg::Virt(v) => panic!("expected physical register, found {v}"),
+        }
+    }
+}
+
+impl From<VReg> for Reg {
+    fn from(v: VReg) -> Self {
+        Reg::Virt(v)
+    }
+}
+
+impl From<PReg> for Reg {
+    fn from(p: PReg) -> Self {
+        Reg::Phys(p)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Virt(v) => write!(f, "{v}"),
+            Reg::Phys(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_roundtrip() {
+        let v = VReg(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(format!("{v}"), "v7");
+    }
+
+    #[test]
+    fn preg_roundtrip() {
+        let p = PReg(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.number(), 3);
+        assert_eq!(format!("{p}"), "r3");
+    }
+
+    #[test]
+    fn reg_conversions() {
+        let r: Reg = VReg(1).into();
+        assert!(r.is_virt());
+        assert_eq!(r.as_virt(), Some(VReg(1)));
+        assert_eq!(r.as_phys(), None);
+
+        let r: Reg = PReg(2).into();
+        assert!(!r.is_virt());
+        assert_eq!(r.expect_phys(), PReg(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected physical register")]
+    fn expect_phys_panics_on_virtual() {
+        let _ = Reg::Virt(VReg(0)).expect_phys();
+    }
+
+    #[test]
+    fn class_indexing() {
+        assert_eq!(RegClass::Int.index(), 0);
+        assert_eq!(RegClass::Float.index(), 1);
+        assert_eq!(RegClass::ALL[RegClass::Float.index()], RegClass::Float);
+        assert_eq!(RegClass::default(), RegClass::Int);
+    }
+
+    #[test]
+    fn reg_ordering_is_total() {
+        let mut regs = vec![Reg::Phys(PReg(1)), Reg::Virt(VReg(0)), Reg::Phys(PReg(0))];
+        regs.sort();
+        assert_eq!(
+            regs,
+            vec![Reg::Virt(VReg(0)), Reg::Phys(PReg(0)), Reg::Phys(PReg(1))]
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Structural validation of functions and programs.
+//!
+//! Validation failures are programming errors in passes, so the checks
+//! return a descriptive [`ValidateError`] that tests and the end-to-end
+//! driver surface immediately.
+
+use crate::block::BlockId;
+use crate::function::{Function, Program};
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`validate_function`] / [`validate_program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A reachable block does not end in a terminator.
+    MissingTerminator {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+    },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// Index of the stray terminator.
+        index: usize,
+    },
+    /// A branch names a block that does not exist.
+    BadBranchTarget {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// An instruction references a virtual register `>= vreg_count`.
+    BadVReg {
+        /// Function name.
+        func: String,
+        /// Offending block.
+        block: BlockId,
+        /// Raw register index.
+        vreg: u32,
+    },
+    /// A call names a function index outside the program.
+    BadCallee {
+        /// Function name.
+        func: String,
+        /// The missing callee index.
+        callee: u32,
+    },
+    /// Cached CFG edges disagree with the terminators.
+    StaleCfg {
+        /// Function name.
+        func: String,
+        /// Block whose edges are stale.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::MissingTerminator { func, block } => {
+                write!(f, "function `{func}`: block {block} lacks a terminator")
+            }
+            ValidateError::EarlyTerminator { func, block, index } => write!(
+                f,
+                "function `{func}`: terminator at non-final position {index} of {block}"
+            ),
+            ValidateError::BadBranchTarget { func, block, target } => write!(
+                f,
+                "function `{func}`: {block} branches to nonexistent {target}"
+            ),
+            ValidateError::BadVReg { func, block, vreg } => write!(
+                f,
+                "function `{func}`: {block} references out-of-range v{vreg}"
+            ),
+            ValidateError::BadCallee { func, callee } => {
+                write!(f, "function `{func}`: call to nonexistent f{callee}")
+            }
+            ValidateError::StaleCfg { func, block } => {
+                write!(f, "function `{func}`: cached CFG edges of {block} are stale")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Check one function in isolation (callee indices unchecked).
+///
+/// # Errors
+///
+/// Returns the first structural defect found.
+pub fn validate_function(f: &Function) -> Result<(), ValidateError> {
+    let nb = f.num_blocks();
+    for (b, blk) in f.iter_blocks() {
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let last = i + 1 == blk.insts.len();
+            if inst.is_terminator() && !last {
+                return Err(ValidateError::EarlyTerminator {
+                    func: f.name.clone(),
+                    block: b,
+                    index: i,
+                });
+            }
+            for t in inst.branch_targets() {
+                if t.index() >= nb {
+                    return Err(ValidateError::BadBranchTarget {
+                        func: f.name.clone(),
+                        block: b,
+                        target: t,
+                    });
+                }
+            }
+            for r in inst.accesses() {
+                if let Some(v) = r.as_virt() {
+                    if v.0 >= f.vreg_count {
+                        return Err(ValidateError::BadVReg {
+                            func: f.name.clone(),
+                            block: b,
+                            vreg: v.0,
+                        });
+                    }
+                }
+            }
+        }
+        // Cached edges must match a fresh recomputation.
+        let mut expect = Vec::new();
+        if let Some(t) = blk.insts.last() {
+            expect = t.branch_targets();
+        }
+        if blk.succs != expect {
+            return Err(ValidateError::StaleCfg {
+                func: f.name.clone(),
+                block: b,
+            });
+        }
+    }
+    for b in f.reverse_postorder() {
+        if f.block(b).terminator().is_none() {
+            return Err(ValidateError::MissingTerminator {
+                func: f.name.clone(),
+                block: b,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check a whole program, including call-target resolution.
+///
+/// # Errors
+///
+/// Returns the first structural defect found in any function.
+pub fn validate_program(p: &Program) -> Result<(), ValidateError> {
+    for f in &p.funcs {
+        validate_function(f)?;
+        for inst in f.iter_insts() {
+            if let crate::inst::Inst::Call { callee, .. } = inst {
+                if *callee as usize >= p.funcs.len() {
+                    return Err(ValidateError::BadCallee {
+                        func: f.name.clone(),
+                        callee: *callee,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Inst;
+    use crate::reg::{Reg, VReg};
+
+    fn good() -> Function {
+        let mut b = FunctionBuilder::new("g");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.ret(Some(x.into()));
+        b.finish()
+    }
+
+    #[test]
+    fn valid_function_passes() {
+        assert_eq!(validate_function(&good()), Ok(()));
+    }
+
+    #[test]
+    fn early_terminator_caught() {
+        let mut f = good();
+        f.blocks[0]
+            .insts
+            .insert(0, Inst::Ret { value: None });
+        f.recompute_cfg();
+        assert!(matches!(
+            validate_function(&f),
+            Err(ValidateError::EarlyTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_branch_target_caught() {
+        let mut f = good();
+        *f.blocks[0].insts.last_mut().unwrap() = Inst::Br {
+            target: BlockId(99),
+        };
+        // recompute_cfg would (rightly) panic on the bogus target; the
+        // validator must diagnose it instead.
+        assert!(matches!(
+            validate_function(&f),
+            Err(ValidateError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_vreg_caught() {
+        let mut f = good();
+        f.blocks[0].insts[0] = Inst::MovImm {
+            dst: Reg::Virt(VReg(1000)),
+            imm: 0,
+        };
+        assert!(matches!(
+            validate_function(&f),
+            Err(ValidateError::BadVReg { vreg: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn stale_cfg_caught() {
+        let mut f = good();
+        f.blocks[0].succs.push(BlockId(0)); // lie about an edge
+        assert!(matches!(
+            validate_function(&f),
+            Err(ValidateError::StaleCfg { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_callee_caught() {
+        let mut b = FunctionBuilder::new("caller");
+        b.call(7, vec![], None);
+        b.ret(None);
+        let p = Program::single(b.finish());
+        assert!(matches!(
+            validate_program(&p),
+            Err(ValidateError::BadCallee { callee: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn good_program_passes() {
+        let p = Program::single(good());
+        assert_eq!(validate_program(&p), Ok(()));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ValidateError::MissingTerminator {
+            func: "f".into(),
+            block: BlockId(2),
+        };
+        assert!(format!("{e}").contains("lacks a terminator"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Instruction-word geometry of the two machine models.
+
+/// The bit-level layout of one instruction word.
+///
+/// A word is `opcode_bits` of opcode/condition/misc encoding followed by up
+/// to `max_reg_fields` register fields of `reg_field_bits` each; whatever
+/// remains is immediate space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IsaGeometry {
+    /// Total bits per instruction word.
+    pub word_bits: u32,
+    /// Bits spent on opcode/condition encoding.
+    pub opcode_bits: u32,
+    /// Bits per register field (`RegW` under direct encoding, `DiffW`
+    /// under differential encoding).
+    pub reg_field_bits: u32,
+    /// Maximum register fields one instruction may carry.
+    pub max_reg_fields: u32,
+    /// Immediates representable in the remaining bits of a one-word
+    /// instruction; wider immediates need an extension word.
+    pub short_imm_bits: u32,
+}
+
+impl IsaGeometry {
+    /// The LEAF16 embedded ISA with `field_bits`-wide register fields.
+    ///
+    /// With 3-bit fields this mirrors THUMB: 16-bit words, three register
+    /// fields maximum, 8-bit short immediates.
+    pub fn leaf16(field_bits: u32) -> Self {
+        let g = IsaGeometry {
+            word_bits: 16,
+            opcode_bits: 6,
+            reg_field_bits: field_bits,
+            max_reg_fields: 3,
+            short_imm_bits: 8,
+        };
+        assert!(g.fits(), "LEAF16 cannot fit {field_bits}-bit fields");
+        g
+    }
+
+    /// The LEAF32 VLIW ISA with `field_bits`-wide register fields.
+    pub fn leaf32(field_bits: u32) -> Self {
+        let g = IsaGeometry {
+            word_bits: 32,
+            opcode_bits: 10,
+            reg_field_bits: field_bits,
+            max_reg_fields: 3,
+            short_imm_bits: 16,
+        };
+        assert!(g.fits(), "LEAF32 cannot fit {field_bits}-bit fields");
+        g
+    }
+
+    /// Do `max_reg_fields` fields plus the opcode fit in one word?
+    pub fn fits(&self) -> bool {
+        self.opcode_bits + self.max_reg_fields * self.reg_field_bits <= self.word_bits
+    }
+
+    /// Bits of register-field encoding in an instruction with `n` fields.
+    pub fn reg_bits(&self, n: u32) -> u32 {
+        assert!(n <= self.max_reg_fields, "{n} fields exceed the format");
+        n * self.reg_field_bits
+    }
+
+    /// Can an immediate of value `imm` ride in the base word?
+    pub fn imm_fits_short(&self, imm: i32) -> bool {
+        let half = 1i64 << (self.short_imm_bits - 1);
+        (imm as i64) >= -half && (imm as i64) < half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf16_thumb_like() {
+        let g = IsaGeometry::leaf16(3);
+        assert_eq!(g.word_bits, 16);
+        assert!(g.fits());
+        assert_eq!(g.reg_bits(3), 9);
+        assert_eq!(g.reg_bits(0), 0);
+    }
+
+    #[test]
+    fn leaf32_vliw() {
+        let g = IsaGeometry::leaf32(5);
+        assert!(g.fits());
+        assert_eq!(g.reg_bits(3), 15);
+        // 6-bit fields (direct encoding of 64 registers) also fit in 32.
+        let g64 = IsaGeometry::leaf32(6);
+        assert!(g64.fits());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn leaf16_rejects_wide_fields() {
+        // 4-bit fields x3 + 6 opcode bits = 18 > 16.
+        let _ = IsaGeometry::leaf16(4);
+    }
+
+    #[test]
+    fn short_imm_range() {
+        let g = IsaGeometry::leaf16(3);
+        assert!(g.imm_fits_short(127));
+        assert!(g.imm_fits_short(-128));
+        assert!(!g.imm_fits_short(128));
+        assert!(!g.imm_fits_short(-129));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the format")]
+    fn too_many_fields_rejected() {
+        IsaGeometry::leaf16(3).reg_bits(4);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dra-isa — target instruction-set geometry and code-size accounting
+//!
+//! The paper's evaluation measures code size under two machine models:
+//!
+//! * **LEAF16** — an ARM/THUMB-like 16-bit embedded ISA (Section 10.1):
+//!   3-bit register fields, so 8 directly-addressable registers even though
+//!   the hardware has 16.
+//! * **LEAF32** — a 32-bit VLIW ISA (Section 10.2): 32 architected
+//!   registers in 5-bit fields, 64 physical.
+//!
+//! Differential encoding never changes the *field width* — it changes how
+//! many registers a field of that width can reach. Code size therefore
+//! moves only through instruction count (spills removed, `set_last_reg`s
+//! added), which is exactly how Figure 13 and Table 3 behave.
+//!
+//! ```
+//! use dra_ir::{BinOp, Inst, PReg};
+//! use dra_isa::{decode_inst, encode_inst, IsaGeometry};
+//!
+//! let geom = IsaGeometry::leaf16(3);
+//! let add = Inst::Bin {
+//!     op: BinOp::Add,
+//!     dst: PReg(2).into(),
+//!     lhs: PReg(0).into(),
+//!     rhs: PReg(1).into(),
+//! };
+//! // Field codes in access order (src1, src2, dst) — here direct numbers.
+//! let words = encode_inst(&add, &geom, &[0, 1, 2])?;
+//! assert_eq!(words.len(), 1, "one 16-bit word");
+//! let decoded = decode_inst(&words, &geom)?;
+//! assert_eq!(decoded.fields, vec![0, 1, 2]);
+//! # Ok::<(), dra_isa::AsmError>(())
+//! ```
+
+pub mod asm;
+pub mod geometry;
+pub mod size;
+
+pub use asm::{decode_inst, encode_inst, AsmError, DecodedInst};
+pub use geometry::IsaGeometry;
+pub use size::{code_size_bits, function_size_bits, register_field_fraction, words_for_inst};

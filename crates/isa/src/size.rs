@@ -1,0 +1,131 @@
+//! Code-size accounting over IR functions.
+
+use crate::geometry::IsaGeometry;
+use dra_ir::{Function, Inst, Program};
+
+/// Number of instruction words `inst` occupies under `geom`.
+///
+/// Defined as the length of the bit-exact encoding produced by
+/// [`crate::asm::encode_inst`] (with placeholder field codes — word count
+/// depends only on field *arity* and immediate magnitudes), expressed in
+/// `geom.word_bits`-sized words. The size accounting and the assembler can
+/// therefore never disagree.
+pub fn words_for_inst(inst: &Inst, geom: &IsaGeometry) -> u32 {
+    let arity = inst.accesses().len().min(geom.max_reg_fields as usize);
+    let fields = vec![0u16; arity];
+    let halves = crate::asm::encode_inst(inst, geom, &fields)
+        .expect("placeholder codes always fit")
+        .len() as u32;
+    // encode_inst emits u16 halves; convert to architectural words.
+    halves * 16 / geom.word_bits
+}
+
+/// Code size of one function, in bits.
+pub fn function_size_bits(f: &Function, geom: &IsaGeometry) -> u64 {
+    f.iter_insts()
+        .map(|i| words_for_inst(i, geom) as u64 * geom.word_bits as u64)
+        .sum()
+}
+
+/// Code size of a whole program, in bits.
+pub fn code_size_bits(p: &Program, geom: &IsaGeometry) -> u64 {
+    p.funcs.iter().map(|f| function_size_bits(f, geom)).sum()
+}
+
+/// Fraction of the program's bits spent on register fields.
+///
+/// The paper motivates differential encoding with this number ("register
+/// field takes about 28% of the Alpha binary and 25% of the ARM binary",
+/// Section 1).
+pub fn register_field_fraction(p: &Program, geom: &IsaGeometry) -> f64 {
+    let total = code_size_bits(p, geom);
+    if total == 0 {
+        return 0.0;
+    }
+    let reg_bits: u64 = p
+        .funcs
+        .iter()
+        .flat_map(|f| f.iter_insts())
+        .map(|i| {
+            let fields = (i.accesses().len() as u32).min(geom.max_reg_fields);
+            geom.reg_bits(fields) as u64
+        })
+        .sum();
+    reg_bits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::{BinOp, FunctionBuilder, Program};
+
+    fn geom() -> IsaGeometry {
+        IsaGeometry::leaf16(3)
+    }
+
+    #[test]
+    fn one_word_per_plain_inst() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.bin(BinOp::Add, y, x.into(), x.into());
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(function_size_bits(&f, &geom()), 32);
+    }
+
+    #[test]
+    fn long_immediates_take_extension_words() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 5); // fits the 7-bit in-word slot
+        b.mov_imm(x, 1000); // needs two 16-bit extension words
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(function_size_bits(&f, &geom()), (1 + 3 + 1) * 16);
+    }
+
+    #[test]
+    fn long_offsets_take_extension_words() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let a = b.new_vreg();
+        b.load(x, a.into(), 48); // word-scaled: 48/8 = 6 fits 4 bits
+        b.load(x, a.into(), 4096); // scaled 512: two extension words
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(function_size_bits(&f, &geom()), (1 + 3 + 1) * 16);
+    }
+
+    #[test]
+    fn set_last_reg_costs_one_word() {
+        let i = Inst::SetLastReg {
+            class: dra_ir::RegClass::Int,
+            value: 3,
+            delay: 0,
+        };
+        assert_eq!(words_for_inst(&i, &geom()), 1);
+    }
+
+    #[test]
+    fn register_field_fraction_is_substantial() {
+        // An ALU-heavy function: 3 fields x 3 bits of 16 ≈ 56%.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        for _ in 0..10 {
+            b.bin(BinOp::Add, y, x.into(), y.into());
+        }
+        b.ret(None);
+        let p = Program::single(b.finish());
+        let frac = register_field_fraction(&p, &geom());
+        assert!(frac > 0.4 && frac < 0.6, "fraction {frac}");
+    }
+
+    #[test]
+    fn empty_program_fraction_zero() {
+        let p = Program::default();
+        assert_eq!(register_field_fraction(&p, &geom()), 0.0);
+        assert_eq!(code_size_bits(&p, &geom()), 0);
+    }
+}

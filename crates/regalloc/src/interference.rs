@@ -1,0 +1,318 @@
+//! Interference graph construction.
+//!
+//! Nodes are liveness *entities* (virtual registers, then physical
+//! registers — see [`dra_ir::liveness`]). Edges connect co-live values; a
+//! move's source is excluded from interfering with its destination at the
+//! move itself so the pair remains coalescible (Chaitin's refinement).
+
+use dra_ir::liveness::{reg_to_entity, Liveness, MAX_PREGS};
+use dra_ir::{Function, Inst, PReg, RegClass};
+use std::collections::HashSet;
+
+/// One move instruction's endpoints, as entity ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MoveRef {
+    /// Entity of the move destination.
+    pub dst: u32,
+    /// Entity of the move source.
+    pub src: u32,
+}
+
+/// An undirected interference graph over entities, plus the move list.
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    n: usize,
+    vreg_count: u32,
+    adj: Vec<HashSet<u32>>,
+    /// All register-to-register moves of the allocated class.
+    pub moves: Vec<MoveRef>,
+    /// Spill metric per entity: Σ freq of blocks containing uses/defs.
+    pub use_def_weight: Vec<f64>,
+}
+
+impl InterferenceGraph {
+    /// Build the graph for the registers of `class` in `f`.
+    ///
+    /// `call_clobbers` lists physical registers treated as defined by every
+    /// `Call` — values live across a call then interfere with them, forcing
+    /// the allocator to keep such values in callee-saved registers or spill
+    /// them, as on a real machine.
+    pub fn build(
+        f: &Function,
+        liveness: &Liveness,
+        class: RegClass,
+        call_clobbers: &[PReg],
+    ) -> InterferenceGraph {
+        let vreg_count = f.vreg_count;
+        let n = vreg_count as usize + MAX_PREGS;
+        let mut g = InterferenceGraph {
+            n,
+            vreg_count,
+            adj: vec![HashSet::new(); n],
+            moves: Vec::new(),
+            use_def_weight: vec![0.0; n],
+        };
+        let in_class = |f: &Function, r: dra_ir::Reg| match r {
+            dra_ir::Reg::Virt(v) => f.vreg_class(v) == class,
+            dra_ir::Reg::Phys(_) => class == RegClass::Int,
+        };
+
+        for (b, blk) in f.iter_blocks() {
+            // Entities live after each instruction, walked backwards.
+            let mut live: HashSet<u32> = liveness
+                .block_live_out(b)
+                .iter()
+                .map(|e| e as u32)
+                .collect();
+            for inst in blk.insts.iter().rev() {
+                let defs: Vec<u32> = inst
+                    .defs()
+                    .into_iter()
+                    .filter(|&r| in_class(f, r))
+                    .map(|r| reg_to_entity(r, vreg_count) as u32)
+                    .collect();
+                let uses: Vec<u32> = inst
+                    .uses()
+                    .into_iter()
+                    .filter(|&r| in_class(f, r))
+                    .map(|r| reg_to_entity(r, vreg_count) as u32)
+                    .collect();
+
+                for &e in defs.iter().chain(uses.iter()) {
+                    g.use_def_weight[e as usize] += blk.freq;
+                }
+
+                // Moves: src does not interfere with dst across the move.
+                let mut move_src: Option<u32> = None;
+                if let Inst::Mov { .. } = inst {
+                    if let (Some(&d), Some(&s)) = (defs.first(), uses.first()) {
+                        g.moves.push(MoveRef { dst: d, src: s });
+                        move_src = Some(s);
+                    }
+                }
+
+                // Call clobbers act as additional defs.
+                let mut all_defs = defs.clone();
+                if matches!(inst, Inst::Call { .. }) && class == RegClass::Int {
+                    for p in call_clobbers {
+                        all_defs.push(reg_to_entity((*p).into(), vreg_count) as u32);
+                    }
+                }
+
+                for &d in &all_defs {
+                    for &l in &live {
+                        if Some(l) == move_src {
+                            continue;
+                        }
+                        g.add_edge(d, l);
+                    }
+                }
+                // Defs interfere with each other (same program point).
+                for i in 0..all_defs.len() {
+                    for j in i + 1..all_defs.len() {
+                        g.add_edge(all_defs[i], all_defs[j]);
+                    }
+                }
+
+                for &d in &defs {
+                    live.remove(&d);
+                }
+                for &u in &uses {
+                    live.insert(u);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of entities (nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The analyzed function's virtual-register count.
+    pub fn vreg_count(&self) -> u32 {
+        self.vreg_count
+    }
+
+    /// Is `e` a precolored (physical-register) entity?
+    pub fn is_precolored(&self, e: u32) -> bool {
+        e >= self.vreg_count
+    }
+
+    /// The physical register number of a precolored entity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is a virtual-register entity.
+    pub fn preg_number(&self, e: u32) -> u8 {
+        assert!(self.is_precolored(e), "entity {e} is virtual");
+        (e - self.vreg_count) as u8
+    }
+
+    /// Add an undirected edge (self-edges ignored).
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        self.adj[a as usize].insert(b);
+        self.adj[b as usize].insert(a);
+    }
+
+    /// Do `a` and `b` interfere?
+    pub fn interferes(&self, a: u32, b: u32) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Neighbors of `e`.
+    pub fn neighbors(&self, e: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adj[e as usize].iter().copied()
+    }
+
+    /// Degree of `e`.
+    pub fn degree(&self, e: u32) -> usize {
+        self.adj[e as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::{BinOp, FunctionBuilder, Liveness, Reg, VReg};
+
+    fn entity(v: VReg, f: &Function) -> u32 {
+        reg_to_entity(v.into(), f.vreg_count) as u32
+    }
+
+    #[test]
+    fn overlapping_values_interfere() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        let z = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.mov_imm(y, 2);
+        b.bin(BinOp::Add, z, x.into(), y.into());
+        b.ret(Some(z.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
+        assert!(g.interferes(entity(x, &f), entity(y, &f)));
+        assert!(!g.interferes(entity(x, &f), entity(z, &f)), "x dies at z's def");
+    }
+
+    #[test]
+    fn move_operands_do_not_interfere() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.mov(y, x.into()); // y = x; x dead afterwards
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
+        assert!(!g.interferes(entity(x, &f), entity(y, &f)));
+        assert_eq!(g.moves.len(), 1);
+        assert_eq!(
+            g.moves[0],
+            MoveRef {
+                dst: entity(y, &f),
+                src: entity(x, &f)
+            }
+        );
+    }
+
+    #[test]
+    fn move_with_live_source_still_interferes_via_later_defs() {
+        // y = x; x used later; x must stay distinct from any def while live.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        let z = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.mov(y, x.into());
+        b.bin(BinOp::Add, z, x.into(), y.into());
+        b.ret(Some(z.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
+        // x live across y's def, but it's the move source: no edge from the
+        // move itself. However y and x are both live at z's def? No: both
+        // die there. x-y interference would only appear if y were redefined
+        // while x lives.
+        assert!(!g.interferes(entity(x, &f), entity(y, &f)));
+    }
+
+    #[test]
+    fn call_clobbers_create_precolored_interference() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.call(0, vec![], None);
+        b.ret(Some(x.into())); // x live across the call
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let clob = [PReg(0), PReg(1)];
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &clob);
+        let xe = entity(x, &f);
+        let p0 = reg_to_entity(PReg(0).into(), f.vreg_count) as u32;
+        let p1 = reg_to_entity(PReg(1).into(), f.vreg_count) as u32;
+        assert!(g.interferes(xe, p0));
+        assert!(g.interferes(xe, p1));
+        assert!(g.is_precolored(p0));
+        assert_eq!(g.preg_number(p0), 0);
+    }
+
+    #[test]
+    fn value_not_live_across_call_untouched_by_clobbers() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.store(x.into(), x.into(), 0); // x dead before the call
+        b.call(0, vec![], None);
+        b.ret(None);
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[PReg(0)]);
+        let xe = entity(x, &f);
+        let p0 = reg_to_entity(PReg(0).into(), f.vreg_count) as u32;
+        assert!(!g.interferes(xe, p0));
+    }
+
+    #[test]
+    fn use_def_weights_scale_with_freq() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        f.blocks[0].freq = 7.0;
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
+        // One def + one use, each weighted 7.
+        assert_eq!(g.use_def_weight[entity(x, &f) as usize], 14.0);
+    }
+
+    #[test]
+    fn different_class_not_in_graph() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let fl = b.new_vreg_of(RegClass::Float);
+        b.mov_imm(x, 1);
+        b.mov_imm(fl, 2);
+        b.bin(BinOp::Add, x, x.into(), x.into());
+        b.push(dra_ir::Inst::Bin {
+            op: BinOp::Add,
+            dst: Reg::Virt(fl),
+            lhs: fl.into(),
+            rhs: fl.into(),
+        });
+        b.ret(Some(x.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
+        assert_eq!(g.degree(entity(fl, &f)), 0, "float vreg absent from int graph");
+        assert_eq!(g.use_def_weight[entity(fl, &f) as usize], 0.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Differential remapping (Section 5) — the post-pass approach.
+//!
+//! After any register allocator has run, the register *numbers* may be
+//! permuted freely: a permutation preserves the only constraint a
+//! traditional allocator enforces (co-live ranges in distinct registers)
+//! while changing the differential-encoding cost. This pass searches the
+//! permutation space for a low-cost register vector:
+//!
+//! * **exhaustive** search for small `RegN` (the paper notes
+//!   `O(RegN² · RegN!)` is tractable there), and
+//! * the paper's **greedy pairwise-swap descent** restarted from many
+//!   random initial register vectors (1000 in the paper) otherwise.
+
+use dra_adjgraph::{build_preg_adjacency, AdjacencyGraph, DiffParams};
+use dra_ir::{Function, PReg, Program, Reg, RegClass};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the remapping search.
+#[derive(Clone, Debug)]
+pub struct RemapConfig {
+    /// Differential parameters (`RegN`, `DiffN`).
+    pub params: DiffParams,
+    /// Register class whose numbers are permuted.
+    pub class: RegClass,
+    /// Use exhaustive permutation search when `RegN <=` this bound.
+    pub exhaustive_limit: u16,
+    /// Number of random restarts for the greedy search (the paper uses
+    /// 1000).
+    pub starts: u32,
+    /// Registers that must keep their numbers (special-purpose registers,
+    /// Section 9.2, or calling-convention anchors, Section 9.3).
+    pub pinned: Vec<PReg>,
+    /// RNG seed for the random restarts (reproducibility).
+    pub seed: u64,
+}
+
+impl RemapConfig {
+    /// Defaults for the given parameters: exhaustive up to `RegN = 7`,
+    /// 128 greedy restarts, nothing pinned.
+    pub fn new(params: DiffParams) -> Self {
+        RemapConfig {
+            params,
+            class: RegClass::Int,
+            exhaustive_limit: 7,
+            starts: 128,
+            pinned: Vec::new(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Paper-fidelity restarts (1000 initial register vectors).
+    pub fn with_paper_restarts(mut self) -> Self {
+        self.starts = 1000;
+        self
+    }
+}
+
+/// Outcome of one remapping run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RemapStats {
+    /// Adjacency cost before remapping (identity permutation).
+    pub cost_before: f64,
+    /// Adjacency cost achieved.
+    pub cost_after: f64,
+    /// Whether the exhaustive search was used.
+    pub exhaustive: bool,
+}
+
+/// Remap the register numbers of an allocated function in place.
+///
+/// # Panics
+///
+/// Panics if `f` still contains virtual registers of `cfg.class`, or uses
+/// physical numbers `>= RegN`.
+pub fn remap_function(f: &mut Function, cfg: &RemapConfig) -> RemapStats {
+    let reg_n = cfg.params.reg_n();
+    let g = build_preg_adjacency(f, cfg.class, reg_n);
+    let identity: Vec<u8> = (0..reg_n as u8).collect();
+    let cost_before = perm_cost(&g, &identity, cfg.params);
+
+    let (perm, cost_after, exhaustive) = if reg_n <= cfg.exhaustive_limit {
+        let (p, c) = exhaustive_search(&g, cfg);
+        (p, c, true)
+    } else {
+        let (p, c) = greedy_multistart(&g, cfg);
+        (p, c, false)
+    };
+
+    // Keep the identity if the search could not improve on it.
+    if cost_after < cost_before {
+        apply_permutation(f, &perm, cfg.class);
+        RemapStats {
+            cost_before,
+            cost_after,
+            exhaustive,
+        }
+    } else {
+        RemapStats {
+            cost_before,
+            cost_after: cost_before,
+            exhaustive,
+        }
+    }
+}
+
+/// Remap every function of a program independently.
+pub fn remap_program(p: &mut Program, cfg: &RemapConfig) -> Vec<RemapStats> {
+    p.funcs
+        .iter_mut()
+        .map(|f| remap_function(f, cfg))
+        .collect()
+}
+
+/// Cost of permutation `rv` on graph `g`: node `i` gets number `rv[i]`.
+fn perm_cost(g: &AdjacencyGraph, rv: &[u8], params: DiffParams) -> f64 {
+    g.assignment_cost(|n| Some(rv[n as usize]), params)
+}
+
+fn apply_permutation(f: &mut Function, rv: &[u8], class: RegClass) {
+    f.map_all_regs(|r| match r {
+        Reg::Phys(p) if class == RegClass::Int => Reg::Phys(PReg(rv[p.index()])),
+        other => other,
+    });
+}
+
+/// All permutations (Heap's algorithm) respecting pinned registers.
+fn exhaustive_search(g: &AdjacencyGraph, cfg: &RemapConfig) -> (Vec<u8>, f64) {
+    let reg_n = cfg.params.reg_n() as usize;
+    let pinned: Vec<bool> = {
+        let mut v = vec![false; reg_n];
+        for p in &cfg.pinned {
+            v[p.index()] = true;
+        }
+        v
+    };
+    // Permute only the free positions.
+    let free: Vec<usize> = (0..reg_n).filter(|&i| !pinned[i]).collect();
+    let mut best: Vec<u8> = (0..reg_n as u8).collect();
+    let mut best_cost = perm_cost(g, &best, cfg.params);
+
+    let mut order: Vec<usize> = free.clone();
+    permute(&mut order, 0, &mut |order| {
+        let mut rv: Vec<u8> = (0..reg_n as u8).collect();
+        for (i, &slot) in free.iter().enumerate() {
+            rv[slot] = order[i] as u8;
+        }
+        let c = perm_cost(g, &rv, cfg.params);
+        if c < best_cost {
+            best_cost = c;
+            best = rv;
+        }
+    });
+    (best, best_cost)
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// The paper's greedy algorithm (Figure 7): from each initial register
+/// vector, repeatedly apply the single pairwise swap with the biggest cost
+/// reduction until a local minimum; keep the best result over all starts.
+fn greedy_multistart(g: &AdjacencyGraph, cfg: &RemapConfig) -> (Vec<u8>, f64) {
+    let reg_n = cfg.params.reg_n() as usize;
+    let pinned: Vec<bool> = {
+        let mut v = vec![false; reg_n];
+        for p in &cfg.pinned {
+            v[p.index()] = true;
+        }
+        v
+    };
+    let free: Vec<usize> = (0..reg_n).filter(|&i| !pinned[i]).collect();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let mut best: Vec<u8> = (0..reg_n as u8).collect();
+    let mut best_cost = perm_cost(g, &best, cfg.params);
+
+    for start in 0..cfg.starts {
+        let mut rv: Vec<u8> = (0..reg_n as u8).collect();
+        if start > 0 {
+            // Start 0 is the identity (the paper's initial RV); the rest
+            // shuffle the free positions.
+            let mut vals: Vec<u8> = free.iter().map(|&i| i as u8).collect();
+            vals.shuffle(&mut rng);
+            for (&slot, &v) in free.iter().zip(vals.iter()) {
+                rv[slot] = v;
+            }
+        }
+        let mut cost = perm_cost(g, &rv, cfg.params);
+        loop {
+            let mut best_swap: Option<(usize, usize, f64)> = None;
+            for a in 0..free.len() {
+                for b in a + 1..free.len() {
+                    rv.swap(free[a], free[b]);
+                    let c = perm_cost(g, &rv, cfg.params);
+                    rv.swap(free[a], free[b]);
+                    if c < cost
+                        && best_swap.is_none_or(|(_, _, bc)| c < bc)
+                    {
+                        best_swap = Some((free[a], free[b], c));
+                    }
+                }
+            }
+            match best_swap {
+                Some((a, b, c)) => {
+                    rv.swap(a, b);
+                    cost = c;
+                }
+                None => break, // local minimum
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best = rv;
+        }
+        if best_cost == 0.0 {
+            break; // cannot improve further
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::{FunctionBuilder, Inst};
+
+    /// A function whose accesses walk the cycle `r0 -> r2 -> r1 -> r3 ->
+    /// r0`. Under `RegN = 4, DiffN = 2` the identity numbering violates
+    /// three of the four hops, but relabeling the cycle to consecutive
+    /// numbers (`rv = [0, 2, 1, 3]`) satisfies all of them.
+    fn hoppy() -> Function {
+        let mut b = FunctionBuilder::new("hoppy");
+        for (src, dst) in [(0u8, 2u8), (2, 1), (1, 3), (3, 0)] {
+            b.push(Inst::Mov {
+                dst: PReg(dst).into(),
+                src: PReg(src).into(),
+            });
+        }
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn exhaustive_finds_zero_cost() {
+        let mut f = hoppy();
+        let cfg = RemapConfig::new(DiffParams::new(4, 2));
+        let stats = remap_function(&mut f, &cfg);
+        assert!(stats.exhaustive);
+        assert!(stats.cost_before > 0.0);
+        assert_eq!(stats.cost_after, 0.0, "a zero-cost permutation exists");
+        // And the rewritten code reflects it: the move now spans an
+        // in-range pair.
+        let p = DiffParams::new(4, 2);
+        for i in f.iter_insts() {
+            if let Inst::Mov { dst, src } = i {
+                assert!(p.in_range(src.expect_phys().number(), dst.expect_phys().number()));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_case() {
+        let mut f1 = hoppy();
+        let mut cfg = RemapConfig::new(DiffParams::new(4, 2));
+        let ex = remap_function(&mut f1, &cfg);
+
+        let mut f2 = hoppy();
+        cfg.exhaustive_limit = 0; // force greedy
+        cfg.starts = 32;
+        let gr = remap_function(&mut f2, &cfg);
+        assert!(!gr.exhaustive);
+        assert_eq!(gr.cost_after, ex.cost_after);
+    }
+
+    #[test]
+    fn identity_kept_when_already_optimal() {
+        // Accesses r0 -> r1 only: identity is optimal.
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Mov {
+            dst: PReg(1).into(),
+            src: PReg(0).into(),
+        });
+        b.ret(None);
+        let mut f = b.finish();
+        let before = f.clone();
+        let stats = remap_function(&mut f, &RemapConfig::new(DiffParams::new(4, 2)));
+        assert_eq!(stats.cost_after, 0.0);
+        assert_eq!(f, before, "no gratuitous rewrite");
+    }
+
+    #[test]
+    fn pinned_registers_keep_their_numbers() {
+        let mut f = hoppy();
+        let mut cfg = RemapConfig::new(DiffParams::new(4, 2));
+        cfg.pinned = vec![PReg(0), PReg(3)];
+        let stats = remap_function(&mut f, &cfg);
+        assert!(stats.cost_after <= stats.cost_before);
+        // The first mov reads r0 and the last writes r0: those operands
+        // must still be r0 (and likewise r3) after any remapping.
+        let movs: Vec<_> = f
+            .iter_insts()
+            .filter_map(|i| match i {
+                Inst::Mov { dst, src } => Some((src.expect_phys(), dst.expect_phys())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(movs[0].0, PReg(0), "pinned r0 moved");
+        assert_eq!(movs[3].1, PReg(0), "pinned r0 moved");
+        assert_eq!(movs[2].1, PReg(3), "pinned r3 moved");
+        assert_eq!(movs[3].0, PReg(3), "pinned r3 moved");
+    }
+
+    #[test]
+    fn remapping_preserves_distinctness() {
+        // Permutations are bijections: two distinct registers must remain
+        // distinct after remapping.
+        let mut b = FunctionBuilder::new("f");
+        b.push(Inst::Bin {
+            op: dra_ir::BinOp::Add,
+            dst: PReg(2).into(),
+            lhs: PReg(0).into(),
+            rhs: PReg(1).into(),
+        });
+        b.ret(None);
+        let mut f = b.finish();
+        remap_function(&mut f, &RemapConfig::new(DiffParams::new(4, 2)));
+        let regs: Vec<u8> = f.blocks[0].insts[0]
+            .accesses()
+            .iter()
+            .map(|r| r.expect_phys().number())
+            .collect();
+        assert_eq!(regs.len(), 3);
+        assert_ne!(regs[0], regs[1]);
+        assert_ne!(regs[0], regs[2]);
+        assert_ne!(regs[1], regs[2]);
+    }
+
+    #[test]
+    fn greedy_is_deterministic_for_fixed_seed() {
+        let run = |seed: u64| {
+            let mut f = hoppy();
+            let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+            cfg.exhaustive_limit = 0;
+            cfg.seed = seed;
+            remap_function(&mut f, &cfg);
+            format!("{f}")
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn program_remap_covers_every_function() {
+        let prog_fn = || {
+            let mut b = FunctionBuilder::new("g");
+            for (src, dst) in [(0u8, 2u8), (2, 1), (1, 3), (3, 0)] {
+                b.push(Inst::Mov {
+                    dst: PReg(dst).into(),
+                    src: PReg(src).into(),
+                });
+            }
+            b.ret(None);
+            b.finish()
+        };
+        let mut p = Program {
+            funcs: vec![prog_fn(), prog_fn()],
+            entry: 0,
+        };
+        let stats = remap_program(&mut p, &RemapConfig::new(DiffParams::new(4, 2)));
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.cost_after == 0.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Spill code insertion.
+//!
+//! The classic rewrite: a spilled value gets a frame slot; every use is
+//! preceded by a reload into a fresh short-lived temporary and every def is
+//! followed by a store from a fresh temporary. The fresh temporaries have
+//! tiny live ranges, so the next allocation round's pressure strictly
+//! drops.
+
+use dra_ir::{Function, Inst, Reg, SpillSlot, VReg};
+use std::collections::HashMap;
+
+/// Rewrite `f` so that each register in `spilled` lives in a fresh spill
+/// slot, with reloads before uses and stores after defs.
+///
+/// Returns the number of spill instructions inserted.
+pub fn rewrite_spills(f: &mut Function, spilled: &[VReg]) -> usize {
+    if spilled.is_empty() {
+        return 0;
+    }
+    let mut slot_of: HashMap<VReg, SpillSlot> = HashMap::new();
+    for &v in spilled {
+        let slot = SpillSlot(f.spill_slots);
+        f.spill_slots += 1;
+        slot_of.insert(v, slot);
+    }
+
+    let mut inserted = 0;
+    let classes: Vec<_> = spilled.iter().map(|&v| f.vreg_class(v)).collect();
+    let class_of: HashMap<VReg, dra_ir::RegClass> =
+        spilled.iter().copied().zip(classes).collect();
+
+    for bi in 0..f.blocks.len() {
+        let old = std::mem::take(&mut f.blocks[bi].insts);
+        let mut new_insts = Vec::with_capacity(old.len());
+        for mut inst in old {
+            // Temporaries for this instruction, one per distinct spilled
+            // register used and/or defined.
+            let uses: Vec<VReg> = inst
+                .uses()
+                .iter()
+                .filter_map(|r| r.as_virt())
+                .filter(|v| slot_of.contains_key(v))
+                .collect();
+            let defs: Vec<VReg> = inst
+                .defs()
+                .iter()
+                .filter_map(|r| r.as_virt())
+                .filter(|v| slot_of.contains_key(v))
+                .collect();
+            if uses.is_empty() && defs.is_empty() {
+                new_insts.push(inst);
+                continue;
+            }
+            let mut temp_of: HashMap<VReg, VReg> = HashMap::new();
+            for v in uses.iter().chain(defs.iter()) {
+                temp_of
+                    .entry(*v)
+                    .or_insert_with(|| f.new_vreg_of(class_of[v]));
+            }
+            // Reloads before.
+            let mut seen = Vec::new();
+            for v in &uses {
+                if seen.contains(v) {
+                    continue;
+                }
+                seen.push(*v);
+                new_insts.push(Inst::SpillLoad {
+                    dst: Reg::Virt(temp_of[v]),
+                    slot: slot_of[v],
+                });
+                inserted += 1;
+            }
+            inst.map_regs(|r| match r.as_virt().and_then(|v| temp_of.get(&v)) {
+                Some(&t) => Reg::Virt(t),
+                None => r,
+            });
+            new_insts.push(inst);
+            // Stores after.
+            let mut seen = Vec::new();
+            for v in &defs {
+                if seen.contains(v) {
+                    continue;
+                }
+                seen.push(*v);
+                new_insts.push(Inst::SpillStore {
+                    src: Reg::Virt(temp_of[v]),
+                    slot: slot_of[v],
+                });
+                inserted += 1;
+            }
+        }
+        f.blocks[bi].insts = new_insts;
+    }
+    f.recompute_cfg();
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::{BinOp, FunctionBuilder, Liveness};
+
+    #[test]
+    fn use_gets_reload_def_gets_store() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.bin_imm(BinOp::Add, y, x.into(), 2);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        let n = rewrite_spills(&mut f, &[x]);
+        assert_eq!(n, 2, "one store after def, one reload before use");
+        let insts: Vec<String> = f.iter_insts().map(|i| i.to_string()).collect();
+        assert!(insts[1].contains("spill"), "{insts:?}");
+        assert!(insts[2].contains("reload"), "{insts:?}");
+        assert_eq!(f.spill_slots, 1);
+        // The original vreg no longer appears.
+        assert!(f
+            .iter_insts()
+            .all(|i| i.accesses().iter().all(|r| r.as_virt() != Some(x))));
+    }
+
+    #[test]
+    fn spilling_reduces_pressure() {
+        let mut b = FunctionBuilder::new("f");
+        let vs: Vec<_> = (0..6).map(|_| b.new_vreg()).collect();
+        for (i, &v) in vs.iter().enumerate() {
+            b.mov_imm(v, i as i32);
+        }
+        let s = b.new_vreg();
+        b.mov_imm(s, 0);
+        for &v in &vs {
+            b.bin(BinOp::Add, s, s.into(), v.into());
+        }
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        let before = Liveness::compute(&f).max_pressure(&f);
+        rewrite_spills(&mut f, &[vs[0], vs[1], vs[2]]);
+        let after = Liveness::compute(&f).max_pressure(&f);
+        assert!(after < before, "pressure {before} -> {after}");
+    }
+
+    #[test]
+    fn repeated_use_in_one_inst_reloads_once() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.mov_imm(x, 3);
+        b.bin(BinOp::Mul, y, x.into(), x.into());
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+        let n = rewrite_spills(&mut f, &[x]);
+        assert_eq!(n, 2, "store + single reload for x*x");
+    }
+
+    #[test]
+    fn use_and_def_in_same_inst_share_temp() {
+        // x = x + 1 with x spilled: reload, add, store.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 0);
+        b.bin_imm(BinOp::Add, x, x.into(), 1);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        rewrite_spills(&mut f, &[x]);
+        // Find the add; its src and dst temp must be the same vreg.
+        let add = f
+            .iter_insts()
+            .find_map(|i| match i {
+                Inst::BinImm { dst, src, .. } => Some((*dst, *src)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(add.0, add.1);
+    }
+
+    #[test]
+    fn empty_spill_list_is_noop() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        let before = f.clone();
+        assert_eq!(rewrite_spills(&mut f, &[]), 0);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn distinct_spills_get_distinct_slots() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.mov_imm(y, 2);
+        b.bin(BinOp::Add, x, x.into(), y.into());
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        rewrite_spills(&mut f, &[x, y]);
+        assert_eq!(f.spill_slots, 2);
+        let mut slots: Vec<u32> = f
+            .iter_insts()
+            .filter_map(|i| match i {
+                Inst::SpillLoad { slot, .. } | Inst::SpillStore { slot, .. } => Some(slot.0),
+                _ => None,
+            })
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots, vec![0, 1]);
+    }
+}

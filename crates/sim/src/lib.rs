@@ -1,0 +1,41 @@
+//! # dra-sim — machine models for the paper's two evaluations
+//!
+//! * [`lowend`] + [`machine`] — the Section 10.1 configuration: an
+//!   ARM/THUMB-like 5-stage in-order scalar pipeline with I- and D-caches,
+//!   executing allocated LEAF16 programs functionally while accounting
+//!   cycles. `set_last_reg` instructions occupy fetch/decode slots (and
+//!   I-cache space) but never enter the execute stage, exactly as the
+//!   paper specifies.
+//! * [`vliw`] — the Section 10.2 configuration: a 4-issue VLIW with 2
+//!   memory ports, 32 architected / 64 physical registers, whose loop
+//!   timing comes from modulo-schedule parameters.
+//! * [`cache`] — set-associative LRU caches shared by both.
+//!
+//! ```
+//! use dra_ir::{FunctionBuilder, Inst, PReg, Program, Reg};
+//! use dra_sim::{simulate, LowEndConfig};
+//!
+//! let mut b = FunctionBuilder::new("main");
+//! b.push(Inst::MovImm { dst: Reg::Phys(PReg(0)), imm: 40 });
+//! b.push(Inst::BinImm {
+//!     op: dra_ir::BinOp::Add,
+//!     dst: Reg::Phys(PReg(0)),
+//!     src: Reg::Phys(PReg(0)),
+//!     imm: 2,
+//! });
+//! b.ret(Some(Reg::Phys(PReg(0))));
+//! let p = Program::single(b.finish());
+//! let r = simulate(&p, &LowEndConfig::default(), &[])?;
+//! assert_eq!(r.ret_value, Some(42));
+//! # Ok::<(), dra_sim::SimError>(())
+//! ```
+
+pub mod cache;
+pub mod lowend;
+pub mod machine;
+pub mod vliw;
+
+pub use cache::{Cache, CacheConfig};
+pub use lowend::LowEndConfig;
+pub use machine::{simulate, SimError, SimResult};
+pub use vliw::{loop_cycles, VliwConfig};

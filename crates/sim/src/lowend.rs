@@ -1,0 +1,135 @@
+//! The low-end machine configuration (the paper's Table 1).
+//!
+//! An ARM/THUMB-like 5-stage in-order scalar: the ISA exposes 8 registers
+//! through 3-bit fields while the hardware holds 16 — the gap differential
+//! encoding closes.
+
+use crate::cache::CacheConfig;
+use dra_isa::IsaGeometry;
+
+/// Configuration of the 5-stage in-order machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LowEndConfig {
+    /// Instruction-word geometry (LEAF16 with 3-bit fields by default).
+    pub geometry: IsaGeometry,
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Extra cycles for loads beyond the base CPI (ARM7-style LDR = 3
+    /// cycles total).
+    pub load_extra: u64,
+    /// Extra cycles for stores (ARM7-style STR = 2 cycles total).
+    pub store_extra: u64,
+    /// Extra execute cycles for multiplies.
+    pub mul_latency: u64,
+    /// Extra execute cycles for divides/remainders.
+    pub div_latency: u64,
+    /// Pipeline bubbles on a taken branch (resolved in EX).
+    pub taken_branch_penalty: u64,
+    /// Extra cycles for call/return control transfers.
+    pub call_penalty: u64,
+    /// Load-use interlock bubble.
+    pub load_use_penalty: u64,
+    /// How many decode-stage-removed instructions (`set_last_reg`) the
+    /// front end absorbs per cycle. THUMB-style cores fetch two 16-bit
+    /// words per 32-bit bus access, so an instruction that vanishes at
+    /// decode usually costs only a fraction of a slot; the paper's claim
+    /// that `set_last_reg` "does not exist" past decode rests on this.
+    pub slr_per_cycle: u64,
+    /// Safety cap on executed instructions.
+    pub max_steps: u64,
+}
+
+impl Default for LowEndConfig {
+    fn default() -> Self {
+        LowEndConfig {
+            geometry: IsaGeometry::leaf16(3),
+            icache: CacheConfig::embedded_8k(),
+            dcache: CacheConfig::embedded_8k(),
+            load_extra: 2,
+            store_extra: 1,
+            mul_latency: 2,
+            div_latency: 10,
+            taken_branch_penalty: 2,
+            call_penalty: 2,
+            load_use_penalty: 1,
+            slr_per_cycle: 2,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+impl LowEndConfig {
+    /// Render the configuration as the paper's Table 1 rows.
+    pub fn table1(&self) -> Vec<(String, String)> {
+        vec![
+            ("Pipeline".into(), "5-stage, in-order, single issue".into()),
+            (
+                "ISA".into(),
+                format!(
+                    "LEAF16: {}-bit words, {}-bit register fields",
+                    self.geometry.word_bits, self.geometry.reg_field_bits
+                ),
+            ),
+            (
+                "Architected registers (direct)".into(),
+                format!("{}", 1u32 << self.geometry.reg_field_bits),
+            ),
+            ("Physical registers".into(), "16".into()),
+            (
+                "I-cache".into(),
+                format!(
+                    "{} KiB, {}-way, {} B lines, {}-cycle miss",
+                    self.icache.size_bytes / 1024,
+                    self.icache.assoc,
+                    self.icache.line_bytes,
+                    self.icache.miss_penalty
+                ),
+            ),
+            (
+                "D-cache".into(),
+                format!(
+                    "{} KiB, {}-way, {} B lines, {}-cycle miss",
+                    self.dcache.size_bytes / 1024,
+                    self.dcache.assoc,
+                    self.dcache.line_bytes,
+                    self.dcache.miss_penalty
+                ),
+            ),
+            ("Load latency".into(), format!("{} cycles", 1 + self.load_extra)),
+            ("Store latency".into(), format!("{} cycles", 1 + self.store_extra)),
+            ("Multiply latency".into(), format!("{} cycles", 1 + self.mul_latency)),
+            ("Divide latency".into(), format!("{} cycles", 1 + self.div_latency)),
+            (
+                "Taken-branch penalty".into(),
+                format!("{} cycles", self.taken_branch_penalty),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_thumb_like() {
+        let c = LowEndConfig::default();
+        assert_eq!(c.geometry.word_bits, 16);
+        assert_eq!(c.geometry.reg_field_bits, 3);
+        assert_eq!(c.icache.size_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn table1_mentions_the_register_split() {
+        let rows = LowEndConfig::default().table1();
+        let arch = rows
+            .iter()
+            .find(|(k, _)| k.contains("Architected"))
+            .unwrap();
+        assert_eq!(arch.1, "8");
+        let phys = rows.iter().find(|(k, _)| k.contains("Physical")).unwrap();
+        assert_eq!(phys.1, "16");
+    }
+}

@@ -1,0 +1,760 @@
+//! The functional + timing executor for the low-end machine.
+//!
+//! Executes fully-allocated [`Program`]s instruction by instruction,
+//! maintaining architectural state (register files, memory, a call stack)
+//! while charging cycles per the 5-stage in-order model:
+//!
+//! * every instruction word fetched goes through the I-cache;
+//! * loads/stores (including spill traffic) go through the D-cache;
+//! * `set_last_reg` occupies a fetch/decode slot (1 cycle + I-cache) but
+//!   never executes — the paper's "removed after decoding";
+//! * taken branches, calls, returns, multiplies and divides pay their
+//!   configured penalties; a load feeding the next instruction pays the
+//!   load-use interlock.
+//!
+//! Each activation gets a fresh register file and a private spill-slot
+//! frame (see DESIGN.md §4 — calling-convention pressure is modeled through
+//! the allocator's `call_clobbers` instead of architectural clobbering).
+
+use crate::cache::Cache;
+use crate::lowend::LowEndConfig;
+use dra_ir::{BinOp, BlockId, Function, Inst, Program, Reg};
+use dra_isa::words_for_inst;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The step cap was exceeded (runaway program).
+    StepLimit {
+        /// The configured cap.
+        max_steps: u64,
+    },
+    /// An instruction referenced a virtual register.
+    VirtualRegister {
+        /// Function index.
+        func: u32,
+    },
+    /// Return from the entry activation with a pending call stack
+    /// underflow or malformed control transfer.
+    ControlError {
+        /// Description.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StepLimit { max_steps } => {
+                write!(f, "exceeded {max_steps} simulated instructions")
+            }
+            SimError::VirtualRegister { func } => {
+                write!(f, "unallocated virtual register in f{func}")
+            }
+            SimError::ControlError { what } => write!(f, "control error: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Measured outcome of one simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Instructions fetched (including `set_last_reg`).
+    pub insts_fetched: u64,
+    /// Instructions executed (excluding `set_last_reg`).
+    pub insts_executed: u64,
+    /// Dynamic spill loads + stores.
+    pub spill_accesses: u64,
+    /// Dynamic `set_last_reg` count.
+    pub set_last_regs: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// Value returned by the entry function (if any).
+    pub ret_value: Option<i64>,
+    /// Dynamic block trace of the entry function's outermost activation
+    /// (capped; used by encoding round-trip tests).
+    pub entry_trace: Vec<BlockId>,
+    /// Execution count per `(function, block)` — the profile that
+    /// Section 4's "profile information could be incorporated" feeds back
+    /// into the adjacency-graph weights.
+    pub block_counts: HashMap<(u32, u32), u64>,
+}
+
+const TRACE_CAP: usize = 4096;
+/// Each activation's spill frame is this many bytes apart on the stack.
+const FRAME_BYTES: u64 = 1 << 12;
+/// Stack area base address (grows upward, frames never freed-and-reused
+/// within one simulation for address stability).
+const STACK_BASE: u64 = 0x4000_0000;
+
+struct Activation {
+    func: u32,
+    block: usize,
+    inst: usize,
+    regs: [i64; 64],
+    frame_base: u64,
+    args: Vec<i64>,
+    /// Register receiving the callee's return value.
+    ret_to: Option<u8>,
+}
+
+/// Execute `p` from its entry function with `args`.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate(p: &Program, cfg: &LowEndConfig, args: &[i64]) -> Result<SimResult, SimError> {
+    // Static layout: instruction addresses for I-cache simulation.
+    let layout = layout_code(p, cfg);
+
+    let mut icache = Cache::new(cfg.icache);
+    let mut dcache = Cache::new(cfg.dcache);
+    let mut mem: HashMap<u64, i64> = HashMap::new();
+    let mut res = SimResult::default();
+
+    let mut next_frame = STACK_BASE;
+    let mut stack: Vec<Activation> = vec![Activation {
+        func: p.entry,
+        block: p.entry_func().entry.index(),
+        inst: 0,
+        regs: [0; 64],
+        frame_base: next_frame,
+        args: args.to_vec(),
+        ret_to: None,
+    }];
+    next_frame += FRAME_BYTES;
+    res.entry_trace.push(p.entry_func().entry);
+    *res
+        .block_counts
+        .entry((p.entry, p.entry_func().entry.0))
+        .or_insert(0) += 1;
+
+    // Load-use interlock state: destination of the previous instruction if
+    // it was a load.
+    let mut pending_load_dst: Option<u8> = None;
+    // Fractional accounting for decode-removed set_last_reg slots.
+    let mut slr_budget: u64 = 0;
+
+    while let Some(act) = stack.last_mut() {
+        if res.insts_fetched >= cfg.max_steps {
+            return Err(SimError::StepLimit {
+                max_steps: cfg.max_steps,
+            });
+        }
+        let f: &Function = &p.funcs[act.func as usize];
+        let blk = &f.blocks[act.block];
+        let Some(inst) = blk.insts.get(act.inst) else {
+            return Err(SimError::ControlError {
+                what: format!("fell off the end of {} {}", f.name, BlockId(act.block as u32)),
+            });
+        };
+
+        // Fetch: every word of the instruction goes through the I-cache.
+        let addr = layout[&(act.func, act.block, act.inst)];
+        let words = words_for_inst(inst, &cfg.geometry) as u64;
+        let word_bytes = (cfg.geometry.word_bits / 8) as u64;
+        let mut cycles = 1; // base CPI of the in-order scalar
+        for w in 0..words {
+            cycles += icache.access_cost(addr + w * word_bytes);
+        }
+        res.insts_fetched += 1;
+
+        // Load-use interlock check.
+        if let Some(dst) = pending_load_dst.take() {
+            let uses_loaded = inst
+                .uses()
+                .iter()
+                .any(|r| matches!(r, Reg::Phys(pr) if pr.number() == dst));
+            if uses_loaded {
+                cycles += cfg.load_use_penalty;
+            }
+        }
+
+        let read = |act: &Activation, r: Reg| -> Result<i64, SimError> {
+            match r {
+                Reg::Phys(pr) => Ok(act.regs[pr.index()]),
+                Reg::Virt(_) => Err(SimError::VirtualRegister { func: act.func }),
+            }
+        };
+        let reg_no = |r: Reg| -> Result<u8, SimError> {
+            match r {
+                Reg::Phys(pr) => Ok(pr.number()),
+                Reg::Virt(_) => Err(SimError::VirtualRegister { func: 0 }),
+            }
+        };
+
+        let mut next: Option<usize> = None; // branch target (block index)
+        match inst {
+            Inst::SetLastReg { .. } => {
+                // Consumed at decode; no execute, no architectural effect.
+                // The front end absorbs `slr_per_cycle` of these per
+                // fetch-decode cycle, so only every n-th one stalls.
+                res.set_last_regs += 1;
+                slr_budget += 1;
+                let occupancy = if slr_budget >= cfg.slr_per_cycle.max(1) {
+                    slr_budget = 0;
+                    1
+                } else {
+                    0
+                };
+                res.cycles += cycles - 1 + occupancy;
+                act.inst += 1;
+                continue;
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let v = op.eval(read(act, *lhs)?, read(act, *rhs)?);
+                act.regs[reg_no(*dst)? as usize] = v;
+                cycles += op_latency(cfg, *op);
+            }
+            Inst::BinImm { op, dst, src, imm } => {
+                let v = op.eval(read(act, *src)?, *imm as i64);
+                act.regs[reg_no(*dst)? as usize] = v;
+                cycles += op_latency(cfg, *op);
+            }
+            Inst::Mov { dst, src } => {
+                act.regs[reg_no(*dst)? as usize] = read(act, *src)?;
+            }
+            Inst::MovImm { dst, imm } => {
+                act.regs[reg_no(*dst)? as usize] = *imm as i64;
+            }
+            Inst::GetParam { dst, index } => {
+                let v = act.args.get(*index as usize).copied().unwrap_or(0);
+                act.regs[reg_no(*dst)? as usize] = v;
+            }
+            Inst::Load { dst, base, offset } => {
+                let a = (read(act, *base)? as u64).wrapping_add(*offset as i64 as u64);
+                let a = a & !7; // word-aligned memory
+                cycles += cfg.load_extra + dcache.access_cost(a);
+                let v = mem.get(&a).copied().unwrap_or(0);
+                let d = reg_no(*dst)?;
+                act.regs[d as usize] = v;
+                pending_load_dst = Some(d);
+            }
+            Inst::Store { src, base, offset } => {
+                let a = (read(act, *base)? as u64).wrapping_add(*offset as i64 as u64);
+                let a = a & !7;
+                cycles += cfg.store_extra + dcache.access_cost(a);
+                mem.insert(a, read(act, *src)?);
+            }
+            Inst::SpillLoad { dst, slot } => {
+                let a = act.frame_base + slot.0 as u64 * 8;
+                cycles += cfg.load_extra + dcache.access_cost(a);
+                let v = mem.get(&a).copied().unwrap_or(0);
+                let d = reg_no(*dst)?;
+                act.regs[d as usize] = v;
+                pending_load_dst = Some(d);
+                res.spill_accesses += 1;
+            }
+            Inst::SpillStore { src, slot } => {
+                let a = act.frame_base + slot.0 as u64 * 8;
+                cycles += cfg.store_extra + dcache.access_cost(a);
+                mem.insert(a, read(act, *src)?);
+                res.spill_accesses += 1;
+            }
+            Inst::Br { target } => {
+                cycles += cfg.taken_branch_penalty.saturating_sub(1);
+                next = Some(target.index());
+            }
+            Inst::CondBr {
+                cond,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                let taken = cond.eval(read(act, *lhs)?, read(act, *rhs)?);
+                let t = if taken { then_bb } else { else_bb };
+                if taken {
+                    cycles += cfg.taken_branch_penalty;
+                }
+                next = Some(t.index());
+            }
+            Inst::Call { callee, args, ret } => {
+                cycles += cfg.call_penalty;
+                let vals: Result<Vec<i64>, SimError> =
+                    args.iter().map(|&a| read(act, a)).collect();
+                let vals = vals?;
+                let ret_to = match ret {
+                    Some(r) => Some(reg_no(*r)?),
+                    None => None,
+                };
+                act.inst += 1; // resume after the call
+                let callee_fn = &p.funcs[*callee as usize];
+                let new_act = Activation {
+                    func: *callee,
+                    block: callee_fn.entry.index(),
+                    inst: 0,
+                    regs: [0; 64],
+                    frame_base: next_frame,
+                    args: vals,
+                    ret_to,
+                };
+                next_frame += FRAME_BYTES;
+                res.insts_executed += 1;
+                res.cycles += cycles;
+                *res
+                    .block_counts
+                    .entry((new_act.func, new_act.block as u32))
+                    .or_insert(0) += 1;
+                stack.push(new_act);
+                pending_load_dst = None;
+                continue;
+            }
+            Inst::Ret { value } => {
+                cycles += cfg.call_penalty;
+                let v = match value {
+                    Some(r) => Some(read(act, *r)?),
+                    None => None,
+                };
+                let ret_to = act.ret_to;
+                res.insts_executed += 1;
+                res.cycles += cycles;
+                stack.pop();
+                pending_load_dst = None;
+                match stack.last_mut() {
+                    Some(caller) => {
+                        if let (Some(dst), Some(v)) = (ret_to, v) {
+                            caller.regs[dst as usize] = v;
+                        }
+                    }
+                    None => {
+                        res.ret_value = v;
+                        res.icache_misses = icache.misses();
+                        res.dcache_misses = dcache.misses();
+                        return Ok(res);
+                    }
+                }
+                continue;
+            }
+            Inst::Nop => {}
+        }
+
+        res.insts_executed += 1;
+        res.cycles += cycles;
+        match next {
+            Some(b) => {
+                act.block = b;
+                act.inst = 0;
+                *res
+                    .block_counts
+                    .entry((act.func, b as u32))
+                    .or_insert(0) += 1;
+                if act.func == p.entry
+                    && stack.len() == 1
+                    && res.entry_trace.len() < TRACE_CAP
+                {
+                    res.entry_trace.push(BlockId(b as u32));
+                }
+            }
+            None => act.inst += 1,
+        }
+    }
+    Err(SimError::ControlError {
+        what: "empty call stack".into(),
+    })
+}
+
+fn op_latency(cfg: &LowEndConfig, op: BinOp) -> u64 {
+    match op {
+        BinOp::Mul => cfg.mul_latency,
+        BinOp::Div | BinOp::Rem => cfg.div_latency,
+        _ => 0,
+    }
+}
+
+/// Assign a static byte address to every instruction (functions and blocks
+/// laid out in order).
+fn layout_code(
+    p: &Program,
+    cfg: &LowEndConfig,
+) -> HashMap<(u32, usize, usize), u64> {
+    let mut layout = HashMap::new();
+    let word_bytes = (cfg.geometry.word_bits / 8) as u64;
+    let mut addr = 0u64;
+    for (fi, f) in p.funcs.iter().enumerate() {
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                layout.insert((fi as u32, bi, ii), addr);
+                addr += words_for_inst(inst, &cfg.geometry) as u64 * word_bytes;
+            }
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::{Cond, FunctionBuilder, PReg};
+
+    fn phys(n: u8) -> Reg {
+        Reg::Phys(PReg(n))
+    }
+
+    /// Build a tiny physical-register program: returns 6*7.
+    fn mul_prog() -> Program {
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 6 });
+        b.push(Inst::MovImm { dst: phys(1), imm: 7 });
+        b.push(Inst::Bin {
+            op: BinOp::Mul,
+            dst: phys(2),
+            lhs: phys(0),
+            rhs: phys(1),
+        });
+        b.ret(Some(phys(2)));
+        Program::single(b.finish())
+    }
+
+    #[test]
+    fn computes_correct_result() {
+        let r = simulate(&mul_prog(), &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.ret_value, Some(42));
+        assert_eq!(r.insts_executed, 4);
+        assert!(r.cycles >= 4);
+    }
+
+    #[test]
+    fn multiply_costs_extra_cycles() {
+        let cfg = LowEndConfig::default();
+        let with_mul = simulate(&mul_prog(), &cfg, &[]).unwrap();
+
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 6 });
+        b.push(Inst::MovImm { dst: phys(1), imm: 7 });
+        b.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: phys(2),
+            lhs: phys(0),
+            rhs: phys(1),
+        });
+        b.ret(Some(phys(2)));
+        let with_add = simulate(&Program::single(b.finish()), &cfg, &[]).unwrap();
+        assert_eq!(
+            with_mul.cycles - with_add.cycles,
+            cfg.mul_latency,
+            "identical programs except the ALU op"
+        );
+    }
+
+    #[test]
+    fn loop_executes_correct_iteration_count() {
+        // acc = sum(0..10) via a counted loop.
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 0 }); // i
+        b.push(Inst::MovImm { dst: phys(1), imm: 0 }); // acc
+        b.push(Inst::MovImm { dst: phys(2), imm: 10 }); // n
+        let h = b.new_block();
+        let body = b.new_block();
+        let ex = b.new_block();
+        b.br(h);
+        b.switch_to(h);
+        b.push(Inst::CondBr {
+            cond: Cond::Lt,
+            lhs: phys(0),
+            rhs: phys(2),
+            then_bb: body,
+            else_bb: ex,
+        });
+        b.switch_to(body);
+        b.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: phys(1),
+            lhs: phys(1),
+            rhs: phys(0),
+        });
+        b.push(Inst::BinImm {
+            op: BinOp::Add,
+            dst: phys(0),
+            src: phys(0),
+            imm: 1,
+        });
+        b.br(h);
+        b.switch_to(ex);
+        b.ret(Some(phys(1)));
+        let p = Program::single(b.finish());
+        let r = simulate(&p, &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.ret_value, Some(45));
+        // Trace follows the loop: entry, then (h, body)*10, h, exit.
+        assert_eq!(r.entry_trace.first(), Some(&BlockId(0)));
+        assert_eq!(r.entry_trace.iter().filter(|&&b| b == body).count(), 10);
+    }
+
+    #[test]
+    fn memory_roundtrip_through_dcache() {
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm {
+            dst: phys(0),
+            imm: 0x100,
+        });
+        b.push(Inst::MovImm { dst: phys(1), imm: 99 });
+        b.push(Inst::Store {
+            src: phys(1),
+            base: phys(0),
+            offset: 8,
+        });
+        b.push(Inst::Load {
+            dst: phys(2),
+            base: phys(0),
+            offset: 8,
+        });
+        b.ret(Some(phys(2)));
+        let r = simulate(&Program::single(b.finish()), &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.ret_value, Some(99));
+        assert_eq!(r.dcache_misses, 1, "cold miss on the store, hit on the load");
+    }
+
+    #[test]
+    fn spill_accesses_counted_and_roundtrip() {
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 7 });
+        b.push(Inst::SpillStore {
+            src: phys(0),
+            slot: dra_ir::SpillSlot(0),
+        });
+        b.push(Inst::MovImm { dst: phys(0), imm: 0 });
+        b.push(Inst::SpillLoad {
+            dst: phys(1),
+            slot: dra_ir::SpillSlot(0),
+        });
+        b.ret(Some(phys(1)));
+        let r = simulate(&Program::single(b.finish()), &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.ret_value, Some(7));
+        assert_eq!(r.spill_accesses, 2);
+    }
+
+    #[test]
+    fn set_last_reg_fetches_but_does_not_execute() {
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::SetLastReg {
+            class: dra_ir::RegClass::Int,
+            value: 0,
+            delay: 0,
+        });
+        b.push(Inst::MovImm { dst: phys(0), imm: 1 });
+        b.ret(Some(phys(0)));
+        let r = simulate(&Program::single(b.finish()), &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.set_last_regs, 1);
+        assert_eq!(r.insts_fetched, 3);
+        assert_eq!(r.insts_executed, 2);
+        assert_eq!(r.ret_value, Some(1));
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        // main: r0 = 20; r1 = call add3(r0); ret r1
+        let mut m = FunctionBuilder::new("main");
+        m.push(Inst::MovImm { dst: phys(0), imm: 20 });
+        m.push(Inst::Call {
+            callee: 1,
+            args: vec![phys(0)],
+            ret: Some(phys(1)),
+        });
+        m.ret(Some(phys(1)));
+        // add3(x) = x + 3, with params via GetParam.
+        let mut c = FunctionBuilder::new("add3");
+        c.push(Inst::GetParam { dst: phys(0), index: 0 });
+        c.push(Inst::BinImm {
+            op: BinOp::Add,
+            dst: phys(1),
+            src: phys(0),
+            imm: 3,
+        });
+        c.ret(Some(phys(1)));
+        let p = Program {
+            funcs: vec![m.finish(), c.finish()],
+            entry: 0,
+        };
+        let r = simulate(&p, &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.ret_value, Some(23));
+    }
+
+    #[test]
+    fn entry_args_via_getparam() {
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::GetParam { dst: phys(0), index: 0 });
+        b.ret(Some(phys(0)));
+        let r = simulate(
+            &Program::single(b.finish()),
+            &LowEndConfig::default(),
+            &[1234],
+        )
+        .unwrap();
+        assert_eq!(r.ret_value, Some(1234));
+    }
+
+    #[test]
+    fn runaway_program_hits_step_limit() {
+        let mut b = FunctionBuilder::new("main");
+        let l = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        b.br(l);
+        let cfg = LowEndConfig {
+            max_steps: 1000,
+            ..LowEndConfig::default()
+        };
+        let r = simulate(&Program::single(b.finish()), &cfg, &[]);
+        assert!(matches!(r, Err(SimError::StepLimit { .. })));
+    }
+
+    #[test]
+    fn virtual_register_rejected() {
+        let mut b = FunctionBuilder::new("main");
+        let v = b.new_vreg();
+        b.mov_imm(v, 1);
+        b.ret(Some(v.into()));
+        let r = simulate(&Program::single(b.finish()), &LowEndConfig::default(), &[]);
+        assert!(matches!(r, Err(SimError::VirtualRegister { .. })));
+    }
+
+    #[test]
+    fn load_use_interlock_charged() {
+        let cfg = LowEndConfig::default();
+        // Load immediately used.
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 64 });
+        b.push(Inst::Load {
+            dst: phys(1),
+            base: phys(0),
+            offset: 0,
+        });
+        b.push(Inst::BinImm {
+            op: BinOp::Add,
+            dst: phys(2),
+            src: phys(1),
+            imm: 1,
+        });
+        b.ret(Some(phys(2)));
+        let tight = simulate(&Program::single(b.finish()), &cfg, &[]).unwrap();
+
+        // Same, but with a nop between load and use.
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 64 });
+        b.push(Inst::Load {
+            dst: phys(1),
+            base: phys(0),
+            offset: 0,
+        });
+        b.push(Inst::Nop);
+        b.push(Inst::BinImm {
+            op: BinOp::Add,
+            dst: phys(2),
+            src: phys(1),
+            imm: 1,
+        });
+        b.ret(Some(phys(2)));
+        let relaxed = simulate(&Program::single(b.finish()), &cfg, &[]).unwrap();
+        // The nop costs 1 fetch cycle but saves the interlock bubble:
+        // net equal cycles.
+        assert_eq!(tight.cycles + 1, relaxed.cycles + cfg.load_use_penalty);
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+    use dra_ir::{Cond, FunctionBuilder, PReg};
+
+    fn phys(n: u8) -> Reg {
+        Reg::Phys(PReg(n))
+    }
+
+    #[test]
+    fn block_counts_record_loop_iterations() {
+        let mut b = FunctionBuilder::new("main");
+        b.push(Inst::MovImm { dst: phys(0), imm: 0 });
+        b.push(Inst::MovImm { dst: phys(1), imm: 7 });
+        let h = b.new_block();
+        let body = b.new_block();
+        let ex = b.new_block();
+        b.br(h);
+        b.switch_to(h);
+        b.push(Inst::CondBr {
+            cond: Cond::Lt,
+            lhs: phys(0),
+            rhs: phys(1),
+            then_bb: body,
+            else_bb: ex,
+        });
+        b.switch_to(body);
+        b.push(Inst::BinImm {
+            op: BinOp::Add,
+            dst: phys(0),
+            src: phys(0),
+            imm: 1,
+        });
+        b.br(h);
+        b.switch_to(ex);
+        b.ret(None);
+        let p = Program::single(b.finish());
+        let r = simulate(&p, &LowEndConfig::default(), &[]).unwrap();
+        assert_eq!(r.block_counts[&(0, h.0)], 8, "7 taken + 1 exit test");
+        assert_eq!(r.block_counts[&(0, body.0)], 7);
+        assert_eq!(r.block_counts[&(0, ex.0)], 1);
+        assert_eq!(r.block_counts[&(0, 0)], 1, "entry executed once");
+    }
+
+    #[test]
+    fn slr_pairs_share_fetch_cycles() {
+        // With slr_per_cycle = 2, back-to-back set_last_regs cost one
+        // cycle per pair.
+        let build = |n: usize| {
+            let mut b = FunctionBuilder::new("main");
+            for _ in 0..n {
+                b.push(Inst::SetLastReg {
+                    class: dra_ir::RegClass::Int,
+                    value: 0,
+                    delay: 0,
+                });
+            }
+            b.push(Inst::MovImm { dst: phys(0), imm: 1 });
+            b.ret(Some(phys(0)));
+            Program::single(b.finish())
+        };
+        let cfg = LowEndConfig::default();
+        let none = simulate(&build(0), &cfg, &[]).unwrap();
+        let four = simulate(&build(4), &cfg, &[]).unwrap();
+        assert_eq!(
+            four.cycles - none.cycles,
+            2,
+            "4 decode-removed instructions absorb into 2 cycles"
+        );
+        assert_eq!(four.set_last_regs, 4);
+    }
+
+    #[test]
+    fn slr_full_cost_when_front_end_narrow() {
+        let mut b = FunctionBuilder::new("main");
+        for _ in 0..4 {
+            b.push(Inst::SetLastReg {
+                class: dra_ir::RegClass::Int,
+                value: 0,
+                delay: 0,
+            });
+        }
+        b.push(Inst::MovImm { dst: phys(0), imm: 1 });
+        b.ret(Some(phys(0)));
+        let p = Program::single(b.finish());
+        let narrow_cfg = LowEndConfig {
+            slr_per_cycle: 1, // single-issue fetch: every slr stalls
+            ..LowEndConfig::default()
+        };
+        let narrow = simulate(&p, &narrow_cfg, &[]).unwrap();
+        let wide_cfg = LowEndConfig {
+            slr_per_cycle: 2,
+            ..LowEndConfig::default()
+        };
+        let wide = simulate(&p, &wide_cfg, &[]).unwrap();
+        assert_eq!(narrow.cycles - wide.cycles, 2);
+    }
+}

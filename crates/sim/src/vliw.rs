@@ -1,0 +1,89 @@
+//! The high-end VLIW machine model (Section 10.2).
+//!
+//! "A VLIW machine model with 32 architected registers and 64 physical
+//! registers. There are 4 functional units, 2 memory ports." Loop timing
+//! follows the modulo-scheduling model: a software-pipelined loop with
+//! initiation interval `II` and `S` pipeline stages executes
+//! `(iterations + S - 1) · II` cycles, plus fixed per-invocation overhead
+//! for any `set_last_reg` instructions promoted ahead of the kernel
+//! (Section 8.1 — they are hoisted out of the schedule, so they cost fetch
+//! slots once per loop invocation, not per iteration).
+
+/// Configuration of the VLIW machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VliwConfig {
+    /// Total issue slots per cycle.
+    pub issue_width: u32,
+    /// Functional units able to execute ALU operations.
+    pub n_alus: u32,
+    /// Memory ports (loads/stores per cycle).
+    pub n_mem_ports: u32,
+    /// Architected registers visible through direct encoding.
+    pub arch_regs: u16,
+    /// Physical registers present in hardware.
+    pub phys_regs: u16,
+}
+
+impl Default for VliwConfig {
+    fn default() -> Self {
+        VliwConfig {
+            issue_width: 4,
+            n_alus: 4,
+            n_mem_ports: 2,
+            arch_regs: 32,
+            phys_regs: 64,
+        }
+    }
+}
+
+/// Cycles to run a modulo-scheduled loop.
+///
+/// * `ii` — initiation interval of the kernel.
+/// * `stages` — number of pipeline stages (`ceil(schedule_len / ii)`).
+/// * `iterations` — loop trip count.
+/// * `pre_loop_insts` — instructions executed once before the kernel
+///   (e.g. hoisted `set_last_reg`s), charged one issue slot each.
+pub fn loop_cycles(cfg: &VliwConfig, ii: u32, stages: u32, iterations: u64, pre_loop_insts: u32) -> u64 {
+    assert!(ii >= 1, "II must be positive");
+    assert!(stages >= 1);
+    let pre = pre_loop_insts.div_ceil(cfg.issue_width) as u64;
+    pre + (iterations + stages as u64 - 1) * ii as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = VliwConfig::default();
+        assert_eq!(c.n_alus, 4);
+        assert_eq!(c.n_mem_ports, 2);
+        assert_eq!(c.arch_regs, 32);
+        assert_eq!(c.phys_regs, 64);
+    }
+
+    #[test]
+    fn steady_state_dominated_by_ii() {
+        let c = VliwConfig::default();
+        let fast = loop_cycles(&c, 2, 3, 1000, 0);
+        let slow = loop_cycles(&c, 4, 3, 1000, 0);
+        assert_eq!(fast, 2 * 1002);
+        assert_eq!(slow, 4 * 1002);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn hoisted_set_last_regs_cost_once() {
+        let c = VliwConfig::default();
+        let with = loop_cycles(&c, 2, 2, 1_000_000, 8);
+        let without = loop_cycles(&c, 2, 2, 1_000_000, 0);
+        assert_eq!(with - without, 2, "8 pre-insts / 4-wide issue");
+    }
+
+    #[test]
+    #[should_panic(expected = "II must be positive")]
+    fn zero_ii_rejected() {
+        loop_cycles(&VliwConfig::default(), 0, 1, 1, 0);
+    }
+}

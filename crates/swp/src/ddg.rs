@@ -1,0 +1,181 @@
+//! Loop data-dependence graphs (DDGs) for modulo scheduling.
+
+/// Functional-unit class an operation occupies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Integer/FP ALU operation.
+    Alu,
+    /// Memory access (load/store) — occupies a memory port.
+    Mem,
+}
+
+/// One operation of the loop body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopOp {
+    /// Resource class.
+    pub kind: OpKind,
+    /// Result latency in cycles.
+    pub latency: u32,
+    /// Whether the op produces a register result (stores do not).
+    pub has_result: bool,
+}
+
+impl LoopOp {
+    /// A 1-cycle ALU op with a result.
+    pub fn alu() -> Self {
+        LoopOp {
+            kind: OpKind::Alu,
+            latency: 1,
+            has_result: true,
+        }
+    }
+
+    /// An ALU op with custom latency (multiplies etc.).
+    pub fn alu_lat(latency: u32) -> Self {
+        LoopOp {
+            kind: OpKind::Alu,
+            latency,
+            has_result: true,
+        }
+    }
+
+    /// A load (memory port, produces a value).
+    pub fn load(latency: u32) -> Self {
+        LoopOp {
+            kind: OpKind::Mem,
+            latency,
+            has_result: true,
+        }
+    }
+
+    /// A store (memory port, no register result).
+    pub fn store() -> Self {
+        LoopOp {
+            kind: OpKind::Mem,
+            latency: 1,
+            has_result: false,
+        }
+    }
+}
+
+/// A dependence edge `from -> to`: `to` must issue at least `latency`
+/// cycles after `from`, `distance` iterations later (`distance = 0` for
+/// intra-iteration dependences, `> 0` for loop-carried recurrences).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producer op index.
+    pub from: usize,
+    /// Consumer op index.
+    pub to: usize,
+    /// Result latency of the dependence.
+    pub latency: u32,
+    /// Iteration distance (Ω).
+    pub distance: u32,
+}
+
+/// A loop body as a dependence graph.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoopDdg {
+    /// Operations of one iteration.
+    pub ops: Vec<LoopOp>,
+    /// Dependences.
+    pub edges: Vec<DepEdge>,
+    /// Estimated trip count (for cycle accounting).
+    pub trip_count: u64,
+}
+
+impl LoopDdg {
+    /// An empty DDG with the given trip count.
+    pub fn new(trip_count: u64) -> Self {
+        LoopDdg {
+            ops: Vec::new(),
+            edges: Vec::new(),
+            trip_count,
+        }
+    }
+
+    /// Add an op, returning its index.
+    pub fn add_op(&mut self, op: LoopOp) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Add a dependence edge; latency defaults to the producer's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn add_dep(&mut self, from: usize, to: usize, distance: u32) {
+        assert!(from < self.ops.len() && to < self.ops.len(), "bad edge");
+        self.edges.push(DepEdge {
+            from,
+            to,
+            latency: self.ops[from].latency,
+            distance,
+        });
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the DDG has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Consumers of each op's result (`distance` included).
+    pub fn consumers(&self, op: usize) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.from == op)
+    }
+
+    /// The classic running example: a 4-op accumulation loop
+    /// `acc += a[i] * b[i]` with a loop-carried dependence on `acc`.
+    pub fn dot_product(trip_count: u64) -> LoopDdg {
+        let mut d = LoopDdg::new(trip_count);
+        let la = d.add_op(LoopOp::load(3));
+        let lb = d.add_op(LoopOp::load(3));
+        let mul = d.add_op(LoopOp::alu_lat(3));
+        let acc = d.add_op(LoopOp::alu());
+        d.add_dep(la, mul, 0);
+        d.add_dep(lb, mul, 0);
+        d.add_dep(mul, acc, 0);
+        d.add_dep(acc, acc, 1); // recurrence: acc feeds next iteration
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let d = LoopDdg::dot_product(100);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.trip_count, 100);
+        assert_eq!(d.consumers(2).count(), 1);
+        let rec = d.edges.iter().find(|e| e.distance > 0).unwrap();
+        assert_eq!(rec.from, rec.to, "accumulator self-recurrence");
+    }
+
+    #[test]
+    fn op_constructors() {
+        assert_eq!(LoopOp::alu().kind, OpKind::Alu);
+        assert!(LoopOp::alu().has_result);
+        assert!(!LoopOp::store().has_result);
+        assert_eq!(LoopOp::store().kind, OpKind::Mem);
+        assert_eq!(LoopOp::load(3).latency, 3);
+        assert_eq!(LoopOp::alu_lat(5).latency, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edge")]
+    fn bad_edge_rejected() {
+        let mut d = LoopDdg::new(1);
+        d.add_op(LoopOp::alu());
+        d.add_dep(0, 5, 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Iterative modulo scheduling (Rau, MICRO 1994).
+
+use crate::ddg::{LoopDdg, OpKind};
+use crate::mii::mii;
+use dra_sim::VliwConfig;
+
+/// A modulo schedule: issue cycle per op under initiation interval `ii`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Initiation interval.
+    pub ii: u32,
+    /// Issue cycle of each op (flat time within one iteration).
+    pub time: Vec<u32>,
+    /// Schedule length (`max(time) + 1`).
+    pub len: u32,
+}
+
+impl Schedule {
+    /// Number of pipeline stages: `ceil(len / ii)`.
+    pub fn stages(&self) -> u32 {
+        self.len.div_ceil(self.ii).max(1)
+    }
+}
+
+/// Schedule `ddg` on `machine`, trying initiation intervals from the MII
+/// up to `max_ii`. Returns `None` if no schedule fits.
+pub fn modulo_schedule(ddg: &LoopDdg, machine: &VliwConfig, max_ii: u32) -> Option<Schedule> {
+    modulo_schedule_from(ddg, machine, 1, max_ii)
+}
+
+/// Like [`modulo_schedule`], but never below `min_ii` — used when the II
+/// is deliberately raised to relieve register pressure (the paper notes
+/// "we can increase the Initiation Interval (II) to reduce register
+/// pressure which might avoid spills", Section 10.2).
+pub fn modulo_schedule_from(
+    ddg: &LoopDdg,
+    machine: &VliwConfig,
+    min_ii: u32,
+    max_ii: u32,
+) -> Option<Schedule> {
+    if ddg.is_empty() {
+        return Some(Schedule {
+            ii: min_ii.max(1),
+            time: Vec::new(),
+            len: 1,
+        });
+    }
+    let start = mii(ddg, machine).max(min_ii);
+    if start > max_ii {
+        return None;
+    }
+    for ii in start..=max_ii {
+        if let Some(mut s) = try_ii(ddg, machine, ii) {
+            sink(ddg, machine, &mut s);
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// Lifetime-reducing post-pass: move each op as late as its consumers and
+/// the modulo reservation table allow. Shorter producer-to-consumer gaps
+/// mean fewer overlapping value copies — the schedule stays valid, the
+/// register requirement drops.
+fn sink(ddg: &LoopDdg, machine: &VliwConfig, s: &mut Schedule) {
+    let n = ddg.len();
+    for _ in 0..3 {
+        let mut moved = false;
+        // Latest ops first so downstream slack opens up before upstream.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&o| std::cmp::Reverse(s.time[o]));
+        for op in order {
+            // Ops with no consumers anchor the schedule; leave them.
+            let mut latest = i64::MAX;
+            for e in ddg.edges.iter().filter(|e| e.from == op && e.to != op) {
+                let bound =
+                    s.time[e.to] as i64 - e.latency as i64 + s.ii as i64 * e.distance as i64;
+                latest = latest.min(bound);
+            }
+            if latest == i64::MAX || latest <= s.time[op] as i64 {
+                continue;
+            }
+            let mut time: Vec<Option<u32>> = s.time.iter().map(|&t| Some(t)).collect();
+            time[op] = None;
+            let target = (s.time[op] as i64 + 1..=latest)
+                .rev()
+                .map(|t| t as u32)
+                .find(|&t| resources_free(ddg, machine, &time, s.ii, op, t));
+            if let Some(t) = target {
+                s.time[op] = t;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    s.len = s.time.iter().max().copied().unwrap_or(0) + 1;
+}
+
+/// One IMS attempt at a fixed `ii` with an eviction budget.
+fn try_ii(ddg: &LoopDdg, machine: &VliwConfig, ii: u32) -> Option<Schedule> {
+    let n = ddg.len();
+    let budget = (n as u32) * 8;
+    let height = heights(ddg, ii);
+
+    let mut time: Vec<Option<u32>> = vec![None; n];
+    let mut prev_time: Vec<Option<u32>> = vec![None; n];
+    let mut spent = 0u32;
+
+    // Worklist ordered by height (priority).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(height[i]));
+    let mut pending: Vec<usize> = order.clone();
+
+    while let Some(op) = pending.first().copied() {
+        if spent >= budget {
+            return None;
+        }
+        spent += 1;
+        pending.remove(0);
+
+        // Earliest start from scheduled predecessors.
+        let mut estart: i64 = 0;
+        for e in ddg.edges.iter().filter(|e| e.to == op) {
+            if let Some(tp) = time[e.from] {
+                let lb = tp as i64 + e.latency as i64 - (ii as i64) * e.distance as i64;
+                estart = estart.max(lb);
+            }
+        }
+        let mut estart = estart.max(0) as u32;
+        if let Some(pt) = prev_time[op] {
+            // Rau's progress rule: don't re-place at the same slot forever.
+            estart = estart.max(pt + 1);
+        }
+
+        // Find a resource-feasible slot within one II of estart.
+        let slot = (estart..estart + ii)
+            .find(|&t| resources_free(ddg, machine, &time, ii, op, t))
+            .unwrap_or(estart);
+
+        // Evict resource conflicts at the forced slot.
+        if !resources_free(ddg, machine, &time, ii, op, slot) {
+            let conflicting: Vec<usize> = (0..n)
+                .filter(|&o| o != op)
+                .filter(|&o| {
+                    time[o].is_some_and(|t| {
+                        t % ii == slot % ii && conflicts(ddg, machine, &time, ii, o, op, slot)
+                    })
+                })
+                .collect();
+            for o in conflicting {
+                prev_time[o] = time[o];
+                time[o] = None;
+                insert_by_priority(&mut pending, o, &height);
+            }
+        }
+        time[op] = Some(slot);
+
+        // Evict already-scheduled successors whose constraint now breaks.
+        // Self-edges are skipped: II >= RecMII guarantees a self-recurrence
+        // can never be violated by its own placement.
+        for e in ddg.edges.iter().filter(|e| e.from == op && e.to != op) {
+            if let Some(ts) = time[e.to] {
+                let lb = slot as i64 + e.latency as i64 - (ii as i64) * e.distance as i64;
+                if (ts as i64) < lb {
+                    prev_time[e.to] = time[e.to];
+                    time[e.to] = None;
+                    insert_by_priority(&mut pending, e.to, &height);
+                }
+            }
+        }
+    }
+
+    let times: Vec<u32> = time.into_iter().map(|t| t.expect("all scheduled")).collect();
+    // Final validation: every dependence satisfied.
+    for e in &ddg.edges {
+        let lb = times[e.from] as i64 + e.latency as i64 - (ii as i64) * e.distance as i64;
+        if (times[e.to] as i64) < lb {
+            return None;
+        }
+    }
+    let len = times.iter().max().copied().unwrap_or(0) + 1;
+    Some(Schedule { ii, time: times, len })
+}
+
+fn insert_by_priority(pending: &mut Vec<usize>, op: usize, height: &[i64]) {
+    if pending.contains(&op) {
+        return;
+    }
+    let pos = pending
+        .iter()
+        .position(|&o| height[o] < height[op])
+        .unwrap_or(pending.len());
+    pending.insert(pos, op);
+}
+
+/// Would scheduling `op` at `t` keep the modulo reservation table legal?
+fn resources_free(
+    ddg: &LoopDdg,
+    machine: &VliwConfig,
+    time: &[Option<u32>],
+    ii: u32,
+    op: usize,
+    t: u32,
+) -> bool {
+    let row = t % ii;
+    let mut alu = 0;
+    let mut mem = 0;
+    let mut total = 0;
+    for (o, &ot) in time.iter().enumerate() {
+        let Some(ot) = ot else { continue };
+        if o == op || ot % ii != row {
+            continue;
+        }
+        total += 1;
+        match ddg.ops[o].kind {
+            OpKind::Alu => alu += 1,
+            OpKind::Mem => mem += 1,
+        }
+    }
+    total += 1;
+    match ddg.ops[op].kind {
+        OpKind::Alu => alu += 1,
+        OpKind::Mem => mem += 1,
+    }
+    alu <= machine.n_alus && mem <= machine.n_mem_ports && total <= machine.issue_width
+}
+
+fn conflicts(
+    ddg: &LoopDdg,
+    machine: &VliwConfig,
+    time: &[Option<u32>],
+    ii: u32,
+    existing: usize,
+    incoming: usize,
+    t: u32,
+) -> bool {
+    // `existing` conflicts if it competes for the same resource class, or
+    // if removing it alone would not free the row (issue-width pressure).
+    let mut without = time.to_vec();
+    without[existing] = None;
+    !resources_free(ddg, machine, &without, ii, incoming, t)
+        || ddg.ops[existing].kind == ddg.ops[incoming].kind
+}
+
+/// Priority = height: longest path from the op under `latency - II·dist`
+/// weights (bounded relaxation).
+fn heights(ddg: &LoopDdg, ii: u32) -> Vec<i64> {
+    let n = ddg.len();
+    let mut h = vec![0i64; n];
+    for _ in 0..n.min(64) {
+        let mut changed = false;
+        for e in &ddg.edges {
+            let w = e.latency as i64 - ii as i64 * e.distance as i64;
+            if h[e.to] + w > h[e.from] {
+                h[e.from] = h[e.to] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::LoopOp;
+
+    fn machine() -> VliwConfig {
+        VliwConfig::default()
+    }
+
+    fn assert_valid(ddg: &LoopDdg, s: &Schedule) {
+        for e in &ddg.edges {
+            let lhs = s.time[e.to] as i64;
+            let rhs = s.time[e.from] as i64 + e.latency as i64 - s.ii as i64 * e.distance as i64;
+            assert!(lhs >= rhs, "dependence {e:?} violated");
+        }
+        // Modulo resource table legal.
+        for row in 0..s.ii {
+            let at_row: Vec<usize> = (0..ddg.len())
+                .filter(|&o| s.time[o] % s.ii == row)
+                .collect();
+            let alu = at_row
+                .iter()
+                .filter(|&&o| ddg.ops[o].kind == OpKind::Alu)
+                .count();
+            let mem = at_row
+                .iter()
+                .filter(|&&o| ddg.ops[o].kind == OpKind::Mem)
+                .count();
+            assert!(alu <= machine().n_alus as usize);
+            assert!(mem <= machine().n_mem_ports as usize);
+            assert!(at_row.len() <= machine().issue_width as usize);
+        }
+    }
+
+    #[test]
+    fn dot_product_schedules_at_small_ii() {
+        let d = LoopDdg::dot_product(100);
+        let s = modulo_schedule(&d, &machine(), 64).expect("schedulable");
+        assert_valid(&d, &s);
+        assert!(s.ii <= 2, "tiny loop at II {}", s.ii);
+        assert!(s.stages() >= 2, "pipelined across stages");
+    }
+
+    #[test]
+    fn resource_bound_respected() {
+        // 8 independent loads: 2 ports => II >= 4.
+        let mut d = LoopDdg::new(10);
+        for _ in 0..8 {
+            d.add_op(LoopOp::load(3));
+        }
+        let s = modulo_schedule(&d, &machine(), 64).unwrap();
+        assert_valid(&d, &s);
+        assert_eq!(s.ii, 4);
+    }
+
+    #[test]
+    fn recurrence_bound_respected() {
+        let mut d = LoopDdg::new(10);
+        let a = d.add_op(LoopOp::alu_lat(6));
+        d.add_dep(a, a, 1);
+        let s = modulo_schedule(&d, &machine(), 64).unwrap();
+        assert_valid(&d, &s);
+        assert_eq!(s.ii, 6);
+    }
+
+    #[test]
+    fn chain_schedules_with_latency_gaps() {
+        let mut d = LoopDdg::new(10);
+        let a = d.add_op(LoopOp::load(3));
+        let b = d.add_op(LoopOp::alu_lat(2));
+        let c = d.add_op(LoopOp::store());
+        d.add_dep(a, b, 0);
+        d.add_dep(b, c, 0);
+        let s = modulo_schedule(&d, &machine(), 64).unwrap();
+        assert_valid(&d, &s);
+        assert!(s.time[1] >= s.time[0] + 3);
+        assert!(s.time[2] >= s.time[1] + 2);
+    }
+
+    #[test]
+    fn empty_ddg_trivially_schedules() {
+        let d = LoopDdg::new(1);
+        let s = modulo_schedule(&d, &machine(), 8).unwrap();
+        assert_eq!(s.ii, 1);
+    }
+
+    #[test]
+    fn ii_floor_is_honored() {
+        let d = LoopDdg::dot_product(10);
+        let s = modulo_schedule_from(&d, &machine(), 9, 64).unwrap();
+        assert!(s.ii >= 9, "II {} below the requested floor", s.ii);
+        // And the floor composes with the cap.
+        assert!(modulo_schedule_from(&d, &machine(), 9, 8).is_none());
+    }
+
+    #[test]
+    fn sink_reduces_or_preserves_register_need() {
+        // A load consumed late: without sinking its lifetime is huge.
+        let mut d = LoopDdg::new(10);
+        let ld = d.add_op(LoopOp::load(2));
+        let mut prev = d.add_op(LoopOp::alu());
+        for _ in 0..6 {
+            let n = d.add_op(LoopOp::alu());
+            d.add_dep(prev, n, 0);
+            prev = n;
+        }
+        let sum = d.add_op(LoopOp::alu());
+        d.add_dep(ld, sum, 0);
+        d.add_dep(prev, sum, 0);
+        let s = modulo_schedule(&d, &machine(), 64).unwrap();
+        assert_valid(&d, &s);
+        // The load must have been pushed toward its consumer: its issue
+        // sits within its latency of the consumer's earliest legal read.
+        assert!(
+            s.time[sum] as i64 - s.time[ld] as i64 <= 4,
+            "load at {} far from consumer at {}",
+            s.time[ld],
+            s.time[sum]
+        );
+    }
+
+    #[test]
+    fn infeasible_max_ii_returns_none() {
+        let mut d = LoopDdg::new(10);
+        let a = d.add_op(LoopOp::alu_lat(20));
+        d.add_dep(a, a, 1); // needs II = 20
+        assert!(modulo_schedule(&d, &machine(), 4).is_none());
+    }
+
+    #[test]
+    fn bigger_loop_schedules_validly() {
+        // A 20-op mixed loop with a few recurrences.
+        let mut d = LoopDdg::new(50);
+        let mut prev = None;
+        for i in 0..20 {
+            let op = if i % 4 == 0 {
+                d.add_op(LoopOp::load(3))
+            } else {
+                d.add_op(LoopOp::alu())
+            };
+            if let Some(p) = prev {
+                d.add_dep(p, op, 0);
+            }
+            if i % 7 == 0 {
+                d.add_dep(op, op, 1);
+            }
+            prev = Some(op);
+        }
+        let s = modulo_schedule(&d, &machine(), 128).expect("schedulable");
+        assert_valid(&d, &s);
+    }
+}

@@ -1,0 +1,380 @@
+//! Kernel register requirements, spilling, and kernel synthesis.
+//!
+//! After modulo scheduling, each result value lives from its producer's
+//! issue cycle until its last consumer's read — possibly several
+//! iterations later. With modulo variable expansion, a value whose
+//! lifetime spans `L` cycles occupies `ceil(L / II)` registers
+//! simultaneously; the kernel's register requirement is the maximum,
+//! over the II modulo cycles, of live register copies (MaxLive).
+//!
+//! When the requirement exceeds the available registers, a value is
+//! spilled: its uses become loads fed through memory (Zalamea et al.'s
+//! spill-and-reschedule flow, the paper's Figure 10).
+
+use crate::ddg::{LoopDdg, LoopOp, OpKind};
+use crate::ims::Schedule;
+use dra_ir::{BinOp, Cond, Function, FunctionBuilder, Inst, PReg};
+
+/// Lifetime of each result value under a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lifetimes {
+    /// `(start, end)` issue-cycle interval per op (`None` for resultless
+    /// ops); `end >= start`; the value is live during `[start, end)`.
+    pub intervals: Vec<Option<(u32, u32)>>,
+}
+
+/// Compute value lifetimes: producer issue to last consumer read
+/// (`consumer_time + II * distance`).
+pub fn lifetimes(ddg: &LoopDdg, s: &Schedule) -> Lifetimes {
+    let intervals = (0..ddg.len())
+        .map(|op| {
+            if !ddg.ops[op].has_result {
+                return None;
+            }
+            let start = s.time[op];
+            let mut end = start + ddg.ops[op].latency;
+            for e in ddg.consumers(op) {
+                let read = s.time[e.to] + s.ii * e.distance + 1;
+                end = end.max(read);
+            }
+            Some((start, end))
+        })
+        .collect();
+    Lifetimes { intervals }
+}
+
+/// MaxLive: maximum, over the II modulo cycles, of simultaneously live
+/// register copies (counting one register per in-flight iteration lap).
+pub fn max_live(ddg: &LoopDdg, s: &Schedule) -> usize {
+    let lt = lifetimes(ddg, s);
+    let mut per_slot = vec![0usize; s.ii as usize];
+    for iv in lt.intervals.iter().flatten() {
+        for t in iv.0..iv.1 {
+            per_slot[(t % s.ii) as usize] += 1;
+        }
+    }
+    per_slot.into_iter().max().unwrap_or(0)
+}
+
+/// Registers needed per value (`ceil(L / II)` copies, modulo variable
+/// expansion).
+pub fn regs_per_value(ddg: &LoopDdg, s: &Schedule) -> Vec<u32> {
+    let lt = lifetimes(ddg, s);
+    lt.intervals
+        .iter()
+        .map(|iv| match iv {
+            Some((a, b)) => (b - a).div_ceil(s.ii).max(1),
+            None => 0,
+        })
+        .collect()
+}
+
+/// Spill the value produced by `op`: its consumers now read through
+/// memory. Adds one store after the producer and one load per consumer,
+/// shortening the value's register lifetime to producer → store.
+///
+/// # Panics
+///
+/// Panics if `op` has no result.
+pub fn spill_value(ddg: &mut LoopDdg, op: usize, mem_latency: u32) -> usize {
+    assert!(ddg.ops[op].has_result, "op {op} has no result to spill");
+    let store = ddg.add_op(LoopOp::store());
+    let consumer_edges: Vec<usize> = ddg
+        .edges
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.from == op && e.to != store)
+        .map(|(i, _)| i)
+        .collect();
+    let mut added = 1;
+    // Producer -> store (register lifetime now ends here).
+    let prod_latency = ddg.ops[op].latency;
+    ddg.edges.push(crate::ddg::DepEdge {
+        from: op,
+        to: store,
+        latency: prod_latency,
+        distance: 0,
+    });
+    // Each consumer reads a fresh load fed by the store through memory;
+    // the original producer -> consumer edge becomes load -> consumer.
+    for ei in consumer_edges {
+        let (to, distance) = (ddg.edges[ei].to, ddg.edges[ei].distance);
+        let load = ddg.add_op(LoopOp::load(mem_latency));
+        added += 1;
+        // store -> load: memory dependence carries the iteration distance.
+        ddg.edges.push(crate::ddg::DepEdge {
+            from: store,
+            to: load,
+            latency: 1,
+            distance,
+        });
+        ddg.edges[ei] = crate::ddg::DepEdge {
+            from: load,
+            to,
+            latency: mem_latency,
+            distance: 0,
+        };
+    }
+    added
+}
+
+/// A register allocation of the kernel plus the synthesized kernel
+/// function used for differential remapping and encoding.
+#[derive(Clone, Debug)]
+pub struct KernelAlloc {
+    /// First register assigned to each value (`None` for resultless ops).
+    pub reg_of: Vec<Option<u8>>,
+    /// Total registers used.
+    pub regs_used: usize,
+    /// The kernel synthesized as a single-loop IR function (fully
+    /// physical), suitable for `dra_regalloc::remap_function` and
+    /// `dra_encoding::insert_set_last_reg`.
+    pub func: Function,
+}
+
+/// Assign registers to values via cyclic interval coloring over the
+/// modulo-variable-expanded steady state, then synthesize the kernel as an
+/// IR loop.
+///
+/// With unroll factor `K = max ceil(L/II)`, the steady state repeats with
+/// period `P = K·II`; each value contributes `K` circular arcs of length
+/// `L` on that circle (one per in-flight iteration copy). Greedy
+/// lowest-free-register coloring of the arcs yields an allocation close to
+/// MaxLive.
+///
+/// Returns `None` when more than `reg_n` registers would be needed.
+pub fn allocate_kernel(ddg: &LoopDdg, s: &Schedule, reg_n: u16) -> Option<KernelAlloc> {
+    let per_value = regs_per_value(ddg, s);
+    let lt = lifetimes(ddg, s);
+    let kmax = per_value.iter().copied().max().unwrap_or(1).max(1);
+    let p = (kmax * s.ii) as u64;
+
+    // Arcs: (start, len, value, copy).
+    let mut arcs: Vec<(u64, u64, usize)> = Vec::new();
+    for (op, iv) in lt.intervals.iter().enumerate() {
+        let Some((a, b)) = *iv else { continue };
+        let len = ((b - a) as u64).max(1).min(p);
+        for k in 0..kmax as u64 {
+            let start = (a as u64 + k * s.ii as u64) % p;
+            arcs.push((start, len, op));
+        }
+    }
+    arcs.sort();
+
+    // Greedy circular-arc coloring: lowest register free over the arc.
+    let overlaps = |a: (u64, u64), b: (u64, u64)| -> bool {
+        // Circular intervals [a.0, a.0+a.1), [b.0, b.0+b.1) on circle p.
+        if a.1 >= p || b.1 >= p {
+            return true;
+        }
+        let d = (b.0 + p - a.0) % p;
+        d < a.1 || (p - d) < b.1
+    };
+    let limit = (reg_n as usize).min(64);
+    let mut occupancy: Vec<Vec<(u64, u64)>> = vec![Vec::new(); limit];
+    let mut reg_of: Vec<Option<u8>> = vec![None; ddg.len()];
+    let mut regs_used = 0usize;
+    for &(start, len, op) in &arcs {
+        let r = (0..limit).find(|&r| {
+            occupancy[r].iter().all(|&o| !overlaps(o, (start, len)))
+        })?;
+        occupancy[r].push((start, len));
+        regs_used = regs_used.max(r + 1);
+        // The kernel names the current iteration's copy; record the first
+        // register each value receives for synthesis purposes.
+        if reg_of[op].is_none() {
+            reg_of[op] = Some(r as u8);
+        }
+    }
+
+    // Synthesize: entry -> kernel (self-loop) -> exit. Ops in issue order.
+    let mut order: Vec<usize> = (0..ddg.len()).collect();
+    order.sort_by_key(|&o| s.time[o]);
+
+    let mut b = FunctionBuilder::new("kernel");
+    let kernel = b.new_block();
+    let exit = b.new_block();
+    b.br(kernel);
+    b.switch_to(kernel);
+    let scratch = PReg(0); // base/address register stand-in
+    for &op in &order {
+        let srcs: Vec<u8> = ddg
+            .edges
+            .iter()
+            .filter(|e| e.to == op)
+            .filter_map(|e| reg_of[e.from])
+            .take(2)
+            .collect();
+        let dst = reg_of[op];
+        let inst = match (ddg.ops[op].kind, dst) {
+            (OpKind::Mem, Some(d)) => Inst::Load {
+                dst: PReg(d).into(),
+                base: PReg(srcs.first().copied().unwrap_or(scratch.0)).into(),
+                offset: 0,
+            },
+            (OpKind::Mem, None) => Inst::Store {
+                src: PReg(srcs.first().copied().unwrap_or(scratch.0)).into(),
+                base: PReg(srcs.get(1).copied().unwrap_or(scratch.0)).into(),
+                offset: 0,
+            },
+            (OpKind::Alu, Some(d)) => Inst::Bin {
+                op: BinOp::Add,
+                dst: PReg(d).into(),
+                lhs: PReg(srcs.first().copied().unwrap_or(scratch.0)).into(),
+                rhs: PReg(srcs.get(1).copied().unwrap_or_else(|| {
+                    srcs.first().copied().unwrap_or(scratch.0)
+                }))
+                .into(),
+            },
+            (OpKind::Alu, None) => Inst::Nop,
+        };
+        b.push(inst);
+    }
+    b.cond_br(
+        Cond::Lt,
+        scratch.into(),
+        PReg(regs_used.saturating_sub(1) as u8).into(),
+        kernel,
+        exit,
+    );
+    b.switch_to(exit);
+    b.ret(None);
+    let mut func = b.finish();
+    func.blocks[kernel.index()].freq = ddg.trip_count as f64;
+
+    Some(KernelAlloc {
+        reg_of,
+        regs_used,
+        func,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ims::modulo_schedule;
+    use dra_sim::VliwConfig;
+
+    fn sched(d: &LoopDdg) -> Schedule {
+        modulo_schedule(d, &VliwConfig::default(), 256).expect("schedulable")
+    }
+
+    #[test]
+    fn lifetimes_cover_consumers() {
+        let d = LoopDdg::dot_product(10);
+        let s = sched(&d);
+        let lt = lifetimes(&d, &s);
+        // The mul result is read by acc.
+        let (mstart, mend) = lt.intervals[2].unwrap();
+        assert!(mend > mstart);
+        assert!(mend as i64 > s.time[3] as i64, "covers acc's read");
+        // The store-free loop has 4 result-bearing values.
+        assert_eq!(lt.intervals.iter().flatten().count(), 4);
+    }
+
+    #[test]
+    fn loop_carried_lifetime_spans_iterations() {
+        // acc feeds itself at distance 1: lifetime >= II.
+        let d = LoopDdg::dot_product(10);
+        let s = sched(&d);
+        let lt = lifetimes(&d, &s);
+        let (astart, aend) = lt.intervals[3].unwrap();
+        assert!(aend - astart >= s.ii, "loop-carried value outlives one II");
+    }
+
+    #[test]
+    fn max_live_positive_and_consistent() {
+        let d = LoopDdg::dot_product(10);
+        let s = sched(&d);
+        let ml = max_live(&d, &s);
+        let total: u32 = regs_per_value(&d, &s).iter().sum();
+        assert!(ml >= 1);
+        assert!(ml <= total as usize, "MaxLive bounded by MVE total");
+    }
+
+    #[test]
+    fn wide_loop_needs_many_registers() {
+        // 16 independent long-latency loads all consumed late: many
+        // overlapping lifetimes.
+        let mut d = LoopDdg::new(10);
+        let loads: Vec<_> = (0..16).map(|_| d.add_op(LoopOp::load(8))).collect();
+        let sum = d.add_op(LoopOp::alu());
+        for &l in &loads {
+            d.add_dep(l, sum, 0);
+        }
+        let s = sched(&d);
+        assert!(max_live(&d, &s) >= 8, "got {}", max_live(&d, &s));
+    }
+
+    #[test]
+    fn spilling_reduces_register_need() {
+        let mut d = LoopDdg::new(10);
+        let loads: Vec<_> = (0..12).map(|_| d.add_op(LoopOp::load(8))).collect();
+        let sum = d.add_op(LoopOp::alu());
+        for &l in &loads {
+            d.add_dep(l, sum, 0);
+        }
+        let s = sched(&d);
+        let before = max_live(&d, &s);
+        // Spill the longest-lived load.
+        let lt = lifetimes(&d, &s);
+        let victim = (0..loads.len())
+            .max_by_key(|&i| {
+                let (a, b) = lt.intervals[i].unwrap();
+                b - a
+            })
+            .unwrap();
+        spill_value(&mut d, victim, 3);
+        let s2 = sched(&d);
+        let after = max_live(&d, &s2);
+        assert!(after <= before, "spill did not increase need: {before} -> {after}");
+    }
+
+    #[test]
+    fn spill_adds_store_and_loads() {
+        let mut d = LoopDdg::dot_product(10);
+        let before_ops = d.len();
+        let added = spill_value(&mut d, 2, 3); // spill the mul result
+        assert_eq!(added, 2, "one store + one load for the single consumer");
+        assert_eq!(d.len(), before_ops + 2);
+        // DDG still schedulable and valid.
+        let s = sched(&d);
+        assert!(s.ii >= 1);
+    }
+
+    #[test]
+    fn kernel_allocation_assigns_disjoint_ranges() {
+        let d = LoopDdg::dot_product(10);
+        let s = sched(&d);
+        let ka = allocate_kernel(&d, &s, 32).expect("fits in 32 registers");
+        let regs: Vec<u8> = ka.reg_of.iter().flatten().copied().collect();
+        let mut sorted = regs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), regs.len(), "distinct base registers");
+        assert!(ka.regs_used <= 32);
+        assert!(ka.func.is_fully_physical());
+    }
+
+    #[test]
+    fn kernel_allocation_fails_when_too_tight() {
+        let mut d = LoopDdg::new(10);
+        let loads: Vec<_> = (0..16).map(|_| d.add_op(LoopOp::load(8))).collect();
+        let sum = d.add_op(LoopOp::alu());
+        for &l in &loads {
+            d.add_dep(l, sum, 0);
+        }
+        let s = sched(&d);
+        assert!(allocate_kernel(&d, &s, 4).is_none());
+    }
+
+    #[test]
+    fn synthesized_kernel_is_a_self_loop() {
+        let d = LoopDdg::dot_product(10);
+        let s = sched(&d);
+        let ka = allocate_kernel(&d, &s, 32).unwrap();
+        let kernel_block = &ka.func.blocks[1];
+        assert!(kernel_block.succs.contains(&dra_ir::BlockId(1)), "self edge");
+        assert_eq!(kernel_block.freq, 10.0, "trip count as frequency");
+    }
+}

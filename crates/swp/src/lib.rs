@@ -1,0 +1,43 @@
+//! # dra-swp — software pipelining with differential register allocation
+//!
+//! Implements the Section 8.1 application: modulo scheduling for the VLIW
+//! machine, register allocation of the pipelined kernel, spill insertion
+//! when the requirement exceeds the architected registers, and the
+//! **differential remapping** post-pass that lets `RegN > 32` registers be
+//! addressed through 5-bit (`DiffN = 32`) fields — with the repair
+//! `set_last_reg`s promoted ahead of the kernel so the modulo schedule is
+//! untouched.
+//!
+//! The flow mirrors the paper's Figure 10:
+//!
+//! ```text
+//! DDG -> MII -> iterative modulo scheduling -> register requirement
+//!     -> (requirement > RegN? spill & reschedule) -> kernel allocation
+//!     -> differential remapping -> set_last_reg promotion
+//! ```
+//!
+//! ```
+//! use dra_swp::{pipeline_loop, LoopDdg, PipelineConfig};
+//!
+//! let ddg = LoopDdg::dot_product(1000);
+//! let r = pipeline_loop(&ddg, &PipelineConfig::highend(32))?;
+//! assert!(r.ii >= 1);
+//! assert!(r.cycles >= 1000, "at least one cycle per iteration");
+//! # Ok::<(), dra_swp::pipeline::PipelineError>(())
+//! ```
+
+pub mod ddg;
+pub mod exec;
+pub mod from_ir;
+pub mod ims;
+pub mod kernel;
+pub mod mii;
+pub mod pipeline;
+
+pub use ddg::{DepEdge, LoopDdg, LoopOp, OpKind};
+pub use exec::{execute_schedule, ExecError, KernelTrace};
+pub use from_ir::{ddg_from_loop, FromIrError, LatencyModel};
+pub use ims::{modulo_schedule, modulo_schedule_from, Schedule};
+pub use kernel::{allocate_kernel, KernelAlloc};
+pub use mii::{mii, rec_mii, res_mii};
+pub use pipeline::{pipeline_loop, PipelineConfig, PipelinedLoop};

@@ -1,0 +1,159 @@
+//! Minimum initiation interval: resource-constrained (ResMII) and
+//! recurrence-constrained (RecMII) bounds.
+
+use crate::ddg::{LoopDdg, OpKind};
+use dra_sim::VliwConfig;
+
+/// Resource-constrained MII: each resource class must fit its ops in `II`
+/// cycles.
+pub fn res_mii(ddg: &LoopDdg, m: &VliwConfig) -> u32 {
+    let alu_ops = ddg.ops.iter().filter(|o| o.kind == OpKind::Alu).count() as u32;
+    let mem_ops = ddg.ops.iter().filter(|o| o.kind == OpKind::Mem).count() as u32;
+    let total = ddg.len() as u32;
+    let alu = alu_ops.div_ceil(m.n_alus.max(1));
+    let mem = mem_ops.div_ceil(m.n_mem_ports.max(1));
+    let issue = total.div_ceil(m.issue_width.max(1));
+    alu.max(mem).max(issue).max(1)
+}
+
+/// Recurrence-constrained MII: the smallest `II` such that no dependence
+/// cycle violates `Σ latency <= II · Σ distance`.
+///
+/// Checked via Bellman–Ford positive-cycle detection on edge weights
+/// `latency - II · distance` (a positive cycle means `II` is infeasible).
+pub fn rec_mii(ddg: &LoopDdg) -> u32 {
+    if ddg.is_empty() {
+        return 1;
+    }
+    // Upper bound: sum of all latencies (a cycle can't need more).
+    let hi: u32 = ddg.edges.iter().map(|e| e.latency).sum::<u32>().max(1);
+    let mut lo = 1u32;
+    let mut hi = hi;
+    // If even `hi` is infeasible there is a zero-distance cycle: malformed.
+    assert!(
+        ii_feasible(ddg, hi),
+        "dependence cycle with zero total distance"
+    );
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if ii_feasible(ddg, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Is `II` consistent with every recurrence?
+fn ii_feasible(ddg: &LoopDdg, ii: u32) -> bool {
+    // Longest-path relaxation: dist[v] = max over edges; a value exceeding
+    // n rounds of relaxation indicates a positive cycle.
+    let n = ddg.len();
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for e in &ddg.edges {
+            let w = e.latency as i64 - ii as i64 * e.distance as i64;
+            if dist[e.from] + w > dist[e.to] {
+                dist[e.to] = dist[e.from] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return true;
+        }
+        if round == n {
+            return false; // still relaxing after n rounds: positive cycle
+        }
+    }
+    true
+}
+
+/// The minimum initiation interval: `max(ResMII, RecMII)`.
+pub fn mii(ddg: &LoopDdg, m: &VliwConfig) -> u32 {
+    res_mii(ddg, m).max(rec_mii(ddg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::LoopOp;
+
+    #[test]
+    fn res_mii_counts_ports() {
+        let mut d = LoopDdg::new(1);
+        for _ in 0..6 {
+            d.add_op(LoopOp::load(3));
+        }
+        let m = VliwConfig::default(); // 2 mem ports
+        assert_eq!(res_mii(&d, &m), 3, "6 memory ops over 2 ports");
+    }
+
+    #[test]
+    fn res_mii_counts_issue_width() {
+        let mut d = LoopDdg::new(1);
+        for _ in 0..9 {
+            d.add_op(LoopOp::alu());
+        }
+        let m = VliwConfig {
+            n_alus: 9, // ALUs unconstrained…
+            ..VliwConfig::default()
+        };
+        assert_eq!(res_mii(&d, &m), 3, "…but only 4-wide issue");
+    }
+
+    #[test]
+    fn rec_mii_of_simple_recurrence() {
+        // acc = acc + x: 1-cycle latency, distance 1 => RecMII = 1.
+        let d = LoopDdg::dot_product(1);
+        assert_eq!(rec_mii(&d), 1);
+    }
+
+    #[test]
+    fn rec_mii_of_long_recurrence() {
+        // A 3-op cycle with total latency 7 and total distance 2:
+        // RecMII = ceil(7/2) = 4.
+        let mut d = LoopDdg::new(1);
+        let a = d.add_op(LoopOp::alu_lat(3));
+        let b = d.add_op(LoopOp::alu_lat(3));
+        let c = d.add_op(LoopOp::alu_lat(1));
+        d.add_dep(a, b, 0);
+        d.add_dep(b, c, 1);
+        d.add_dep(c, a, 1);
+        assert_eq!(rec_mii(&d), 4);
+    }
+
+    #[test]
+    fn acyclic_ddg_has_rec_mii_one() {
+        let mut d = LoopDdg::new(1);
+        let a = d.add_op(LoopOp::load(3));
+        let b = d.add_op(LoopOp::alu());
+        d.add_dep(a, b, 0);
+        assert_eq!(rec_mii(&d), 1);
+    }
+
+    #[test]
+    fn mii_takes_the_max() {
+        let mut d = LoopDdg::new(1);
+        // Heavy resource use + a slow recurrence.
+        let a = d.add_op(LoopOp::alu_lat(10));
+        d.add_dep(a, a, 1); // RecMII = 10
+        for _ in 0..4 {
+            d.add_op(LoopOp::load(3)); // ResMII(mem) = 2
+        }
+        let m = VliwConfig::default();
+        assert_eq!(mii(&d, &m), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total distance")]
+    fn zero_distance_cycle_rejected() {
+        let mut d = LoopDdg::new(1);
+        let a = d.add_op(LoopOp::alu());
+        let b = d.add_op(LoopOp::alu());
+        d.add_dep(a, b, 0);
+        d.add_dep(b, a, 0);
+        let _ = rec_mii(&d);
+    }
+}

@@ -1,0 +1,749 @@
+//! Mibench-like synthetic benchmark programs.
+//!
+//! Each benchmark is a seeded generator configuration tuned to echo the
+//! structure of its namesake: crypto kernels (`sha`, `blowfish`) carry
+//! large working sets (high register pressure); `crc32` and `adpcm` are
+//! tight low-pressure loops; `qsort` and `dijkstra` are call- and
+//! branch-heavy; `basicmath` leans on multiplies and divides. All
+//! programs are straight IR, terminate by construction (counted loops
+//! only), and are fully deterministic for a given spec.
+
+use dra_ir::{BinOp, Cond, FunctionBuilder, Program, Reg, VReg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs for one benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// RNG seed (fixed per benchmark for reproducibility).
+    pub seed: u64,
+    /// Number of functions (entry + leaves).
+    pub funcs: usize,
+    /// Live working-set size — the register-pressure knob.
+    pub pressure: usize,
+    /// Straight-line expression instructions per block.
+    pub block_len: usize,
+    /// Loop regions per function.
+    pub loops_per_func: usize,
+    /// Maximum loop nesting depth.
+    pub max_depth: u32,
+    /// Probability that an expression step touches memory.
+    pub mem_ratio: f64,
+    /// Probability of a call step (entry function only).
+    pub call_ratio: f64,
+    /// Probability of an if-else region per loop body.
+    pub branch_ratio: f64,
+    /// Trip count range for generated loops.
+    pub trip_range: (i32, i32),
+    /// Weight of multiply/divide in the opcode mix.
+    pub muldiv_ratio: f64,
+}
+
+/// The ten benchmark specs (names follow the Mibench suite).
+pub fn benchmark_names() -> Vec<&'static str> {
+    SPECS.iter().map(|s| s.name).collect()
+}
+
+const SPECS: &[BenchSpec] = &[
+    BenchSpec {
+        name: "bitcount",
+        seed: 0xb17c0047,
+        funcs: 3,
+        pressure: 9,
+        block_len: 10,
+        loops_per_func: 2,
+        max_depth: 2,
+        mem_ratio: 0.05,
+        call_ratio: 0.08,
+        branch_ratio: 0.3,
+        trip_range: (8, 24),
+        muldiv_ratio: 0.02,
+    },
+    BenchSpec {
+        name: "qsort",
+        seed: 0x45047,
+        funcs: 5,
+        pressure: 8,
+        block_len: 8,
+        loops_per_func: 2,
+        max_depth: 2,
+        mem_ratio: 0.30,
+        call_ratio: 0.18,
+        branch_ratio: 0.5,
+        trip_range: (4, 16),
+        muldiv_ratio: 0.03,
+    },
+    BenchSpec {
+        name: "dijkstra",
+        seed: 0xd17457,
+        funcs: 4,
+        pressure: 10,
+        block_len: 9,
+        loops_per_func: 3,
+        max_depth: 2,
+        mem_ratio: 0.28,
+        call_ratio: 0.10,
+        branch_ratio: 0.45,
+        trip_range: (6, 20),
+        muldiv_ratio: 0.02,
+    },
+    BenchSpec {
+        name: "blowfish",
+        seed: 0xb10f15,
+        funcs: 3,
+        pressure: 15,
+        block_len: 16,
+        loops_per_func: 2,
+        max_depth: 2,
+        mem_ratio: 0.22,
+        call_ratio: 0.05,
+        branch_ratio: 0.15,
+        trip_range: (8, 16),
+        muldiv_ratio: 0.04,
+    },
+    BenchSpec {
+        name: "sha",
+        seed: 0x54a,
+        funcs: 3,
+        pressure: 16,
+        block_len: 18,
+        loops_per_func: 2,
+        max_depth: 2,
+        mem_ratio: 0.18,
+        call_ratio: 0.05,
+        branch_ratio: 0.1,
+        trip_range: (10, 20),
+        muldiv_ratio: 0.03,
+    },
+    BenchSpec {
+        name: "crc32",
+        seed: 0xc4c32,
+        funcs: 2,
+        pressure: 6,
+        block_len: 9,
+        loops_per_func: 2,
+        max_depth: 1,
+        mem_ratio: 0.25,
+        call_ratio: 0.02,
+        branch_ratio: 0.2,
+        trip_range: (16, 48),
+        muldiv_ratio: 0.0,
+    },
+    BenchSpec {
+        name: "fft",
+        seed: 0xff7,
+        funcs: 4,
+        pressure: 13,
+        block_len: 14,
+        loops_per_func: 3,
+        max_depth: 3,
+        mem_ratio: 0.20,
+        call_ratio: 0.08,
+        branch_ratio: 0.2,
+        trip_range: (4, 12),
+        muldiv_ratio: 0.20,
+    },
+    BenchSpec {
+        name: "stringsearch",
+        seed: 0x5745,
+        funcs: 3,
+        pressure: 7,
+        block_len: 8,
+        loops_per_func: 2,
+        max_depth: 2,
+        mem_ratio: 0.30,
+        call_ratio: 0.10,
+        branch_ratio: 0.55,
+        trip_range: (6, 24),
+        muldiv_ratio: 0.0,
+    },
+    BenchSpec {
+        name: "adpcm",
+        seed: 0xadc,
+        funcs: 3,
+        pressure: 8,
+        block_len: 12,
+        loops_per_func: 2,
+        max_depth: 1,
+        mem_ratio: 0.20,
+        call_ratio: 0.03,
+        branch_ratio: 0.4,
+        trip_range: (16, 40),
+        muldiv_ratio: 0.05,
+    },
+    BenchSpec {
+        name: "basicmath",
+        seed: 0xba51c,
+        funcs: 4,
+        pressure: 11,
+        block_len: 12,
+        loops_per_func: 2,
+        max_depth: 2,
+        mem_ratio: 0.10,
+        call_ratio: 0.12,
+        branch_ratio: 0.25,
+        trip_range: (6, 16),
+        muldiv_ratio: 0.25,
+    },
+];
+
+/// Generate a benchmark program by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name; see [`benchmark_names`].
+pub fn benchmark(name: &str) -> Program {
+    let spec = SPECS
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    generate(spec)
+}
+
+/// Generate a program from an explicit spec.
+pub fn generate(spec: &BenchSpec) -> Program {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut funcs = Vec::with_capacity(spec.funcs);
+    // Leaf-ward functions first so calls only target lower indices +1 …
+    // actually: entry is index 0 and calls 1..funcs; generate all, entry
+    // last but placed first.
+    for fi in 0..spec.funcs {
+        let is_entry = fi == 0;
+        let callees: Vec<u32> = (fi as u32 + 1..spec.funcs as u32).collect();
+        funcs.push(gen_function(spec, &mut rng, fi, is_entry, &callees));
+    }
+    let mut p = Program { funcs, entry: 0 };
+    for f in &mut p.funcs {
+        dra_ir::loops::assign_static_frequencies(f);
+    }
+    dra_ir::validate::validate_program(&p).expect("generated program is valid");
+    p
+}
+
+/// Global data region base address used by generated memory traffic.
+const DATA_BASE: i32 = 0x1000;
+/// Size of the data region each function scribbles in (bytes).
+const DATA_SIZE: i32 = 2048;
+
+struct Ctx<'a> {
+    spec: &'a BenchSpec,
+    rng: &'a mut SmallRng,
+    /// Live working set.
+    ws: Vec<VReg>,
+    /// Base register holding DATA_BASE.
+    base: VReg,
+    callees: &'a [u32],
+    allow_calls: bool,
+    /// Most recently defined value — expression steps chain through it
+    /// (like real expression trees), giving the access sequence the
+    /// locality real code has.
+    last_def: Option<VReg>,
+    /// Recently touched values; operand picks are biased toward these.
+    /// Real code exhibits strong temporal locality — an expression's
+    /// operands overwhelmingly come from values touched moments ago —
+    /// and the differential encoding's economics depend on it.
+    recent: Vec<VReg>,
+    /// The designated leaf function (loop-free), the only legal call
+    /// target from inside a loop.
+    leaf: Option<u32>,
+    /// Current loop-nesting depth during generation. Outside loops a call
+    /// may target any later function; inside loops only the loop-free
+    /// leaf, so dynamic instruction counts stay bounded (a call chain
+    /// inside nested loops multiplies trip counts into the millions).
+    loop_depth: u32,
+}
+
+impl Ctx<'_> {
+    fn pick(&mut self) -> Reg {
+        // Prefer recently-touched values (temporal locality); fall back to
+        // a uniform draw from the working set.
+        let recent: Vec<VReg> = self
+            .recent
+            .iter()
+            .rev()
+            .filter(|v| self.ws.contains(v))
+            .take(3)
+            .copied()
+            .collect();
+        let v = if !recent.is_empty() && self.rng.gen_bool(0.65) {
+            recent[self.rng.gen_range(0..recent.len())]
+        } else {
+            self.ws[self.rng.gen_range(0..self.ws.len())]
+        };
+        self.touch(v);
+        v.into()
+    }
+
+    fn touch(&mut self, v: VReg) {
+        self.recent.retain(|&x| x != v);
+        self.recent.push(v);
+        if self.recent.len() > 6 {
+            self.recent.remove(0);
+        }
+    }
+
+    fn pick_op(&mut self) -> BinOp {
+        if self.rng.gen_bool(self.spec.muldiv_ratio) {
+            if self.rng.gen_bool(0.5) {
+                BinOp::Mul
+            } else {
+                BinOp::Div
+            }
+        } else {
+            match self.rng.gen_range(0..6) {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::And,
+                3 => BinOp::Or,
+                4 => BinOp::Xor,
+                _ => BinOp::Shl,
+            }
+        }
+    }
+}
+
+fn gen_function(
+    spec: &BenchSpec,
+    rng: &mut SmallRng,
+    index: usize,
+    is_entry: bool,
+    callees: &[u32],
+) -> dra_ir::Function {
+    let is_leaf = index + 1 == spec.funcs;
+    // Register pressure concentrates in one hot function — the paper's
+    // premise is that "in most cases register pressure is lower than the
+    // number of architected registers" with localized hot regions (from
+    // inlining, unrolling, crypto rounds …). The rest of the program runs
+    // a small working set.
+    let hot = 0; // the entry runs unconditionally — pressure must execute
+    let pressure = if index == hot {
+        spec.pressure
+    } else {
+        spec.pressure.min(4 + rng.gen_range(0..=2))
+    };
+    let mut b = FunctionBuilder::new(format!("{}_{index}", spec.name));
+    // Parameters feed the working set.
+    let n_params = if is_entry { 0 } else { rng.gen_range(1..=2) };
+    let mut ws: Vec<VReg> = (0..n_params).map(|_| b.new_param()).collect();
+    // Fill the rest of the working set with immediates.
+    while ws.len() < pressure {
+        let v = b.new_vreg();
+        b.mov_imm(v, rng.gen_range(1..1000));
+        ws.push(v);
+    }
+    let base = b.new_vreg();
+    b.mov_imm(base, DATA_BASE);
+
+    let mut ctx = Ctx {
+        spec,
+        rng,
+        ws,
+        base,
+        callees,
+        allow_calls: !callees.is_empty(),
+        last_def: None,
+        recent: Vec::new(),
+        leaf: if spec.funcs >= 2 && !is_leaf {
+            Some(spec.funcs as u32 - 1)
+        } else {
+            None
+        },
+        loop_depth: 0,
+    };
+
+    if is_leaf {
+        // The leaf kernel: straight-line pressure, no loops, no calls.
+        gen_straight(&mut b, &mut ctx, spec.block_len * 2);
+        gen_branch(&mut b, &mut ctx);
+        gen_straight(&mut b, &mut ctx, spec.block_len);
+    } else {
+        for _ in 0..spec.loops_per_func {
+            gen_loop(&mut b, &mut ctx, spec.max_depth);
+            gen_straight(&mut b, &mut ctx, spec.block_len / 2);
+        }
+    }
+
+    // Fold the working set into a return value.
+    let acc = b.new_vreg();
+    b.mov_imm(acc, 0);
+    let items: Vec<VReg> = ctx.ws.clone();
+    for v in items {
+        b.bin(BinOp::Xor, acc, acc.into(), v.into());
+    }
+    b.ret(Some(acc.into()));
+    b.finish()
+}
+
+/// Emit `n` expression/memory/call steps into the current block.
+fn gen_straight(b: &mut FunctionBuilder, ctx: &mut Ctx<'_>, n: usize) {
+    for _ in 0..n {
+        let roll: f64 = ctx.rng.gen();
+        if roll < ctx.spec.mem_ratio {
+            // Memory step: store then load (or vice versa).
+            let off = ctx.rng.gen_range(0..DATA_SIZE / 8) * 8;
+            if ctx.rng.gen_bool(0.5) {
+                let src = ctx.pick();
+                b.store(src, ctx.base.into(), off);
+            } else {
+                let dst = ctx.replace_ws_slot(b);
+                b.load(dst, ctx.base.into(), off);
+                ctx.last_def = Some(dst);
+            }
+        } else if ctx.allow_calls && roll < ctx.spec.mem_ratio + ctx.spec.call_ratio {
+            let callee = if ctx.loop_depth == 0 {
+                Some(ctx.callees[ctx.rng.gen_range(0..ctx.callees.len())])
+            } else {
+                ctx.leaf
+            };
+            if let Some(callee) = callee {
+                let n_args = ctx.rng.gen_range(1..=2);
+                let args: Vec<Reg> = (0..n_args).map(|_| ctx.pick()).collect();
+                let dst = ctx.replace_ws_slot(b);
+                b.call(callee, args, Some(dst));
+                ctx.last_def = Some(dst);
+            }
+        } else {
+            // Expression step: new value chaining through the previous
+            // result most of the time (expression-tree locality), from
+            // two random live values otherwise.
+            let op = ctx.pick_op();
+            let l = match ctx.last_def {
+                Some(v) if ctx.rng.gen_bool(0.6) => v.into(),
+                _ => ctx.pick(),
+            };
+            let r = ctx.pick();
+            let dst = ctx.replace_ws_slot(b);
+            if ctx.rng.gen_bool(0.25) {
+                let imm = ctx.rng.gen_range(1..64);
+                b.bin_imm(op, dst, l, imm);
+            } else {
+                b.bin(op, dst, l, r);
+            }
+            ctx.last_def = Some(dst);
+        }
+    }
+}
+
+impl Ctx<'_> {
+    /// A fresh vreg replacing a random working-set slot (keeps pressure
+    /// constant while forcing new live ranges).
+    fn replace_ws_slot(&mut self, b: &mut FunctionBuilder) -> VReg {
+        let v = b.new_vreg();
+        let slot = self.rng.gen_range(0..self.ws.len());
+        self.ws[slot] = v;
+        self.touch(v);
+        v
+    }
+}
+
+/// Emit a counted loop: init, header with exit test, body (recursive
+/// regions), increment, backedge.
+fn gen_loop(b: &mut FunctionBuilder, ctx: &mut Ctx<'_>, depth: u32) {
+    let (lo, hi) = ctx.spec.trip_range;
+    // Nested loops run shorter so total dynamic work stays bounded.
+    let shrink = 1 << (2 * ctx.loop_depth.min(3));
+    let trips = (ctx.rng.gen_range(lo..=hi) / shrink).max(2);
+    ctx.loop_depth += 1;
+    let i = b.new_vreg();
+    let n = b.new_vreg();
+    b.mov_imm(i, 0);
+    b.mov_imm(n, trips);
+
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    b.cond_br(Cond::Lt, i.into(), n.into(), body, exit);
+    b.switch_to(body);
+
+    let snapshot = ctx.ws.clone();
+    ctx.last_def = None; // body entry: the previous value may be path-local
+    ctx.recent.clear();
+    gen_straight(b, ctx, ctx.spec.block_len);
+    if ctx.rng.gen_bool(ctx.spec.branch_ratio) {
+        gen_branch(b, ctx);
+    }
+    if depth > 1 && ctx.rng.gen_bool(0.4) {
+        gen_loop(b, ctx, depth - 1);
+    }
+
+    // Close a few loop-carried dependences: copy this iteration's values
+    // back into the loop-header names. These moves are live around the
+    // backedge (real recurrences) and are exactly the coalescing
+    // candidates the differential coalesce stage feeds on. Only a handful
+    // per loop — one per changed slot would double the loop's register
+    // pressure with shadow copies.
+    let mut changed: Vec<usize> = (0..snapshot.len())
+        .filter(|&s| ctx.ws[s] != snapshot[s])
+        .collect();
+    while changed.len() > 4 {
+        let k = ctx.rng.gen_range(0..changed.len());
+        changed.remove(k);
+    }
+    for slot in changed {
+        b.mov(snapshot[slot], ctx.ws[slot].into());
+    }
+    ctx.ws = snapshot;
+
+    b.bin_imm(BinOp::Add, i, i.into(), 1);
+    b.br(header);
+    b.switch_to(exit);
+    ctx.last_def = None; // values chained inside the body are not
+                         // definitely assigned on the zero-trip path
+    ctx.recent.clear();
+    ctx.loop_depth -= 1;
+    // `i`'s final value joins the working set (live-out of the loop).
+    let slot = ctx.rng.gen_range(0..ctx.ws.len());
+    ctx.ws[slot] = i;
+}
+
+/// Emit an if-else diamond. The working set is snapshotted around each arm
+/// so that no value defined on only one path is ever used after the join —
+/// otherwise program results would depend on the register allocator, and
+/// the "all allocators compute the same answer" invariant the test suite
+/// checks would not hold. Arm-local values still exert register pressure
+/// inside the arms.
+fn gen_branch(b: &mut FunctionBuilder, ctx: &mut Ctx<'_>) {
+    let l = ctx.pick();
+    let r = ctx.pick();
+    let conds = Cond::ALL;
+    let cond = conds[ctx.rng.gen_range(0..conds.len())];
+    let then_bb = b.new_block();
+    let else_bb = b.new_block();
+    let join = b.new_block();
+    b.cond_br(cond, l, r, then_bb, else_bb);
+    let snapshot = ctx.ws.clone();
+    ctx.last_def = None;
+    ctx.recent.clear();
+    b.switch_to(then_bb);
+    gen_straight(b, ctx, ctx.spec.block_len / 2);
+    b.br(join);
+    ctx.ws = snapshot.clone();
+    ctx.last_def = None;
+    ctx.recent.clear();
+    b.switch_to(else_bb);
+    gen_straight(b, ctx, ctx.spec.block_len / 2);
+    b.br(join);
+    ctx.ws = snapshot;
+    ctx.last_def = None; // neither arm's chain survives the join
+    ctx.recent.clear();
+    b.switch_to(join);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_ir::Liveness;
+
+    #[test]
+    fn ten_benchmarks_exist() {
+        assert_eq!(benchmark_names().len(), 10);
+        assert!(benchmark_names().contains(&"sha"));
+        assert!(benchmark_names().contains(&"crc32"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = benchmark("qsort");
+        let b = benchmark("qsort");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_benchmarks_are_valid_programs() {
+        for name in benchmark_names() {
+            let p = benchmark(name);
+            dra_ir::validate::validate_program(&p).unwrap_or_else(|e| {
+                panic!("{name}: {e}");
+            });
+            assert!(p.num_insts() > 100, "{name} too small: {}", p.num_insts());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = benchmark("doom");
+    }
+
+    #[test]
+    fn pressure_spec_is_reflected_in_liveness() {
+        let sha = benchmark("sha");
+        let crc = benchmark("crc32");
+        let max_p = |p: &Program| {
+            p.funcs
+                .iter()
+                .map(|f| Liveness::compute(f).max_pressure(f))
+                .max()
+                .unwrap()
+        };
+        assert!(
+            max_p(&sha) > max_p(&crc),
+            "sha ({}) should out-pressure crc32 ({})",
+            max_p(&sha),
+            max_p(&crc)
+        );
+        assert!(max_p(&sha) >= 14, "sha pressure {}", max_p(&sha));
+    }
+
+    #[test]
+    fn benchmarks_have_loops() {
+        for name in benchmark_names() {
+            let p = benchmark(name);
+            let has_loop = p
+                .funcs
+                .iter()
+                .any(|f| !dra_ir::loops::find_loops(f).is_empty());
+            assert!(has_loop, "{name} lacks loops");
+        }
+    }
+
+    #[test]
+    fn call_targets_are_acyclic() {
+        for name in benchmark_names() {
+            let p = benchmark(name);
+            for (fi, f) in p.funcs.iter().enumerate() {
+                for i in f.iter_insts() {
+                    if let dra_ir::Inst::Call { callee, .. } = i {
+                        assert!(
+                            (*callee as usize) > fi,
+                            "{name}: f{fi} calls f{callee} (possible recursion)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequencies_assigned() {
+        let p = benchmark("bitcount");
+        let has_hot_block = p
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .any(|b| b.freq >= 10.0);
+        assert!(has_hot_block, "loop bodies should carry frequency > 1");
+    }
+}
+
+#[cfg(test)]
+mod locality_tests {
+    use super::*;
+    use dra_adjgraph::AccessSequence;
+    use dra_ir::RegClass;
+
+    /// The generator's chaining/recency biases must yield access
+    /// sequences with real temporal locality — the property the
+    /// differential-encoding economics rest on.
+    #[test]
+    fn access_sequences_have_temporal_locality() {
+        let p = benchmark("sha");
+        let mut near = 0usize;
+        let mut total = 0usize;
+        for f in &p.funcs {
+            let seq = AccessSequence::of(f, RegClass::Int).flatten();
+            for w in seq.windows(4) {
+                total += 1;
+                // Last access repeats something from the 3 before it?
+                if w[..3].contains(&w[3]) {
+                    near += 1;
+                }
+            }
+        }
+        let frac = near as f64 / total.max(1) as f64;
+        assert!(
+            frac > 0.35,
+            "only {frac:.2} of accesses repeat a recent register"
+        );
+    }
+
+    #[test]
+    fn no_maybe_undefined_uses_in_any_benchmark() {
+        // Guard for the last_def/recency machinery: a value chained from
+        // a branch arm or a loop body must never be readable on a path
+        // that skipped its definition (that would make program results
+        // allocation-dependent).
+        use dra_ir::Reg;
+        for name in benchmark_names() {
+            let p = benchmark(name);
+            for f in &p.funcs {
+                let nv = f.vreg_count as usize;
+                let mut inb: Vec<Option<Vec<bool>>> = vec![None; f.num_blocks()];
+                inb[f.entry.index()] = Some(vec![false; nv]);
+                let rpo = f.reverse_postorder();
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for &b in &rpo {
+                        let bi = b.index();
+                        let mut cur = match &inb[bi] {
+                            Some(v) => v.clone(),
+                            None => continue,
+                        };
+                        for i in &f.blocks[bi].insts {
+                            for d in i.defs() {
+                                if let Reg::Virt(v) = d {
+                                    cur[v.index()] = true;
+                                }
+                            }
+                        }
+                        for &s in &f.blocks[bi].succs {
+                            let si = s.index();
+                            let merged = match &inb[si] {
+                                None => cur.clone(),
+                                Some(old) => {
+                                    old.iter().zip(&cur).map(|(a, b)| *a && *b).collect()
+                                }
+                            };
+                            if inb[si].as_ref() != Some(&merged) {
+                                inb[si] = Some(merged);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                for &b in &rpo {
+                    let mut cur = inb[b.index()].clone().unwrap();
+                    for i in &f.blocks[b.index()].insts {
+                        for u in i.uses() {
+                            if let Reg::Virt(v) = u {
+                                assert!(
+                                    cur[v.index()],
+                                    "{name}/{}: maybe-undefined use of {v:?} in {b:?}",
+                                    f.name
+                                );
+                            }
+                        }
+                        for d in i.defs() {
+                            if let Reg::Virt(v) = d {
+                                cur[v.index()] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod text_roundtrip_tests {
+    use super::*;
+
+    /// Every generated benchmark survives the textual round trip
+    /// (`Display` then `dra_ir::parse`): the text form is a faithful
+    /// serialization of generator output.
+    #[test]
+    fn benchmarks_roundtrip_through_text() {
+        for name in benchmark_names() {
+            let p = benchmark(name);
+            let q = dra_ir::parse::parse_program(&p.to_string())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p, q, "{name} text round trip");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A tour of the encoding layer: the modulo arithmetic of Section 2, the
+//! Figure 2 worked example, reserved special-purpose registers
+//! (Section 9.2), and the hardware cost model (Section 2.1).
+//!
+//! Run with: `cargo run -p dra-core --example encoding_lab`
+
+use dra_adjgraph::DiffParams;
+use dra_encoding::hardware::{cycle_fraction, decoder_cost};
+use dra_encoding::{encode_fields, EncodingConfig};
+use dra_ir::{FunctionBuilder, Inst, PReg, RegClass};
+
+fn main() {
+    // --- Section 2: the arithmetic -------------------------------------
+    let p = DiffParams::new(16, 8);
+    println!("RegN=16, DiffN=8 (4-bit registers through 3-bit fields):");
+    println!("  encode(R1 -> R3)  = {}", p.encode(1, 3));
+    println!("  encode(R3 -> R8)  = {}", p.encode(3, 8));
+    println!("  encode(R8 -> R1)  = {} (wraps the circle)", p.encode(8, 1));
+    println!("  in_range(R8, R1)? {}", p.in_range(8, 1));
+
+    // --- Figure 2: 4 registers in 1-bit fields -------------------------
+    // Access sequence r0,r1 r1,r2 r2,r3 r3,r3: all diffs are 0 or 1.
+    let fig2 = DiffParams::new(4, 2);
+    println!(
+        "\nFigure 2: RegN=4, DiffN=2 -> {} bit(s) per field, saving {} bit(s)",
+        fig2.diff_w(),
+        fig2.bits_saved_per_field()
+    );
+    let mut b = FunctionBuilder::new("fig2");
+    b.push(Inst::SetLastReg {
+        class: RegClass::Int,
+        value: 0,
+        delay: 0,
+    });
+    for (src, dst) in [(0u8, 1u8), (1, 2), (2, 3), (3, 3)] {
+        b.push(Inst::Mov {
+            dst: PReg(dst).into(),
+            src: PReg(src).into(),
+        });
+    }
+    b.ret(None);
+    let f = b.finish();
+    let cfg = EncodingConfig::new(fig2);
+    let fields = encode_fields(&f, &cfg).expect("in range by construction");
+    println!("  emitted field codes per instruction:");
+    for (inst, codes) in f.blocks[0].insts.iter().zip(&fields[0]) {
+        println!("    {inst:<24} -> {codes:?}");
+    }
+
+    // --- Section 9.2: a reserved stack pointer -------------------------
+    let sp_cfg = EncodingConfig::new(DiffParams::new(16, 8)).with_reserved([15]);
+    println!(
+        "\nreserved r15 (stack pointer): differential codes 0..{}, code {} = r15 directly",
+        sp_cfg.effective_diff_n() - 1,
+        sp_cfg.effective_diff_n()
+    );
+
+    // --- Section 2.1: the decoder is cheap -----------------------------
+    println!("\nhardware cost of the parallel differential decoder:");
+    for (regs, clock) in [(16u16, 500.0), (32, 2000.0), (128, 3000.0)] {
+        let c = decoder_cost(regs, 3);
+        println!(
+            "  {regs:>3} registers: last_reg {} bits, widest adder {} input bits, ~{} transistors, {:.2} ns ({:.0}% of a {} MHz cycle)",
+            c.last_reg_bits,
+            c.max_adder_input_bits,
+            c.transistor_estimate,
+            c.delay_ns,
+            100.0 * cycle_fraction(&c, clock),
+            clock
+        );
+    }
+}

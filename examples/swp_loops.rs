@@ -1,0 +1,73 @@
+//! Software pipelining with differential registers: one register-hungry
+//! loop swept across `RegN` (the Section 8.1 / Table 2 story on a single
+//! loop).
+//!
+//! Run with: `cargo run -p dra-core --example swp_loops`
+
+use dra_swp::{pipeline_loop, LoopDdg, LoopOp, PipelineConfig};
+
+fn main() {
+    // A dense loop body: 20 long-latency loads feeding a reduction —
+    // the shape aggressive unrolling produces, with MaxLive well over 32.
+    let mut d = LoopDdg::new(100_000);
+    let loads: Vec<_> = (0..20).map(|_| d.add_op(LoopOp::load(10))).collect();
+    let mut layer: Vec<usize> = loads
+        .chunks(2)
+        .map(|pair| {
+            let m = d.add_op(LoopOp::alu_lat(4));
+            for &l in pair {
+                d.add_dep(l, m, 0);
+            }
+            m
+        })
+        .collect();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    let j = d.add_op(LoopOp::alu());
+                    d.add_dep(pair[0], j, 0);
+                    d.add_dep(pair[1], j, 0);
+                    j
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    let acc = d.add_op(LoopOp::alu());
+    d.add_dep(layer[0], acc, 0);
+    d.add_dep(acc, acc, 1);
+
+    println!("loop: {} ops, trip count {}", d.len(), d.trip_count);
+    println!(
+        "\n{:>5} {:>4} {:>7} {:>9} {:>7} {:>5} {:>12} {:>9}",
+        "RegN", "II", "stages", "maxlive", "spills", "slr", "cycles", "speedup"
+    );
+
+    let mut base_cycles = None;
+    for reg_n in [32u16, 40, 48, 56, 64] {
+        let r = pipeline_loop(&d, &PipelineConfig::highend(reg_n)).expect("pipelines");
+        let speedup = match base_cycles {
+            None => {
+                base_cycles = Some(r.cycles);
+                0.0
+            }
+            Some(b) => 100.0 * (b as f64 - r.cycles as f64) / r.cycles as f64,
+        };
+        println!(
+            "{:>5} {:>4} {:>7} {:>9} {:>7} {:>5} {:>12} {:>8.2}%",
+            reg_n,
+            r.ii,
+            r.stages,
+            r.max_live_initial,
+            r.spill_ops,
+            r.set_last_regs,
+            r.cycles,
+            speedup
+        );
+    }
+    println!("\nmore registers -> fewer spill ops -> lower II -> big speedups, saturating");
+    println!("once the loop's natural requirement fits (the paper's Table 2 shape).");
+}

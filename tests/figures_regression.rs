@@ -1,0 +1,108 @@
+//! Regression guards for the reproduced scientific claims: the orderings
+//! behind Figures 11–14 must hold on a fast benchmark subset, so future
+//! changes to allocators, encoder, simulator, or workloads cannot silently
+//! drift away from the paper's shapes.
+
+use dra_core::lowend::{compile_and_run, Approach, LowEndRun, LowEndSetup};
+
+const SUBSET: &[&str] = &["qsort", "dijkstra", "stringsearch", "adpcm", "bitcount"];
+
+fn runs(approach: Approach) -> Vec<LowEndRun> {
+    let setup = LowEndSetup::default();
+    SUBSET
+        .iter()
+        .map(|n| {
+            compile_and_run(n, approach, &setup)
+                .unwrap_or_else(|e| panic!("{n}/{}: {e}", approach.label()))
+        })
+        .collect()
+}
+
+fn avg(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[test]
+fn figure11_ordering_differential_cuts_spills() {
+    let base = avg(runs(Approach::Baseline).iter().map(|r| r.spill_percent()));
+    let select = avg(runs(Approach::Select).iter().map(|r| r.spill_percent()));
+    let coalesce = avg(runs(Approach::Coalesce).iter().map(|r| r.spill_percent()));
+    assert!(
+        select < base * 0.6,
+        "select must cut spills hard: {select:.2} vs baseline {base:.2}"
+    );
+    assert!(
+        coalesce < base * 0.6,
+        "coalesce must cut spills hard: {coalesce:.2} vs baseline {base:.2}"
+    );
+}
+
+#[test]
+fn figure12_ordering_remapping_pays_most() {
+    let remap = avg(runs(Approach::Remapping).iter().map(|r| r.cost_percent()));
+    let select = avg(runs(Approach::Select).iter().map(|r| r.cost_percent()));
+    let coalesce = avg(runs(Approach::Coalesce).iter().map(|r| r.cost_percent()));
+    assert!(
+        remap > select && remap > coalesce,
+        "post-pass remapping must pay the most repairs: {remap:.2} vs {select:.2}/{coalesce:.2}"
+    );
+}
+
+#[test]
+fn figure13_remapping_grows_code_most() {
+    let setup = LowEndSetup::default();
+    let mut remap_worse = 0;
+    for n in SUBSET {
+        let base = compile_and_run(n, Approach::Baseline, &setup).unwrap();
+        let remap = compile_and_run(n, Approach::Remapping, &setup).unwrap();
+        let select = compile_and_run(n, Approach::Select, &setup).unwrap();
+        let rr = remap.code_bits as f64 / base.code_bits as f64;
+        let rs = select.code_bits as f64 / base.code_bits as f64;
+        if rr >= rs {
+            remap_worse += 1;
+        }
+    }
+    assert!(
+        remap_worse >= SUBSET.len() - 1,
+        "remapping should grow code at least as much as select almost everywhere"
+    );
+}
+
+#[test]
+fn figure14_ordering_integrated_approaches_win() {
+    let setup = LowEndSetup::default();
+    let mut base_total = 0u64;
+    let mut remap_total = 0u64;
+    let mut select_total = 0u64;
+    let mut coalesce_total = 0u64;
+    for n in SUBSET {
+        base_total += compile_and_run(n, Approach::Baseline, &setup).unwrap().cycles;
+        remap_total += compile_and_run(n, Approach::Remapping, &setup).unwrap().cycles;
+        select_total += compile_and_run(n, Approach::Select, &setup).unwrap().cycles;
+        coalesce_total += compile_and_run(n, Approach::Coalesce, &setup).unwrap().cycles;
+    }
+    assert!(
+        select_total < base_total && coalesce_total < base_total,
+        "integrated approaches must beat the baseline: {select_total}/{coalesce_total} vs {base_total}"
+    );
+    assert!(
+        select_total <= remap_total && coalesce_total <= remap_total,
+        "integrated approaches must beat the post-pass: {select_total}/{coalesce_total} vs {remap_total}"
+    );
+}
+
+#[test]
+fn adaptive_beats_plain_select_on_cycles() {
+    let setup = LowEndSetup::default();
+    let mut select_total = 0u64;
+    let mut adaptive_total = 0u64;
+    for n in SUBSET {
+        select_total += compile_and_run(n, Approach::Select, &setup).unwrap().cycles;
+        adaptive_total += compile_and_run(n, Approach::Adaptive, &setup).unwrap().cycles;
+    }
+    assert!(
+        adaptive_total <= select_total,
+        "selective enabling must not lose: {adaptive_total} vs {select_total}"
+    );
+}

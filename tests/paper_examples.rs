@@ -1,0 +1,175 @@
+//! The paper's worked examples, reproduced end to end.
+//!
+//! Each test cites the section/figure it reenacts; together they pin the
+//! implementation to the paper's own numbers.
+
+use dra_adjgraph::{AdjacencyGraph, DiffParams};
+use dra_encoding::{encode_fields, EncodingConfig};
+use dra_ir::{FunctionBuilder, Inst, PReg, RegClass};
+
+fn mov(dst: u8, src: u8) -> Inst {
+    Inst::Mov {
+        dst: PReg(dst).into(),
+        src: PReg(src).into(),
+    }
+}
+
+/// Section 2: "consider that we want to access registers R1, R3, and R8 in
+/// that order, the encoded differences are then 2 (from R1 to R3) and 5
+/// (from R3 to R8)."
+#[test]
+fn section2_running_example() {
+    let p = DiffParams::new(16, 8);
+    assert_eq!(p.encode(1, 3), 2);
+    assert_eq!(p.encode(3, 8), 5);
+    assert_eq!(p.decode(1, 2), 3);
+    assert_eq!(p.decode(3, 5), 8);
+}
+
+/// Definition 1's examples: `4 mod 3 = 1`, `-1 mod 3 = 2`.
+#[test]
+fn definition1_modulo() {
+    let p = DiffParams::direct(3);
+    // 4 mod 3 via encode(0 -> 1) with a wrap: (1 - 0) = 1; and the
+    // negative case via encode(1 -> 0) = -1 mod 3 = 2.
+    assert_eq!(p.encode(1, 0), 2);
+    assert_eq!(p.encode(2, 0), 1);
+}
+
+/// Figure 2: with `RegN = 4` registers and only differences {0, 1}
+/// (`DiffN = 2`, one bit per field), all four registers remain
+/// addressable; the example's access sequence encodes entirely as 0s and
+/// 1s — a 50% register-field saving.
+#[test]
+fn figure2_one_bit_fields() {
+    let params = DiffParams::new(4, 2);
+    assert_eq!(params.diff_w(), 1);
+    assert_eq!(params.reg_w(), 2);
+    assert_eq!(params.bits_saved_per_field(), 1);
+
+    // Access sequence marching up the circle: r0,r1 r1,r2 r2,r3 r3,r3.
+    let mut b = FunctionBuilder::new("fig2");
+    b.push(Inst::SetLastReg {
+        class: RegClass::Int,
+        value: 0,
+        delay: 0,
+    });
+    b.push(mov(1, 0));
+    b.push(mov(2, 1));
+    b.push(mov(3, 2));
+    b.push(mov(3, 3));
+    b.ret(None);
+    let f = b.finish();
+    let cfg = EncodingConfig::new(params);
+    let fields = encode_fields(&f, &cfg).expect("all differences in {0,1}");
+    let codes: Vec<u16> = fields[0].iter().flatten().copied().collect();
+    assert_eq!(
+        codes,
+        vec![0, 1, 0, 1, 0, 1, 0, 0],
+        "every field is one bit's worth of information"
+    );
+}
+
+/// Section 2.2.1: "if the first instruction is R1 = R0 + R2, we need to
+/// encode (2 - 0) mod 4 = 2 for the second source operand" — out of range
+/// under DiffN = 2.
+#[test]
+fn section221_out_of_range() {
+    let p = DiffParams::new(4, 2);
+    assert_eq!(p.encode(0, 2), 2);
+    assert!(!p.in_range(0, 2));
+}
+
+/// Figure 5: the adjacency graph of the example has edge (L1, L2) with
+/// weight 2 and six weight-1 edges; an optimal assignment under
+/// `RegN = 3, DiffN = 2` has zero cost.
+#[test]
+fn figure5_optimal_assignment() {
+    let mut g = AdjacencyGraph::new(6);
+    g.add_edge(0, 1, 2.0);
+    for (a, b) in [(1, 2), (2, 3), (3, 0), (1, 4), (4, 3), (3, 5)] {
+        g.add_edge(a, b, 1.0);
+    }
+    assert_eq!(g.total_weight(), 8.0);
+    let params = DiffParams::new(3, 2);
+    // Exhaustive search over all register assignments (3^6 with the
+    // interference constraints relaxed — the paper's Figure 5.e solution
+    // exists, so the optimum must be 0).
+    let mut best = f64::INFINITY;
+    for mask in 0..3u32.pow(6) {
+        let mut m = mask;
+        let mut assign = [0u8; 6];
+        for slot in &mut assign {
+            *slot = (m % 3) as u8;
+            m /= 3;
+        }
+        let c = g.assignment_cost(|n| Some(assign[n as usize]), params);
+        best = best.min(c);
+        if best == 0.0 {
+            break;
+        }
+    }
+    assert_eq!(best, 0.0, "a zero-cost assignment exists (Figure 5.e)");
+}
+
+/// Section 2.3: the `set_last_reg(2, 1)` example — after encoding source
+/// operand 1, `last_reg` is set to 2, so the second field encodes as 0.
+#[test]
+fn section23_delayed_set() {
+    let mut b = FunctionBuilder::new("f");
+    b.push(Inst::SetLastReg {
+        class: RegClass::Int,
+        value: 0,
+        delay: 0,
+    });
+    b.push(Inst::SetLastReg {
+        class: RegClass::Int,
+        value: 2,
+        delay: 1,
+    });
+    b.push(Inst::SetLastReg {
+        class: RegClass::Int,
+        value: 1,
+        delay: 2,
+    });
+    b.push(Inst::Bin {
+        op: dra_ir::BinOp::Add,
+        dst: PReg(1).into(),
+        lhs: PReg(0).into(),
+        rhs: PReg(2).into(),
+    });
+    b.ret(None);
+    let f = b.finish();
+    let cfg = EncodingConfig::new(DiffParams::new(4, 2));
+    let fields = encode_fields(&f, &cfg).unwrap();
+    // R0 encodes 0 against last_reg = 0; the delayed set fires, so R2
+    // also encodes 0; the second delayed set handles the destination.
+    assert_eq!(fields[0][3], vec![0, 0, 0]);
+}
+
+/// Section 1's motivation: "register field takes about 28% of the Alpha
+/// binary and 25% of the ARM binary" — our ALU-dense programs sit in the
+/// same ballpark under the LEAF16 geometry.
+#[test]
+fn section1_register_field_share() {
+    let p = dra_workloads::benchmark("sha");
+    let frac =
+        dra_isa::register_field_fraction(&p, &dra_isa::IsaGeometry::leaf16(3));
+    assert!(
+        frac > 0.15 && frac < 0.60,
+        "register fields are a large share of the binary: {frac}"
+    );
+}
+
+/// Section 2.1: the decoder hardware is negligible — the paper's specific
+/// numbers, checked as arithmetic.
+#[test]
+fn section21_hardware_claims() {
+    use dra_encoding::hardware::{cycle_fraction, decoder_cost};
+    let c = decoder_cost(16, 3);
+    assert_eq!(c.last_reg_bits, 4);
+    assert!(c.delay_ns <= 0.41);
+    assert!(cycle_fraction(&c, 500.0) <= 0.21, "1/5 cycle at 500 MHz");
+    let big = decoder_cost(128, 3);
+    assert_eq!(big.last_reg_bits, 7, "Itanium-scale needs 7-bit adders");
+}

@@ -1,0 +1,124 @@
+//! Property tests of the register allocators.
+//!
+//! The strongest invariant available without a virtual-register
+//! interpreter: a generated program compiled under *different allocators*
+//! (and different register counts) must compute the same result on the
+//! machine simulator. Any interference mistake, unsound coalesce, or
+//! broken spill rewrite shows up as divergent output.
+
+use dra_adjgraph::DiffParams;
+use dra_core::lowend::{compile_program, Approach, LowEndSetup};
+use dra_regalloc::{irc_allocate, AllocConfig};
+use dra_sim::{simulate, LowEndConfig};
+use dra_workloads::mibench::{generate, BenchSpec};
+use proptest::prelude::*;
+
+/// A bounded random benchmark spec (all knobs in safe ranges).
+fn arb_spec() -> impl Strategy<Value = BenchSpec> {
+    (
+        any::<u64>(),        // seed
+        1usize..=3,          // funcs
+        4usize..=13,         // pressure
+        4usize..=12,         // block_len
+        1usize..=2,          // loops per func
+        1u32..=2,            // depth
+        0.0f64..0.35,        // mem ratio
+        0.0f64..0.15,        // call ratio
+        0.0f64..0.5,         // branch ratio
+        0.0f64..0.2,         // muldiv
+    )
+        .prop_map(
+            |(seed, funcs, pressure, block_len, loops, depth, mem, call, branch, muldiv)| {
+                BenchSpec {
+                    name: "prop",
+                    seed,
+                    funcs,
+                    pressure,
+                    block_len,
+                    loops_per_func: loops,
+                    max_depth: depth,
+                    mem_ratio: mem,
+                    call_ratio: call,
+                    branch_ratio: branch,
+                    trip_range: (2, 6),
+                    muldiv_ratio: muldiv,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 6 } else { 24 }
+    ))]
+
+    /// All five approaches produce the same program result.
+    #[test]
+    fn approaches_agree_on_random_programs(spec in arb_spec()) {
+        let setup = LowEndSetup::default();
+        let machine = LowEndConfig::default();
+        let mut expected: Option<Option<i64>> = None;
+        for a in Approach::ALL {
+            let mut p = generate(&spec);
+            compile_program(&mut p, a, &setup)
+                .unwrap_or_else(|e| panic!("{}: {e}", a.label()));
+            let r = simulate(&p, &machine, &[]).unwrap_or_else(|e| panic!("{}: {e}", a.label()));
+            match &expected {
+                None => expected = Some(r.ret_value),
+                Some(want) => prop_assert_eq!(
+                    &r.ret_value, want,
+                    "{} diverged on seed {:#x}", a.label(), spec.seed
+                ),
+            }
+        }
+    }
+
+    /// More registers never increase the IRC spill count, and the result
+    /// stays the same across register counts.
+    #[test]
+    fn more_registers_never_hurt(spec in arb_spec()) {
+        let machine = LowEndConfig::default();
+        let mut last_spills = usize::MAX;
+        let mut expected: Option<Option<i64>> = None;
+        for k in [6u16, 8, 12, 16] {
+            let mut p = generate(&spec);
+            let mut total_spills = 0usize;
+            for f in &mut p.funcs {
+                let cfg = AllocConfig::baseline(k);
+                irc_allocate(f, &cfg).unwrap();
+                total_spills += f.count_insts(|i| i.is_spill());
+            }
+            prop_assert!(
+                total_spills <= last_spills,
+                "k={k}: spills {} > {} with fewer registers",
+                total_spills,
+                last_spills
+            );
+            last_spills = total_spills;
+            let r = simulate(&p, &machine, &[]).unwrap();
+            match &expected {
+                None => expected = Some(r.ret_value),
+                Some(want) => prop_assert_eq!(&r.ret_value, want, "k={} diverged", k),
+            }
+        }
+    }
+
+    /// Differential allocation at tight DiffN still verifies and agrees.
+    #[test]
+    fn tight_diffn_still_correct(spec in arb_spec()) {
+        let setup = LowEndSetup {
+            diff: DiffParams::new(12, 4), // much tighter than the eval's 8
+            ..LowEndSetup::default()
+        };
+        let machine = LowEndConfig::default();
+
+        let mut base = generate(&spec);
+        compile_program(&mut base, Approach::Baseline, &setup).unwrap();
+        let want = simulate(&base, &machine, &[]).unwrap().ret_value;
+
+        let mut p = generate(&spec);
+        compile_program(&mut p, Approach::Select, &setup).unwrap();
+        let got = simulate(&p, &machine, &[]).unwrap().ret_value;
+        prop_assert_eq!(got, want);
+    }
+}

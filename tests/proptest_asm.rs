@@ -1,0 +1,145 @@
+//! Property tests of the LEAF assembler: every instruction round-trips
+//! through its binary word layout — opcode class, field codes, immediates,
+//! and branch targets all reconstruct exactly.
+
+use dra_ir::{BinOp, BlockId, Cond, Inst, PReg, Reg, RegClass, SpillSlot};
+use dra_isa::{decode_inst, encode_inst, IsaGeometry};
+use proptest::prelude::*;
+
+fn reg3() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|n| Reg::Phys(PReg(n)))
+}
+
+fn arb_inst() -> impl Strategy<Value = (Inst, Vec<u16>)> {
+    prop_oneof![
+        (any::<u8>(), reg3(), reg3(), reg3()).prop_map(|(op, d, l, r)| {
+            let op = BinOp::ALL[op as usize % BinOp::ALL.len()];
+            let fields = vec![
+                l.expect_phys().number() as u16,
+                r.expect_phys().number() as u16,
+                d.expect_phys().number() as u16,
+            ];
+            (Inst::Bin { op, dst: d, lhs: l, rhs: r }, fields)
+        }),
+        (any::<u8>(), reg3(), reg3(), any::<i32>()).prop_map(|(op, d, s, imm)| {
+            let op = BinOp::ALL[op as usize % BinOp::ALL.len()];
+            let fields = vec![
+                s.expect_phys().number() as u16,
+                d.expect_phys().number() as u16,
+            ];
+            (Inst::BinImm { op, dst: d, src: s, imm }, fields)
+        }),
+        (reg3(), any::<i32>()).prop_map(|(d, imm)| {
+            let fields = vec![d.expect_phys().number() as u16];
+            (Inst::MovImm { dst: d, imm }, fields)
+        }),
+        (reg3(), reg3(), -1000i32..1000).prop_map(|(d, b, off)| {
+            let fields = vec![
+                b.expect_phys().number() as u16,
+                d.expect_phys().number() as u16,
+            ];
+            (Inst::Load { dst: d, base: b, offset: off }, fields)
+        }),
+        (reg3(), 0u32..100_000).prop_map(|(s, slot)| {
+            let fields = vec![s.expect_phys().number() as u16];
+            (Inst::SpillStore { src: s, slot: SpillSlot(slot) }, fields)
+        }),
+        (0u32..5000).prop_map(|t| (Inst::Br { target: BlockId(t) }, vec![])),
+        (any::<u8>(), reg3(), reg3(), 0u32..1000, 0u32..1000).prop_map(
+            |(c, l, r, t1, t2)| {
+                let cond = Cond::ALL[c as usize % Cond::ALL.len()];
+                let fields = vec![
+                    l.expect_phys().number() as u16,
+                    r.expect_phys().number() as u16,
+                ];
+                (
+                    Inst::CondBr {
+                        cond,
+                        lhs: l,
+                        rhs: r,
+                        then_bb: BlockId(t1),
+                        else_bb: BlockId(t2),
+                    },
+                    fields,
+                )
+            }
+        ),
+        (0u8..12, 0u8..8).prop_map(|(v, d)| {
+            (
+                Inst::SetLastReg {
+                    class: RegClass::Int,
+                    value: v,
+                    delay: d,
+                },
+                vec![],
+            )
+        }),
+        Just((Inst::Nop, vec![])),
+        Just((Inst::Ret { value: None }, vec![])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every instruction round-trips through LEAF16 words.
+    #[test]
+    fn leaf16_roundtrip((inst, fields) in arb_inst()) {
+        let geom = IsaGeometry::leaf16(3);
+        let words = encode_inst(&inst, &geom, &fields).expect("3-bit codes fit");
+        let d = decode_inst(&words, &geom).expect("own output decodes");
+        prop_assert_eq!(d.words, words.len(), "consumed exactly what was emitted");
+        prop_assert_eq!(&d.fields[..fields.len().min(d.fields.len())], &fields[..]);
+        match &inst {
+            Inst::BinImm { imm, .. } | Inst::MovImm { imm, .. } => {
+                prop_assert_eq!(d.imm, Some(*imm));
+            }
+            Inst::Load { offset, .. } => prop_assert_eq!(d.imm, Some(*offset)),
+            Inst::SpillStore { slot, .. } => prop_assert_eq!(d.imm, Some(slot.0 as i32)),
+            Inst::Br { target } => prop_assert_eq!(d.targets.first(), Some(&target.0)),
+            Inst::CondBr { then_bb, else_bb, .. } => {
+                prop_assert_eq!(&d.targets, &vec![then_bb.0, else_bb.0]);
+            }
+            Inst::SetLastReg { value, delay, .. } => {
+                prop_assert_eq!(d.imm, Some(((*value as i32) << 3) | *delay as i32));
+            }
+            _ => {}
+        }
+    }
+
+    /// LEAF32 (5-bit fields, 32-bit words) round-trips too.
+    #[test]
+    fn leaf32_roundtrip(
+        op in 0u8..10,
+        d in 0u8..32,
+        l in 0u8..32,
+        r in 0u8..32,
+    ) {
+        let geom = IsaGeometry::leaf32(5);
+        let inst = Inst::Bin {
+            op: BinOp::ALL[op as usize],
+            dst: Reg::Phys(PReg(d)),
+            lhs: Reg::Phys(PReg(l)),
+            rhs: Reg::Phys(PReg(r)),
+        };
+        let fields = vec![l as u16, r as u16, d as u16];
+        let words = encode_inst(&inst, &geom, &fields).unwrap();
+        prop_assert_eq!(words.len() % 2, 0, "32-bit words come in u16 pairs");
+        let dec = decode_inst(&words, &geom).unwrap();
+        prop_assert_eq!(dec.fields, fields);
+    }
+
+    /// Offsets that fit scaled slots stay one word; the rest extend.
+    #[test]
+    fn load_offset_word_counts(off in -1024i32..1024) {
+        let geom = IsaGeometry::leaf16(3);
+        let inst = Inst::Load {
+            dst: Reg::Phys(PReg(1)),
+            base: Reg::Phys(PReg(0)),
+            offset: off,
+        };
+        let words = encode_inst(&inst, &geom, &[0, 1]).unwrap();
+        let scaled_fits = off % 8 == 0 && off / 8 > -8 && off / 8 < 8;
+        prop_assert_eq!(words.len(), if scaled_fits { 1 } else { 3 });
+    }
+}

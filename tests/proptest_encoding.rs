@@ -1,0 +1,176 @@
+//! Property tests of the differential encoding core.
+//!
+//! The headline invariant (the paper's correctness argument): after the
+//! repair pass, decoding along *any* CFG-valid execution path reproduces
+//! exactly the register numbers the code names — regardless of which path
+//! the execution takes through joins, loops, and calls.
+
+use dra_adjgraph::DiffParams;
+use dra_encoding::{decode_trace, insert_set_last_reg, verify_function, EncodingConfig};
+use dra_ir::{BlockId, Cond, Function, FunctionBuilder, Inst, PReg, RegClass};
+use proptest::prelude::*;
+
+/// A random fully-physical function over `reg_n` registers: straight-line
+/// segments, diamonds, and a loop, all built from mov/add instructions.
+fn arb_function(reg_n: u8) -> impl Strategy<Value = Function> {
+    let inst = (0..reg_n, 0..reg_n, 0..reg_n).prop_map(|(d, a, b)| Inst::Bin {
+        op: dra_ir::BinOp::Add,
+        dst: PReg(d).into(),
+        lhs: PReg(a).into(),
+        rhs: PReg(b).into(),
+    });
+    (
+        proptest::collection::vec(inst.clone(), 1..8), // entry
+        proptest::collection::vec(inst.clone(), 0..6), // then
+        proptest::collection::vec(inst.clone(), 0..6), // else
+        proptest::collection::vec(inst.clone(), 1..6), // loop body
+        proptest::collection::vec(inst, 0..4),         // exit
+    )
+        .prop_map(move |(entry, then_i, else_i, body, exit)| {
+            let mut b = FunctionBuilder::new("prop");
+            let t = b.new_block();
+            let e = b.new_block();
+            let j = b.new_block();
+            let lh = b.new_block();
+            let lb = b.new_block();
+            let ex = b.new_block();
+            for i in entry {
+                b.push(i);
+            }
+            b.cond_br(Cond::Eq, PReg(0).into(), PReg(1).into(), t, e);
+            b.switch_to(t);
+            for i in then_i {
+                b.push(i);
+            }
+            b.br(j);
+            b.switch_to(e);
+            for i in else_i {
+                b.push(i);
+            }
+            b.br(j);
+            b.switch_to(j);
+            b.br(lh);
+            b.switch_to(lh);
+            b.cond_br(Cond::Lt, PReg(0).into(), PReg(1).into(), lb, ex);
+            b.switch_to(lb);
+            for i in body {
+                b.push(i);
+            }
+            b.br(lh);
+            b.switch_to(ex);
+            for i in exit {
+                b.push(i);
+            }
+            b.ret(None);
+            b.finish()
+        })
+}
+
+/// A random CFG-valid walk of bounded length, starting at the entry.
+fn random_walk(f: &Function, decisions: &[bool], max_len: usize) -> Vec<BlockId> {
+    let mut trace = vec![f.entry];
+    let mut cur = f.entry;
+    let mut di = 0;
+    while trace.len() < max_len {
+        let succs = &f.block(cur).succs;
+        if succs.is_empty() {
+            break;
+        }
+        let pick = if succs.len() == 1 {
+            succs[0]
+        } else {
+            let d = decisions.get(di).copied().unwrap_or(false);
+            di += 1;
+            succs[usize::from(d) % succs.len()]
+        };
+        trace.push(pick);
+        cur = pick;
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 16 } else { 64 }
+    ))]
+
+    /// Any path through a repaired function decodes to the original
+    /// registers, under several (RegN, DiffN) schemes.
+    #[test]
+    fn repaired_function_decodes_on_every_path(
+        f in arb_function(12),
+        decisions in proptest::collection::vec(any::<bool>(), 32),
+        scheme in prop_oneof![Just((12u16, 8u16)), Just((12, 4)), Just((16, 8)), Just((12, 12))],
+    ) {
+        let mut f = f;
+        let cfg = EncodingConfig::new(DiffParams::new(scheme.0, scheme.1));
+        insert_set_last_reg(&mut f, &cfg);
+        prop_assert!(verify_function(&f, &cfg).is_ok());
+        let walk = random_walk(&f, &decisions, 40);
+        let decoded = decode_trace(&f, &cfg, &walk);
+        prop_assert!(decoded.is_ok(), "trace decode failed: {:?}", decoded.err());
+    }
+
+    /// The repair pass is idempotent: a second run adds nothing.
+    #[test]
+    fn repair_is_idempotent(f in arb_function(12)) {
+        let mut f = f;
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+        insert_set_last_reg(&mut f, &cfg);
+        let again = insert_set_last_reg(&mut f, &cfg);
+        prop_assert_eq!(again.inserted, 0);
+    }
+
+    /// Encode/decode arithmetic round-trips for every register pair.
+    #[test]
+    fn modulo_arithmetic_roundtrips(reg_n in 2u16..64, a in 0u8..64, b in 0u8..64) {
+        let a = a % reg_n as u8;
+        let b = b % reg_n as u8;
+        let p = DiffParams::direct(reg_n);
+        let d = p.encode(a, b);
+        prop_assert_eq!(p.decode(a, d), b);
+    }
+
+    /// A function without enough repairs fails verification rather than
+    /// decoding wrongly: strip one set_last_reg and the verifier notices
+    /// (or the function was repair-free to begin with).
+    #[test]
+    fn stripping_a_repair_is_detected(f in arb_function(12)) {
+        let mut f = f;
+        let cfg = EncodingConfig::new(DiffParams::new(12, 4));
+        let stats = insert_set_last_reg(&mut f, &cfg);
+        prop_assume!(stats.inserted > 0);
+        // Remove the first repair instruction.
+        'outer: for b in &mut f.blocks {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if inst.is_set_last_reg() {
+                    b.insts.remove(i);
+                    break 'outer;
+                }
+            }
+        }
+        f.recompute_cfg();
+        prop_assert!(verify_function(&f, &cfg).is_err());
+    }
+
+    /// Reserved registers never break decodability.
+    #[test]
+    fn reserved_registers_decode(
+        f in arb_function(12),
+        decisions in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let mut f = f;
+        let cfg = EncodingConfig::new(DiffParams::new(12, 8)).with_reserved([11u8]);
+        insert_set_last_reg(&mut f, &cfg);
+        prop_assert!(verify_function(&f, &cfg).is_ok());
+        let walk = random_walk(&f, &decisions, 24);
+        prop_assert!(decode_trace(&f, &cfg, &walk).is_ok());
+    }
+}
+
+#[test]
+fn regclass_int_is_the_only_generated_class() {
+    // Guard for the strategies above: they build Int-class code only.
+    let cfg = EncodingConfig::new(DiffParams::new(12, 8));
+    assert_eq!(cfg.class, RegClass::Int);
+}
