@@ -87,14 +87,11 @@ impl AccessSequence {
 }
 
 /// The register class of an operand in the context of `f`.
+///
+/// Delegates to [`Function::class_of`], the single source of truth for the
+/// bare-`PReg`-is-integer convention.
 pub(crate) fn reg_class_of(f: &Function, r: Reg) -> RegClass {
-    match r {
-        Reg::Virt(v) => f.vreg_class(v),
-        // Physical registers: the reproduction keeps integer and float
-        // register files disjoint, with physical numbers class-local, so a
-        // bare PReg is treated as the integer class.
-        Reg::Phys(_) => RegClass::Int,
-    }
+    f.class_of(r)
 }
 
 /// Build the live-range-granularity adjacency graph used *during*

@@ -181,6 +181,51 @@ impl AdjacencyIndex {
         self.per_node.len()
     }
 
+    /// Exact cost change of swapping the register numbers assigned to
+    /// nodes `x` and `y` under the register vector `rv` (node `i` holds
+    /// number `rv[i]`), in time `O(deg(x) + deg(y))`.
+    ///
+    /// Only edges incident to `x` or `y` can change violation status under
+    /// the swap; edges incident to **both** (the `x↔y` edges) appear in
+    /// both incidence lists and are counted once, by skipping them during
+    /// the `y` pass. Returns `cost(after) - cost(before)`, so a profitable
+    /// swap has a negative delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rv` is shorter than the node count or `x`/`y` are out of
+    /// range.
+    pub fn swap_delta(&self, rv: &[u8], x: u32, y: u32, params: DiffParams) -> f64 {
+        if x == y {
+            return 0.0;
+        }
+        let before = |n: u32| rv[n as usize];
+        let after = |n: u32| {
+            if n == x {
+                rv[y as usize]
+            } else if n == y {
+                rv[x as usize]
+            } else {
+                rv[n as usize]
+            }
+        };
+        let mut delta = 0.0;
+        for &(a, b, w) in &self.per_node[x as usize] {
+            let was = !params.in_range(before(a), before(b));
+            let is = !params.in_range(after(a), after(b));
+            delta += (is as i8 - was as i8) as f64 * w;
+        }
+        for &(a, b, w) in &self.per_node[y as usize] {
+            if a == x || b == x {
+                continue; // already counted in the x pass
+            }
+            let was = !params.in_range(before(a), before(b));
+            let is = !params.in_range(after(a), after(b));
+            delta += (is as i8 - was as i8) as f64 * w;
+        }
+        delta
+    }
+
     /// Total weight of edges incident to `node`.
     pub fn incident_weight(&self, node: u32) -> f64 {
         self.per_node[node as usize].iter().map(|&(_, _, w)| w).sum()
@@ -321,6 +366,75 @@ mod tests {
         assert_eq!(idx.incident_weight(0), 5.0);
         assert_eq!(idx.incident_weight(1), 2.0);
         assert_eq!(idx.incident_weight(2), 3.0);
+    }
+
+    #[test]
+    fn swap_delta_matches_full_recost() {
+        // Dense-ish graph including x<->y edges in both directions, so the
+        // double-count path is exercised.
+        let mut g = AdjacencyGraph::new(6);
+        let edges = [
+            (0u32, 1u32, 2.0),
+            (1, 0, 1.0),
+            (1, 2, 1.5),
+            (2, 3, 4.0),
+            (3, 1, 0.5),
+            (4, 5, 2.5),
+            (0, 5, 3.0),
+            (2, 0, 1.0),
+        ];
+        for (a, b, w) in edges {
+            g.add_edge(a, b, w);
+        }
+        let idx = g.index();
+        let params = DiffParams::new(8, 3);
+        let rv: Vec<u8> = vec![5, 0, 7, 2, 4, 1];
+        for x in 0..6u32 {
+            for y in 0..6u32 {
+                let mut swapped = rv.clone();
+                swapped.swap(x as usize, y as usize);
+                let full_before = g.assignment_cost(|n| Some(rv[n as usize]), params);
+                let full_after = g.assignment_cost(|n| Some(swapped[n as usize]), params);
+                let delta = idx.swap_delta(&rv, x, y, params);
+                assert!(
+                    (delta - (full_after - full_before)).abs() < 1e-12,
+                    "swap ({x},{y}): delta {delta} vs full {}",
+                    full_after - full_before
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_delta_self_swap_is_zero() {
+        let mut g = AdjacencyGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        let idx = g.index();
+        let params = DiffParams::new(4, 1);
+        let rv = [0u8, 3, 1];
+        for n in 0..3 {
+            assert_eq!(idx.swap_delta(&rv, n, n, params), 0.0);
+        }
+    }
+
+    #[test]
+    fn swap_delta_counts_mutual_edge_once() {
+        // Only edges between x and y: the naive two-pass sum would double
+        // the delta; the skip in the y pass must prevent that.
+        let mut g = AdjacencyGraph::new(2);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(1, 0, 2.0);
+        let idx = g.index();
+        let params = DiffParams::new(8, 2);
+        // rv = [0, 6]: both edges violate (diffs 6 and 2 mod-wrap out of
+        // range). Swapping changes nothing for a 2-node graph (the pair of
+        // numbers is the same set), so delta must be the exact full-recost
+        // difference, not twice it.
+        let rv = [0u8, 6];
+        let before = g.assignment_cost(|n| Some(rv[n as usize]), params);
+        let after = g.assignment_cost(|n| Some(rv[1 - n as usize]), params);
+        assert_eq!(idx.swap_delta(&rv, 0, 1, params), after - before);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::hint::black_box;
 fn bench_encoding(c: &mut Criterion) {
     let setup = LowEndSetup::default();
     // A program allocated with 12 registers, not yet repaired.
-    let (allocated, _) = compile_benchmark("bitcount", Approach::Remapping, &setup).unwrap();
+    let (allocated, _, _) = compile_benchmark("bitcount", Approach::Remapping, &setup).unwrap();
     let cfg = EncodingConfig::new(DiffParams::new(12, 8));
 
     c.bench_function("repair-pass/bitcount", |b| {

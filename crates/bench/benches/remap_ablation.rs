@@ -12,7 +12,7 @@ fn bench_remap(c: &mut Criterion) {
     // A program allocated with 12 registers via the plain allocator; the
     // remap pass is then applied with different search settings.
     let setup = LowEndSetup::default();
-    let (prog, _) = compile_benchmark("bitcount", Approach::Remapping, &setup).unwrap();
+    let (prog, _, _) = compile_benchmark("bitcount", Approach::Remapping, &setup).unwrap();
     let func = prog.funcs[0].clone();
 
     let mut group = c.benchmark_group("remap-search");

@@ -3,10 +3,23 @@
 //! Paper shape: remapping grows code ~7% (its many `set_last_reg`s
 //! outweigh the spill savings); select stays within ~1%; O-spill shrinks
 //! ~4% and coalesce ~2% (fewer spill instructions, modest repair counts).
+//!
+//! Besides the text table on stdout, writes `results/fig13.json` with the
+//! raw ratios and the remapping-search work counters (`swap_delta`
+//! evaluations, restarts executed, search wall-clock) so tooling can track
+//! the search cost alongside the code-size outcome.
 
 use dra_bench::{average, render_table};
-use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
+use dra_core::lowend::{compile_and_run, Approach, LowEndRun, LowEndSetup};
 use dra_workloads::benchmark_names;
+use std::fmt::Write as _;
+
+/// Remap-search work aggregated over a run's functions.
+fn remap_totals(run: &LowEndRun) -> (u64, u32, u64) {
+    run.remap.iter().fold((0, 0, 0), |(e, s, n), st| {
+        (e + st.evaluations, s + st.starts_run, n + st.search_nanos)
+    })
+}
 
 fn main() {
     let setup = LowEndSetup::default();
@@ -18,18 +31,39 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); others.len()];
+    let mut json_benchmarks = Vec::new();
 
     for name in benchmark_names() {
         let base = compile_and_run(name, Approach::Baseline, &setup)
             .unwrap_or_else(|e| panic!("{name}/baseline: {e}"));
         let mut row = vec![name.to_string()];
+        let mut json_approaches = Vec::new();
         for (ai, &a) in others.iter().enumerate() {
             let run = compile_and_run(name, a, &setup)
                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", a.label()));
             let ratio = run.code_bits as f64 / base.code_bits as f64;
             columns[ai].push(ratio);
             row.push(format!("{ratio:.3}"));
+            let (evals, starts, nanos) = remap_totals(&run);
+            json_approaches.push(format!(
+                concat!(
+                    "{{\"approach\": \"{}\", \"code_ratio\": {:.6}, ",
+                    "\"code_bits\": {}, \"remap_evaluations\": {}, ",
+                    "\"remap_starts_run\": {}, \"remap_search_nanos\": {}}}"
+                ),
+                a.label(),
+                ratio,
+                run.code_bits,
+                evals,
+                starts,
+                nanos
+            ));
         }
+        json_benchmarks.push(format!(
+            "    {{\"name\": \"{name}\", \"baseline_code_bits\": {}, \"approaches\": [\n      {}\n    ]}}",
+            base.code_bits,
+            json_approaches.join(",\n      ")
+        ));
         rows.push(row);
     }
     let mut avg_row = vec!["AVERAGE".to_string()];
@@ -49,4 +83,22 @@ fn main() {
         )
     );
     println!("\npaper shape: remapping ~1.07, select <= 1.01, O-spill ~0.96, coalesce ~0.98");
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"figure\": \"fig13\",").unwrap();
+    writeln!(
+        json,
+        "  \"remap_starts\": {}, \"remap_threads\": {},",
+        setup.remap_starts, setup.remap_threads
+    )
+    .unwrap();
+    writeln!(json, "  \"benchmarks\": [").unwrap();
+    writeln!(json, "{}", json_benchmarks.join(",\n")).unwrap();
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    match std::fs::write("results/fig13.json", &json) {
+        Ok(()) => eprintln!("wrote results/fig13.json"),
+        Err(e) => eprintln!("could not write results/fig13.json: {e}"),
+    }
 }

@@ -6,7 +6,7 @@ use dra_ir::Program;
 use dra_isa::{code_size_bits, IsaGeometry};
 use dra_regalloc::{
     coalesce_allocate_program, irc_allocate_program, ospill_allocate_program, remap_program,
-    AllocConfig, CoalesceConfig, OspillConfig, RemapConfig, SelectStrategy,
+    AllocConfig, CoalesceConfig, OspillConfig, RemapConfig, RemapStats, SelectStrategy,
 };
 use dra_sim::{simulate, LowEndConfig, SimResult};
 use dra_workloads::benchmark;
@@ -82,6 +82,11 @@ pub struct LowEndSetup {
     pub machine: LowEndConfig,
     /// Entry arguments for simulation.
     pub args: Vec<i64>,
+    /// Random restarts for the remapping search (the paper uses 1000).
+    pub remap_starts: u32,
+    /// Worker threads for the remapping restarts (`0` = one per CPU).
+    /// The search result is identical at any thread count.
+    pub remap_threads: usize,
 }
 
 impl Default for LowEndSetup {
@@ -92,7 +97,19 @@ impl Default for LowEndSetup {
             call_clobbers: vec![dra_ir::PReg(0), dra_ir::PReg(1)],
             machine: LowEndConfig::default(),
             args: vec![],
+            remap_starts: 1000,
+            remap_threads: 0,
         }
+    }
+}
+
+impl LowEndSetup {
+    /// The remapping configuration this setup implies.
+    pub fn remap_config(&self) -> RemapConfig {
+        let mut cfg = RemapConfig::new(self.diff);
+        cfg.starts = self.remap_starts;
+        cfg.threads = self.remap_threads;
+        cfg
     }
 }
 
@@ -121,6 +138,9 @@ pub struct LowEndRun {
     pub dcache_misses: u64,
     /// The program's result (must agree across approaches).
     pub ret_value: Option<i64>,
+    /// Per-function remapping-search statistics (empty for approaches that
+    /// never remap).
+    pub remap: Vec<RemapStats>,
     /// Dynamic block trace of the entry function (for decode round-trips).
     pub entry_trace: Vec<dra_ir::BlockId>,
     /// Per-(function, block) execution counts (profile feedback).
@@ -186,7 +206,9 @@ impl From<dra_sim::SimError> for PipelineError {
 /// Compile a named benchmark under `approach`.
 ///
 /// Returns the fully physical, differential-encoded (where applicable),
-/// decode-verified program plus the static `set_last_reg` count.
+/// decode-verified program plus the static `set_last_reg` count and the
+/// per-function remapping statistics (empty when the approach never
+/// remaps).
 ///
 /// # Errors
 ///
@@ -195,14 +217,17 @@ pub fn compile_benchmark(
     name: &str,
     approach: Approach,
     setup: &LowEndSetup,
-) -> Result<(Program, usize), PipelineError> {
+) -> Result<(Program, usize, Vec<RemapStats>), PipelineError> {
     let mut p = benchmark(name);
-    compile_program(&mut p, approach, setup)?;
+    let remap = compile_program(&mut p, approach, setup)?;
     let set_last_regs = p.count_insts(|i| i.is_set_last_reg());
-    Ok((p, set_last_regs))
+    Ok((p, set_last_regs, remap))
 }
 
 /// Compile an arbitrary program in place under `approach`.
+///
+/// Returns the per-function remapping-search statistics, in function
+/// order; empty for approaches that never remap.
 ///
 /// # Errors
 ///
@@ -211,7 +236,8 @@ pub fn compile_program(
     p: &mut Program,
     approach: Approach,
     setup: &LowEndSetup,
-) -> Result<(), PipelineError> {
+) -> Result<Vec<RemapStats>, PipelineError> {
+    let mut remap_stats: Vec<RemapStats> = Vec::new();
     match approach {
         Approach::Baseline => {
             let mut cfg = AllocConfig::baseline(setup.direct_regs);
@@ -224,8 +250,7 @@ pub fn compile_program(
             let mut cfg = AllocConfig::baseline(setup.diff.reg_n());
             cfg.call_clobbers = setup.call_clobbers.clone();
             irc_allocate_program(p, &cfg)?;
-            let remap_cfg = RemapConfig::new(setup.diff);
-            remap_program(p, &remap_cfg);
+            remap_stats = remap_program(p, &setup.remap_config());
         }
         Approach::Select => {
             let mut cfg = AllocConfig::differential(setup.diff);
@@ -233,7 +258,7 @@ pub fn compile_program(
             cfg.call_clobbers = setup.call_clobbers.clone();
             irc_allocate_program(p, &cfg)?;
             // Figure 4: remapping may always run after approach 2.
-            remap_program(p, &RemapConfig::new(setup.diff));
+            remap_stats = remap_program(p, &setup.remap_config());
         }
         Approach::OSpill => {
             let mut cfg = OspillConfig::new(setup.direct_regs);
@@ -245,7 +270,7 @@ pub fn compile_program(
             cfg.call_clobbers = setup.call_clobbers.clone();
             coalesce_allocate_program(p, &cfg)?;
             // Figure 4: remapping may always run after approach 3.
-            remap_program(p, &RemapConfig::new(setup.diff));
+            remap_stats = remap_program(p, &setup.remap_config());
         }
         Approach::Adaptive => {
             // Section 8.2: "we only need to enable differential encoding
@@ -265,12 +290,12 @@ pub fn compile_program(
                     let mut cfg = AllocConfig::differential(setup.diff);
                     cfg.call_clobbers = setup.call_clobbers.clone();
                     dra_regalloc::irc_allocate(f, &cfg)?;
-                    dra_regalloc::remap_function(f, &RemapConfig::new(setup.diff));
+                    remap_stats.push(dra_regalloc::remap_function(f, &setup.remap_config()));
                     dra_encoding::insert_set_last_reg(f, &enc);
                     dra_encoding::verify_function(f, &enc)?;
                 }
             }
-            return Ok(());
+            return Ok(remap_stats);
         }
     }
 
@@ -280,7 +305,7 @@ pub fn compile_program(
         insert_set_last_reg_program(p, &enc);
         verify_program(p, &enc)?;
     }
-    Ok(())
+    Ok(remap_stats)
 }
 
 /// Compile and simulate a benchmark; the full Figure 11–14 measurement.
@@ -293,11 +318,12 @@ pub fn compile_and_run(
     approach: Approach,
     setup: &LowEndSetup,
 ) -> Result<LowEndRun, PipelineError> {
-    let (program, set_last_regs) = compile_benchmark(name, approach, setup)?;
+    let (program, set_last_regs, remap) = compile_benchmark(name, approach, setup)?;
     let sim: SimResult = simulate(&program, &setup.machine, &setup.args)?;
     let geometry: IsaGeometry = setup.machine.geometry;
     Ok(LowEndRun {
         approach,
+        remap,
         spill_insts: program.count_insts(|i| i.is_spill()),
         set_last_regs,
         total_insts: program.num_insts(),

@@ -52,11 +52,12 @@ pub fn compile_and_run_profiled(
 
     let mut p = benchmark(name);
     apply_profile(&mut p, &profile_run.block_counts);
-    compile_program(&mut p, approach, setup)?;
+    let remap = compile_program(&mut p, approach, setup)?;
     let set_last_regs = p.count_insts(|i| i.is_set_last_reg());
     let sim = simulate(&p, &setup.machine, &setup.args)?;
     Ok(LowEndRun {
         approach,
+        remap,
         spill_insts: p.count_insts(|i| i.is_spill()),
         set_last_regs,
         total_insts: p.num_insts(),

@@ -193,10 +193,7 @@ pub fn class_accesses_ordered(
 ) -> Vec<u8> {
     inst.accesses_in(order)
         .into_iter()
-        .filter(|r| match r {
-            dra_ir::Reg::Virt(v) => f.vreg_class(*v) == class,
-            dra_ir::Reg::Phys(_) => class == RegClass::Int,
-        })
+        .filter(|&r| f.class_of(r) == class)
         .map(|r| r.expect_phys().number())
         .collect()
 }

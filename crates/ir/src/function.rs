@@ -86,6 +86,21 @@ impl Function {
         self.vreg_classes[v.index()]
     }
 
+    /// The register class of any operand, virtual or physical.
+    ///
+    /// This is the single source of truth for the convention that a bare
+    /// [`crate::PReg`] belongs to the **integer** class: the reproduction
+    /// keeps the integer and float register files disjoint with class-local
+    /// numbering, and float code is exercised through virtual registers.
+    /// Every class filter (graph construction, encoding, remapping) must go
+    /// through this method so they cannot diverge.
+    pub fn class_of(&self, r: Reg) -> RegClass {
+        match r {
+            Reg::Virt(v) => self.vreg_class(v),
+            Reg::Phys(_) => RegClass::Int,
+        }
+    }
+
     /// Recompute `succs`/`preds` for every block from the terminators.
     ///
     /// Must be called after any transformation that adds, removes, or

@@ -10,12 +10,42 @@
 //!   `O(RegN² · RegN!)` is tractable there), and
 //! * the paper's **greedy pairwise-swap descent** restarted from many
 //!   random initial register vectors (1000 in the paper) otherwise.
+//!
+//! # Incremental delta-cost evaluation
+//!
+//! Both searches move through permutation space one **transposition** at a
+//! time: the greedy descent considers pairwise swaps, and Heap's algorithm
+//! generates each successive permutation from the previous one by a single
+//! swap. A swap of the numbers held by nodes `x` and `y` can only change
+//! the violation status of edges incident to `x` or `y`, so a candidate is
+//! scored with [`AdjacencyIndex::swap_delta`] in `O(deg(x) + deg(y))`
+//! instead of re-walking the whole edge set (`O(E)`). Accumulated
+//! floating-point drift is shed by recomputing the exact cost once per
+//! descent (outside the swap loop) before results are compared.
+//!
+//! # Deterministic parallel restarts
+//!
+//! Restarts are independent, so they run on [`std::thread::scope`] threads
+//! ([`RemapConfig::threads`]). Each start's RNG stream is a pure function
+//! of `(seed, start index)` and the winner is the lowest-cost result with
+//! ties broken toward the **lowest start index**, so the chosen
+//! `(permutation, cost)` is bit-identical at any thread count, including
+//! the sequential `threads = 1` path. Only the work counters
+//! ([`RemapStats::starts_run`], [`RemapStats::evaluations`]) depend on
+//! scheduling, because every worker stops early once it holds a zero-cost
+//! vector.
 
-use dra_adjgraph::{build_preg_adjacency, AdjacencyGraph, DiffParams};
+use dra_adjgraph::{build_preg_adjacency, AdjacencyGraph, AdjacencyIndex, DiffParams};
 use dra_ir::{Function, PReg, Program, Reg, RegClass};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
+
+/// Improvement threshold for incrementally-maintained costs: deltas within
+/// this of zero are treated as "no change" so floating-point noise cannot
+/// masquerade as an improving swap (which could cycle the descent).
+const EPS: f64 = 1e-9;
 
 /// Configuration of the remapping search.
 #[derive(Clone, Debug)]
@@ -27,32 +57,45 @@ pub struct RemapConfig {
     /// Use exhaustive permutation search when `RegN <=` this bound.
     pub exhaustive_limit: u16,
     /// Number of random restarts for the greedy search (the paper uses
-    /// 1000).
+    /// 1000, which is the default).
     pub starts: u32,
     /// Registers that must keep their numbers (special-purpose registers,
     /// Section 9.2, or calling-convention anchors, Section 9.3).
     pub pinned: Vec<PReg>,
     /// RNG seed for the random restarts (reproducibility).
     pub seed: u64,
+    /// Worker threads for the greedy restarts; `0` means one per available
+    /// CPU. The search result is identical at any thread count.
+    pub threads: usize,
 }
 
 impl RemapConfig {
-    /// Defaults for the given parameters: exhaustive up to `RegN = 7`,
-    /// 128 greedy restarts, nothing pinned.
+    /// Defaults for the given parameters: exhaustive up to `RegN = 7`, the
+    /// paper's 1000 greedy restarts, nothing pinned, one worker thread per
+    /// CPU.
     pub fn new(params: DiffParams) -> Self {
         RemapConfig {
             params,
             class: RegClass::Int,
             exhaustive_limit: 7,
-            starts: 128,
+            starts: 1000,
             pinned: Vec::new(),
             seed: 0x5eed,
+            threads: 0,
         }
     }
 
-    /// Paper-fidelity restarts (1000 initial register vectors).
+    /// Paper-fidelity restarts (1000 initial register vectors). This is
+    /// the default; the method remains for call sites that want to state
+    /// the intent explicitly.
     pub fn with_paper_restarts(mut self) -> Self {
         self.starts = 1000;
+        self
+    }
+
+    /// Override the worker thread count (`0` = one per available CPU).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -66,6 +109,22 @@ pub struct RemapStats {
     pub cost_after: f64,
     /// Whether the exhaustive search was used.
     pub exhaustive: bool,
+    /// Candidate-swap evaluations performed (`swap_delta` calls). Depends
+    /// on thread scheduling when a zero-cost vector is found early.
+    pub evaluations: u64,
+    /// Greedy restarts actually executed (0 for exhaustive runs; may be
+    /// below `RemapConfig::starts` after a zero-cost early exit, and
+    /// depends on thread scheduling in that case).
+    pub starts_run: u32,
+    /// Wall-clock time of the whole remap (graph build + search), ns.
+    pub search_nanos: u64,
+}
+
+/// Work counters shared by both search strategies.
+#[derive(Clone, Copy, Debug, Default)]
+struct SearchCounters {
+    evaluations: u64,
+    starts_run: u32,
 }
 
 /// Remap the register numbers of an allocated function in place.
@@ -75,33 +134,46 @@ pub struct RemapStats {
 /// Panics if `f` still contains virtual registers of `cfg.class`, or uses
 /// physical numbers `>= RegN`.
 pub fn remap_function(f: &mut Function, cfg: &RemapConfig) -> RemapStats {
+    let t0 = Instant::now();
     let reg_n = cfg.params.reg_n();
     let g = build_preg_adjacency(f, cfg.class, reg_n);
     let identity: Vec<u8> = (0..reg_n as u8).collect();
     let cost_before = perm_cost(&g, &identity, cfg.params);
 
-    let (perm, cost_after, exhaustive) = if reg_n <= cfg.exhaustive_limit {
-        let (p, c) = exhaustive_search(&g, cfg);
-        (p, c, true)
+    // Already perfect — including the no-edges case, e.g. remapping the
+    // float class of integer-only code. Nothing to search or rewrite.
+    if cost_before == 0.0 {
+        return RemapStats {
+            cost_before: 0.0,
+            cost_after: 0.0,
+            exhaustive: false,
+            evaluations: 0,
+            starts_run: 0,
+            search_nanos: t0.elapsed().as_nanos() as u64,
+        };
+    }
+
+    let idx = g.index();
+    let (perm, cost_after, exhaustive, counters) = if reg_n <= cfg.exhaustive_limit {
+        let (p, c, n) = exhaustive_search(&g, &idx, cfg);
+        (p, c, true, n)
     } else {
-        let (p, c) = greedy_multistart(&g, cfg);
-        (p, c, false)
+        let (p, c, n) = greedy_multistart(&g, &idx, cfg);
+        (p, c, false, n)
     };
 
     // Keep the identity if the search could not improve on it.
-    if cost_after < cost_before {
+    let improved = cost_after < cost_before;
+    if improved {
         apply_permutation(f, &perm, cfg.class);
-        RemapStats {
-            cost_before,
-            cost_after,
-            exhaustive,
-        }
-    } else {
-        RemapStats {
-            cost_before,
-            cost_after: cost_before,
-            exhaustive,
-        }
+    }
+    RemapStats {
+        cost_before,
+        cost_after: if improved { cost_after } else { cost_before },
+        exhaustive,
+        evaluations: counters.evaluations,
+        starts_run: counters.starts_run,
+        search_nanos: t0.elapsed().as_nanos() as u64,
     }
 }
 
@@ -119,115 +191,241 @@ fn perm_cost(g: &AdjacencyGraph, rv: &[u8], params: DiffParams) -> f64 {
 }
 
 fn apply_permutation(f: &mut Function, rv: &[u8], class: RegClass) {
+    // Only physical operands are remapped, and `Function::class_of` — the
+    // central bare-PReg-is-integer convention — places every physical
+    // register in one class. When that class is not the one being
+    // remapped, the rewrite must be a complete no-op (e.g. a float-class
+    // remap of integer code).
+    if f.class_of(Reg::Phys(PReg(0))) != class {
+        return;
+    }
     f.map_all_regs(|r| match r {
-        Reg::Phys(p) if class == RegClass::Int => Reg::Phys(PReg(rv[p.index()])),
+        Reg::Phys(p) => Reg::Phys(PReg(rv[p.index()])),
         other => other,
     });
 }
 
-/// All permutations (Heap's algorithm) respecting pinned registers.
-fn exhaustive_search(g: &AdjacencyGraph, cfg: &RemapConfig) -> (Vec<u8>, f64) {
-    let reg_n = cfg.params.reg_n() as usize;
-    let pinned: Vec<bool> = {
-        let mut v = vec![false; reg_n];
-        for p in &cfg.pinned {
-            v[p.index()] = true;
-        }
-        v
-    };
-    // Permute only the free positions.
-    let free: Vec<usize> = (0..reg_n).filter(|&i| !pinned[i]).collect();
-    let mut best: Vec<u8> = (0..reg_n as u8).collect();
-    let mut best_cost = perm_cost(g, &best, cfg.params);
-
-    let mut order: Vec<usize> = free.clone();
-    permute(&mut order, 0, &mut |order| {
-        let mut rv: Vec<u8> = (0..reg_n as u8).collect();
-        for (i, &slot) in free.iter().enumerate() {
-            rv[slot] = order[i] as u8;
-        }
-        let c = perm_cost(g, &rv, cfg.params);
-        if c < best_cost {
-            best_cost = c;
-            best = rv;
-        }
-    });
-    (best, best_cost)
+/// The non-pinned register slots, in increasing order.
+fn free_slots(reg_n: usize, pinned_regs: &[PReg]) -> Vec<usize> {
+    let mut pinned = vec![false; reg_n];
+    for p in pinned_regs {
+        pinned[p.index()] = true;
+    }
+    (0..reg_n).filter(|&i| !pinned[i]).collect()
 }
 
-fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
-    if k == items.len() {
-        visit(items);
-        return;
+/// All permutations of the free slots via **iterative Heap's algorithm**,
+/// scoring each permutation incrementally: Heap's algorithm derives every
+/// successive permutation from its predecessor by one transposition, so
+/// each visit costs one [`AdjacencyIndex::swap_delta`] instead of a full
+/// cost evaluation. Exits early as soon as a zero-cost vector is found —
+/// no permutation can beat zero.
+fn exhaustive_search(
+    g: &AdjacencyGraph,
+    idx: &AdjacencyIndex,
+    cfg: &RemapConfig,
+) -> (Vec<u8>, f64, SearchCounters) {
+    let reg_n = cfg.params.reg_n() as usize;
+    let params = cfg.params;
+    let free = free_slots(reg_n, &cfg.pinned);
+    let mut counters = SearchCounters::default();
+
+    let mut rv: Vec<u8> = (0..reg_n as u8).collect();
+    let mut cost = perm_cost(g, &rv, params);
+    let mut best = rv.clone();
+    let mut best_cost = cost;
+
+    let n = free.len();
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n && best_cost > 0.0 {
+        if c[i] < i {
+            let p = if i % 2 == 0 { 0 } else { c[i] };
+            let (sa, sb) = (free[p], free[i]);
+            let delta = idx.swap_delta(&rv, sa as u32, sb as u32, params);
+            rv.swap(sa, sb);
+            cost += delta;
+            counters.evaluations += 1;
+            if cost < best_cost - EPS {
+                // The incremental cost carries rounding drift; settle the
+                // new champion's cost exactly before recording it.
+                let exact = perm_cost(g, &rv, params);
+                if exact < best_cost {
+                    best_cost = exact;
+                    best.copy_from_slice(&rv);
+                }
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
     }
-    for i in k..items.len() {
-        items.swap(k, i);
-        permute(items, k + 1, visit);
-        items.swap(k, i);
-    }
+    (best, best_cost, counters)
 }
 
-/// The paper's greedy algorithm (Figure 7): from each initial register
-/// vector, repeatedly apply the single pairwise swap with the biggest cost
-/// reduction until a local minimum; keep the best result over all starts.
-fn greedy_multistart(g: &AdjacencyGraph, cfg: &RemapConfig) -> (Vec<u8>, f64) {
+/// Outcome of one greedy descent.
+struct StartOutcome {
+    rv: Vec<u8>,
+    cost: f64,
+    evals: u64,
+}
+
+/// Derive the RNG seed of restart `start`: a pure function of
+/// `(seed, start)` (a SplitMix64 finalizer over the combined words), so
+/// any worker thread can regenerate any start's stream independently of
+/// how the starts are partitioned.
+fn start_seed(seed: u64, start: u32) -> u64 {
+    let mut z = seed ^ (u64::from(start) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The initial register vector of restart `start`: the identity for start
+/// 0 (the paper's initial RV), a seeded shuffle of the free values
+/// otherwise.
+fn start_vector(reg_n: usize, free: &[usize], seed: u64, start: u32) -> Vec<u8> {
+    let mut rv: Vec<u8> = (0..reg_n as u8).collect();
+    if start > 0 {
+        let mut rng = SmallRng::seed_from_u64(start_seed(seed, start));
+        let mut vals: Vec<u8> = free.iter().map(|&i| i as u8).collect();
+        vals.shuffle(&mut rng);
+        for (&slot, &v) in free.iter().zip(vals.iter()) {
+            rv[slot] = v;
+        }
+    }
+    rv
+}
+
+/// One greedy descent (the inner loop of the paper's Figure 7): repeatedly
+/// apply the single pairwise swap with the biggest cost reduction until a
+/// local minimum. Candidate swaps are scored **only** with
+/// [`AdjacencyIndex::swap_delta`]; the full cost is computed once before
+/// the loop and once after it (to shed incremental rounding drift).
+fn descend(
+    g: &AdjacencyGraph,
+    idx: &AdjacencyIndex,
+    free: &[usize],
+    params: DiffParams,
+    mut rv: Vec<u8>,
+) -> StartOutcome {
+    let mut cost = perm_cost(g, &rv, params);
+    let mut evals = 0u64;
+    while cost > EPS {
+        let mut best_swap: Option<(usize, usize, f64)> = None;
+        for a in 0..free.len() {
+            for b in a + 1..free.len() {
+                let d = idx.swap_delta(&rv, free[a] as u32, free[b] as u32, params);
+                evals += 1;
+                if d < -EPS && best_swap.is_none_or(|(_, _, bd)| d < bd) {
+                    best_swap = Some((free[a], free[b], d));
+                }
+            }
+        }
+        match best_swap {
+            Some((a, b, d)) => {
+                rv.swap(a, b);
+                cost += d;
+            }
+            None => break, // local minimum
+        }
+    }
+    let cost = perm_cost(g, &rv, params);
+    StartOutcome { rv, cost, evals }
+}
+
+/// The paper's greedy algorithm (Figure 7) over `cfg.starts` random
+/// restarts, run on up to `cfg.threads` scoped worker threads.
+///
+/// Each worker owns a contiguous range of start indices and reports its
+/// best `(cost, start, rv)`; the merge takes the lowest cost, breaking
+/// ties toward the lowest start index. Because every start's RNG stream
+/// depends only on `(cfg.seed, start)`, the winning `(rv, cost)` is
+/// bit-identical for any thread count. Workers stop early once they hold a
+/// zero-cost vector (later starts can at best tie, and ties lose to the
+/// earlier index), which is also why the counters — but not the result —
+/// vary with scheduling.
+fn greedy_multistart(
+    g: &AdjacencyGraph,
+    idx: &AdjacencyIndex,
+    cfg: &RemapConfig,
+) -> (Vec<u8>, f64, SearchCounters) {
     let reg_n = cfg.params.reg_n() as usize;
-    let pinned: Vec<bool> = {
-        let mut v = vec![false; reg_n];
-        for p in &cfg.pinned {
-            v[p.index()] = true;
+    let params = cfg.params;
+    let free = free_slots(reg_n, &cfg.pinned);
+
+    let starts = cfg.starts.max(1);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.threads
+    }
+    .min(starts as usize)
+    .max(1);
+
+    let run_range = |lo: u32, hi: u32| -> (Option<(f64, u32, Vec<u8>)>, SearchCounters) {
+        let mut counters = SearchCounters::default();
+        let mut best: Option<(f64, u32, Vec<u8>)> = None;
+        for start in lo..hi {
+            let rv0 = start_vector(reg_n, &free, cfg.seed, start);
+            let out = descend(g, idx, &free, params, rv0);
+            counters.evaluations += out.evals;
+            counters.starts_run += 1;
+            let better = best.as_ref().is_none_or(|(c, _, _)| out.cost < *c);
+            if better {
+                let done = out.cost == 0.0;
+                best = Some((out.cost, start, out.rv));
+                if done {
+                    break; // later starts can only tie, and ties lose
+                }
+            }
         }
-        v
+        (best, counters)
     };
-    let free: Vec<usize> = (0..reg_n).filter(|&i| !pinned[i]).collect();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
+    let chunk = starts.div_ceil(threads as u32);
+    let per_thread: Vec<(Option<(f64, u32, Vec<u8>)>, SearchCounters)> = if threads == 1 {
+        vec![run_range(0, starts)]
+    } else {
+        std::thread::scope(|s| {
+            let run_range = &run_range;
+            let handles: Vec<_> = (0..threads as u32)
+                .map(|t| {
+                    let lo = (t * chunk).min(starts);
+                    let hi = (lo + chunk).min(starts);
+                    s.spawn(move || run_range(lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("remap worker panicked"))
+                .collect()
+        })
+    };
+
+    // Identity baseline: the search result can never be worse than the
+    // allocator's own numbering. Per-thread winners are merged in start
+    // order with a strict-less comparison, so equal costs resolve to the
+    // lowest start index — the same winner the sequential loop picks.
     let mut best: Vec<u8> = (0..reg_n as u8).collect();
-    let mut best_cost = perm_cost(g, &best, cfg.params);
-
-    for start in 0..cfg.starts {
-        let mut rv: Vec<u8> = (0..reg_n as u8).collect();
-        if start > 0 {
-            // Start 0 is the identity (the paper's initial RV); the rest
-            // shuffle the free positions.
-            let mut vals: Vec<u8> = free.iter().map(|&i| i as u8).collect();
-            vals.shuffle(&mut rng);
-            for (&slot, &v) in free.iter().zip(vals.iter()) {
-                rv[slot] = v;
-            }
-        }
-        let mut cost = perm_cost(g, &rv, cfg.params);
-        loop {
-            let mut best_swap: Option<(usize, usize, f64)> = None;
-            for a in 0..free.len() {
-                for b in a + 1..free.len() {
-                    rv.swap(free[a], free[b]);
-                    let c = perm_cost(g, &rv, cfg.params);
-                    rv.swap(free[a], free[b]);
-                    if c < cost
-                        && best_swap.is_none_or(|(_, _, bc)| c < bc)
-                    {
-                        best_swap = Some((free[a], free[b], c));
-                    }
-                }
-            }
-            match best_swap {
-                Some((a, b, c)) => {
-                    rv.swap(a, b);
-                    cost = c;
-                }
-                None => break, // local minimum
-            }
-        }
+    let mut best_cost = perm_cost(g, &best, params);
+    let mut counters = SearchCounters::default();
+    let mut winners: Vec<(f64, u32, Vec<u8>)> = Vec::new();
+    for (winner, c) in per_thread {
+        counters.evaluations += c.evaluations;
+        counters.starts_run += c.starts_run;
+        winners.extend(winner);
+    }
+    winners.sort_by(|a, b| a.1.cmp(&b.1));
+    for (cost, _, rv) in winners {
         if cost < best_cost {
             best_cost = cost;
             best = rv;
         }
-        if best_cost == 0.0 {
-            break; // cannot improve further
-        }
     }
-    (best, best_cost)
+    (best, best_cost, counters)
 }
 
 #[cfg(test)]
@@ -357,6 +555,85 @@ mod tests {
             format!("{f}")
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn float_class_remap_is_complete_noop() {
+        // Regression: `apply_permutation` used to gate on the *configured*
+        // class in a way that never dispatched on the register's own
+        // class. A float-class remap of integer code must leave every
+        // operand untouched — physical registers belong to the integer
+        // class (`Function::class_of`).
+        let mut f = hoppy();
+        let before = f.clone();
+        let mut cfg = RemapConfig::new(DiffParams::new(4, 2));
+        cfg.class = RegClass::Float;
+        let stats = remap_function(&mut f, &cfg);
+        assert_eq!(f, before, "float remap rewrote integer registers");
+        assert_eq!(stats.cost_before, 0.0, "no float accesses, empty graph");
+        assert_eq!(stats.cost_after, 0.0);
+        assert_eq!(stats.evaluations, 0, "empty graph short-circuits");
+    }
+
+    #[test]
+    fn apply_permutation_dispatches_on_register_class() {
+        let mut f = hoppy();
+        let before = f.clone();
+        // Reversing permutation under the wrong class: no-op.
+        apply_permutation(&mut f, &[3, 2, 1, 0], RegClass::Float);
+        assert_eq!(f, before);
+        // Same permutation under the register's own class: applied.
+        apply_permutation(&mut f, &[3, 2, 1, 0], RegClass::Int);
+        assert_ne!(f, before);
+        let first = match f.blocks[0].insts[0] {
+            Inst::Mov { src, .. } => src.expect_phys(),
+            _ => unreachable!(),
+        };
+        assert_eq!(first, PReg(3), "r0 renumbered to rv[0] = 3");
+    }
+
+    #[test]
+    fn parallel_multistart_matches_sequential() {
+        // The determinism contract: identical (permutation, cost) at any
+        // thread count, including sequential.
+        let run = |threads: usize| {
+            let mut f = hoppy();
+            let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+            cfg.exhaustive_limit = 0;
+            cfg.starts = 64;
+            cfg.threads = threads;
+            let stats = remap_function(&mut f, &cfg);
+            (format!("{f}"), stats.cost_after.to_bits())
+        };
+        let sequential = run(1);
+        assert_eq!(run(2), sequential, "2 threads diverged");
+        assert_eq!(run(8), sequential, "8 threads diverged");
+    }
+
+    #[test]
+    fn greedy_counters_account_for_work() {
+        let mut f = hoppy();
+        let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+        cfg.exhaustive_limit = 0;
+        cfg.starts = 16;
+        cfg.threads = 1;
+        let stats = remap_function(&mut f, &cfg);
+        assert!(!stats.exhaustive);
+        assert!(stats.starts_run >= 1 && stats.starts_run <= 16);
+        // Every executed start sweeps all 66 free pairs at least once.
+        assert!(stats.evaluations >= 66 * u64::from(stats.starts_run));
+    }
+
+    #[test]
+    fn exhaustive_early_exits_on_zero_cost() {
+        let mut f = hoppy();
+        let stats = remap_function(&mut f, &RemapConfig::new(DiffParams::new(4, 2)));
+        assert!(stats.exhaustive);
+        assert_eq!(stats.cost_after, 0.0);
+        // Heap's over 4 free slots visits at most 4! - 1 = 23 transpositions;
+        // the zero-cost early exit must stop at (or before) the one that
+        // reaches a perfect vector.
+        assert!(stats.evaluations <= 23);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct PipelineConfig {
     pub max_ii: u32,
     /// Spill-iteration cap.
     pub max_spills: u32,
+    /// Worker threads for the kernel remapping restarts (`0` = one per
+    /// CPU; the result is identical at any thread count).
+    pub remap_threads: usize,
 }
 
 impl PipelineConfig {
@@ -46,6 +49,7 @@ impl PipelineConfig {
             mem_latency: 3,
             max_ii: 512,
             max_spills: 256,
+            remap_threads: 0,
         }
     }
 }
@@ -150,6 +154,7 @@ pub fn pipeline_loop(ddg: &LoopDdg, cfg: &PipelineConfig) -> Result<PipelinedLoo
         let params = DiffParams::new(cfg.reg_n, cfg.diff_n.min(cfg.reg_n));
         let mut remap_cfg = RemapConfig::new(params);
         remap_cfg.starts = 32; // kernels are small; a few restarts suffice
+        remap_cfg.threads = cfg.remap_threads;
         remap_function(&mut alloc.func, &remap_cfg);
         let enc = EncodingConfig::new(params);
         let stats = insert_set_last_reg(&mut alloc.func, &enc);

@@ -101,7 +101,7 @@ fn size_model_matches_assembler_on_compiled_benchmarks() {
     let geom = dra_isa::IsaGeometry::leaf16(3);
     let enc = EncodingConfig::new(setup.diff);
     for name in ["crc32", "qsort"] {
-        let (p, _) = compile_benchmark(name, Approach::Select, &setup).unwrap();
+        let (p, _, _) = compile_benchmark(name, Approach::Select, &setup).unwrap();
         for f in &p.funcs {
             let image = dra_encoding::assemble_function(f, &enc, &geom)
                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", f.name));

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!` —
+//! backed by a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery.
+//!
+//! Command-line behavior (mirrors criterion where it matters):
+//!
+//! * `--test` — run every benchmark body exactly once and report `ok`;
+//!   this is the CI smoke mode (`cargo bench --bench X -- --test`).
+//! * `--bench` (passed by cargo for `harness = false` targets) — ignored.
+//! * any bare argument — substring filter on benchmark names.
+//!
+//! Timings are reported as mean ± half-spread over `sample_size`
+//! samples, each sample auto-scaled to at least ~1 ms of work.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, reported only as a label).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Measured samples (seconds per iteration), filled by `iter`.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling iteration counts per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations reach ~1 ms per sample?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((1e-3 / once).ceil() as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark (criterion's minimum is 10; any
+    /// positive value is accepted here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness keeps samples
+    /// auto-scaled rather than time-budgeted.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record a throughput annotation (printed with the group).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        eprintln!("  (throughput: {t:?})");
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&name, sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Names acceptable where criterion takes `&str` or `BenchmarkId`.
+pub trait IntoBenchmarkName {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark harness driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply `--test` / filter arguments (called by `criterion_main!`).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo or users pass that this harness ignores.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with("--") => {}
+                a => self.filter = Some(a.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkName,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into_name();
+        let n = self.default_sample_size;
+        self.run_one(&name, n, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            sample_size,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::TestOnce
+            } else {
+                Mode::Measure
+            },
+            samples: Vec::new(),
+            sample_size,
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("test {name} ... ok");
+            return;
+        }
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<50} (no measurement)");
+            return;
+        }
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).into_name(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x-8").into_name(), "x-8");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            default_sample_size: 20,
+        };
+        let mut runs = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+            default_sample_size: 20,
+        };
+        let mut ran = Vec::new();
+        c.bench_function("keep-me", |b| b.iter(|| ran.push("keep")));
+        c.bench_function("drop-me", |b| b.iter(|| ran.push("drop")));
+        assert_eq!(ran, vec!["keep"]);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("add", 1), &21u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,779 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the subset of the proptest 1.x API its tests use:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_filter` / `prop_flat_map`,
+//! * range strategies (`0..8u8`, `1usize..=3`, `0.0f64..0.35`),
+//! * [`any`] for primitives, [`Just`], [`prop_oneof!`],
+//!   [`collection::vec`], tuple strategies up to arity 12,
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded by the
+//! test's name), so failures reproduce exactly. **No shrinking** is
+//! performed: a failing case panics with the generated inputs' `Debug`
+//! rendering. That keeps the stand-in a few hundred lines while
+//! preserving the property-test discipline the suites rely on.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Deterministic generator backing all strategies (SplitMix64-fed
+/// xorshift; quality is ample for test-case generation).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor; the `proptest!` runner derives the seed from
+    /// the test name so different tests explore different streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a single generated case ended.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!`; generate another.
+    Reject(String),
+    /// An assertion failed; the property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type the bodies of `proptest!` tests produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// A generator of values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O + 'static>(
+        self,
+        f: F,
+    ) -> Map<Self, O>
+    where
+        Self: Sized + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Keep only values satisfying `pred` (resamples up to a bound).
+    fn prop_filter<F: Fn(&Self::Value) -> bool + 'static>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self>
+    where
+        Self: Sized + 'static,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred: Rc::new(pred),
+        }
+    }
+
+    /// Generate with a strategy derived from each value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2 + 'static>(
+        self,
+        f: F,
+    ) -> FlatMap<Self, S2>
+    where
+        Self: Sized + 'static,
+    {
+        FlatMap {
+            inner: self,
+            f: Rc::new(f),
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S: Strategy, O> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> O>,
+}
+
+impl<S: Strategy, O> Clone for Map<S, O> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, O: fmt::Debug> Strategy for Map<S, O> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+pub struct Filter<S: Strategy> {
+    inner: S,
+    whence: &'static str,
+    pred: Rc<dyn Fn(&S::Value) -> bool>,
+}
+
+impl<S: Strategy> Clone for Filter<S> {
+    fn clone(&self) -> Self {
+        Filter {
+            inner: self.inner.clone(),
+            whence: self.whence,
+            pred: Rc::clone(&self.pred),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 10000 samples in a row", self.whence);
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S: Strategy, S2> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> S2>,
+}
+
+impl<S: Strategy, S2> Clone for FlatMap<S, S2> {
+    fn clone(&self) -> Self {
+        FlatMap {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, S2: Strategy> Strategy for FlatMap<S, S2> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Strategy producing one constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for [`Arbitrary`] types ([`any`]).
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+
+    /// Sizes acceptable to [`vec`]: an exact length or a length range.
+    pub trait IntoSizeRange: Clone {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo) as u64 + 1) as usize
+        }
+    }
+
+    /// Strategy for vectors of `element` values with a length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy (`proptest::collection::vec(elem, 1..8)`).
+    pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+/// One arm of `prop_oneof!`: boxes a strategy for the union.
+#[doc(hidden)]
+pub fn __oneof_arm<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    s.boxed()
+}
+
+/// Uniform choice among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::__oneof_arm($arm)),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+}
+
+/// Reject the current case (resample) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a).
+#[doc(hidden)]
+pub fn __seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run one property: generate cases until `config.cases` succeed, panic
+/// on the first failure with the inputs' `Debug` rendering.
+#[doc(hidden)]
+pub fn __run_property<I: fmt::Debug>(
+    name: &str,
+    config: &ProptestConfig,
+    mut generate: impl FnMut(&mut TestRng) -> I,
+    mut run: impl FnMut(&I) -> TestCaseResult,
+) {
+    let mut rng = TestRng::seed_from_u64(__seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let input = generate(&mut rng);
+        match run(&input) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{name}: gave up after {rejected} prop_assume! rejections \
+                         ({passed}/{} cases passed)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {passed} passing case(s)\n\
+                     {msg}\ninput: {input:#?}"
+                );
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn` runs its body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!{ config = $config; $($rest)* }
+    };
+    // Without one.
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        // The user writes `#[test]` inside the macro invocation (that is
+        // proptest's convention), so it arrives via `$meta` — don't add
+        // a second one.
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategies = ( $($strat,)+ );
+            $crate::__run_property(
+                stringify!($name),
+                &__config,
+                |__rng| $crate::Strategy::generate(&__strategies, __rng),
+                |__input| {
+                    let ( $($pat,)+ ) = ::core::clone::Clone::clone(__input);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!{ config = $config; $($rest)* }
+    };
+}
+
+pub mod strategy {
+    //! Re-exports mirroring proptest's module layout.
+    pub use crate::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod test_runner {
+    //! Re-exports mirroring proptest's module layout.
+    pub use crate::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+}
+
+/// The `prop` facade module (`prop::collection::vec` etc.).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Everything a test file needs (`use proptest::prelude::*`).
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+        prop_oneof, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = (3..9u8).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+            let f = (0.25f64..0.5).generate(&mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let n = (-10i32..-2).generate(&mut rng);
+            assert!((-10..-2).contains(&n));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = (0..5u8, 0..5u8).prop_map(|(a, b)| (a as u16) + (b as u16));
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) <= 8);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = crate::collection::vec(0..10u8, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(any::<bool>(), 7usize);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn filter_discards_unwanted() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = (0..100u8).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen_all = |seed| {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let s = crate::collection::vec(0..1000u32, 5..20);
+            (0..10).map(|_| s.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen_all(7), gen_all(7));
+        assert_ne!(gen_all(7), gen_all(8));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_binds_and_asserts(a in 0..50u8, b in 0..50u8) {
+            let s = a as u16 + b as u16;
+            prop_assert!(s < 100, "sum {s} out of range");
+            prop_assert_eq!(s, b as u16 + a as u16);
+        }
+
+        /// Tuple patterns destructure generated values.
+        #[test]
+        fn macro_tuple_pattern((x, y) in (0..10u8, 10..20u8)) {
+            prop_assert!(x < y);
+        }
+
+        /// Assume rejects without failing.
+        #[test]
+        fn macro_assume_filters(v in 0..100u32) {
+            prop_assume!(v % 3 == 0);
+            prop_assert_eq!(v % 3, 0);
+        }
+    }
+}
