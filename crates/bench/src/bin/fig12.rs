@@ -4,20 +4,25 @@
 //! Paper averages: remapping 10.41%, select 4.21%, coalesce 3.04%. Shape:
 //! the post-pass pays by far the most; coalesce edges out select.
 
-use dra_bench::{average, render_table};
-use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
+use dra_bench::{average, batch_threads, render_table};
+use dra_core::batch::run_lowend_matrix;
+use dra_core::lowend::{Approach, LowEndSetup};
 use dra_workloads::benchmark_names;
 
 fn main() {
-    let setup = LowEndSetup::default();
+    let mut setup = LowEndSetup::default();
+    setup.batch_threads = batch_threads();
     let approaches = [Approach::Remapping, Approach::Select, Approach::Coalesce];
+    let names = benchmark_names();
+    let matrix = run_lowend_matrix(&names, &approaches, &setup);
+
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); approaches.len()];
-
-    for name in benchmark_names() {
+    for (name, runs) in names.iter().zip(&matrix) {
         let mut row = vec![name.to_string()];
-        for (ai, &a) in approaches.iter().enumerate() {
-            let run = compile_and_run(name, a, &setup)
+        for (ai, (&a, run)) in approaches.iter().zip(runs).enumerate() {
+            let run = run
+                .as_ref()
                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", a.label()));
             let p = run.cost_percent();
             columns[ai].push(p);

@@ -9,8 +9,9 @@
 //! evaluations, restarts executed, search wall-clock) so tooling can track
 //! the search cost alongside the code-size outcome.
 
-use dra_bench::{average, render_table};
-use dra_core::lowend::{compile_and_run, Approach, LowEndRun, LowEndSetup};
+use dra_bench::{average, batch_threads, render_table};
+use dra_core::batch::run_lowend_matrix;
+use dra_core::lowend::{Approach, LowEndRun, LowEndSetup};
 use dra_workloads::benchmark_names;
 use std::fmt::Write as _;
 
@@ -22,29 +23,40 @@ fn remap_totals(run: &LowEndRun) -> (u64, u32, u64) {
 }
 
 fn main() {
-    let setup = LowEndSetup::default();
+    let mut setup = LowEndSetup::default();
+    setup.batch_threads = batch_threads();
     let others = [
         Approach::Remapping,
         Approach::Select,
         Approach::OSpill,
         Approach::Coalesce,
     ];
+    // Column 0 is the baseline the ratios divide by.
+    let approaches = [Approach::Baseline]
+        .iter()
+        .chain(&others)
+        .copied()
+        .collect::<Vec<_>>();
+    let names = benchmark_names();
+    let matrix = run_lowend_matrix(&names, &approaches, &setup);
+
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); others.len()];
     let mut json_benchmarks = Vec::new();
-
-    for name in benchmark_names() {
-        let base = compile_and_run(name, Approach::Baseline, &setup)
+    for (name, runs) in names.iter().zip(&matrix) {
+        let base = runs[0]
+            .as_ref()
             .unwrap_or_else(|e| panic!("{name}/baseline: {e}"));
         let mut row = vec![name.to_string()];
         let mut json_approaches = Vec::new();
-        for (ai, &a) in others.iter().enumerate() {
-            let run = compile_and_run(name, a, &setup)
+        for (ai, (&a, run)) in others.iter().zip(&runs[1..]).enumerate() {
+            let run = run
+                .as_ref()
                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", a.label()));
             let ratio = run.code_bits as f64 / base.code_bits as f64;
             columns[ai].push(ratio);
             row.push(format!("{ratio:.3}"));
-            let (evals, starts, nanos) = remap_totals(&run);
+            let (evals, starts, nanos) = remap_totals(run);
             json_approaches.push(format!(
                 concat!(
                     "{{\"approach\": \"{}\", \"code_ratio\": {:.6}, ",

@@ -4,27 +4,38 @@
 //! 4.1%. Shape: coalesce best, select close behind, remapping and O-spill
 //! modest (remapping's wins are eaten by its `set_last_reg`s).
 
-use dra_bench::{average, render_table};
-use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
+use dra_bench::{average, batch_threads, render_table};
+use dra_core::batch::run_lowend_matrix;
+use dra_core::lowend::{Approach, LowEndSetup};
 use dra_workloads::benchmark_names;
 
 fn main() {
-    let setup = LowEndSetup::default();
+    let mut setup = LowEndSetup::default();
+    setup.batch_threads = batch_threads();
     let others = [
         Approach::Remapping,
         Approach::Select,
         Approach::OSpill,
         Approach::Coalesce,
     ];
+    let approaches = [Approach::Baseline]
+        .iter()
+        .chain(&others)
+        .copied()
+        .collect::<Vec<_>>();
+    let names = benchmark_names();
+    let matrix = run_lowend_matrix(&names, &approaches, &setup);
+
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); others.len()];
-
-    for name in benchmark_names() {
-        let base = compile_and_run(name, Approach::Baseline, &setup)
+    for (name, runs) in names.iter().zip(&matrix) {
+        let base = runs[0]
+            .as_ref()
             .unwrap_or_else(|e| panic!("{name}/baseline: {e}"));
         let mut row = vec![name.to_string()];
-        for (ai, &a) in others.iter().enumerate() {
-            let run = compile_and_run(name, a, &setup)
+        for (ai, (&a, run)) in others.iter().zip(&runs[1..]).enumerate() {
+            let run = run
+                .as_ref()
                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", a.label()));
             assert_eq!(
                 run.ret_value, base.ret_value,

@@ -7,7 +7,7 @@
 //! binary grows at most ~1.13% because the optimized loops are a small
 //! slice of the code.
 
-use dra_bench::{pct, render_table, suite_size};
+use dra_bench::{batch_threads, pct, render_table, suite_size};
 use dra_core::highend::{run_highend_sweep, HighEndSetup};
 use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
 
@@ -20,7 +20,7 @@ fn main() {
     });
 
     eprintln!("pipelining the RegN sweep (this is the long part)…");
-    let sweep = run_highend_sweep(&suite, &[32, 40, 48, 56, 64]);
+    let sweep = run_highend_sweep(&suite, &[32, 40, 48, 56, 64], batch_threads());
     let base = &sweep[0];
 
     let mut rows = vec![vec![

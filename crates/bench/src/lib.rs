@@ -15,7 +15,9 @@
 //!
 //! Run with `cargo run -p dra-bench --release --bin <name>`. The loop-suite
 //! binaries honor `DRA_LOOPS=<n>` to shrink the 1928-loop suite for quick
-//! runs.
+//! runs, and every binary honors `DRA_THREADS=<n>` to pin the batch
+//! driver's worker count (`0`/unset = one per CPU); results are identical
+//! at any thread count.
 
 use std::fmt::Write as _;
 
@@ -65,6 +67,15 @@ pub fn suite_size() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1928)
+}
+
+/// Batch-driver worker count: `DRA_THREADS` env override, defaulting to
+/// `0` (one worker per CPU).
+pub fn batch_threads() -> usize {
+    std::env::var("DRA_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Format a percentage with sign, e.g. `+1.13%` / `-4.00%`.

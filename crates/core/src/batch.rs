@@ -1,0 +1,321 @@
+//! Deterministic parallel batch driver for the figure/table pipelines.
+//!
+//! Every evaluation binary runs the same shape of work: a matrix of
+//! independent (benchmark, approach) or (loop, sweep-point) cells, each a
+//! full compile→encode→verify→simulate pipeline. The cells share nothing
+//! mutable, so they parallelize trivially — the only care required is
+//! determinism, and this module follows the remapping search's rule
+//! (`RemapConfig::threads`): **output is a pure function of the input,
+//! never of the schedule**.
+//!
+//! * [`run_batch`] executes a closure over an item slice on
+//!   [`std::thread::scope`] workers. Items are claimed from a shared
+//!   atomic counter (work-stealing, so a slow cell does not idle the other
+//!   workers) and every result is written back to its item's *index slot*;
+//!   the returned `Vec` is in item order for any thread count, including
+//!   the sequential `threads = 1` path, which runs in the caller's thread.
+//! * [`SourceCache`] memoizes per-benchmark *source artifacts*: the parsed
+//!   [`Program`] and each function's register pressure (MAXLIVE). Each
+//!   benchmark is parsed and analyzed once per process no matter how many
+//!   approaches or sweep points consume it; the `Adaptive` approach's
+//!   per-function liveness pass is served from the cache.
+//! * [`run_lowend_matrix`] combines the two: the full
+//!   benchmarks × approaches grid of Figures 11–14 in one call, with the
+//!   thread count taken from [`LowEndSetup::batch_threads`].
+//!
+//! The per-cell pipelines are themselves deterministic (the remapping
+//! search is bit-identical at any `remap_threads`), so a whole matrix is
+//! reproducible bit-for-bit at any `batch_threads`.
+
+use crate::lowend::{
+    compile_program_with, Approach, LowEndRun, LowEndSetup, PipelineError,
+};
+use dra_ir::{Liveness, Program};
+use dra_isa::{code_size_bits, IsaGeometry};
+use dra_sim::{simulate, SimResult};
+use dra_workloads::benchmark;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Resolve a `0 = one per CPU` thread knob against the machine.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Run `f` over every item on `threads` scoped workers, returning results
+/// in item order.
+///
+/// Workers claim indices from a shared atomic counter and tag each result
+/// with its index; the merge scatters results back into index order, so
+/// the output is identical for any `threads` (0 = one per CPU). `f` must
+/// be deterministic per `(index, item)` for that to extend to the values
+/// themselves.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn run_batch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+/// Everything derivable from a benchmark's *source* (pre-allocation)
+/// form, shared across the approaches that compile it.
+#[derive(Clone, Debug)]
+pub struct SourceArtifacts {
+    /// The parsed, still-virtual program.
+    pub program: Program,
+    /// Per-function MAXLIVE (the `Adaptive` enablement test), in
+    /// `program.funcs` order.
+    pub pressures: Vec<usize>,
+}
+
+impl SourceArtifacts {
+    /// Parse and analyze one benchmark.
+    pub fn analyze(name: &str) -> SourceArtifacts {
+        let program = benchmark(name);
+        let pressures = program
+            .funcs
+            .iter()
+            .map(|f| Liveness::compute(f).max_pressure(f))
+            .collect();
+        SourceArtifacts { program, pressures }
+    }
+}
+
+/// A thread-safe memo of [`SourceArtifacts`] keyed by benchmark name.
+///
+/// Every figure pipeline compiles each benchmark under several approaches;
+/// the parse and the liveness analysis of the virgin program depend only
+/// on the name, so they are computed once and shared (`Arc`) with all
+/// consumers. Safe to use from [`run_batch`] workers.
+#[derive(Default)]
+pub struct SourceCache {
+    entries: Mutex<HashMap<String, Arc<SourceArtifacts>>>,
+}
+
+impl SourceCache {
+    /// An empty cache.
+    pub fn new() -> SourceCache {
+        SourceCache::default()
+    }
+
+    /// The artifacts for `name`, computing them on first request.
+    ///
+    /// The analysis runs outside the lock; if two workers race on the
+    /// same benchmark the first inserted result wins and the duplicate is
+    /// dropped, so every consumer sees the same `Arc`.
+    pub fn get(&self, name: &str) -> Arc<SourceArtifacts> {
+        if let Some(a) = self.entries.lock().unwrap().get(name) {
+            return Arc::clone(a);
+        }
+        let computed = Arc::new(SourceArtifacts::analyze(name));
+        Arc::clone(
+            self.entries
+                .lock()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert(computed),
+        )
+    }
+
+    /// Number of memoized benchmarks.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+}
+
+/// [`crate::lowend::compile_and_run`] served from a [`SourceCache`]: the
+/// benchmark is cloned out of the cache instead of re-parsed, and the
+/// `Adaptive` approach reuses the memoized pressures.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_and_run_cached(
+    cache: &SourceCache,
+    name: &str,
+    approach: Approach,
+    setup: &LowEndSetup,
+) -> Result<LowEndRun, PipelineError> {
+    let src = cache.get(name);
+    let mut program = src.program.clone();
+    let remap = compile_program_with(&mut program, approach, setup, Some(&src.pressures))?;
+    let set_last_regs = program.count_insts(|i| i.is_set_last_reg());
+    let sim: SimResult = simulate(&program, &setup.machine, &setup.args)?;
+    let geometry: IsaGeometry = setup.machine.geometry;
+    Ok(LowEndRun {
+        approach,
+        remap,
+        spill_insts: program.count_insts(|i| i.is_spill()),
+        set_last_regs,
+        total_insts: program.num_insts(),
+        code_bits: code_size_bits(&program, &geometry),
+        cycles: sim.cycles,
+        dynamic_spills: sim.spill_accesses,
+        dynamic_set_last_regs: sim.set_last_regs,
+        icache_misses: sim.icache_misses,
+        dcache_misses: sim.dcache_misses,
+        ret_value: sim.ret_value,
+        entry_trace: sim.entry_trace,
+        block_counts: sim.block_counts,
+        program,
+    })
+}
+
+/// Run the full benchmarks × approaches grid in parallel
+/// ([`LowEndSetup::batch_threads`] workers), sharing one [`SourceCache`].
+///
+/// Returns `matrix[bi][ai]` = the run of `names[bi]` under
+/// `approaches[ai]`, bit-identical at any thread count.
+pub fn run_lowend_matrix(
+    names: &[&str],
+    approaches: &[Approach],
+    setup: &LowEndSetup,
+) -> Vec<Vec<Result<LowEndRun, PipelineError>>> {
+    let cache = SourceCache::new();
+    let cells: Vec<(usize, usize)> = (0..names.len())
+        .flat_map(|bi| (0..approaches.len()).map(move |ai| (bi, ai)))
+        .collect();
+    let flat = run_batch(&cells, setup.batch_threads, |_, &(bi, ai)| {
+        compile_and_run_cached(&cache, names[bi], approaches[ai], setup)
+    });
+    let mut matrix: Vec<Vec<Result<LowEndRun, PipelineError>>> =
+        (0..names.len()).map(|_| Vec::new()).collect();
+    for ((bi, _), run) in cells.into_iter().zip(flat) {
+        matrix[bi].push(run);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowend::compile_and_run;
+
+    /// Zero the remap work counters (`evaluations`, `starts_run`,
+    /// `search_nanos`): they measure wall-clock and scheduling, not the
+    /// compilation result, so two otherwise-identical runs differ there.
+    fn normalized(mut r: LowEndRun) -> LowEndRun {
+        for st in &mut r.remap {
+            st.evaluations = 0;
+            st.starts_run = 0;
+            st.search_nanos = 0;
+        }
+        r
+    }
+
+    #[test]
+    fn run_batch_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = run_batch(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_batch_handles_empty_and_tiny_inputs() {
+        let empty: [u32; 0] = [];
+        assert!(run_batch(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(run_batch(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn cache_memoizes_and_shares() {
+        let cache = SourceCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get("crc32");
+        let b = cache.get("crc32");
+        assert!(Arc::ptr_eq(&a, &b), "second get hits the memo");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.pressures.len(), a.program.funcs.len());
+    }
+
+    #[test]
+    fn cached_run_matches_direct_pipeline() {
+        let setup = LowEndSetup::default();
+        let cache = SourceCache::new();
+        for approach in [Approach::Baseline, Approach::Select, Approach::Adaptive] {
+            let direct = normalized(compile_and_run("crc32", approach, &setup).unwrap());
+            let cached =
+                normalized(compile_and_run_cached(&cache, "crc32", approach, &setup).unwrap());
+            assert_eq!(direct, cached, "{} diverged", approach.label());
+        }
+    }
+
+    #[test]
+    fn matrix_matches_serial_runs() {
+        let setup = LowEndSetup::default();
+        let names = ["crc32", "bitcount"];
+        let approaches = [Approach::Baseline, Approach::Coalesce];
+        let matrix = run_lowend_matrix(&names, &approaches, &setup);
+        assert_eq!(matrix.len(), names.len());
+        for (bi, name) in names.iter().enumerate() {
+            assert_eq!(matrix[bi].len(), approaches.len());
+            for (ai, &a) in approaches.iter().enumerate() {
+                let direct = normalized(compile_and_run(name, a, &setup).unwrap());
+                let batched = normalized(matrix[bi][ai].as_ref().unwrap().clone());
+                assert_eq!(direct, batched, "{name}/{} diverged", a.label());
+            }
+        }
+    }
+}

@@ -16,6 +16,10 @@ pub struct HighEndSetup {
     pub loop_code_fraction: f64,
     /// Bytes per VLIW instruction word (LEAF32).
     pub inst_bytes: u64,
+    /// Worker threads for pipelining the suite's loops in parallel
+    /// (`0` = one per CPU). Loops are independent; the aggregate is
+    /// identical at any thread count.
+    pub batch_threads: usize,
 }
 
 impl HighEndSetup {
@@ -26,6 +30,7 @@ impl HighEndSetup {
             loop_time_fraction: 0.8,
             loop_code_fraction: 0.10,
             inst_bytes: 4,
+            batch_threads: 0,
         }
     }
 }
@@ -96,17 +101,37 @@ impl HighEndAggregate {
 /// comparing sweep points, prefer [`run_highend_sweep`], which restricts
 /// every point to the common set so cycle totals are comparable.
 pub fn run_highend_suite(suite: &[SuiteLoop], setup: &HighEndSetup) -> HighEndAggregate {
-    let results: Vec<Option<PipelinedLoop>> = pipeline_all(suite, setup.reg_n);
+    let results: Vec<Option<PipelinedLoop>> =
+        pipeline_all(suite, setup.reg_n, setup.batch_threads);
     aggregate(setup.reg_n, &results, &|i| results[i].is_some())
 }
 
 /// Run the whole `reg_ns` sweep over one suite, aggregating each point
 /// over the loops that pipelined successfully at **every** point, so the
 /// cycle/spill/code totals are directly comparable.
-pub fn run_highend_sweep(suite: &[SuiteLoop], reg_ns: &[u16]) -> Vec<HighEndAggregate> {
+///
+/// `threads` workers pipeline the whole (sweep point × loop) grid
+/// ([`crate::batch::run_batch`]; `0` = one per CPU); the aggregates are
+/// identical at any thread count.
+pub fn run_highend_sweep(
+    suite: &[SuiteLoop],
+    reg_ns: &[u16],
+    threads: usize,
+) -> Vec<HighEndAggregate> {
+    // One flat batch over every (point, loop) cell keeps all workers busy
+    // even when one sweep point dominates the cost.
+    let cells: Vec<(u16, usize)> = reg_ns
+        .iter()
+        .flat_map(|&r| (0..suite.len()).map(move |i| (r, i)))
+        .collect();
+    let mut flat = crate::batch::run_batch(&cells, threads, |_, &(reg_n, i)| {
+        let cfg = PipelineConfig::highend(reg_n);
+        pipeline_loop(&suite[i].ddg, &cfg).ok()
+    })
+    .into_iter();
     let per_point: Vec<Vec<Option<PipelinedLoop>>> = reg_ns
         .iter()
-        .map(|&r| pipeline_all(suite, r))
+        .map(|_| (0..suite.len()).map(|_| flat.next().expect("cell")).collect())
         .collect();
     let common = |i: usize| per_point.iter().all(|v| v[i].is_some());
     reg_ns
@@ -116,12 +141,9 @@ pub fn run_highend_sweep(suite: &[SuiteLoop], reg_ns: &[u16]) -> Vec<HighEndAggr
         .collect()
 }
 
-fn pipeline_all(suite: &[SuiteLoop], reg_n: u16) -> Vec<Option<PipelinedLoop>> {
+fn pipeline_all(suite: &[SuiteLoop], reg_n: u16, threads: usize) -> Vec<Option<PipelinedLoop>> {
     let cfg = PipelineConfig::highend(reg_n);
-    suite
-        .iter()
-        .map(|l| pipeline_loop(&l.ddg, &cfg).ok())
-        .collect()
+    crate::batch::run_batch(suite, threads, |_, l| pipeline_loop(&l.ddg, &cfg).ok())
 }
 
 fn aggregate(

@@ -25,10 +25,12 @@
 //! assert!(coal.spill_insts <= base.spill_insts);
 //! ```
 
+pub mod batch;
 pub mod highend;
 pub mod lowend;
 pub mod profile;
 
+pub use batch::{compile_and_run_cached, run_batch, run_lowend_matrix, SourceCache};
 pub use highend::{run_highend_suite, run_highend_sweep, HighEndAggregate, HighEndSetup};
 pub use lowend::{compile_and_run, compile_benchmark, Approach, LowEndRun, LowEndSetup};
 pub use profile::{apply_profile, compile_and_run_profiled};

@@ -87,6 +87,10 @@ pub struct LowEndSetup {
     /// Worker threads for the remapping restarts (`0` = one per CPU).
     /// The search result is identical at any thread count.
     pub remap_threads: usize,
+    /// Worker threads for the batch driver ([`crate::batch`]) when running
+    /// many (benchmark, approach) cells (`0` = one per CPU). Like
+    /// `remap_threads`, results are identical at any thread count.
+    pub batch_threads: usize,
 }
 
 impl Default for LowEndSetup {
@@ -99,6 +103,7 @@ impl Default for LowEndSetup {
             args: vec![],
             remap_starts: 1000,
             remap_threads: 0,
+            batch_threads: 0,
         }
     }
 }
@@ -237,6 +242,25 @@ pub fn compile_program(
     approach: Approach,
     setup: &LowEndSetup,
 ) -> Result<Vec<RemapStats>, PipelineError> {
+    compile_program_with(p, approach, setup, None)
+}
+
+/// [`compile_program`] with optionally precomputed per-function register
+/// pressures (MAXLIVE, in `p.funcs` order).
+///
+/// Only the `Adaptive` approach consults pressure; passing a memoized
+/// slice (see [`crate::batch::SourceCache`]) skips its per-function
+/// liveness recomputation. `None` computes pressures on demand.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_program_with(
+    p: &mut Program,
+    approach: Approach,
+    setup: &LowEndSetup,
+    pressures: Option<&[usize]>,
+) -> Result<Vec<RemapStats>, PipelineError> {
     let mut remap_stats: Vec<RemapStats> = Vec::new();
     match approach {
         Approach::Baseline => {
@@ -280,8 +304,11 @@ pub fn compile_program(
             // all); the pressured ones get the full differential-select
             // treatment.
             let enc = EncodingConfig::new(setup.diff);
-            for f in &mut p.funcs {
-                let pressure = dra_ir::Liveness::compute(f).max_pressure(f);
+            for (fi, f) in p.funcs.iter_mut().enumerate() {
+                let pressure = match pressures {
+                    Some(ps) => ps[fi],
+                    None => dra_ir::Liveness::compute(f).max_pressure(f),
+                };
                 if pressure <= setup.direct_regs as usize {
                     let mut cfg = AllocConfig::baseline(setup.direct_regs);
                     cfg.call_clobbers = setup.call_clobbers.clone();

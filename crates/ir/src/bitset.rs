@@ -1,4 +1,6 @@
-//! A dense fixed-capacity bit set used by the dataflow analyses.
+//! Dense fixed-capacity bit containers used by the dataflow analyses and
+//! the interference graph: a word-packed [`BitSet`] and a triangular
+//! symmetric [`BitMatrix`].
 
 /// A dense bit set over `0..capacity`.
 ///
@@ -85,6 +87,19 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Overwrite `self` with the contents of `other` without reallocating.
+    ///
+    /// The scratch-buffer primitive of the worklist dataflow: capacities
+    /// must match so the word vectors can be copied directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Number of elements in the set.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -109,6 +124,74 @@ impl BitSet {
                 }
             })
         })
+    }
+}
+
+/// A symmetric boolean matrix over `0..n`, stored as the lower triangle
+/// (diagonal included) packed into `u64` words.
+///
+/// This is the interference-graph membership structure: `set`/`contains`
+/// are O(1) word operations, the whole matrix costs `n(n+1)/2` bits —
+/// `n = 1024` fits in 64 KiB — and, unlike a hash set of pairs, queries
+/// touch exactly one cache line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl BitMatrix {
+    /// An empty symmetric relation over `0..n`.
+    pub fn new(n: usize) -> Self {
+        let bits = n * (n + 1) / 2;
+        BitMatrix {
+            words: vec![0; bits.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// Number of rows/columns.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Bit index of the unordered pair `(a, b)` in the lower triangle.
+    #[inline]
+    fn bit(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < self.n && b < self.n, "pair ({a},{b}) out of {}", self.n);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        hi * (hi + 1) / 2 + lo
+    }
+
+    /// Mark `a` and `b` as related; returns true if the pair was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if either index is out of range.
+    #[inline]
+    pub fn set(&mut self, a: usize, b: usize) -> bool {
+        let i = self.bit(a, b);
+        let (w, s) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << s;
+        old & (1 << s) == 0
+    }
+
+    /// Are `a` and `b` related? (Symmetric.)
+    #[inline]
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        let i = self.bit(a, b);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of related pairs (unordered, diagonal included).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no pair is related.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
     }
 }
 
@@ -203,5 +286,53 @@ mod tests {
     fn contains_out_of_range_is_false() {
         let s = BitSet::new(4);
         assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn copy_from_overwrites() {
+        let mut a = BitSet::new(70);
+        a.insert(3);
+        let mut b = BitSet::new(70);
+        b.insert(69);
+        a.copy_from(&b);
+        assert!(!a.contains(3));
+        assert!(a.contains(69));
+    }
+
+    #[test]
+    fn matrix_set_contains_symmetric() {
+        let mut m = BitMatrix::new(130);
+        assert!(m.is_empty());
+        assert!(m.set(3, 98));
+        assert!(!m.set(98, 3), "second set reports not-new");
+        assert!(m.contains(3, 98));
+        assert!(m.contains(98, 3));
+        assert!(!m.contains(3, 97));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn matrix_diagonal_and_bounds() {
+        let mut m = BitMatrix::new(5);
+        assert!(m.set(4, 4));
+        assert!(m.contains(4, 4));
+        assert!(!m.contains(0, 0));
+        assert_eq!(m.dim(), 5);
+    }
+
+    #[test]
+    fn matrix_dense_fill_has_no_collisions() {
+        // Every unordered pair maps to a distinct bit.
+        let n = 40;
+        let mut m = BitMatrix::new(n);
+        let mut count = 0;
+        for a in 0..n {
+            for b in a..n {
+                assert!(m.set(a, b), "pair ({a},{b}) collided");
+                count += 1;
+            }
+        }
+        assert_eq!(m.len(), count);
+        assert_eq!(count, n * (n + 1) / 2);
     }
 }

@@ -36,6 +36,7 @@ pub mod pretty;
 pub mod reg;
 pub mod validate;
 
+pub use bitset::{BitMatrix, BitSet};
 pub use block::{BasicBlock, BlockId};
 pub use builder::FunctionBuilder;
 pub use function::{Function, Program};

@@ -50,6 +50,13 @@ pub struct Liveness {
 impl Liveness {
     /// Run the backward dataflow to a fixed point.
     ///
+    /// The solver is a predecessor-driven worklist: blocks are seeded in
+    /// postorder (successors before predecessors, the fastest direction
+    /// for a backward problem) and a block re-enters the list only when
+    /// one of its successors' `live_in` actually changed. Transfer
+    /// functions run in two reused scratch [`BitSet`]s, so the steady
+    /// state allocates nothing.
+    ///
     /// Values returned by the function (`Ret`) are uses; function
     /// parameters are treated as live-in to the entry block by virtue of
     /// having no dominating def — callers that care should consult
@@ -80,28 +87,37 @@ impl Liveness {
 
         let mut live_in = vec![BitSet::new(ne); nb];
         let mut live_out = vec![BitSet::new(ne); nb];
-        // Iterate in postorder (reverse of RPO) for fast convergence.
+        // Seed the stack so the first pops come in postorder: pushing the
+        // RPO forward means the deepest (last) blocks pop first.
         let rpo = f.reverse_postorder();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in rpo.iter().rev() {
-                let bi = b.index();
-                let mut out = BitSet::new(ne);
-                for &s in &f.blocks[bi].succs {
-                    out.union_with(&live_in[s.index()]);
-                }
-                // in = gen ∪ (out − kill)
-                let mut inn = out.clone();
-                inn.subtract(&kill_b[bi]);
-                inn.union_with(&gen_b[bi]);
-                if out != live_out[bi] {
-                    live_out[bi] = out;
-                    changed = true;
-                }
-                if inn != live_in[bi] {
-                    live_in[bi] = inn;
-                    changed = true;
+        let mut stack: Vec<usize> = rpo.iter().map(|b| b.index()).collect();
+        let mut on_stack = BitSet::new(nb.max(1));
+        let mut reachable = BitSet::new(nb.max(1));
+        for &bi in &stack {
+            on_stack.insert(bi);
+            reachable.insert(bi);
+        }
+        let mut out = BitSet::new(ne);
+        let mut inn = BitSet::new(ne);
+        while let Some(bi) = stack.pop() {
+            on_stack.remove(bi);
+            out.clear();
+            for &s in &f.blocks[bi].succs {
+                out.union_with(&live_in[s.index()]);
+            }
+            // in = gen ∪ (out − kill)
+            inn.copy_from(&out);
+            inn.subtract(&kill_b[bi]);
+            inn.union_with(&gen_b[bi]);
+            live_out[bi].copy_from(&out);
+            if inn != live_in[bi] {
+                live_in[bi].copy_from(&inn);
+                for &p in &f.blocks[bi].preds {
+                    // Only reachable blocks participate (matching the RPO
+                    // sweep this replaced).
+                    if reachable.contains(p.index()) && on_stack.insert(p.index()) {
+                        stack.push(p.index());
+                    }
                 }
             }
         }

@@ -4,10 +4,27 @@
 //! registers — see [`dra_ir::liveness`]). Edges connect co-live values; a
 //! move's source is excluded from interfering with its destination at the
 //! move itself so the pair remains coalescible (Chaitin's refinement).
+//!
+//! # Representation
+//!
+//! The graph is a **hybrid**: a triangular [`BitMatrix`] answers
+//! `interferes(a, b)` in O(1), and per-node adjacency vectors (`Vec<u32>`,
+//! built append-only and deduplicated *through* the matrix) give O(degree)
+//! neighbor iteration. Degrees are tracked incrementally as edges land.
+//! Compared with the `Vec<HashSet<u32>>` this replaced, membership and
+//! insertion are single word operations, neighbor walks are contiguous
+//! loads, and the whole structure costs `n(n+1)/2` bits plus `2·E` u32s
+//! instead of per-node hash tables.
+//!
+//! The node count is sized to the entities the function can actually
+//! reference — `vreg_count` plus the *used* physical registers (the
+//! highest-numbered one appearing in the body or the clobber list) — not
+//! the full `MAX_PREGS` window, so 2-register functions no longer carry
+//! 64 physical-register nodes.
 
-use dra_ir::liveness::{reg_to_entity, Liveness, MAX_PREGS};
-use dra_ir::{Function, Inst, PReg, RegClass};
-use std::collections::HashSet;
+use dra_ir::bitset::{BitMatrix, BitSet};
+use dra_ir::liveness::{reg_to_entity, Liveness};
+use dra_ir::{Function, Inst, PReg, Reg, RegClass};
 
 /// One move instruction's endpoints, as entity ids.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -23,11 +40,27 @@ pub struct MoveRef {
 pub struct InterferenceGraph {
     n: usize,
     vreg_count: u32,
-    adj: Vec<HashSet<u32>>,
+    bits: BitMatrix,
+    adj: Vec<Vec<u32>>,
+    degree: Vec<u32>,
     /// All register-to-register moves of the allocated class.
     pub moves: Vec<MoveRef>,
     /// Spill metric per entity: Σ freq of blocks containing uses/defs.
     pub use_def_weight: Vec<f64>,
+}
+
+/// `1 +` the highest physical-register number the graph must model: any
+/// appearing in the function body plus the call-clobber list.
+fn used_preg_limit(f: &Function, call_clobbers: &[PReg]) -> usize {
+    let mut max: Option<u8> = call_clobbers.iter().map(|p| p.number()).max();
+    for inst in f.iter_insts() {
+        for r in inst.accesses() {
+            if let Reg::Phys(p) = r {
+                max = Some(max.map_or(p.number(), |m| m.max(p.number())));
+            }
+        }
+    }
+    max.map_or(0, |m| m as usize + 1)
 }
 
 impl InterferenceGraph {
@@ -44,39 +77,41 @@ impl InterferenceGraph {
         call_clobbers: &[PReg],
     ) -> InterferenceGraph {
         let vreg_count = f.vreg_count;
-        let n = vreg_count as usize + MAX_PREGS;
+        let n = vreg_count as usize + used_preg_limit(f, call_clobbers);
         let mut g = InterferenceGraph {
             n,
             vreg_count,
-            adj: vec![HashSet::new(); n],
+            bits: BitMatrix::new(n),
+            adj: vec![Vec::new(); n],
+            degree: vec![0; n],
             moves: Vec::new(),
             use_def_weight: vec![0.0; n],
         };
-        let in_class = |f: &Function, r: dra_ir::Reg| match r {
-            dra_ir::Reg::Virt(v) => f.vreg_class(v) == class,
-            dra_ir::Reg::Phys(_) => class == RegClass::Int,
-        };
+
+        // Scratch buffers reused across blocks and instructions.
+        let mut live = BitSet::new(liveness.num_entities);
+        let mut defs: Vec<u32> = Vec::new();
+        let mut uses: Vec<u32> = Vec::new();
+        let mut all_defs: Vec<u32> = Vec::new();
 
         for (b, blk) in f.iter_blocks() {
             // Entities live after each instruction, walked backwards.
-            let mut live: HashSet<u32> = liveness
-                .block_live_out(b)
-                .iter()
-                .map(|e| e as u32)
-                .collect();
+            live.copy_from(liveness.block_live_out(b));
             for inst in blk.insts.iter().rev() {
-                let defs: Vec<u32> = inst
-                    .defs()
-                    .into_iter()
-                    .filter(|&r| in_class(f, r))
-                    .map(|r| reg_to_entity(r, vreg_count) as u32)
-                    .collect();
-                let uses: Vec<u32> = inst
-                    .uses()
-                    .into_iter()
-                    .filter(|&r| in_class(f, r))
-                    .map(|r| reg_to_entity(r, vreg_count) as u32)
-                    .collect();
+                defs.clear();
+                uses.clear();
+                defs.extend(
+                    inst.defs()
+                        .into_iter()
+                        .filter(|&r| f.class_of(r) == class)
+                        .map(|r| g.entity_checked(r)),
+                );
+                uses.extend(
+                    inst.uses()
+                        .into_iter()
+                        .filter(|&r| f.class_of(r) == class)
+                        .map(|r| g.entity_checked(r)),
+                );
 
                 for &e in defs.iter().chain(uses.iter()) {
                     g.use_def_weight[e as usize] += blk.freq;
@@ -92,15 +127,17 @@ impl InterferenceGraph {
                 }
 
                 // Call clobbers act as additional defs.
-                let mut all_defs = defs.clone();
+                all_defs.clear();
+                all_defs.extend_from_slice(&defs);
                 if matches!(inst, Inst::Call { .. }) && class == RegClass::Int {
                     for p in call_clobbers {
-                        all_defs.push(reg_to_entity((*p).into(), vreg_count) as u32);
+                        all_defs.push(g.entity_checked((*p).into()));
                     }
                 }
 
                 for &d in &all_defs {
-                    for &l in &live {
+                    for l in live.iter() {
+                        let l = l as u32;
                         if Some(l) == move_src {
                             continue;
                         }
@@ -115,19 +152,37 @@ impl InterferenceGraph {
                 }
 
                 for &d in &defs {
-                    live.remove(&d);
+                    live.remove(d as usize);
                 }
                 for &u in &uses {
-                    live.insert(u);
+                    live.insert(u as usize);
                 }
             }
         }
         g
     }
 
-    /// Number of entities (nodes).
+    /// Map `r` to its entity id, asserting it fits the sized node range.
+    fn entity_checked(&self, r: Reg) -> u32 {
+        let e = reg_to_entity(r, self.vreg_count);
+        assert!(
+            e < self.n,
+            "entity {e} ({r}) out of range for graph sized {}",
+            self.n
+        );
+        e as u32
+    }
+
+    /// Number of entities (nodes): `vreg_count + preg_limit`.
     pub fn num_nodes(&self) -> usize {
         self.n
+    }
+
+    /// Physical registers modeled by the graph: entities
+    /// `vreg_count .. vreg_count + preg_limit` are precolored. This is the
+    /// *used* register window, not `MAX_PREGS`.
+    pub fn preg_limit(&self) -> usize {
+        self.n - self.vreg_count as usize
     }
 
     /// The analyzed function's virtual-register count.
@@ -150,28 +205,176 @@ impl InterferenceGraph {
         (e - self.vreg_count) as u8
     }
 
-    /// Add an undirected edge (self-edges ignored).
+    /// Add an undirected edge (self-edges ignored, duplicates deduped
+    /// through the bit-matrix).
     pub fn add_edge(&mut self, a: u32, b: u32) {
         if a == b {
             return;
         }
-        self.adj[a as usize].insert(b);
-        self.adj[b as usize].insert(a);
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "edge ({a},{b}) out of range for graph sized {}",
+            self.n
+        );
+        if self.bits.set(a as usize, b as usize) {
+            self.adj[a as usize].push(b);
+            self.adj[b as usize].push(a);
+            self.degree[a as usize] += 1;
+            self.degree[b as usize] += 1;
+        }
     }
 
-    /// Do `a` and `b` interfere?
+    /// Do `a` and `b` interfere? O(1) bit-matrix probe.
     pub fn interferes(&self, a: u32, b: u32) -> bool {
-        self.adj[a as usize].contains(&b)
+        if (a as usize) >= self.n || (b as usize) >= self.n {
+            return false;
+        }
+        self.bits.contains(a as usize, b as usize)
     }
 
-    /// Neighbors of `e`.
+    /// Neighbors of `e`, in edge-insertion order.
     pub fn neighbors(&self, e: u32) -> impl Iterator<Item = u32> + '_ {
-        self.adj[e as usize].iter().copied()
+        self.adjacency(e).iter().copied()
+    }
+
+    /// Neighbor slice of `e` (empty for out-of-range entities).
+    pub fn adjacency(&self, e: u32) -> &[u32] {
+        self.adj.get(e as usize).map_or(&[], |v| v.as_slice())
     }
 
     /// Degree of `e`.
     pub fn degree(&self, e: u32) -> usize {
-        self.adj[e as usize].len()
+        self.degree.get(e as usize).map_or(0, |&d| d as usize)
+    }
+
+    /// The O(1)-membership edge matrix.
+    pub fn bit_matrix(&self) -> &BitMatrix {
+        &self.bits
+    }
+
+    /// Decompose into `(bit-matrix, adjacency lists, degrees)` so a
+    /// consumer (the IRC worklists) can take ownership without copying.
+    pub fn into_parts(self) -> (BitMatrix, Vec<Vec<u32>>, Vec<u32>, Vec<MoveRef>, Vec<f64>) {
+        (self.bits, self.adj, self.degree, self.moves, self.use_def_weight)
+    }
+}
+
+/// The `Vec<HashSet<u32>>` build this module replaced, kept as the testing
+/// and benchmarking oracle: the property suite pins the bit-matrix build
+/// equal to it (edges, degrees, moves, weights), and the `irc_build`
+/// criterion bench measures the speedup against it.
+pub mod reference {
+    use super::MoveRef;
+    use dra_ir::liveness::{reg_to_entity, Liveness, MAX_PREGS};
+    use dra_ir::{Function, Inst, PReg, RegClass};
+    use std::collections::HashSet;
+
+    /// Hash-set adjacency graph over the full `vreg_count + MAX_PREGS`
+    /// entity window (the historical sizing).
+    pub struct RefGraph {
+        /// Per-entity neighbor sets.
+        pub adj: Vec<HashSet<u32>>,
+        /// Moves of the allocated class.
+        pub moves: Vec<MoveRef>,
+        /// Σ freq of blocks containing uses/defs, per entity.
+        pub use_def_weight: Vec<f64>,
+    }
+
+    impl RefGraph {
+        /// Do `a` and `b` interfere?
+        pub fn interferes(&self, a: u32, b: u32) -> bool {
+            self.adj[a as usize].contains(&b)
+        }
+
+        /// Degree of `e`.
+        pub fn degree(&self, e: u32) -> usize {
+            self.adj[e as usize].len()
+        }
+    }
+
+    /// The pre-bitset construction algorithm, preserved verbatim.
+    pub fn build(
+        f: &Function,
+        liveness: &Liveness,
+        class: RegClass,
+        call_clobbers: &[PReg],
+    ) -> RefGraph {
+        let vreg_count = f.vreg_count;
+        let n = vreg_count as usize + MAX_PREGS;
+        let mut g = RefGraph {
+            adj: vec![HashSet::new(); n],
+            moves: Vec::new(),
+            use_def_weight: vec![0.0; n],
+        };
+        let add_edge = |adj: &mut Vec<HashSet<u32>>, a: u32, b: u32| {
+            if a != b {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        };
+
+        for (b, blk) in f.iter_blocks() {
+            let mut live: HashSet<u32> = liveness
+                .block_live_out(b)
+                .iter()
+                .map(|e| e as u32)
+                .collect();
+            for inst in blk.insts.iter().rev() {
+                let defs: Vec<u32> = inst
+                    .defs()
+                    .into_iter()
+                    .filter(|&r| f.class_of(r) == class)
+                    .map(|r| reg_to_entity(r, vreg_count) as u32)
+                    .collect();
+                let uses: Vec<u32> = inst
+                    .uses()
+                    .into_iter()
+                    .filter(|&r| f.class_of(r) == class)
+                    .map(|r| reg_to_entity(r, vreg_count) as u32)
+                    .collect();
+
+                for &e in defs.iter().chain(uses.iter()) {
+                    g.use_def_weight[e as usize] += blk.freq;
+                }
+
+                let mut move_src: Option<u32> = None;
+                if let Inst::Mov { .. } = inst {
+                    if let (Some(&d), Some(&s)) = (defs.first(), uses.first()) {
+                        g.moves.push(MoveRef { dst: d, src: s });
+                        move_src = Some(s);
+                    }
+                }
+
+                let mut all_defs = defs.clone();
+                if matches!(inst, Inst::Call { .. }) && class == RegClass::Int {
+                    for p in call_clobbers {
+                        all_defs.push(reg_to_entity((*p).into(), vreg_count) as u32);
+                    }
+                }
+
+                for &d in &all_defs {
+                    for &l in &live {
+                        if Some(l) == move_src {
+                            continue;
+                        }
+                        add_edge(&mut g.adj, d, l);
+                    }
+                }
+                for i in 0..all_defs.len() {
+                    for j in i + 1..all_defs.len() {
+                        add_edge(&mut g.adj, all_defs[i], all_defs[j]);
+                    }
+                }
+
+                for &d in &defs {
+                    live.remove(&d);
+                }
+                for &u in &uses {
+                    live.insert(u);
+                }
+            }
+        }
+        g
     }
 }
 
@@ -314,5 +517,87 @@ mod tests {
         let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
         assert_eq!(g.degree(entity(fl, &f)), 0, "float vreg absent from int graph");
         assert_eq!(g.use_def_weight[entity(fl, &f) as usize], 0.0);
+    }
+
+    #[test]
+    fn graph_sized_to_used_registers() {
+        // No physical registers anywhere: the graph is exactly the vregs.
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.mov(y, x.into());
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[]);
+        assert_eq!(g.num_nodes(), f.vreg_count as usize);
+        assert_eq!(g.preg_limit(), 0);
+
+        // A clobber list widens the window to cover it.
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &[PReg(5)]);
+        assert_eq!(g.preg_limit(), 6);
+        assert_eq!(g.num_nodes(), f.vreg_count as usize + 6);
+    }
+
+    #[test]
+    fn float_class_build_excludes_bare_pregs() {
+        // Bare physical registers are Int by convention
+        // (`Function::class_of`); a float-class graph must neither weight
+        // them nor route call clobbers into them.
+        let mut b = FunctionBuilder::new("f");
+        let fl = b.new_vreg_of(RegClass::Float);
+        let fl2 = b.new_vreg_of(RegClass::Float);
+        b.mov_imm(fl, 1);
+        b.push(dra_ir::Inst::Mov {
+            dst: Reg::Virt(fl2),
+            src: Reg::Phys(PReg(3)),
+        });
+        b.call(0, vec![], None);
+        b.push(dra_ir::Inst::Bin {
+            op: BinOp::Add,
+            dst: Reg::Virt(fl),
+            lhs: fl.into(),
+            rhs: fl2.into(),
+        });
+        b.ret(Some(fl.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let g = InterferenceGraph::build(&f, &l, RegClass::Float, &[PReg(0), PReg(1)]);
+        let p3 = reg_to_entity(Reg::Phys(PReg(3)), f.vreg_count) as u32;
+        let p0 = reg_to_entity(Reg::Phys(PReg(0)), f.vreg_count) as u32;
+        assert_eq!(g.use_def_weight[p3 as usize], 0.0, "bare preg is Int-class");
+        assert_eq!(g.degree(p0), 0, "clobbers only apply to the Int graph");
+        // The float move from a preg source is not a float-class move.
+        assert!(g.moves.is_empty(), "cross-class mov is not coalescible");
+        // The float values themselves still interfere across the call.
+        assert!(g.interferes(entity(fl, &f), entity(fl2, &f)));
+    }
+
+    #[test]
+    fn matches_reference_build_on_clobbered_call() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        b.mov_imm(x, 1);
+        b.mov(y, x.into());
+        b.call(0, vec![], None);
+        b.bin(BinOp::Add, y, y.into(), x.into());
+        b.ret(Some(y.into()));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        let clob = [PReg(0), PReg(2)];
+        let g = InterferenceGraph::build(&f, &l, RegClass::Int, &clob);
+        let r = reference::build(&f, &l, RegClass::Int, &clob);
+        assert_eq!(g.moves, r.moves);
+        for e in 0..g.num_nodes() as u32 {
+            assert_eq!(g.degree(e), r.degree(e), "degree of {e}");
+            let mut ns: Vec<u32> = g.neighbors(e).collect();
+            ns.sort_unstable();
+            let mut rs: Vec<u32> = r.adj[e as usize].iter().copied().collect();
+            rs.sort_unstable();
+            assert_eq!(ns, rs, "neighbors of {e}");
+            assert_eq!(g.use_def_weight[e as usize], r.use_def_weight[e as usize]);
+        }
     }
 }

@@ -15,7 +15,7 @@
 use crate::interference::{InterferenceGraph, MoveRef};
 use crate::spill::rewrite_spills;
 use dra_adjgraph::{build_vreg_adjacency, AdjacencyIndex, DiffParams};
-use dra_ir::liveness::MAX_PREGS;
+use dra_ir::bitset::BitMatrix;
 use dra_ir::{Function, Liveness, PReg, Reg, RegClass, VReg};
 use std::collections::{BTreeSet, HashSet};
 
@@ -226,6 +226,14 @@ fn overload_coverage(f: &Function, liveness: &Liveness, cfg: &AllocConfig) -> Ve
 }
 
 /// The worklist state of one build/select round.
+///
+/// The graph lives in the hybrid representation built by
+/// [`InterferenceGraph`]: the triangular bit-matrix (`adj_bits`) answers
+/// the Briggs/George membership probes in O(1), the append-only `Vec<u32>`
+/// adjacency lists drive neighbor walks, and `edges` records each
+/// undirected edge once for the recoloring pass. Ownership transfers from
+/// the build via [`InterferenceGraph::into_parts`] — no per-node set is
+/// re-materialized here.
 struct IrcState<'a> {
     k: usize,
     strategy: SelectStrategy,
@@ -234,13 +242,13 @@ struct IrcState<'a> {
     vreg_classes: Vec<RegClass>,
 
     // Graph.
-    adj_set: HashSet<(u32, u32)>,
-    adj_list: Vec<BTreeSet<u32>>,
+    adj_bits: BitMatrix,
+    adj_list: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32)>,
     degree: Vec<usize>,
     spill_weight: Vec<f64>,
 
     // Node sets (an entity is in exactly one at any time).
-    precolored: HashSet<u32>,
     simplify_worklist: BTreeSet<u32>,
     freeze_worklist: BTreeSet<u32>,
     spill_worklist: BTreeSet<u32>,
@@ -279,17 +287,41 @@ impl<'a> IrcState<'a> {
     ) -> IrcState<'a> {
         let n = ig.num_nodes();
         let vreg_count = ig.vreg_count();
+        // Adopt the build's graph wholesale: bit-matrix, adjacency lists,
+        // and per-node degrees are already in the shape the worklists need.
+        let (adj_bits, mut adj_list, degrees, moves, use_def_weight) = ig.into_parts();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (a, ns) in adj_list.iter().enumerate() {
+            for &b in ns {
+                if (a as u32) < b {
+                    edges.push((a as u32, b));
+                }
+            }
+        }
+        let mut degree: Vec<usize> = degrees.into_iter().map(|d| d as usize).collect();
+        // Precolored entities: the used physical registers. Registers >= k
+        // are still precolored (with their own numbers) so that
+        // interference with them is honored, but they are not allocatable
+        // colors. They carry effectively infinite degree and no adjacency
+        // list (never simplified, never walked).
+        let mut color = vec![None; n];
+        for e in vreg_count as usize..n {
+            color[e] = Some((e - vreg_count as usize) as u8);
+            degree[e] = usize::MAX / 2;
+            adj_list[e].clear();
+        }
+
         let mut st = IrcState {
             k: cfg.k as usize,
             strategy: cfg.strategy,
             params: cfg.params,
             vreg_count,
             vreg_classes: f.vreg_classes.clone(),
-            adj_set: HashSet::new(),
-            adj_list: vec![BTreeSet::new(); n],
-            degree: vec![0; n],
-            spill_weight: ig.use_def_weight.clone(),
-            precolored: HashSet::new(),
+            adj_bits,
+            adj_list,
+            edges,
+            degree,
+            spill_weight: use_def_weight,
             simplify_worklist: BTreeSet::new(),
             freeze_worklist: BTreeSet::new(),
             spill_worklist: BTreeSet::new(),
@@ -299,53 +331,36 @@ impl<'a> IrcState<'a> {
             select_stack: Vec::new(),
             on_stack: HashSet::new(),
             move_list: vec![BTreeSet::new(); n],
-            moves: ig.moves.clone(),
+            moves,
             worklist_moves: BTreeSet::new(),
             active_moves: BTreeSet::new(),
             frozen_moves: BTreeSet::new(),
             constrained_moves: BTreeSet::new(),
             coalesced_moves: BTreeSet::new(),
             alias: (0..n as u32).collect(),
-            color: vec![None; n],
+            color,
             temp_watermark: u32::MAX,
             coverage: Vec::new(),
             adjacency,
         };
 
-        // Precolored entities: all physical registers. Registers >= k are
-        // still precolored (with their own numbers) so that interference
-        // with them is honored, but they are not allocatable colors.
-        for p in 0..MAX_PREGS {
-            let e = vreg_count + p as u32;
-            st.precolored.insert(e);
-            st.color[e as usize] = Some(p as u8);
-            // Effectively infinite degree.
-            st.degree[e as usize] = usize::MAX / 2;
-        }
-
-        // Transfer edges.
-        for e in 0..n as u32 {
-            if st.precolored.contains(&e) {
-                continue;
-            }
-            for nb in ig.neighbors(e) {
-                st.add_edge_init(e, nb);
-            }
-        }
-
-        // Moves of this class only.
         for (mi, m) in st.moves.clone().into_iter().enumerate() {
             st.move_list[m.dst as usize].insert(mi);
             st.move_list[m.src as usize].insert(mi);
             st.worklist_moves.insert(mi);
         }
 
-        // Initial worklists: only class-matching vregs participate.
+        // Initial worklists: only class-matching vregs participate. Values
+        // never used or defined would pollute worklists; weight > 0 or any
+        // interference/move involvement marks a referenced node.
         for v in 0..vreg_count {
             if st.vreg_classes[v as usize] != cfg.class {
                 continue;
             }
-            if !is_node_referenced(&ig, v) {
+            let referenced = st.spill_weight[v as usize] > 0.0
+                || !st.adj_list[v as usize].is_empty()
+                || !st.move_list[v as usize].is_empty();
+            if !referenced {
                 continue;
             }
             if st.degree[v as usize] >= st.k {
@@ -359,18 +374,24 @@ impl<'a> IrcState<'a> {
         st
     }
 
+    /// Is `e` a precolored (physical-register) entity?
+    #[inline]
+    fn is_precolored(&self, e: u32) -> bool {
+        e >= self.vreg_count
+    }
+
+    /// Add an edge during coalescing (combine), deduped via the bit-matrix.
     fn add_edge_init(&mut self, a: u32, b: u32) {
-        if a == b || self.adj_set.contains(&(a, b)) {
+        if a == b || !self.adj_bits.set(a as usize, b as usize) {
             return;
         }
-        self.adj_set.insert((a, b));
-        self.adj_set.insert((b, a));
-        if !self.precolored.contains(&a) {
-            self.adj_list[a as usize].insert(b);
+        self.edges.push((a, b));
+        if !self.is_precolored(a) {
+            self.adj_list[a as usize].push(b);
             self.degree[a as usize] += 1;
         }
-        if !self.precolored.contains(&b) {
-            self.adj_list[b as usize].insert(a);
+        if !self.is_precolored(b) {
+            self.adj_list[b as usize].push(a);
             self.degree[b as usize] += 1;
         }
     }
@@ -408,10 +429,10 @@ impl<'a> IrcState<'a> {
         // in the graph at combine time — nodes already on the select
         // stack keep the edge on their side alone). Recoloring needs the
         // *full* symmetric interference neighborhood, so rebuild it from
-        // `adj_set` with aliases resolved.
+        // the undirected edge list with aliases resolved.
         let mut nbr: std::collections::HashMap<u32, BTreeSet<u32>> =
             std::collections::HashMap::new();
-        for &(a, b) in &self.adj_set {
+        for &(a, b) in &self.edges {
             let ra = self.get_alias(a);
             let rb = self.get_alias(b);
             if ra != rb {
@@ -434,7 +455,7 @@ impl<'a> IrcState<'a> {
             for &n in &nodes {
                 let mut ok: BTreeSet<u8> = (0..self.k as u8).collect();
                 for &wa in nbr.get(&n).unwrap_or(&empty) {
-                    if self.colored_nodes.contains(&wa) || self.precolored.contains(&wa) {
+                    if self.colored_nodes.contains(&wa) || self.is_precolored(wa) {
                         if let Some(c) = self.color[wa as usize] {
                             ok.remove(&c);
                         }
@@ -515,7 +536,7 @@ impl<'a> IrcState<'a> {
     }
 
     fn decrement_degree(&mut self, m: u32) {
-        if self.precolored.contains(&m) {
+        if self.is_precolored(m) {
             return;
         }
         let d = self.degree[m as usize];
@@ -552,7 +573,7 @@ impl<'a> IrcState<'a> {
     }
 
     fn add_work_list(&mut self, u: u32) {
-        if !self.precolored.contains(&u)
+        if !self.is_precolored(u)
             && !self.move_related(u)
             && self.degree[u as usize] < self.k
         {
@@ -563,8 +584,8 @@ impl<'a> IrcState<'a> {
 
     fn ok(&self, t: u32, r: u32) -> bool {
         self.degree[t as usize] < self.k
-            || self.precolored.contains(&t)
-            || self.adj_set.contains(&(t, r))
+            || self.is_precolored(t)
+            || self.adj_bits.contains(t as usize, r as usize)
     }
 
     fn conservative(&self, nodes: &[u32]) -> bool {
@@ -583,7 +604,7 @@ impl<'a> IrcState<'a> {
         let mv = self.moves[m];
         let x = self.get_alias(mv.dst);
         let y = self.get_alias(mv.src);
-        let (u, v) = if self.precolored.contains(&y) {
+        let (u, v) = if self.is_precolored(y) {
             (y, x)
         } else {
             (x, y)
@@ -591,7 +612,7 @@ impl<'a> IrcState<'a> {
         if u == v {
             self.coalesced_moves.insert(m);
             self.add_work_list(u);
-        } else if self.precolored.contains(&v) || self.adj_set.contains(&(u, v)) {
+        } else if self.is_precolored(v) || self.adj_bits.contains(u as usize, v as usize) {
             self.constrained_moves.insert(m);
             self.add_work_list(u);
             self.add_work_list(v);
@@ -599,10 +620,10 @@ impl<'a> IrcState<'a> {
             // Colors >= k exist on precolored nodes whose number exceeds
             // the allocatable range; never coalesce into those.
             let u_uncolorable =
-                self.precolored.contains(&u) && (self.color[u as usize].unwrap() as usize) >= self.k;
-            let george = self.precolored.contains(&u)
+                self.is_precolored(u) && (self.color[u as usize].unwrap() as usize) >= self.k;
+            let george = self.is_precolored(u)
                 && self.adjacent(v).iter().all(|&t| self.ok(t, u));
-            let briggs = !self.precolored.contains(&u) && {
+            let briggs = !self.is_precolored(u) && {
                 let mut all = self.adjacent(u);
                 all.extend(self.adjacent(v));
                 self.conservative(&all)
@@ -655,7 +676,7 @@ impl<'a> IrcState<'a> {
             };
             self.active_moves.remove(&m);
             self.frozen_moves.insert(m);
-            if !self.precolored.contains(&v)
+            if !self.is_precolored(v)
                 && self.node_moves(v).is_empty()
                 && self.degree[v as usize] < self.k
             {
@@ -701,7 +722,7 @@ impl<'a> IrcState<'a> {
             let mut ok_colors: BTreeSet<u8> = (0..self.k as u8).collect();
             for &w in &self.adj_list[n as usize] {
                 let wa = self.get_alias(w);
-                if self.colored_nodes.contains(&wa) || self.precolored.contains(&wa) {
+                if self.colored_nodes.contains(&wa) || self.is_precolored(wa) {
                     if let Some(c) = self.color[wa as usize] {
                         ok_colors.remove(&c);
                     }
@@ -737,7 +758,7 @@ impl<'a> IrcState<'a> {
                     } else {
                         self.get_alias(mv.dst)
                     };
-                    if self.colored_nodes.contains(&other) || self.precolored.contains(&other) {
+                    if self.colored_nodes.contains(&other) || self.is_precolored(other) {
                         if let Some(c) = self.color[other as usize] {
                             if ok.contains(&c) {
                                 return c;
@@ -758,7 +779,7 @@ impl<'a> IrcState<'a> {
                             let a = self.get_alias(node);
                             if a == n || node == n {
                                 Some(c)
-                            } else if self.precolored.contains(&a)
+                            } else if self.is_precolored(a)
                                 || self.colored_nodes.contains(&a)
                             {
                                 self.color[a as usize]
@@ -777,14 +798,6 @@ impl<'a> IrcState<'a> {
             }
         }
     }
-}
-
-fn is_node_referenced(ig: &InterferenceGraph, v: u32) -> bool {
-    // Values never used or defined would pollute worklists; weight > 0 or
-    // any interference/move involvement marks a referenced node.
-    ig.use_def_weight[v as usize] > 0.0
-        || ig.degree(v) > 0
-        || ig.moves.iter().any(|m| m.dst == v || m.src == v)
 }
 
 /// Convenience wrapper: allocate a whole program in place.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and a one-shot
-# smoke of the remap_scaling bench (criterion's `--test` mode runs each
-# bench body exactly once, so regressions in the bench harness or the
-# incremental-search plumbing fail CI without paying for a full sweep).
+# Tier-1 verification: release build, full test suite, and one-shot
+# smokes of the remap_scaling and irc_build benches (criterion's `--test`
+# mode runs each bench body exactly once, so regressions in the bench
+# harnesses, the incremental-search plumbing, or the interference-graph
+# representations fail CI without paying for a full sweep).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo bench --bench remap_scaling -- --test
+cargo bench --bench irc_build -- --test

@@ -1,0 +1,94 @@
+//! The batch driver's determinism contract: the same inputs produce the
+//! same outputs at any worker count (1, 2, 8), for both the low-end
+//! benchmark matrix and the high-end loop sweep.
+//!
+//! The only fields excluded are the remap search's work counters
+//! (`evaluations`, `starts_run`, `search_nanos`): they measure wall-clock
+//! and scheduling, not the compilation result, and are documented as
+//! schedule-dependent by `RemapConfig::threads`.
+
+use dra_core::batch::{run_batch, run_lowend_matrix};
+use dra_core::highend::run_highend_sweep;
+use dra_core::lowend::{Approach, LowEndRun, LowEndSetup};
+use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
+
+/// Zero the schedule-dependent remap work counters.
+fn normalized(mut r: LowEndRun) -> LowEndRun {
+    for st in &mut r.remap {
+        st.evaluations = 0;
+        st.starts_run = 0;
+        st.search_nanos = 0;
+    }
+    r
+}
+
+#[test]
+fn lowend_matrix_identical_across_thread_counts() {
+    let names = ["crc32", "bitcount", "sha"];
+    let approaches = [
+        Approach::Baseline,
+        Approach::Remapping,
+        Approach::Select,
+        Approach::Adaptive,
+    ];
+    // Few remap starts keep the test quick; determinism must hold at any
+    // configuration.
+    let mut setup = LowEndSetup::default();
+    setup.remap_starts = 50;
+
+    let mut reference: Option<Vec<Vec<LowEndRun>>> = None;
+    for threads in [1usize, 2, 8] {
+        setup.batch_threads = threads;
+        let matrix: Vec<Vec<LowEndRun>> = run_lowend_matrix(&names, &approaches, &setup)
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|r| normalized(r.expect("cell compiles")))
+                    .collect()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(matrix),
+            Some(want) => assert_eq!(
+                want, &matrix,
+                "matrix diverged at batch_threads = {threads}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn highend_sweep_identical_across_thread_counts() {
+    let suite = generate_loop_suite(&LoopSuiteConfig {
+        n_loops: 60,
+        hungry_fraction: 0.2,
+        seed: 11,
+    });
+    let reg_ns = [32u16, 48, 64];
+    let want = run_highend_sweep(&suite, &reg_ns, 1);
+    for threads in [2usize, 8] {
+        let got = run_highend_sweep(&suite, &reg_ns, threads);
+        assert_eq!(want, got, "sweep diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn run_batch_output_is_in_item_order_at_any_width() {
+    // Uneven per-item cost exercises the work-stealing claim order.
+    let items: Vec<u64> = (0..64).collect();
+    let expensive = |_, &x: &u64| {
+        let mut acc = x;
+        for i in 0..(x % 7) * 10_000 {
+            acc = acc.wrapping_mul(31).wrapping_add(i);
+        }
+        (x, acc)
+    };
+    let want = run_batch(&items, 1, expensive);
+    for threads in [2usize, 3, 8, 16] {
+        assert_eq!(
+            want,
+            run_batch(&items, threads, expensive),
+            "diverged at {threads} threads"
+        );
+    }
+}

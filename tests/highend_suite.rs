@@ -26,7 +26,7 @@ fn suite(n: usize) -> Vec<dra_workloads::SuiteLoop> {
 #[test]
 fn sweep_shapes_match_the_paper() {
     let s = suite(60);
-    let sweep = run_highend_sweep(&s, &[32, 40, 48, 56, 64]);
+    let sweep = run_highend_sweep(&s, &[32, 40, 48, 56, 64], 0);
     let base = &sweep[0];
     assert!(base.optimized_loops > 0);
     assert!(
@@ -74,7 +74,7 @@ fn sweep_shapes_match_the_paper() {
 #[test]
 fn code_growth_is_bounded_overall() {
     let s = suite(60);
-    let sweep = run_highend_sweep(&s, &[32, 40, 64]);
+    let sweep = run_highend_sweep(&s, &[32, 40, 64], 0);
     let base = &sweep[0];
     for agg in &sweep[1..] {
         let setup = HighEndSetup::at(agg.reg_n);
@@ -90,7 +90,7 @@ fn code_growth_is_bounded_overall() {
 #[test]
 fn common_loops_identical_across_sweep_points() {
     let s = suite(40);
-    let sweep = run_highend_sweep(&s, &[40, 64]);
+    let sweep = run_highend_sweep(&s, &[40, 64], 0);
     let a_common = sweep[0].all_cycles - sweep[0].optimized_cycles;
     let b_common = sweep[1].all_cycles - sweep[1].optimized_cycles;
     assert_eq!(a_common, b_common, "selective enabling leaves them alone");

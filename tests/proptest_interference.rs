@@ -1,0 +1,131 @@
+//! Property tests pinning the bit-matrix + adjacency-list interference
+//! graph to the seed's `HashSet`-of-pairs reference build.
+//!
+//! `InterferenceGraph::build` and `interference::reference::build` run the
+//! same algorithm over different representations (and different node
+//! sizing: the live entity window vs `vreg_count + MAX_PREGS`), so on any
+//! function they must agree on every membership query, every degree,
+//! every move, and every spill weight.
+
+use dra_ir::liveness::MAX_PREGS;
+use dra_ir::{Liveness, PReg, RegClass};
+use dra_regalloc::interference::{reference, InterferenceGraph};
+use dra_workloads::mibench::{generate, BenchSpec};
+use proptest::prelude::*;
+
+/// A bounded random benchmark spec (all knobs in safe ranges).
+fn arb_spec() -> impl Strategy<Value = BenchSpec> {
+    (
+        any::<u64>(),        // seed
+        1usize..=3,          // funcs
+        4usize..=20,         // pressure
+        4usize..=24,         // block_len
+        1usize..=3,          // loops per func
+        1u32..=2,            // depth
+        0.0f64..0.35,        // mem ratio
+        0.0f64..0.2,         // call ratio
+        0.0f64..0.5,         // branch ratio
+        0.0f64..0.2,         // muldiv
+    )
+        .prop_map(
+            |(seed, funcs, pressure, block_len, loops, depth, mem, call, branch, muldiv)| {
+                BenchSpec {
+                    name: "prop-ig",
+                    seed,
+                    funcs,
+                    pressure,
+                    block_len,
+                    loops_per_func: loops,
+                    max_depth: depth,
+                    mem_ratio: mem,
+                    call_ratio: call,
+                    branch_ratio: branch,
+                    trip_range: (2, 6),
+                    muldiv_ratio: muldiv,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 8 } else { 32 }
+    ))]
+
+    /// The hybrid graph equals the reference build: same edges over the
+    /// full reference entity space, same degrees, same moves, same
+    /// weights, and nothing beyond the sized node window.
+    #[test]
+    fn bitmatrix_graph_matches_reference(spec in arb_spec()) {
+        let clobbers = [PReg(0), PReg(1)];
+        let p = generate(&spec);
+        for f in &p.funcs {
+            let l = Liveness::compute(f);
+            let g = InterferenceGraph::build(f, &l, RegClass::Int, &clobbers);
+            let r = reference::build(f, &l, RegClass::Int, &clobbers);
+
+            let vc = f.vreg_count as usize;
+            let ref_n = vc + MAX_PREGS;
+            prop_assert!(g.num_nodes() <= ref_n, "sized graph cannot exceed reference");
+
+            // Membership agrees over the whole reference entity space;
+            // queries past the sized window answer false, and the
+            // reference must have no edges there.
+            for a in 0..ref_n as u32 {
+                for b in (a + 1)..ref_n as u32 {
+                    prop_assert_eq!(
+                        g.interferes(a, b),
+                        r.interferes(a, b),
+                        "edge ({}, {}) disagrees (seed {:#x})", a, b, spec.seed
+                    );
+                }
+            }
+
+            // Degrees and adjacency agree node-by-node; the compact lists
+            // hold no duplicates (the bit matrix dedupes inserts).
+            for e in 0..ref_n as u32 {
+                let want = r.degree(e);
+                let got = if (e as usize) < g.num_nodes() { g.degree(e) } else { 0 };
+                prop_assert_eq!(got, want, "degree of {} disagrees", e);
+                if (e as usize) < g.num_nodes() {
+                    let mut adj: Vec<u32> = g.adjacency(e).to_vec();
+                    adj.sort_unstable();
+                    adj.dedup();
+                    prop_assert_eq!(adj.len(), g.degree(e), "duplicates in adjacency of {}", e);
+                    for &n in g.adjacency(e) {
+                        prop_assert!(r.adj[e as usize].contains(&n));
+                    }
+                }
+            }
+
+            // Move list and spill weights are identical.
+            prop_assert_eq!(&g.moves, &r.moves);
+            prop_assert_eq!(&g.use_def_weight[..], &r.use_def_weight[..g.num_nodes()]);
+            prop_assert!(
+                r.use_def_weight[g.num_nodes()..].iter().all(|&w| w == 0.0),
+                "reference has weight outside the sized window"
+            );
+        }
+    }
+
+    /// The float-class graphs agree too (bare physical registers are
+    /// Int-class and must stay out of both).
+    #[test]
+    fn float_class_matches_reference(spec in arb_spec()) {
+        let clobbers = [PReg(0), PReg(1)];
+        let p = generate(&spec);
+        for f in &p.funcs {
+            let l = Liveness::compute(f);
+            let g = InterferenceGraph::build(f, &l, RegClass::Float, &clobbers);
+            let r = reference::build(f, &l, RegClass::Float, &clobbers);
+            let ref_n = f.vreg_count as usize + MAX_PREGS;
+            for a in 0..ref_n as u32 {
+                prop_assert_eq!(
+                    if (a as usize) < g.num_nodes() { g.degree(a) } else { 0 },
+                    r.degree(a)
+                );
+            }
+            prop_assert_eq!(&g.moves, &r.moves);
+        }
+    }
+}
