@@ -6,8 +6,8 @@
 //! differential setup well below the baseline; coalesce lowest; remapping
 //! and select nearly tied; O-spill between them and the baseline.
 
-use dra_bench::{average, batch_threads, render_table};
-use dra_core::batch::run_lowend_matrix;
+use dra_bench::{average, batch_threads, emit_telemetry, render_table};
+use dra_core::batch::run_lowend_matrix_with_telemetry;
 use dra_core::lowend::{Approach, LowEndSetup};
 use dra_workloads::benchmark_names;
 
@@ -15,7 +15,8 @@ fn main() {
     let mut setup = LowEndSetup::default();
     setup.batch_threads = batch_threads();
     let names = benchmark_names();
-    let matrix = run_lowend_matrix(&names, &Approach::ALL, &setup);
+    let (matrix, telemetry) = run_lowend_matrix_with_telemetry(&names, &Approach::ALL, &setup);
+    emit_telemetry(&telemetry, "fig11");
 
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); Approach::ALL.len()];

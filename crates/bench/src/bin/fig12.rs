@@ -4,8 +4,8 @@
 //! Paper averages: remapping 10.41%, select 4.21%, coalesce 3.04%. Shape:
 //! the post-pass pays by far the most; coalesce edges out select.
 
-use dra_bench::{average, batch_threads, render_table};
-use dra_core::batch::run_lowend_matrix;
+use dra_bench::{average, batch_threads, emit_telemetry, render_table};
+use dra_core::batch::run_lowend_matrix_with_telemetry;
 use dra_core::lowend::{Approach, LowEndSetup};
 use dra_workloads::benchmark_names;
 
@@ -14,7 +14,8 @@ fn main() {
     setup.batch_threads = batch_threads();
     let approaches = [Approach::Remapping, Approach::Select, Approach::Coalesce];
     let names = benchmark_names();
-    let matrix = run_lowend_matrix(&names, &approaches, &setup);
+    let (matrix, telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+    emit_telemetry(&telemetry, "fig12");
 
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); approaches.len()];

@@ -9,8 +9,8 @@
 //! evaluations, restarts executed, search wall-clock) so tooling can track
 //! the search cost alongside the code-size outcome.
 
-use dra_bench::{average, batch_threads, render_table};
-use dra_core::batch::run_lowend_matrix;
+use dra_bench::{average, batch_threads, emit_telemetry, render_table};
+use dra_core::batch::run_lowend_matrix_with_telemetry;
 use dra_core::lowend::{Approach, LowEndRun, LowEndSetup};
 use dra_workloads::benchmark_names;
 use std::fmt::Write as _;
@@ -38,7 +38,8 @@ fn main() {
         .copied()
         .collect::<Vec<_>>();
     let names = benchmark_names();
-    let matrix = run_lowend_matrix(&names, &approaches, &setup);
+    let (matrix, telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+    emit_telemetry(&telemetry, "fig13");
 
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); others.len()];

@@ -4,8 +4,8 @@
 //! 4.1%. Shape: coalesce best, select close behind, remapping and O-spill
 //! modest (remapping's wins are eaten by its `set_last_reg`s).
 
-use dra_bench::{average, batch_threads, render_table};
-use dra_core::batch::run_lowend_matrix;
+use dra_bench::{average, batch_threads, emit_telemetry, render_table};
+use dra_core::batch::run_lowend_matrix_with_telemetry;
 use dra_core::lowend::{Approach, LowEndSetup};
 use dra_workloads::benchmark_names;
 
@@ -24,7 +24,8 @@ fn main() {
         .copied()
         .collect::<Vec<_>>();
     let names = benchmark_names();
-    let matrix = run_lowend_matrix(&names, &approaches, &setup);
+    let (matrix, telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+    emit_telemetry(&telemetry, "fig14");
 
     let mut rows = Vec::new();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); others.len()];

@@ -6,8 +6,8 @@
 //! 17.24% at 64, saturating past 48; overall close to all-loops because
 //! loops dominate execution.
 
-use dra_bench::{batch_threads, pct, render_table, suite_size};
-use dra_core::highend::{run_highend_sweep, speedup_percent, HighEndSetup};
+use dra_bench::{batch_threads, emit_telemetry, pct, render_table, suite_size};
+use dra_core::highend::{run_highend_sweep_with_telemetry, speedup_percent, HighEndSetup};
 use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
 
 fn main() {
@@ -19,7 +19,9 @@ fn main() {
     });
 
     eprintln!("pipelining the RegN sweep (this is the long part)…");
-    let sweep = run_highend_sweep(&suite, &[32, 40, 48, 56, 64], batch_threads());
+    let (sweep, telemetry) =
+        run_highend_sweep_with_telemetry(&suite, &[32, 40, 48, 56, 64], batch_threads());
+    emit_telemetry(&telemetry, "table2");
     let base = &sweep[0];
     let base_setup = HighEndSetup::at(32);
     let base_overall = base.overall_cycles(&base_setup, base.all_cycles);

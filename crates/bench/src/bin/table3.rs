@@ -7,8 +7,8 @@
 //! binary grows at most ~1.13% because the optimized loops are a small
 //! slice of the code.
 
-use dra_bench::{batch_threads, pct, render_table, suite_size};
-use dra_core::highend::{run_highend_sweep, HighEndSetup};
+use dra_bench::{batch_threads, emit_telemetry, pct, render_table, suite_size};
+use dra_core::highend::{run_highend_sweep_with_telemetry, HighEndSetup};
 use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
 
 fn main() {
@@ -20,7 +20,9 @@ fn main() {
     });
 
     eprintln!("pipelining the RegN sweep (this is the long part)…");
-    let sweep = run_highend_sweep(&suite, &[32, 40, 48, 56, 64], batch_threads());
+    let (sweep, telemetry) =
+        run_highend_sweep_with_telemetry(&suite, &[32, 40, 48, 56, 64], batch_threads());
+    emit_telemetry(&telemetry, "table3");
     let base = &sweep[0];
 
     let mut rows = vec![vec![

@@ -60,22 +60,69 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
     out
 }
 
+/// Strictly parse one knob value: empty/whitespace means `default`, a
+/// valid number is taken as-is, and anything else panics naming the knob
+/// and the offending value. A typo'd `DRA_THREADS=abc` must abort the
+/// experiment, not silently run it with the default.
+///
+/// Separated from the environment read so both paths are testable without
+/// racing on process-global env state.
+///
+/// # Panics
+///
+/// On any non-empty value that does not parse as an unsigned integer.
+pub fn parse_knob(name: &str, raw: &str, default: usize) -> usize {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return default;
+    }
+    trimmed.parse().unwrap_or_else(|_| {
+        panic!("{name}={raw:?} is not an unsigned integer (unset it or pass a number)")
+    })
+}
+
+/// Read an environment knob through [`parse_knob`].
+///
+/// # Panics
+///
+/// As [`parse_knob`]; also on a value that is not valid unicode.
+fn env_knob(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => default,
+        Err(e) => panic!("{name}: {e}"),
+        Ok(raw) => parse_knob(name, &raw, default),
+    }
+}
+
 /// Loop-suite size: `DRA_LOOPS` env override, defaulting to the paper's
 /// 1928.
+///
+/// # Panics
+///
+/// On an unparseable `DRA_LOOPS` value.
 pub fn suite_size() -> usize {
-    std::env::var("DRA_LOOPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1928)
+    env_knob("DRA_LOOPS", 1928)
 }
 
 /// Batch-driver worker count: `DRA_THREADS` env override, defaulting to
 /// `0` (one worker per CPU).
+///
+/// # Panics
+///
+/// On an unparseable `DRA_THREADS` value.
 pub fn batch_threads() -> usize {
-    std::env::var("DRA_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
+    env_knob("DRA_THREADS", 0)
+}
+
+/// Write `telemetry` to `results/telemetry/<binary>.json` (relative to
+/// the working directory, like every other `results/` artifact), logging
+/// the outcome to stderr. Emission failure is reported but non-fatal: a
+/// missing `results/` directory should not kill a figure run.
+pub fn emit_telemetry(telemetry: &dra_core::Telemetry, binary: &str) {
+    match telemetry.write_results(std::path::Path::new("."), binary) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results/telemetry/{binary}.json: {e}"),
+    }
 }
 
 /// Format a percentage with sign, e.g. `+1.13%` / `-4.00%`.
@@ -113,5 +160,49 @@ mod tests {
     fn pct_formats_sign() {
         assert_eq!(pct(1.5), "+1.50%");
         assert_eq!(pct(-2.0), "-2.00%");
+    }
+
+    #[test]
+    fn knob_parses_valid_values() {
+        assert_eq!(parse_knob("DRA_LOOPS", "64", 1928), 64);
+        assert_eq!(parse_knob("DRA_THREADS", " 8 ", 0), 8);
+        assert_eq!(parse_knob("DRA_THREADS", "0", 4), 0);
+    }
+
+    #[test]
+    fn knob_empty_means_default() {
+        assert_eq!(parse_knob("DRA_LOOPS", "", 1928), 1928);
+        assert_eq!(parse_knob("DRA_THREADS", "  ", 0), 0);
+    }
+
+    #[test]
+    fn knob_rejects_garbage_loudly() {
+        for bad in ["abc", "-3", "1.5", "8 threads"] {
+            let err = std::panic::catch_unwind(|| parse_knob("DRA_THREADS", bad, 0))
+                .expect_err("garbage must panic, not fall back to the default");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("DRA_THREADS") && msg.contains(bad),
+                "panic must name the knob and the offending value: {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_knobs_read_the_environment() {
+        // This is the only test touching these env vars, so there is no
+        // parallel-test race on the process-global environment.
+        std::env::set_var("DRA_LOOPS", "123");
+        assert_eq!(suite_size(), 123);
+        std::env::remove_var("DRA_LOOPS");
+        assert_eq!(suite_size(), 1928);
+        std::env::set_var("DRA_THREADS", "junk");
+        let err = std::panic::catch_unwind(batch_threads);
+        std::env::remove_var("DRA_THREADS");
+        assert!(err.is_err(), "unparseable DRA_THREADS must panic");
+        assert_eq!(batch_threads(), 0);
     }
 }

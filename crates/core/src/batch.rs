@@ -28,14 +28,14 @@
 //! reproducible bit-for-bit at any `batch_threads`.
 
 use crate::lowend::{
-    compile_program_with, Approach, LowEndRun, LowEndSetup, PipelineError,
+    compile_program_telemetry, finish_run, Approach, LowEndRun, LowEndSetup, PipelineError,
 };
+use crate::telemetry::Telemetry;
 use dra_ir::{Liveness, Program};
-use dra_isa::{code_size_bits, IsaGeometry};
-use dra_sim::{simulate, SimResult};
 use dra_workloads::benchmark;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Resolve a `0 = one per CPU` thread knob against the machine.
@@ -142,6 +142,14 @@ impl SourceArtifacts {
 #[derive(Default)]
 pub struct SourceCache {
     entries: Mutex<HashMap<String, Arc<SourceArtifacts>>>,
+    /// Total `get` calls. One per consumer, so schedule-invariant.
+    lookups: AtomicU64,
+    /// Distinct keys whose artifacts this cache ended up owning. Counted
+    /// at insert-win time, *not* per computation: when two workers race
+    /// on the same benchmark both compute but only the first insert
+    /// counts, so the value is the number of distinct benchmarks — a pure
+    /// function of the work list, never of the schedule.
+    misses: AtomicU64,
 }
 
 impl SourceCache {
@@ -156,17 +164,32 @@ impl SourceCache {
     /// same benchmark the first inserted result wins and the duplicate is
     /// dropped, so every consumer sees the same `Arc`.
     pub fn get(&self, name: &str) -> Arc<SourceArtifacts> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(a) = self.entries.lock().unwrap().get(name) {
             return Arc::clone(a);
         }
         let computed = Arc::new(SourceArtifacts::analyze(name));
-        Arc::clone(
-            self.entries
-                .lock()
-                .unwrap()
-                .entry(name.to_string())
-                .or_insert(computed),
-        )
+        match self.entries.lock().unwrap().entry(name.to_string()) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(computed))
+            }
+        }
+    }
+
+    /// Record the cache's schedule-invariant counters
+    /// (`source_cache.lookups` / `.misses` / `.hits`) into `t`.
+    ///
+    /// Hits are derived as `lookups - misses`: a racing duplicate
+    /// computation is neither a hit nor a miss, keeping all three values
+    /// pure functions of the work list.
+    pub fn record_counters(&self, t: &mut Telemetry) {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        t.count("source_cache.lookups", lookups);
+        t.count("source_cache.misses", misses);
+        t.count("source_cache.hits", lookups - misses);
     }
 
     /// Number of memoized benchmarks.
@@ -193,29 +216,17 @@ pub fn compile_and_run_cached(
     approach: Approach,
     setup: &LowEndSetup,
 ) -> Result<LowEndRun, PipelineError> {
+    let mut telemetry = Telemetry::new();
     let src = cache.get(name);
     let mut program = src.program.clone();
-    let remap = compile_program_with(&mut program, approach, setup, Some(&src.pressures))?;
-    let set_last_regs = program.count_insts(|i| i.is_set_last_reg());
-    let sim: SimResult = simulate(&program, &setup.machine, &setup.args)?;
-    let geometry: IsaGeometry = setup.machine.geometry;
-    Ok(LowEndRun {
+    let remap = compile_program_telemetry(
+        &mut program,
         approach,
-        remap,
-        spill_insts: program.count_insts(|i| i.is_spill()),
-        set_last_regs,
-        total_insts: program.num_insts(),
-        code_bits: code_size_bits(&program, &geometry),
-        cycles: sim.cycles,
-        dynamic_spills: sim.spill_accesses,
-        dynamic_set_last_regs: sim.set_last_regs,
-        icache_misses: sim.icache_misses,
-        dcache_misses: sim.dcache_misses,
-        ret_value: sim.ret_value,
-        entry_trace: sim.entry_trace,
-        block_counts: sim.block_counts,
-        program,
-    })
+        setup,
+        Some(&src.pressures),
+        &mut telemetry,
+    )?;
+    finish_run(program, approach, setup, remap, telemetry)
 }
 
 /// Run the full benchmarks × approaches grid in parallel
@@ -228,19 +239,43 @@ pub fn run_lowend_matrix(
     approaches: &[Approach],
     setup: &LowEndSetup,
 ) -> Vec<Vec<Result<LowEndRun, PipelineError>>> {
+    run_lowend_matrix_with_telemetry(names, approaches, setup).0
+}
+
+/// [`run_lowend_matrix`], additionally aggregating batch-level telemetry:
+/// every successful cell's counters and spans summed in cell-index order
+/// (so the aggregate is bit-identical at any thread count, like the cells
+/// themselves), plus `cells.ok`/`cells.err`, the [`SourceCache`]'s
+/// counters, and a wall-clock `batch` span around the whole grid.
+pub fn run_lowend_matrix_with_telemetry(
+    names: &[&str],
+    approaches: &[Approach],
+    setup: &LowEndSetup,
+) -> (Vec<Vec<Result<LowEndRun, PipelineError>>>, Telemetry) {
+    let mut agg = Telemetry::new();
     let cache = SourceCache::new();
     let cells: Vec<(usize, usize)> = (0..names.len())
         .flat_map(|bi| (0..approaches.len()).map(move |ai| (bi, ai)))
         .collect();
-    let flat = run_batch(&cells, setup.batch_threads, |_, &(bi, ai)| {
-        compile_and_run_cached(&cache, names[bi], approaches[ai], setup)
+    let flat = agg.time("batch", || {
+        run_batch(&cells, setup.batch_threads, |_, &(bi, ai)| {
+            compile_and_run_cached(&cache, names[bi], approaches[ai], setup)
+        })
     });
     let mut matrix: Vec<Vec<Result<LowEndRun, PipelineError>>> =
         (0..names.len()).map(|_| Vec::new()).collect();
     for ((bi, _), run) in cells.into_iter().zip(flat) {
+        match &run {
+            Ok(r) => {
+                agg.count("cells.ok", 1);
+                agg.merge(&r.telemetry);
+            }
+            Err(_) => agg.count("cells.err", 1),
+        }
         matrix[bi].push(run);
     }
-    matrix
+    cache.record_counters(&mut agg);
+    (matrix, agg)
 }
 
 #[cfg(test)]
@@ -251,12 +286,18 @@ mod tests {
     /// Zero the remap work counters (`evaluations`, `starts_run`,
     /// `search_nanos`): they measure wall-clock and scheduling, not the
     /// compilation result, so two otherwise-identical runs differ there.
+    /// Telemetry is normalized the same way: spans are wall-clock-only
+    /// (and a cached run records no `parse` span at all), and the
+    /// `remap.*` work counters mirror `RemapStats`.
     fn normalized(mut r: LowEndRun) -> LowEndRun {
         for st in &mut r.remap {
             st.evaluations = 0;
             st.starts_run = 0;
             st.search_nanos = 0;
         }
+        r.telemetry.clear_spans();
+        r.telemetry.set_counter("remap.evaluations", 0);
+        r.telemetry.set_counter("remap.starts_run", 0);
         r
     }
 

@@ -5,21 +5,24 @@
 //! drac compile --bench sha --approach coalesce [--emit ir|stats|bits|json] [--profile]
 //! drac run     --bench sha --approach select   [--profile]
 //! drac sweep   --bench sha
+//! drac report  results/telemetry/fig11.json …
 //! ```
 //!
 //! A thin command-line front end over `dra-core`: compile any built-in
 //! benchmark under any setup, inspect the allocated+encoded IR, dump the
-//! assembled LEAF16 words, or run the cycle-level simulation.
+//! assembled LEAF16 words, run the cycle-level simulation, or validate
+//! and pretty-print a run's emitted telemetry.
 
 use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
 use dra_core::profile::compile_and_run_profiled;
+use dra_core::telemetry::validate_telemetry;
 use dra_encoding::EncodingConfig;
 use dra_workloads::benchmark_names;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n\napproaches: baseline remapping select o-spill coalesce adaptive"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n  drac report <telemetry.json>…\n\napproaches: baseline remapping select o-spill coalesce adaptive"
     );
     ExitCode::FAILURE
 }
@@ -184,6 +187,39 @@ fn main() -> ExitCode {
                 }
             }
             ExitCode::SUCCESS
+        }
+        "report" => {
+            if argv.len() < 2 {
+                return usage();
+            }
+            let mut failed = false;
+            for (i, path) in argv[1..].iter().enumerate() {
+                let src = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        failed = true;
+                        continue;
+                    }
+                };
+                match validate_telemetry(&src) {
+                    Ok(report) => {
+                        if i > 0 {
+                            println!();
+                        }
+                        print!("{}", report.render());
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid telemetry: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         _ => usage(),
     }

@@ -1,6 +1,7 @@
 //! The Section 10.2 pipeline: software-pipeline a loop suite at a swept
 //! `RegN` and aggregate the Table 2 / Table 3 quantities.
 
+use crate::telemetry::Telemetry;
 use dra_swp::{pipeline_loop, PipelineConfig, PipelinedLoop};
 use dra_workloads::SuiteLoop;
 
@@ -139,6 +140,29 @@ pub fn run_highend_sweep(
         .zip(&per_point)
         .map(|(&reg_n, results)| aggregate(reg_n, results, &common))
         .collect()
+}
+
+/// [`run_highend_sweep`], additionally recording telemetry: the
+/// per-point aggregates as `swp.*` counters (summed over the sweep, so
+/// schedule-invariant — the pipeliner is deterministic per loop) and a
+/// wall-clock `sweep` span around the whole grid.
+pub fn run_highend_sweep_with_telemetry(
+    suite: &[SuiteLoop],
+    reg_ns: &[u16],
+    threads: usize,
+) -> (Vec<HighEndAggregate>, Telemetry) {
+    let mut t = Telemetry::new();
+    let sweep = t.time("sweep", || run_highend_sweep(suite, reg_ns, threads));
+    t.count("swp.sweep_points", sweep.len() as u64);
+    for agg in &sweep {
+        t.count("swp.loops_total", agg.total_loops as u64);
+        t.count("swp.loops_optimized", agg.optimized_loops as u64);
+        t.count("swp.set_last_regs", agg.set_last_regs as u64);
+        t.count("swp.spills_optimized", agg.optimized_spills as u64);
+        t.count("swp.code_insts", agg.all_code_insts as u64);
+        t.count("swp.cycles", agg.all_cycles);
+    }
+    (sweep, t)
 }
 
 fn pipeline_all(suite: &[SuiteLoop], reg_n: u16, threads: usize) -> Vec<Option<PipelinedLoop>> {

@@ -29,8 +29,16 @@ pub mod batch;
 pub mod highend;
 pub mod lowend;
 pub mod profile;
+pub mod telemetry;
 
-pub use batch::{compile_and_run_cached, run_batch, run_lowend_matrix, SourceCache};
-pub use highend::{run_highend_suite, run_highend_sweep, HighEndAggregate, HighEndSetup};
+pub use batch::{
+    compile_and_run_cached, run_batch, run_lowend_matrix, run_lowend_matrix_with_telemetry,
+    SourceCache,
+};
+pub use highend::{
+    run_highend_suite, run_highend_sweep, run_highend_sweep_with_telemetry, HighEndAggregate,
+    HighEndSetup,
+};
 pub use lowend::{compile_and_run, compile_benchmark, Approach, LowEndRun, LowEndSetup};
 pub use profile::{apply_profile, compile_and_run_profiled};
+pub use telemetry::{validate_telemetry, Telemetry, TelemetryReport};

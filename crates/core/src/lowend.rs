@@ -1,12 +1,14 @@
 //! The Section 10.1 pipeline: allocate → encode → verify → simulate.
 
+use crate::telemetry::Telemetry;
 use dra_adjgraph::DiffParams;
 use dra_encoding::{insert_set_last_reg_program, verify_program, EncodingConfig};
 use dra_ir::Program;
 use dra_isa::{code_size_bits, IsaGeometry};
 use dra_regalloc::{
     coalesce_allocate_program, irc_allocate_program, ospill_allocate_program, remap_program,
-    AllocConfig, CoalesceConfig, OspillConfig, RemapConfig, RemapStats, SelectStrategy,
+    AllocConfig, AllocStats, CoalesceConfig, OspillConfig, RemapConfig, RemapStats,
+    SelectStrategy,
 };
 use dra_sim::{simulate, LowEndConfig, SimResult};
 use dra_workloads::benchmark;
@@ -150,6 +152,9 @@ pub struct LowEndRun {
     pub entry_trace: Vec<dra_ir::BlockId>,
     /// Per-(function, block) execution counts (profile feedback).
     pub block_counts: std::collections::HashMap<(u32, u32), u64>,
+    /// Per-stage spans and work counters recorded while producing this
+    /// run (see [`crate::telemetry`] for the determinism contract).
+    pub telemetry: Telemetry,
     /// The compiled program (for further inspection).
     pub program: Program,
 }
@@ -176,6 +181,14 @@ pub enum PipelineError {
     Encoding(dra_encoding::DecodeError),
     /// Simulation failed.
     Sim(dra_sim::SimError),
+    /// A precomputed per-function pressure slice didn't cover the
+    /// program's functions (stale cache entry or caller error).
+    PressureMismatch {
+        /// Functions in the program being compiled.
+        funcs: usize,
+        /// Entries in the supplied pressures slice.
+        pressures: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -184,6 +197,10 @@ impl fmt::Display for PipelineError {
             PipelineError::Alloc(e) => write!(f, "allocation: {e}"),
             PipelineError::Encoding(e) => write!(f, "encoding: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+            PipelineError::PressureMismatch { funcs, pressures } => write!(
+                f,
+                "pressure table has {pressures} entries for a {funcs}-function program"
+            ),
         }
     }
 }
@@ -261,40 +278,112 @@ pub fn compile_program_with(
     setup: &LowEndSetup,
     pressures: Option<&[usize]>,
 ) -> Result<Vec<RemapStats>, PipelineError> {
+    let mut scratch = Telemetry::new();
+    compile_program_telemetry(p, approach, setup, pressures, &mut scratch)
+}
+
+/// Record an allocation's work counters and phase spans.
+fn record_alloc(t: &mut Telemetry, s: &AllocStats) {
+    t.count("alloc.rounds", s.rounds as u64);
+    t.count("alloc.spilled_vregs", s.spilled_vregs as u64);
+    t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
+    t.span_ns("alloc.liveness", s.liveness_nanos);
+    t.span_ns("alloc.build", s.build_nanos);
+    t.span_ns("alloc.color", s.color_nanos);
+}
+
+/// Record the remapping search's work counters and wall-clock span.
+///
+/// `evaluations` and `starts_run` are schedule-dependent only when a
+/// parallel search (`remap_threads != 1`) exits early on a zero-cost
+/// vector — the same caveat `RemapStats` documents.
+fn record_remap(t: &mut Telemetry, stats: &[RemapStats]) {
+    t.count("remap.functions", stats.len() as u64);
+    for st in stats {
+        t.count("remap.evaluations", st.evaluations);
+        t.count("remap.starts_run", st.starts_run as u64);
+        t.span_ns("remap", st.search_nanos);
+    }
+}
+
+fn record_repair(t: &mut Telemetry, s: &dra_encoding::RepairStats) {
+    t.count("repair.inserted", s.inserted as u64);
+    t.count("repair.out_of_range", s.out_of_range as u64);
+    t.count("repair.inconsistency", s.inconsistency as u64);
+}
+
+/// [`compile_program_with`], recording per-stage spans and work counters
+/// into `t` (see [`crate::telemetry`] for the names and the determinism
+/// contract).
+///
+/// # Errors
+///
+/// See [`PipelineError`]. A `pressures` slice that doesn't cover
+/// `p.funcs` is rejected up front as
+/// [`PipelineError::PressureMismatch`] — for any approach, since a
+/// mismatched table always signals a stale cache entry or caller error
+/// even when the approach would not consult it.
+pub fn compile_program_telemetry(
+    p: &mut Program,
+    approach: Approach,
+    setup: &LowEndSetup,
+    pressures: Option<&[usize]>,
+    t: &mut Telemetry,
+) -> Result<Vec<RemapStats>, PipelineError> {
+    if let Some(ps) = pressures {
+        if ps.len() != p.funcs.len() {
+            return Err(PipelineError::PressureMismatch {
+                funcs: p.funcs.len(),
+                pressures: ps.len(),
+            });
+        }
+    }
     let mut remap_stats: Vec<RemapStats> = Vec::new();
     match approach {
         Approach::Baseline => {
             let mut cfg = AllocConfig::baseline(setup.direct_regs);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            irc_allocate_program(p, &cfg)?;
+            let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
+            record_alloc(t, &s);
         }
         Approach::Remapping => {
             // Allocate with the larger register file using the plain
             // allocator, then permute the numbers post-pass.
             let mut cfg = AllocConfig::baseline(setup.diff.reg_n());
             cfg.call_clobbers = setup.call_clobbers.clone();
-            irc_allocate_program(p, &cfg)?;
+            let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
+            record_alloc(t, &s);
             remap_stats = remap_program(p, &setup.remap_config());
+            record_remap(t, &remap_stats);
         }
         Approach::Select => {
             let mut cfg = AllocConfig::differential(setup.diff);
             cfg.strategy = SelectStrategy::Differential;
             cfg.call_clobbers = setup.call_clobbers.clone();
-            irc_allocate_program(p, &cfg)?;
+            let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
+            record_alloc(t, &s);
             // Figure 4: remapping may always run after approach 2.
             remap_stats = remap_program(p, &setup.remap_config());
+            record_remap(t, &remap_stats);
         }
         Approach::OSpill => {
             let mut cfg = OspillConfig::new(setup.direct_regs);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            ospill_allocate_program(p, &cfg)?;
+            let s = t.time("alloc", || ospill_allocate_program(p, &cfg))?;
+            t.count("alloc.pressure_spills", s.pressure_spills as u64);
+            t.count("alloc.coloring_spills", s.coloring_spills as u64);
+            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
         }
         Approach::Coalesce => {
             let mut cfg = CoalesceConfig::new(setup.diff);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            coalesce_allocate_program(p, &cfg)?;
+            let s = t.time("alloc", || coalesce_allocate_program(p, &cfg))?;
+            t.count("alloc.pressure_spills", s.pressure_spills as u64);
+            t.count("alloc.coloring_spills", s.coloring_spills as u64);
+            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
             // Figure 4: remapping may always run after approach 3.
             remap_stats = remap_program(p, &setup.remap_config());
+            record_remap(t, &remap_stats);
         }
         Approach::Adaptive => {
             // Section 8.2: "we only need to enable differential encoding
@@ -312,14 +401,19 @@ pub fn compile_program_with(
                 if pressure <= setup.direct_regs as usize {
                     let mut cfg = AllocConfig::baseline(setup.direct_regs);
                     cfg.call_clobbers = setup.call_clobbers.clone();
-                    dra_regalloc::irc_allocate(f, &cfg)?;
+                    let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
+                    record_alloc(t, &s);
                 } else {
                     let mut cfg = AllocConfig::differential(setup.diff);
                     cfg.call_clobbers = setup.call_clobbers.clone();
-                    dra_regalloc::irc_allocate(f, &cfg)?;
-                    remap_stats.push(dra_regalloc::remap_function(f, &setup.remap_config()));
-                    dra_encoding::insert_set_last_reg(f, &enc);
-                    dra_encoding::verify_function(f, &enc)?;
+                    let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
+                    record_alloc(t, &s);
+                    let rs = dra_regalloc::remap_function(f, &setup.remap_config());
+                    record_remap(t, std::slice::from_ref(&rs));
+                    remap_stats.push(rs);
+                    let repair = t.time("repair", || dra_encoding::insert_set_last_reg(f, &enc));
+                    record_repair(t, &repair);
+                    t.time("verify", || dra_encoding::verify_function(f, &enc))?;
                 }
             }
             return Ok(remap_stats);
@@ -329,24 +423,29 @@ pub fn compile_program_with(
     // Differential approaches need the repair pass and verification.
     if approach.is_differential() {
         let enc = EncodingConfig::new(setup.diff);
-        insert_set_last_reg_program(p, &enc);
-        verify_program(p, &enc)?;
+        let repair = t.time("repair", || insert_set_last_reg_program(p, &enc));
+        record_repair(t, &repair);
+        t.time("verify", || verify_program(p, &enc))?;
     }
     Ok(remap_stats)
 }
 
-/// Compile and simulate a benchmark; the full Figure 11–14 measurement.
-///
-/// # Errors
-///
-/// See [`PipelineError`].
-pub fn compile_and_run(
-    name: &str,
+/// Shared tail of every `compile_and_run*` front end: simulate the
+/// compiled program, record the simulator's counters and span into
+/// `telemetry`, and assemble the [`LowEndRun`].
+pub(crate) fn finish_run(
+    program: Program,
     approach: Approach,
     setup: &LowEndSetup,
+    remap: Vec<RemapStats>,
+    mut telemetry: Telemetry,
 ) -> Result<LowEndRun, PipelineError> {
-    let (program, set_last_regs, remap) = compile_benchmark(name, approach, setup)?;
-    let sim: SimResult = simulate(&program, &setup.machine, &setup.args)?;
+    let set_last_regs = program.count_insts(|i| i.is_set_last_reg());
+    let sim: SimResult =
+        telemetry.time("simulate", || simulate(&program, &setup.machine, &setup.args))?;
+    for (name, value) in sim.counters() {
+        telemetry.count(name, value);
+    }
     let geometry: IsaGeometry = setup.machine.geometry;
     Ok(LowEndRun {
         approach,
@@ -363,8 +462,25 @@ pub fn compile_and_run(
         ret_value: sim.ret_value,
         entry_trace: sim.entry_trace,
         block_counts: sim.block_counts,
+        telemetry,
         program,
     })
+}
+
+/// Compile and simulate a benchmark; the full Figure 11–14 measurement.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_and_run(
+    name: &str,
+    approach: Approach,
+    setup: &LowEndSetup,
+) -> Result<LowEndRun, PipelineError> {
+    let mut telemetry = Telemetry::new();
+    let mut program = telemetry.time("parse", || benchmark(name));
+    let remap = compile_program_telemetry(&mut program, approach, setup, None, &mut telemetry)?;
+    finish_run(program, approach, setup, remap, telemetry)
 }
 
 #[cfg(test)]

@@ -12,11 +12,12 @@
 //! 3. recompile with a differential approach — the adjacency-graph edge
 //!    weights, spill costs, and coalesce scores now reflect reality.
 
-use crate::lowend::{compile_and_run, compile_program, Approach, LowEndSetup, PipelineError};
+use crate::lowend::{
+    compile_and_run, compile_program_telemetry, finish_run, Approach, LowEndSetup, PipelineError,
+};
+use crate::telemetry::Telemetry;
 use crate::LowEndRun;
 use dra_ir::Program;
-use dra_isa::code_size_bits;
-use dra_sim::simulate;
 use dra_workloads::benchmark;
 use std::collections::HashMap;
 
@@ -50,28 +51,11 @@ pub fn compile_and_run_profiled(
     // block counts, since allocation preserves control flow).
     let profile_run = compile_and_run(name, Approach::Baseline, setup)?;
 
-    let mut p = benchmark(name);
+    let mut telemetry = Telemetry::new();
+    let mut p = telemetry.time("parse", || benchmark(name));
     apply_profile(&mut p, &profile_run.block_counts);
-    let remap = compile_program(&mut p, approach, setup)?;
-    let set_last_regs = p.count_insts(|i| i.is_set_last_reg());
-    let sim = simulate(&p, &setup.machine, &setup.args)?;
-    Ok(LowEndRun {
-        approach,
-        remap,
-        spill_insts: p.count_insts(|i| i.is_spill()),
-        set_last_regs,
-        total_insts: p.num_insts(),
-        code_bits: code_size_bits(&p, &setup.machine.geometry),
-        cycles: sim.cycles,
-        dynamic_spills: sim.spill_accesses,
-        dynamic_set_last_regs: sim.set_last_regs,
-        icache_misses: sim.icache_misses,
-        dcache_misses: sim.dcache_misses,
-        ret_value: sim.ret_value,
-        entry_trace: sim.entry_trace,
-        block_counts: sim.block_counts,
-        program: p,
-    })
+    let remap = compile_program_telemetry(&mut p, approach, setup, None, &mut telemetry)?;
+    finish_run(p, approach, setup, remap, telemetry)
 }
 
 #[cfg(test)]

@@ -1,0 +1,666 @@
+//! Pipeline telemetry: a lightweight, dependency-free span/counter
+//! registry threaded through the compile→allocate→encode→verify→simulate
+//! pipeline.
+//!
+//! Before this module existed the pipeline's measurements were scattered:
+//! `RemapStats` carried the remap search's work counters, `RepairStats`
+//! and `AllocStats` were computed and then dropped on the floor by the
+//! drivers, and per-stage time was not recorded at all. [`Telemetry`] is
+//! the single sink: every pipeline cell records named **counters** (work
+//! done — spills, coalesced moves, repairs, remap evaluations, cache
+//! hits) and named **spans** (per-stage wall-clock nanoseconds), and cells
+//! merge into batch-level aggregates by summation.
+//!
+//! # Determinism contract
+//!
+//! The two kinds of measurement have different reproducibility guarantees,
+//! mirroring how `RemapStats::search_nanos` has always been normalized out
+//! of determinism tests:
+//!
+//! * **Counters are schedule-invariant**: they count work that is a pure
+//!   function of the input (and of fixed configuration such as
+//!   `RemapConfig::threads`), never of how the batch driver interleaved
+//!   cells. Aggregated counter values are bit-identical at any
+//!   `batch_threads` (pinned in `tests/batch_determinism.rs`).
+//! * **Spans are wall-clock only**: they measure elapsed time and vary run
+//!   to run. They are reported for profiling, excluded from every equality
+//!   contract, and dropped by [`Telemetry::clear_spans`] wherever runs are
+//!   compared.
+//!
+//! # JSON schema
+//!
+//! [`Telemetry::to_json`] emits a stable, versioned object (see
+//! [`SCHEMA`]):
+//!
+//! ```json
+//! {
+//!   "schema": "dra-telemetry-v1",
+//!   "binary": "fig11",
+//!   "counters": { "alloc.spilled_vregs": 42, ... },
+//!   "spans_ns": { "simulate": 1234567, ... }
+//! }
+//! ```
+//!
+//! Keys are sorted (both maps are `BTreeMap`s), counter/span names are
+//! dot-separated `stage.metric` identifiers, and values are unsigned
+//! integers. The figure/table binaries write one such object to
+//! `results/telemetry/<binary>.json`; `drac report <path>` parses,
+//! validates, and pretty-prints it — and the tier-1 smoke in
+//! `scripts/tier1.sh` uses that same validation as a schema regression
+//! guard. Parsing needs no dependency: [`parse_json`] is a minimal
+//! recursive-descent JSON reader sufficient for the schema (and strict
+//! enough to reject malformed files).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Schema identifier embedded in every emitted telemetry object. Bump the
+/// suffix when the layout changes incompatibly.
+pub const SCHEMA: &str = "dra-telemetry-v1";
+
+/// Keys every telemetry JSON object must carry to be schema-valid.
+pub const REQUIRED_KEYS: [&str; 4] = ["schema", "binary", "counters", "spans_ns"];
+
+/// The span/counter registry of one pipeline cell or one aggregated batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Telemetry {
+    counters: BTreeMap<String, u64>,
+    spans: BTreeMap<String, u64>,
+}
+
+impl Telemetry {
+    /// An empty registry.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Add `nanos` to span `name` (creating it at zero).
+    pub fn span_ns(&mut self, name: &str, nanos: u64) {
+        *self.spans.entry(name.to_string()).or_insert(0) += nanos;
+    }
+
+    /// Run `f`, recording its wall-clock time under span `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.span_ns(name, t0.elapsed().as_nanos() as u64);
+        r
+    }
+
+    /// The value of counter `name` (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The accumulated nanoseconds of span `name` (0 if never recorded).
+    pub fn span(&self, name: &str) -> u64 {
+        self.spans.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All spans (nanoseconds), sorted by name.
+    pub fn spans(&self) -> &BTreeMap<String, u64> {
+        &self.spans
+    }
+
+    /// Sum another registry into this one (counters and spans add).
+    pub fn merge(&mut self, other: &Telemetry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.spans {
+            *self.spans.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Overwrite counter `name` with `value` (creating it if absent).
+    /// Exists for test normalization: the remap search's work counters
+    /// are schedule-dependent under a parallel early exit and get pinned
+    /// to zero before runs are compared.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Drop every span. Used wherever two runs are compared for
+    /// equality: spans are wall-clock-only and exempt from the
+    /// determinism contract (two identical pipelines may not even record
+    /// the same span *keys* — e.g. a cache-served run has no `parse`).
+    pub fn clear_spans(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Serialize as the stable `dra-telemetry-v1` JSON object.
+    pub fn to_json(&self, binary: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"binary\": \"{}\",", escape_json(binary));
+        let _ = writeln!(out, "  \"counters\": {{");
+        write_map(&mut out, &self.counters);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"spans_ns\": {{");
+        write_map(&mut out, &self.spans);
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Write `to_json` to `results/telemetry/<binary>.json` relative to
+    /// `root`, creating the directory. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (missing `root`, permissions).
+    pub fn write_results(
+        &self,
+        root: &std::path::Path,
+        binary: &str,
+    ) -> std::io::Result<PathBuf> {
+        let dir = root.join("results").join("telemetry");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{binary}.json"));
+        std::fs::write(&path, self.to_json(binary))?;
+        Ok(path)
+    }
+}
+
+fn write_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    let n = map.len();
+    for (i, (k, v)) in map.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {v}{comma}", escape_json(k));
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (validation + `drac report`); no dependencies.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integral values round-trip exactly up to 2^63.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys sorted.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as u64, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// A human-readable description with the byte offset of the failure.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {s:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences intact).
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        map.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut arr = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(arr));
+    }
+    loop {
+        arr.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation + report rendering (`drac report`, tier-1 smoke).
+// ---------------------------------------------------------------------------
+
+/// A schema-validated telemetry document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryReport {
+    /// The emitting binary's name.
+    pub binary: String,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Span name → nanoseconds.
+    pub spans_ns: BTreeMap<String, u64>,
+}
+
+/// Parse and schema-validate a telemetry JSON document.
+///
+/// # Errors
+///
+/// A description of the first violation: parse failure, missing required
+/// key ([`REQUIRED_KEYS`]), wrong schema identifier, or a non-integer
+/// counter/span value.
+pub fn validate_telemetry(src: &str) -> Result<TelemetryReport, String> {
+    let doc = parse_json(src)?;
+    let obj = doc.as_obj().ok_or("top level is not an object")?;
+    for key in REQUIRED_KEYS {
+        if !obj.contains_key(key) {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    let schema = obj["schema"]
+        .as_str()
+        .ok_or("\"schema\" is not a string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let binary = obj["binary"]
+        .as_str()
+        .ok_or("\"binary\" is not a string")?
+        .to_string();
+    let read_map = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+        let m = obj[key]
+            .as_obj()
+            .ok_or_else(|| format!("{key:?} is not an object"))?;
+        m.iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("{key:?} entry {k:?} is not an unsigned integer"))
+            })
+            .collect()
+    };
+    Ok(TelemetryReport {
+        binary,
+        counters: read_map("counters")?,
+        spans_ns: read_map("spans_ns")?,
+    })
+}
+
+impl TelemetryReport {
+    /// Human-readable rendering (the body of `drac report`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry — {}", self.binary);
+        let width = self
+            .counters
+            .keys()
+            .chain(self.spans_ns.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, "counters:");
+        if self.counters.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  {k:<width$}  {v}");
+        }
+        let _ = writeln!(out, "spans (wall-clock):");
+        if self.spans_ns.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for (k, v) in &self.spans_ns {
+            let _ = writeln!(out, "  {k:<width$}  {:.3} ms", *v as f64 / 1e6);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_spans_accumulate() {
+        let mut t = Telemetry::new();
+        t.count("a.x", 2);
+        t.count("a.x", 3);
+        t.span_ns("s", 10);
+        t.span_ns("s", 5);
+        assert_eq!(t.counter("a.x"), 5);
+        assert_eq!(t.span("s"), 15);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_sums_both_kinds() {
+        let mut a = Telemetry::new();
+        a.count("c", 1);
+        a.span_ns("s", 7);
+        let mut b = Telemetry::new();
+        b.count("c", 2);
+        b.count("d", 4);
+        b.span_ns("s", 3);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("d"), 4);
+        assert_eq!(a.span("s"), 10);
+    }
+
+    #[test]
+    fn clear_spans_keeps_counters() {
+        let mut t = Telemetry::new();
+        t.count("c", 9);
+        t.span_ns("s", 9);
+        t.clear_spans();
+        assert_eq!(t.counter("c"), 9);
+        assert!(t.spans().is_empty());
+        t.set_counter("c", 0);
+        assert_eq!(t.counter("c"), 0);
+    }
+
+    #[test]
+    fn time_records_a_span() {
+        let mut t = Telemetry::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.spans().contains_key("work"));
+    }
+
+    #[test]
+    fn json_roundtrips_through_validation() {
+        let mut t = Telemetry::new();
+        t.count("alloc.spilled_vregs", 42);
+        t.count("sim.cycles", 123_456_789);
+        t.span_ns("simulate", 5_000_000);
+        let json = t.to_json("fig99");
+        let rep = validate_telemetry(&json).expect("schema-valid");
+        assert_eq!(rep.binary, "fig99");
+        assert_eq!(rep.counters["alloc.spilled_vregs"], 42);
+        assert_eq!(rep.counters["sim.cycles"], 123_456_789);
+        assert_eq!(rep.spans_ns["simulate"], 5_000_000);
+    }
+
+    #[test]
+    fn empty_registry_is_still_schema_valid() {
+        let json = Telemetry::new().to_json("empty");
+        let rep = validate_telemetry(&json).unwrap();
+        assert!(rep.counters.is_empty());
+        assert!(rep.spans_ns.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_documents() {
+        assert!(validate_telemetry("not json").is_err());
+        assert!(validate_telemetry("[1,2,3]").is_err());
+        assert!(validate_telemetry("{}").unwrap_err().contains("schema"));
+        let missing =
+            "{\"schema\": \"dra-telemetry-v1\", \"binary\": \"x\", \"counters\": {}}";
+        assert!(validate_telemetry(missing).unwrap_err().contains("spans_ns"));
+        let wrong_schema =
+            "{\"schema\": \"v0\", \"binary\": \"x\", \"counters\": {}, \"spans_ns\": {}}";
+        assert!(validate_telemetry(wrong_schema).unwrap_err().contains("expected"));
+        let float_counter = "{\"schema\": \"dra-telemetry-v1\", \"binary\": \"x\", \
+             \"counters\": {\"c\": 1.5}, \"spans_ns\": {}}";
+        assert!(validate_telemetry(float_counter)
+            .unwrap_err()
+            .contains("unsigned integer"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_grammar() {
+        assert_eq!(parse_json("null"), Ok(Json::Null));
+        assert_eq!(parse_json(" true "), Ok(Json::Bool(true)));
+        assert_eq!(parse_json("-2.5e1"), Ok(Json::Num(-25.0)));
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\u0041\""),
+            Ok(Json::Str("a\n\"bA".to_string()))
+        );
+        assert_eq!(
+            parse_json("[1, [2], {}]"),
+            Ok(Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Arr(vec![Json::Num(2.0)]),
+                Json::Obj(BTreeMap::new())
+            ]))
+        );
+        let obj = parse_json("{\"k\": 7, \"s\": \"v\"}").unwrap();
+        assert_eq!(obj.as_obj().unwrap()["k"].as_u64(), Some(7));
+        assert_eq!(obj.as_obj().unwrap()["s"].as_str(), Some("v"));
+        // Malformed inputs are rejected, not mangled.
+        assert!(parse_json("{\"k\": }").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("\"open").is_err());
+        assert!(parse_json("").is_err());
+    }
+
+    #[test]
+    fn escaping_roundtrips_through_parser() {
+        let mut t = Telemetry::new();
+        t.count("weird\"name\\with\nescapes", 1);
+        let rep = validate_telemetry(&t.to_json("bin\"ary")).unwrap();
+        assert_eq!(rep.binary, "bin\"ary");
+        assert_eq!(rep.counters["weird\"name\\with\nescapes"], 1);
+    }
+
+    #[test]
+    fn report_renders_counters_and_spans() {
+        let mut t = Telemetry::new();
+        t.count("c.one", 11);
+        t.span_ns("stage", 2_500_000);
+        let rep = validate_telemetry(&t.to_json("b")).unwrap();
+        let text = rep.render();
+        assert!(text.contains("telemetry — b"));
+        assert!(text.contains("c.one"));
+        assert!(text.contains("11"));
+        assert!(text.contains("2.500 ms"));
+    }
+
+    #[test]
+    fn write_results_creates_the_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "dra-telemetry-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t = Telemetry::new();
+        t.count("c", 1);
+        let path = t.write_results(&dir, "unit").unwrap();
+        assert!(path.ends_with("results/telemetry/unit.json"));
+        let src = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_telemetry(&src).unwrap().counters["c"], 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

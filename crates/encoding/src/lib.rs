@@ -37,5 +37,8 @@ pub mod verify;
 
 pub use binary::{assemble_function, disassemble_trace, AssembledFunction, BinaryError};
 pub use repair::{insert_set_last_reg, insert_set_last_reg_program, EncodingConfig, RepairPlacement, RepairStats};
-pub use state::{transfer_block, DecodeState, LastReg};
+pub use state::{
+    block_entry_states, block_entry_states_ordered, block_entry_states_reference_ordered,
+    transfer_block, DecodeState, LastReg,
+};
 pub use verify::{decode_trace, encode_fields, verify_function, verify_program, DecodeError};

@@ -207,7 +207,75 @@ pub fn block_entry_states(f: &Function, class: RegClass) -> Vec<DecodeState> {
 }
 
 /// [`block_entry_states`] under an explicit access order.
+///
+/// Worklist fixpoint with memoized per-block out-states: each block's
+/// transfer runs once up front and again only when its in-state changes,
+/// instead of once per predecessor edge per sweep. The transfer functions
+/// are monotone on the finite three-point lattice, so this reaches the
+/// same least fixpoint as the naive Jacobi iteration (pinned against
+/// [`block_entry_states_reference_ordered`] by a property test).
 pub fn block_entry_states_ordered(
+    f: &Function,
+    class: RegClass,
+    order: AccessOrder,
+) -> Vec<DecodeState> {
+    let nb = f.num_blocks();
+    let entry = f.entry.index();
+    let mut in_st = vec![DecodeState::Bot; nb];
+    in_st[entry] = DecodeState::Top;
+
+    // Memoized out-states for *every* block, including CFG-unreachable
+    // ones: the reference iteration meets in each predecessor's
+    // `transfer(in)` unconditionally, so an unreachable predecessor still
+    // contributes `transfer(Bot)`.
+    let mut out_st: Vec<DecodeState> = (0..nb)
+        .map(|bi| transfer_block_ordered(f, bi, class, order, in_st[bi]))
+        .collect();
+
+    let rpo = f.reverse_postorder();
+    let mut in_queue = vec![false; nb];
+    let mut queue: VecDeque<usize> = rpo
+        .iter()
+        .map(|b| {
+            in_queue[b.index()] = true;
+            b.index()
+        })
+        .collect();
+    while let Some(bi) = queue.pop_front() {
+        in_queue[bi] = false;
+        let mut inp = if bi == entry {
+            DecodeState::Top
+        } else {
+            DecodeState::Bot
+        };
+        for &p in &f.blocks[bi].preds {
+            inp = inp.meet(out_st[p.index()]);
+        }
+        if inp == in_st[bi] {
+            continue;
+        }
+        in_st[bi] = inp;
+        let new_out = transfer_block_ordered(f, bi, class, order, inp);
+        if new_out == out_st[bi] {
+            continue;
+        }
+        out_st[bi] = new_out;
+        for &s in &f.blocks[bi].succs {
+            let si = s.index();
+            if !in_queue[si] {
+                in_queue[si] = true;
+                queue.push_back(si);
+            }
+        }
+    }
+    in_st
+}
+
+/// The original sweep-until-stable fixpoint of [`block_entry_states`],
+/// kept as the oracle the memoized worklist is property-tested against.
+/// O(blocks · insts) per sweep — use [`block_entry_states_ordered`]
+/// outside of tests.
+pub fn block_entry_states_reference_ordered(
     f: &Function,
     class: RegClass,
     order: AccessOrder,
@@ -404,5 +472,74 @@ mod tests {
         let f = b.finish();
         let states = block_entry_states(&f, RegClass::Int);
         assert_eq!(states[0], DecodeState::Top);
+    }
+
+    /// `set(value, 0)` overtakes an in-flight delayed set: the pending
+    /// queue is dropped, so the stale delayed value must never land.
+    #[test]
+    fn immediate_set_clears_pending_delayed_sets() {
+        let mut l = LastReg::known(1);
+        l.set(9, 2); // delayed: would land after two fields
+        l.set(3, 0); // immediate set overtakes it
+        assert_eq!(l.current(), Some(3));
+        // However many fields later, 9 must never surface.
+        for _ in 0..4 {
+            l.after_field(None);
+            assert_eq!(l.current(), Some(3), "stale delayed set fired");
+        }
+        // Contrast: without the immediate set the delayed one does land.
+        let mut l = LastReg::known(1);
+        l.set(9, 2);
+        l.after_field(None);
+        assert_eq!(l.current(), Some(1), "delay not yet elapsed");
+        l.after_field(None);
+        assert_eq!(l.current(), Some(9), "delayed set lands on time");
+    }
+
+    /// An immediate set also drops *multiple* queued delayed sets.
+    #[test]
+    fn immediate_set_clears_whole_queue() {
+        let mut l = LastReg::default();
+        l.set(5, 1);
+        l.set(6, 3);
+        l.set(2, 0);
+        for _ in 0..5 {
+            l.after_field(None);
+        }
+        assert_eq!(l.current(), Some(2));
+    }
+
+    /// The memoized worklist computes exactly what the reference sweep
+    /// does, including for blocks unreachable from the entry (whose
+    /// `transfer(Bot)` output still feeds reachable successors' meets).
+    #[test]
+    fn memoized_entry_states_match_reference_with_unreachable_block() {
+        let mut b = FunctionBuilder::new("f");
+        let dead = b.new_block();
+        let j = b.new_block();
+        b.push(Inst::Mov {
+            dst: PReg(4).into(),
+            src: PReg(0).into(),
+        });
+        b.br(j);
+        b.switch_to(dead);
+        b.push(Inst::Mov {
+            dst: PReg(7).into(),
+            src: PReg(0).into(),
+        });
+        b.ret(None);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        for order in [AccessOrder::SrcsThenDst, AccessOrder::DstThenSrcs] {
+            let fast = block_entry_states_ordered(&f, RegClass::Int, order);
+            let slow = block_entry_states_reference_ordered(&f, RegClass::Int, order);
+            assert_eq!(fast, slow, "order {order:?}");
+        }
+        assert_eq!(
+            block_entry_states(&f, RegClass::Int)[dead.index()],
+            DecodeState::Bot,
+            "unreachable block stays at Bot"
+        );
     }
 }

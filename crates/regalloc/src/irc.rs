@@ -92,6 +92,11 @@ impl AllocConfig {
 }
 
 /// Statistics of a finished allocation.
+///
+/// The `*_nanos` fields are wall-clock phase timings summed over all
+/// rounds. Unlike the work counters they vary run to run; like
+/// `RemapStats::search_nanos` they are reported for profiling only and
+/// excluded from every determinism comparison.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct AllocStats {
     /// Build/select rounds executed (1 = no spilling needed).
@@ -100,6 +105,14 @@ pub struct AllocStats {
     pub spilled_vregs: usize,
     /// Move instructions removed by coalescing in the final round.
     pub moves_coalesced: usize,
+    /// Wall-clock ns in liveness analysis, all rounds.
+    pub liveness_nanos: u64,
+    /// Wall-clock ns building the interference graph (and, for
+    /// differential select, the vreg adjacency index), all rounds.
+    pub build_nanos: u64,
+    /// Wall-clock ns in simplify/coalesce/select plus the final rewrite
+    /// (or the spill rewrite of a failed round), all rounds.
+    pub color_nanos: u64,
 }
 
 /// Errors the allocator can report.
@@ -146,12 +159,17 @@ pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, A
             });
         }
         stats.rounds += 1;
+        let t0 = std::time::Instant::now();
         let liveness = Liveness::compute(f);
+        let t1 = std::time::Instant::now();
+        stats.liveness_nanos += (t1 - t0).as_nanos() as u64;
         let ig = InterferenceGraph::build(f, &liveness, cfg.class, &cfg.call_clobbers);
         let adjacency = match cfg.strategy {
             SelectStrategy::Differential => Some(build_vreg_adjacency(f, cfg.class).index()),
             SelectStrategy::Lowest | SelectStrategy::Biased => None,
         };
+        let t2 = std::time::Instant::now();
+        stats.build_nanos += (t2 - t1).as_nanos() as u64;
         let mut state = IrcState::new(f, ig, adjacency.as_ref(), cfg);
         state.temp_watermark = temp_watermark;
         if cfg.spill_metric == SpillMetric::GlobalCoverage {
@@ -160,6 +178,7 @@ pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, A
         state.run();
         if state.spilled_nodes.is_empty() {
             stats.moves_coalesced = apply_allocation(f, &state, cfg);
+            stats.color_nanos += t2.elapsed().as_nanos() as u64;
             return Ok(stats);
         }
         let to_spill: Vec<VReg> = state
@@ -169,6 +188,7 @@ pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, A
             .collect();
         stats.spilled_vregs += to_spill.len();
         rewrite_spills(f, &to_spill);
+        stats.color_nanos += t2.elapsed().as_nanos() as u64;
     }
 }
 
@@ -815,6 +835,9 @@ pub fn irc_allocate_program(
         total.rounds = total.rounds.max(s.rounds);
         total.spilled_vregs += s.spilled_vregs;
         total.moves_coalesced += s.moves_coalesced;
+        total.liveness_nanos += s.liveness_nanos;
+        total.build_nanos += s.build_nanos;
+        total.color_nanos += s.color_nanos;
     }
     Ok(total)
 }

@@ -89,6 +89,24 @@ pub struct SimResult {
     pub block_counts: HashMap<(u32, u32), u64>,
 }
 
+impl SimResult {
+    /// The deterministic scalar measurements as `(name, value)` pairs,
+    /// named for the telemetry registry (`sim.*`). The simulator is fully
+    /// deterministic, so these are pure functions of the simulated
+    /// program and machine configuration.
+    pub fn counters(&self) -> [(&'static str, u64); 7] {
+        [
+            ("sim.cycles", self.cycles),
+            ("sim.insts_fetched", self.insts_fetched),
+            ("sim.insts_executed", self.insts_executed),
+            ("sim.spill_accesses", self.spill_accesses),
+            ("sim.set_last_regs", self.set_last_regs),
+            ("sim.icache_misses", self.icache_misses),
+            ("sim.dcache_misses", self.dcache_misses),
+        ]
+    }
+}
+
 const TRACE_CAP: usize = 4096;
 /// Each activation's spill frame is this many bytes apart on the stack.
 const FRAME_BYTES: u64 = 1 << 12;

@@ -116,10 +116,24 @@ pub fn pipeline_loop(ddg: &LoopDdg, cfg: &PipelineConfig) -> Result<PipelinedLoo
     // Fit the register file: spill long-lived values while profitable;
     // when no lifetime exceeds the II (spilling can't shorten anything),
     // raise the II instead — both escape hatches the paper names.
+    // Selective enabling (Section 8.2), decided once from the initial
+    // requirement: a loop that fits the direct window is compiled
+    // entirely within it — the same spill/II path as on the
+    // `reg_n = diff_n` baseline — so its result cannot depend on the
+    // sweep point. Without the cap, the greedy arc coloring's overshoot
+    // of MaxLive can borrow differential-only registers for a loop that
+    // needs none, silently enabling differential encoding with a repair
+    // count that varies by `reg_n`.
+    let direct_n = cfg.diff_n.min(cfg.reg_n);
+    let limit = if max_live_initial > direct_n as usize {
+        cfg.reg_n
+    } else {
+        direct_n
+    };
     let mut alloc = None;
     for _ in 0..cfg.max_spills + cfg.max_ii {
-        if max_live(&work, &schedule) <= cfg.reg_n as usize {
-            alloc = allocate_kernel(&work, &schedule, cfg.reg_n);
+        if max_live(&work, &schedule) <= limit as usize {
+            alloc = allocate_kernel(&work, &schedule, limit);
             if alloc.is_some() {
                 break;
             }

@@ -56,7 +56,10 @@ fn main() {
     );
     let cfg = AllocConfig::differential(params);
     let stats = irc_allocate(&mut f, &cfg).expect("allocation succeeds");
-    println!("allocated: {stats:?}");
+    println!(
+        "allocated: {} rounds, {} vregs spilled, {} moves coalesced",
+        stats.rounds, stats.spilled_vregs, stats.moves_coalesced
+    );
 
     // 3. Repair: insert set_last_reg wherever a difference is out of range
     //    or control-flow paths disagree.

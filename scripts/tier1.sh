@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and one-shot
-# smokes of the remap_scaling and irc_build benches (criterion's `--test`
-# mode runs each bench body exactly once, so regressions in the bench
-# harnesses, the incremental-search plumbing, or the interference-graph
-# representations fail CI without paying for a full sweep).
+# Tier-1 verification: release build, full test suite, one-shot smokes of
+# the remap_scaling and irc_build benches (criterion's `--test` mode runs
+# each bench body exactly once, so regressions in the bench harnesses,
+# the incremental-search plumbing, or the interference-graph
+# representations fail CI without paying for a full sweep), and a
+# telemetry smoke: one figure binary must emit a schema-valid
+# results/telemetry/*.json that `drac report` accepts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +13,8 @@ cargo build --release
 cargo test -q
 cargo bench --bench remap_scaling -- --test
 cargo bench --bench irc_build -- --test
+
+rm -f results/telemetry/fig11.json
+cargo run -q -p dra-bench --release --bin fig11 > /dev/null
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry/fig11.json > /dev/null
+echo "telemetry smoke OK"

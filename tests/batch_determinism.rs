@@ -5,20 +5,27 @@
 //! The only fields excluded are the remap search's work counters
 //! (`evaluations`, `starts_run`, `search_nanos`): they measure wall-clock
 //! and scheduling, not the compilation result, and are documented as
-//! schedule-dependent by `RemapConfig::threads`.
+//! schedule-dependent by `RemapConfig::threads`. Telemetry spans are
+//! wall-clock by definition and are likewise excluded; telemetry
+//! *counters* are part of the contract, with the same remap-work carve-out
+//! when the parallel remap search is enabled.
 
-use dra_core::batch::{run_batch, run_lowend_matrix};
+use dra_core::batch::{run_batch, run_lowend_matrix, run_lowend_matrix_with_telemetry};
 use dra_core::highend::run_highend_sweep;
 use dra_core::lowend::{Approach, LowEndRun, LowEndSetup};
 use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
 
-/// Zero the schedule-dependent remap work counters.
+/// Zero the schedule-dependent remap work counters and drop wall-clock
+/// telemetry spans.
 fn normalized(mut r: LowEndRun) -> LowEndRun {
     for st in &mut r.remap {
         st.evaluations = 0;
         st.starts_run = 0;
         st.search_nanos = 0;
     }
+    r.telemetry.clear_spans();
+    r.telemetry.set_counter("remap.evaluations", 0);
+    r.telemetry.set_counter("remap.starts_run", 0);
     r
 }
 
@@ -52,6 +59,37 @@ fn lowend_matrix_identical_across_thread_counts() {
             Some(want) => assert_eq!(
                 want, &matrix,
                 "matrix diverged at batch_threads = {threads}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn telemetry_counter_aggregates_identical_across_thread_counts() {
+    let names = ["crc32", "bitcount", "sha"];
+    let approaches = [
+        Approach::Baseline,
+        Approach::Remapping,
+        Approach::Select,
+        Approach::Adaptive,
+    ];
+    // With a single remap-search thread even the remap work counters are
+    // schedule-invariant, so the *entire* aggregated counter map must be
+    // bit-identical at any batch width.
+    let mut setup = LowEndSetup::default();
+    setup.remap_starts = 50;
+    setup.remap_threads = 1;
+
+    let mut reference = None;
+    for threads in [1usize, 2, 8] {
+        setup.batch_threads = threads;
+        let (_, mut telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+        telemetry.clear_spans();
+        match &reference {
+            None => reference = Some(telemetry),
+            Some(want) => assert_eq!(
+                want, &telemetry,
+                "telemetry counters diverged at batch_threads = {threads}"
             ),
         }
     }

@@ -6,8 +6,11 @@
 //! the execution takes through joins, loops, and calls.
 
 use dra_adjgraph::DiffParams;
-use dra_encoding::{decode_trace, insert_set_last_reg, verify_function, EncodingConfig};
-use dra_ir::{BlockId, Cond, Function, FunctionBuilder, Inst, PReg, RegClass};
+use dra_encoding::{
+    block_entry_states_ordered, block_entry_states_reference_ordered, decode_trace,
+    insert_set_last_reg, verify_function, EncodingConfig,
+};
+use dra_ir::{AccessOrder, BlockId, Cond, Function, FunctionBuilder, Inst, PReg, RegClass};
 use proptest::prelude::*;
 
 /// A random fully-physical function over `reg_n` registers: straight-line
@@ -153,6 +156,27 @@ proptest! {
         prop_assert!(verify_function(&f, &cfg).is_err());
     }
 
+    /// The memoized worklist dataflow reaches exactly the same entry
+    /// states as the reference sweep-until-stable iteration, under both
+    /// access orders (and after repair, which adds `set_last_reg`s the
+    /// transfer functions must agree on).
+    #[test]
+    fn memoized_entry_states_match_reference(
+        f in arb_function(12),
+        repaired in any::<bool>(),
+    ) {
+        let mut f = f;
+        if repaired {
+            let cfg = EncodingConfig::new(DiffParams::new(12, 4));
+            insert_set_last_reg(&mut f, &cfg);
+        }
+        for order in [AccessOrder::SrcsThenDst, AccessOrder::DstThenSrcs] {
+            let fast = block_entry_states_ordered(&f, RegClass::Int, order);
+            let slow = block_entry_states_reference_ordered(&f, RegClass::Int, order);
+            prop_assert_eq!(fast, slow, "diverged under {:?}", order);
+        }
+    }
+
     /// Reserved registers never break decodability.
     #[test]
     fn reserved_registers_decode(
@@ -166,6 +190,64 @@ proptest! {
         let walk = random_walk(&f, &decisions, 24);
         prop_assert!(decode_trace(&f, &cfg, &walk).is_ok());
     }
+}
+
+/// A straight-line function exercising an immediate `set_last_reg`
+/// overtaking an in-flight delayed one. When `with_overtake` is false the
+/// pending delayed set is left to land mid-stream.
+fn overtake_function(with_overtake: bool) -> Function {
+    let slr = |value: u8, delay: u8| Inst::SetLastReg {
+        class: RegClass::Int,
+        value,
+        delay,
+    };
+    let mut b = FunctionBuilder::new("overtake");
+    b.push(slr(3, 0)); // establish a known last_reg
+    b.push(slr(9, 2)); // delayed: lands after two field decodes…
+    if with_overtake {
+        b.push(slr(3, 0)); // …unless an immediate set clears the queue
+    }
+    // Two field decodes (src r3 then dst r4). If the stale 9 still lands
+    // here, last_reg becomes 9 before the next instruction.
+    b.push(Inst::Mov {
+        dst: PReg(4).into(),
+        src: PReg(3).into(),
+    });
+    // From last_reg = 4 the diffs are 1 and 1; from a stale 9, r5 is
+    // (5 - 9) mod 12 = 8 >= DiffN = 4 and cannot be encoded.
+    b.push(Inst::Mov {
+        dst: PReg(6).into(),
+        src: PReg(5).into(),
+    });
+    b.ret(None);
+    b.finish()
+}
+
+/// Satellite pin: the repair pass, the static encoder, and the dynamic
+/// trace decoder all agree that `set_last_reg(v, 0)` clears any pending
+/// delayed set — and that without the immediate set, the delayed one
+/// really does land (so the test discriminates).
+#[test]
+fn immediate_set_overtakes_delayed_set_everywhere() {
+    let cfg = EncodingConfig::new(DiffParams::new(12, 4));
+
+    let mut f = overtake_function(true);
+    // Repair pass: the function is already consistent; nothing to add.
+    let stats = insert_set_last_reg(&mut f, &cfg);
+    assert_eq!(stats.inserted, 0, "repair saw a stale pending set");
+    // Static encoder: every field encodes from the overtaken state.
+    assert!(verify_function(&f, &cfg).is_ok());
+    // Dynamic decoder: the hardware walk recovers the named registers.
+    let decoded = decode_trace(&f, &cfg, &[f.entry]).expect("trace decodes");
+    assert_eq!(decoded, vec![3, 4, 5, 6]);
+
+    // Without the overtaking set the delayed 9 lands after two decodes
+    // and r5 falls out of the differential window.
+    let stale = overtake_function(false);
+    assert!(
+        verify_function(&stale, &cfg).is_err(),
+        "delayed set never landed — the contrast case is not discriminating"
+    );
 }
 
 #[test]
