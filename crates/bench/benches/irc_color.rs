@@ -1,0 +1,227 @@
+//! Color-stage cost: the set-based IRC engine (`irc::reference`) vs the
+//! dense indexed engine, across workload sizes.
+//!
+//! PR 2 made graph *construction* fast; `AllocStats::color_nanos` (the
+//! simplify/coalesce/freeze/select worklist loop plus the rewrite) then
+//! dominated allocation time. The dense engine replaces the `BTreeSet`
+//! worklists, `HashSet` membership tests, per-node move sets, and
+//! chain-walk aliasing with per-node state arrays, bitset worklists, CSR
+//! move lists, and path-compressed union-find — with bit-identical
+//! output, which this benchmark re-asserts on every workload before
+//! timing anything.
+//!
+//! Two variants per size:
+//!
+//! * `reference-color/S` — full `irc::reference::irc_allocate`.
+//! * `dense-color/S` — full `irc_allocate` on the dense engine.
+//!
+//! After the criterion sweep (skipped under `--test`), a headline summary
+//! compares the *color-stage* time (`color_nanos`, minimum over ~0.4 s of
+//! runs) on every size, prints the largest-workload speedup (acceptance
+//! bar: 2x), and writes `results/irc_color.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_ir::{Function, PReg};
+use dra_regalloc::irc::reference;
+use dra_regalloc::{irc_allocate, AllocConfig, SelectStrategy};
+use dra_workloads::mibench::{generate, BenchSpec};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Call-clobbered registers, matching `LowEndSetup::default`.
+const CLOBBERS: [PReg; 2] = [PReg(0), PReg(1)];
+
+/// A synthetic workload of roughly increasing interference-graph size
+/// (same shapes as `irc_build.rs` so the results files line up).
+fn spec(name: &'static str, pressure: usize, block_len: usize, loops: usize) -> BenchSpec {
+    BenchSpec {
+        name,
+        seed: 0x1e6_b111d,
+        funcs: 1,
+        pressure,
+        block_len,
+        loops_per_func: loops,
+        max_depth: 2,
+        mem_ratio: 0.15,
+        call_ratio: 0.0,
+        branch_ratio: 0.4,
+        trip_range: (4, 16),
+        muldiv_ratio: 0.2,
+    }
+}
+
+fn sizes() -> Vec<BenchSpec> {
+    vec![
+        spec("small", 8, 24, 2),
+        spec("medium", 16, 48, 4),
+        spec("large", 32, 96, 8),
+        spec("huge", 96, 256, 16),
+    ]
+}
+
+/// The workload's single largest function.
+fn workload(s: &BenchSpec) -> Function {
+    generate(s)
+        .funcs
+        .into_iter()
+        .max_by_key(|f| f.count_insts(|_| true))
+        .expect("workload has a function")
+}
+
+/// The allocator configuration under test (baseline select; the
+/// differential path is timed separately in the headline).
+fn cfg() -> AllocConfig {
+    let mut cfg = AllocConfig::baseline(12);
+    cfg.call_clobbers = CLOBBERS.to_vec();
+    cfg
+}
+
+fn bench_irc_color(c: &mut Criterion) {
+    // Equivalence gate: both engines must produce bit-identical programs
+    // and work counters on every benchmark workload, under both the
+    // baseline and the differential strategy. Runs before the `--test`
+    // early-return so the CI smoke re-proves it on every tier-1 run.
+    for s in sizes() {
+        let f = workload(&s);
+        for strategy in [SelectStrategy::Lowest, SelectStrategy::Differential] {
+            let mut acfg = cfg();
+            acfg.strategy = strategy;
+            if strategy == SelectStrategy::Differential {
+                acfg.params = dra_adjgraph::DiffParams::new(12, 8);
+            }
+            let mut fd = f.clone();
+            let mut fr = f.clone();
+            let sd = irc_allocate(&mut fd, &acfg).expect("dense allocates");
+            let sr = reference::irc_allocate(&mut fr, &acfg).expect("reference allocates");
+            assert_eq!(fd, fr, "engines diverge on {} ({:?})", s.name, strategy);
+            assert_eq!(
+                (sd.rounds, sd.spilled_vregs, sd.moves_coalesced,
+                 sd.simplify_steps, sd.coalesce_steps, sd.freeze_steps, sd.spill_selects),
+                (sr.rounds, sr.spilled_vregs, sr.moves_coalesced,
+                 sr.simplify_steps, sr.coalesce_steps, sr.freeze_steps, sr.spill_selects),
+                "work counters diverge on {} ({:?})", s.name, strategy
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("irc_color");
+    group.sample_size(10);
+    for s in sizes() {
+        let f = workload(&s);
+        group.bench_with_input(BenchmarkId::new("reference-color", s.name), &f, |b, f| {
+            b.iter(|| {
+                let mut f = f.clone();
+                black_box(reference::irc_allocate(&mut f, &cfg())).expect("allocates")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dense-color", s.name), &f, |b, f| {
+            b.iter(|| {
+                let mut f = f.clone();
+                black_box(irc_allocate(&mut f, &cfg())).expect("allocates")
+            })
+        });
+    }
+    group.finish();
+
+    // Headline comparison + results/irc_color.json; skipped under
+    // `--test` (CI smoke).
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+
+    /// Minimum `color_nanos` over ~0.4 s of full allocations. The minimum
+    /// is the noise-robust statistic: preemption and frequency scaling
+    /// only ever add time.
+    fn min_color_nanos(f: &Function, acfg: &AllocConfig, run_ref: bool) -> (u64, u64) {
+        let run = |f2: &mut Function| {
+            if run_ref {
+                reference::irc_allocate(f2, acfg).expect("allocates")
+            } else {
+                irc_allocate(f2, acfg).expect("allocates")
+            }
+        };
+        let mut best_color = u64::MAX;
+        let mut best_total = u64::MAX;
+        let mut iters = 0u32;
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(400) || iters < 10 {
+            let mut f2 = f.clone();
+            let t = Instant::now();
+            let stats = run(&mut f2);
+            let total = t.elapsed().as_nanos() as u64;
+            best_color = best_color.min(stats.color_nanos);
+            best_total = best_total.min(total);
+            iters += 1;
+        }
+        (best_color, best_total)
+    }
+
+    let mut json_sizes = Vec::new();
+    let mut headline: Option<f64> = None;
+    eprintln!("\nirc_color headline (min color-stage nanos per allocation):");
+    for s in sizes() {
+        let f = workload(&s);
+        let (ref_color, ref_total) = min_color_nanos(&f, &cfg(), true);
+        let (dense_color, dense_total) = min_color_nanos(&f, &cfg(), false);
+        let speedup = ref_color as f64 / dense_color.max(1) as f64;
+        eprintln!(
+            "  {:<7} {:>5} vregs  reference {:>11} ns  dense {:>11} ns  color speedup {:.1}x  (total {:.1}x)",
+            s.name,
+            f.vreg_count,
+            ref_color,
+            dense_color,
+            speedup,
+            ref_total as f64 / dense_total.max(1) as f64,
+        );
+        json_sizes.push(format!(
+            concat!(
+                "    {{\"size\": \"{}\", \"vregs\": {}, ",
+                "\"reference_color_nanos\": {}, \"dense_color_nanos\": {}, ",
+                "\"reference_total_nanos\": {}, \"dense_total_nanos\": {}, ",
+                "\"color_speedup\": {:.3}}}"
+            ),
+            s.name,
+            f.vreg_count,
+            ref_color,
+            dense_color,
+            ref_total,
+            dense_total,
+            speedup
+        ));
+        headline = Some(speedup);
+    }
+    let largest = headline.expect("at least one size");
+    eprintln!("  largest-workload color-stage speedup: {largest:.1}x (acceptance bar: 2x)");
+
+    // The differential-select path additionally exercises the indexed
+    // refine_colors pass; report it on the largest workload.
+    let f = workload(sizes().last().expect("nonempty"));
+    let mut dcfg = cfg();
+    dcfg.strategy = SelectStrategy::Differential;
+    dcfg.params = dra_adjgraph::DiffParams::new(12, 8);
+    let (dref, _) = min_color_nanos(&f, &dcfg, true);
+    let (ddense, _) = min_color_nanos(&f, &dcfg, false);
+    let diff_speedup = dref as f64 / ddense.max(1) as f64;
+    eprintln!("  differential-select color speedup on huge: {diff_speedup:.1}x");
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"irc_color\",").unwrap();
+    writeln!(json, "  \"largest_color_speedup\": {largest:.3},").unwrap();
+    writeln!(json, "  \"differential_color_speedup\": {diff_speedup:.3},").unwrap();
+    writeln!(json, "  \"sizes\": [").unwrap();
+    writeln!(json, "{}", json_sizes.join(",\n")).unwrap();
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    // Benches run with the package directory as cwd; anchor the output
+    // at the workspace root next to the other results files.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/irc_color.json");
+    match std::fs::write(out, &json) {
+        Ok(()) => eprintln!("wrote results/irc_color.json"),
+        Err(e) => eprintln!("could not write results/irc_color.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_irc_color);
+criterion_main!(benches);

@@ -290,6 +290,16 @@ fn record_alloc(t: &mut Telemetry, s: &AllocStats) {
     t.span_ns("alloc.liveness", s.liveness_nanos);
     t.span_ns("alloc.build", s.build_nanos);
     t.span_ns("alloc.color", s.color_nanos);
+    record_irc_steps(t, s);
+}
+
+/// Record the IRC engine's per-stage work counters (schedule-invariant:
+/// pure worklist step counts, no wall-clock contribution).
+fn record_irc_steps(t: &mut Telemetry, s: &AllocStats) {
+    t.count("irc.simplify", s.simplify_steps);
+    t.count("irc.coalesce", s.coalesce_steps);
+    t.count("irc.freeze", s.freeze_steps);
+    t.count("irc.spill", s.spill_selects);
 }
 
 /// Record the remapping search's work counters and wall-clock span.
@@ -381,6 +391,12 @@ pub fn compile_program_telemetry(
             t.count("alloc.pressure_spills", s.pressure_spills as u64);
             t.count("alloc.coloring_spills", s.coloring_spills as u64);
             t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
+            // The final coloring pass is a full IRC run; surface its
+            // per-stage work counters alongside the direct approaches'.
+            record_irc_steps(t, &s.irc);
+            t.span_ns("alloc.liveness", s.irc.liveness_nanos);
+            t.span_ns("alloc.build", s.irc.build_nanos);
+            t.span_ns("alloc.color", s.irc.color_nanos);
             // Figure 4: remapping may always run after approach 3.
             remap_stats = remap_program(p, &setup.remap_config());
             record_remap(t, &remap_stats);

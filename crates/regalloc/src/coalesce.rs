@@ -16,12 +16,12 @@
 //!
 //! The final differential-select coloring is then applied.
 
+use crate::dense::ColorSet;
 use crate::interference::InterferenceGraph;
-use crate::irc::{irc_allocate, AllocConfig, AllocError, SelectStrategy, SpillMetric};
+use crate::irc::{irc_allocate, AllocConfig, AllocError, AllocStats, SelectStrategy, SpillMetric};
 use crate::ospill::reduce_pressure;
 use dra_adjgraph::{build_vreg_adjacency, AdjacencyGraph, AdjacencyIndex, DiffParams};
 use dra_ir::{Function, Inst, Liveness, PReg, Program, Reg, RegClass, VReg};
-use std::collections::BTreeSet;
 
 /// How each coalesce candidate is evaluated (ablation D3).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,6 +87,26 @@ pub struct CoalesceStats {
     pub moves_coalesced: usize,
     /// Final differential cost of the chosen assignment.
     pub final_cost: f64,
+    /// Stats of the final IRC coloring pass (work counters + phase
+    /// timings; `moves_coalesced`/`spilled_vregs` are already folded into
+    /// the fields above).
+    pub irc: AllocStats,
+}
+
+/// The [`AllocConfig`] for the final IRC coloring pass. Built once per
+/// `coalesce_allocate`/`coalesce_allocate_program` call — this is where
+/// `call_clobbers` gets cloned, so the program-level wrapper pays for it
+/// once instead of once per function.
+fn irc_config(cfg: &CoalesceConfig) -> AllocConfig {
+    AllocConfig {
+        k: cfg.params.reg_n(),
+        params: cfg.params,
+        strategy: SelectStrategy::Differential,
+        call_clobbers: cfg.call_clobbers.clone(),
+        class: cfg.class,
+        spill_metric: SpillMetric::GlobalCoverage,
+        max_rounds: cfg.max_rounds,
+    }
 }
 
 /// Allocate `f` with differential coalesce.
@@ -99,8 +119,17 @@ pub fn coalesce_allocate(
     f: &mut Function,
     cfg: &CoalesceConfig,
 ) -> Result<CoalesceStats, AllocError> {
+    coalesce_allocate_with(f, cfg, &irc_config(cfg))
+}
+
+/// [`coalesce_allocate`] with the final-pass IRC configuration supplied
+/// by the caller (so batch drivers amortize its construction).
+fn coalesce_allocate_with(
+    f: &mut Function,
+    cfg: &CoalesceConfig,
+    irc_cfg: &AllocConfig,
+) -> Result<CoalesceStats, AllocError> {
     let k = cfg.params.reg_n();
-    let temp_watermark = f.vreg_count;
     let mut stats = CoalesceStats {
         pressure_spills: reduce_pressure(f, cfg.class, k as usize, 512).len(),
         ..CoalesceStats::default()
@@ -184,19 +213,10 @@ pub fn coalesce_allocate(
     // coalescing with the differential select stage. IRC both removes any
     // remaining profitable moves and handles residual spills far better
     // than a plain simplify/select pass.
-    let _ = temp_watermark;
-    let irc_cfg = AllocConfig {
-        k,
-        params: cfg.params,
-        strategy: SelectStrategy::Differential,
-        call_clobbers: cfg.call_clobbers.clone(),
-        class: cfg.class,
-        spill_metric: SpillMetric::GlobalCoverage,
-        max_rounds: cfg.max_rounds,
-    };
-    let irc_stats = irc_allocate(f, &irc_cfg)?;
+    let irc_stats = irc_allocate(f, irc_cfg)?;
     stats.coloring_spills += irc_stats.spilled_vregs;
     stats.moves_coalesced += irc_stats.moves_coalesced;
+    stats.irc = irc_stats;
     stats.final_cost = dra_adjgraph::build_preg_adjacency(f, cfg.class, k)
         .assignment_cost(|n| Some(n as u8), cfg.params);
     Ok(stats)
@@ -211,13 +231,24 @@ pub fn coalesce_allocate_program(
     p: &mut Program,
     cfg: &CoalesceConfig,
 ) -> Result<CoalesceStats, AllocError> {
+    let irc_cfg = irc_config(cfg);
     let mut total = CoalesceStats::default();
     for f in &mut p.funcs {
-        let s = coalesce_allocate(f, cfg)?;
+        let s = coalesce_allocate_with(f, cfg, &irc_cfg)?;
         total.pressure_spills += s.pressure_spills;
         total.coloring_spills += s.coloring_spills;
         total.moves_coalesced += s.moves_coalesced;
         total.final_cost += s.final_cost;
+        total.irc.rounds = total.irc.rounds.max(s.irc.rounds);
+        total.irc.spilled_vregs += s.irc.spilled_vregs;
+        total.irc.moves_coalesced += s.irc.moves_coalesced;
+        total.irc.liveness_nanos += s.irc.liveness_nanos;
+        total.irc.build_nanos += s.irc.build_nanos;
+        total.irc.color_nanos += s.irc.color_nanos;
+        total.irc.simplify_steps += s.irc.simplify_steps;
+        total.irc.coalesce_steps += s.irc.coalesce_steps;
+        total.irc.freeze_steps += s.irc.freeze_steps;
+        total.irc.spill_selects += s.irc.spill_selects;
     }
     Ok(total)
 }
@@ -348,55 +379,82 @@ impl GraphView {
             v
         };
 
-        // Effective node set after aliasing.
-        let nodes: BTreeSet<u32> = self.class_vregs.iter().map(|&v| alias(v)).collect();
-        // Effective neighbor sets.
-        let neighbors = |v: u32| -> BTreeSet<u32> {
-            let mut out = BTreeSet::new();
-            let mut add_from = |orig: u32| {
+        // Effective node set after aliasing: a membership array plus an
+        // ascending id list (the iteration order the old sorted set had).
+        let mut node_set = vec![false; self.vreg_count as usize];
+        for &v in &self.class_vregs {
+            node_set[alias(v) as usize] = true;
+        }
+        let nodes: Vec<u32> = (0..self.vreg_count)
+            .filter(|&v| node_set[v as usize])
+            .collect();
+        // Distinct effective neighbors of `v`, gathered into a reused
+        // scratch with epoch-marked dedup. Order is irrelevant to every
+        // consumer (degree counts, saturating decrements, color-mask
+        // removal), so losing the old set's sortedness changes nothing.
+        let mut mark = vec![0u32; self.ig.num_nodes()];
+        let mut epoch = 0u32;
+        let mut gather = |v: u32, out: &mut Vec<u32>| {
+            epoch += 1;
+            out.clear();
+            mark[v as usize] = epoch; // excludes a == v, like the old filter
+            let second = match merge {
+                Some((d, s)) if v == d.0 => Some(s.0),
+                _ => None,
+            };
+            for orig in std::iter::once(v).chain(second) {
                 for n in self.ig.neighbors(orig) {
                     let a = if n < self.vreg_count { alias(n) } else { n };
-                    if a != v {
-                        out.insert(a);
+                    if mark[a as usize] != epoch {
+                        mark[a as usize] = epoch;
+                        out.push(a);
                     }
                 }
-            };
-            add_from(v);
-            if let Some((d, s)) = merge {
-                if v == d.0 {
-                    add_from(s.0);
-                }
             }
-            out
         };
 
         // Simplify: repeatedly remove min-degree node (optimistic when all
-        // are >= k).
-        let mut remaining: BTreeSet<u32> = nodes.clone();
-        let mut degrees: std::collections::HashMap<u32, usize> = nodes
-            .iter()
-            .map(|&v| {
-                let d = neighbors(v)
-                    .iter()
-                    .filter(|&&n| n >= self.vreg_count || nodes.contains(&n))
-                    .count();
-                (v, d)
-            })
-            .collect();
+        // are >= k). Degrees live in a dense per-vreg array; like the map
+        // it replaces, popped nodes keep their (now meaningless) entries
+        // and keep absorbing saturating decrements.
+        let mut deg = vec![0usize; self.vreg_count as usize];
+        let mut scratch: Vec<u32> = Vec::new();
+        for &v in &nodes {
+            gather(v, &mut scratch);
+            deg[v as usize] = scratch
+                .iter()
+                .filter(|&&n| n >= self.vreg_count || node_set[n as usize])
+                .count();
+        }
+        let mut remaining = crate::dense::OrderedIndexSet::new(self.vreg_count as usize);
+        for &v in &nodes {
+            remaining.insert(v);
+        }
         let mut stack = Vec::with_capacity(nodes.len());
         while !remaining.is_empty() {
             // Prefer a node with degree < k; otherwise push optimistically
-            // the one with the lowest spill attractiveness.
-            let &next = remaining
-                .iter()
-                .find(|&&v| degrees[&v] < k)
-                .or_else(|| remaining.iter().min_by_key(|&&v| degrees[&v]))
-                .expect("nonempty");
-            remaining.remove(&next);
+            // the one with the lowest spill attractiveness. One ascending
+            // pass: first sub-k node wins, else the first strict minimum —
+            // exactly the old `find(..).or_else(min_by_key(..))` pair.
+            let mut found = None;
+            let mut min: Option<(u32, usize)> = None;
+            for v in remaining.iter() {
+                let d = deg[v as usize];
+                if d < k {
+                    found = Some(v);
+                    break;
+                }
+                if min.is_none_or(|(_, md)| d < md) {
+                    min = Some((v, d));
+                }
+            }
+            let next = found.or(min.map(|(v, _)| v)).expect("nonempty");
+            remaining.remove(next);
             stack.push(next);
-            for n in neighbors(next) {
-                if let Some(d) = degrees.get_mut(&n) {
-                    *d = d.saturating_sub(1);
+            gather(next, &mut scratch);
+            for &n in &scratch {
+                if n < self.vreg_count && node_set[n as usize] {
+                    deg[n as usize] = deg[n as usize].saturating_sub(1);
                 }
             }
         }
@@ -404,23 +462,23 @@ impl GraphView {
         // Select with the differential chooser.
         let mut colors: Vec<Option<u8>> = vec![None; self.vreg_count as usize];
         while let Some(v) = stack.pop() {
-            let mut ok: BTreeSet<u8> = (0..k as u8).collect();
-            for n in neighbors(v) {
+            let mut ok = ColorSet::below(k as u8);
+            gather(v, &mut scratch);
+            for &n in &scratch {
                 if n >= self.vreg_count {
                     // Precolored physical register.
-                    let p = (n - self.vreg_count) as u8;
-                    ok.remove(&p);
+                    ok.remove((n - self.vreg_count) as u8);
                 } else if let Some(c) = colors[n as usize] {
-                    ok.remove(&c);
+                    ok.remove(c);
                 }
             }
             if ok.is_empty() {
                 return None;
             }
             // Differential select on the adjacency graph.
-            let mut best = *ok.iter().next().expect("nonempty");
+            let mut best = ok.first().expect("nonempty");
             let mut best_cost = f64::INFINITY;
-            for &c in &ok {
+            for c in ok.iter() {
                 let cost = self.adj_index.node_cost(
                     v,
                     |node| {

@@ -10,14 +10,35 @@
 //!
 //! The implementation follows the worklist formulation in Appel's *Modern
 //! Compiler Implementation*, including precolored nodes, Briggs'
-//! conservative coalescing and George's test against precolored nodes.
+//! conservative coalescing and George's test against precolored nodes —
+//! but on **dense indexed** state rather than the textbook's sets:
+//!
+//! * one [`NodeState`] per entity replaces the seven node sets plus
+//!   `on_stack`/`coalesced_nodes` (membership test = state compare);
+//! * the ordered node/move worklists are [`OrderedIndexSet`] bitsets
+//!   with O(1) insert/remove and the same lowest-index-first pop order
+//!   the `BTreeSet`s had;
+//! * per-node move lists live in one CSR `Vec<u32>` (plus a small
+//!   overlay for lists merged by `combine`), and one [`MoveState`] per
+//!   move replaces the five move sets;
+//! * `get_alias` is a path-compressed union-find walk;
+//! * the select stage's legal-color set is a 256-bit [`ColorSet`] mask.
+//!
+//! Every pop, tie-break, and iteration order is preserved, so the engine
+//! produces allocations **bit-identical** to the original set-based
+//! implementation — kept as [`reference`] and enforced by
+//! `tests/proptest_irc_equiv.rs`. See DESIGN.md §8 ("Dense IRC engine")
+//! for the state machine and its invariants.
 
+pub mod reference;
+
+use crate::dense::{ColorSet, OrderedIndexSet};
 use crate::interference::{InterferenceGraph, MoveRef};
 use crate::spill::rewrite_spills;
 use dra_adjgraph::{build_vreg_adjacency, AdjacencyIndex, DiffParams};
 use dra_ir::bitset::BitMatrix;
 use dra_ir::{Function, Liveness, PReg, Reg, RegClass, VReg};
-use std::collections::{BTreeSet, HashSet};
+use std::cell::Cell;
 
 /// How the spill stage scores eviction candidates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,6 +134,15 @@ pub struct AllocStats {
     /// Wall-clock ns in simplify/coalesce/select plus the final rewrite
     /// (or the spill rewrite of a failed round), all rounds.
     pub color_nanos: u64,
+    /// Simplify-stage pops (nodes pushed on the select stack), all rounds
+    /// (`irc.simplify` telemetry).
+    pub simplify_steps: u64,
+    /// Coalesce-stage move considerations, all rounds (`irc.coalesce`).
+    pub coalesce_steps: u64,
+    /// Freeze-stage pops, all rounds (`irc.freeze`).
+    pub freeze_steps: u64,
+    /// Spill-candidate selections, all rounds (`irc.spill`).
+    pub spill_selects: u64,
 }
 
 /// Errors the allocator can report.
@@ -176,15 +206,18 @@ pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, A
             state.coverage = overload_coverage(f, &liveness, cfg);
         }
         state.run();
-        if state.spilled_nodes.is_empty() {
+        stats.simplify_steps += state.simplify_steps;
+        stats.coalesce_steps += state.coalesce_steps;
+        stats.freeze_steps += state.freeze_steps;
+        stats.spill_selects += state.spill_selects;
+        if state.spilled_count == 0 {
             stats.moves_coalesced = apply_allocation(f, &state, cfg);
             stats.color_nanos += t2.elapsed().as_nanos() as u64;
             return Ok(stats);
         }
-        let to_spill: Vec<VReg> = state
-            .spilled_nodes
-            .iter()
-            .map(|&e| VReg(e))
+        let to_spill: Vec<VReg> = (0..state.vreg_count)
+            .filter(|&e| state.node_state[e as usize] == NodeState::Spilled)
+            .map(VReg)
             .collect();
         stats.spilled_vregs += to_spill.len();
         rewrite_spills(f, &to_spill);
@@ -245,6 +278,50 @@ fn overload_coverage(f: &Function, liveness: &Liveness, cfg: &AllocConfig) -> Ve
     cover
 }
 
+/// Where a node currently lives. A node is in exactly the worklist its
+/// state names (the invariant the old code kept implicitly across nine
+/// sets); membership tests are a state compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NodeState {
+    /// Not participating this round: wrong class, or never referenced.
+    Inactive,
+    /// A physical register (entity index >= `vreg_count`).
+    Precolored,
+    /// On `simplify_worklist`.
+    Simplify,
+    /// On `freeze_worklist`.
+    Freeze,
+    /// On `spill_worklist`.
+    Spill,
+    /// Pushed on the select stack.
+    OnStack,
+    /// Merged into its union-find parent (`alias` chain leads to the
+    /// representative).
+    Coalesced,
+    /// Colored by the select stage.
+    Colored,
+    /// Marked for memory by the select stage (optimistic push failed).
+    Spilled,
+}
+
+/// Where a move currently lives; replaces the five move sets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MoveState {
+    /// On `worklist_moves`, eligible for coalescing.
+    Worklist,
+    /// Not yet ready: a coalesce test failed, may be re-enabled.
+    Active,
+    /// Given up (endpoint frozen). Never reconsidered.
+    Frozen,
+    /// Endpoints interfere. Never reconsidered.
+    Constrained,
+    /// Committed: endpoints share a register.
+    Coalesced,
+    /// Popped from the worklist, decision in flight inside `coalesce`
+    /// (the old code's "removed from every set" window).
+    Pending,
+}
+
 /// The worklist state of one build/select round.
 ///
 /// The graph lives in the hybrid representation built by
@@ -268,27 +345,40 @@ struct IrcState<'a> {
     degree: Vec<usize>,
     spill_weight: Vec<f64>,
 
-    // Node sets (an entity is in exactly one at any time).
-    simplify_worklist: BTreeSet<u32>,
-    freeze_worklist: BTreeSet<u32>,
-    spill_worklist: BTreeSet<u32>,
-    spilled_nodes: BTreeSet<u32>,
-    coalesced_nodes: BTreeSet<u32>,
-    colored_nodes: BTreeSet<u32>,
+    // Node state: one entry per entity, plus the three ordered worklists
+    // the engine actually pops from.
+    node_state: Vec<NodeState>,
+    simplify_worklist: OrderedIndexSet,
+    freeze_worklist: OrderedIndexSet,
+    spill_worklist: OrderedIndexSet,
     select_stack: Vec<u32>,
-    on_stack: HashSet<u32>,
+    /// Nodes in `NodeState::Spilled` (avoids a rescan per round).
+    spilled_count: usize,
 
-    // Moves.
-    move_list: Vec<BTreeSet<usize>>,
+    // Moves: CSR layout (`move_off[n]..move_off[n+1]` indexes
+    // `move_dat`), ascending move indices per node. `combine` unions two
+    // lists; the result goes in `merged_moves[representative]` which
+    // shadows the CSR row from then on.
     moves: Vec<MoveRef>,
-    worklist_moves: BTreeSet<usize>,
-    active_moves: BTreeSet<usize>,
-    frozen_moves: BTreeSet<usize>,
-    constrained_moves: BTreeSet<usize>,
-    coalesced_moves: BTreeSet<usize>,
+    move_off: Vec<u32>,
+    move_dat: Vec<u32>,
+    merged_moves: Vec<Option<Box<[u32]>>>,
+    move_state: Vec<MoveState>,
+    worklist_moves: OrderedIndexSet,
 
-    alias: Vec<u32>,
+    /// Union-find parent pointers; `Cell` so `get_alias(&self)` can
+    /// path-compress. Compression is invisible: a coalesced node's root
+    /// never changes (roots are exactly the non-`Coalesced` states), so
+    /// pointing any chain member straight at the current root preserves
+    /// every future walk's answer.
+    alias: Vec<Cell<u32>>,
     color: Vec<Option<u8>>,
+
+    /// Epoch-marked scratch for `briggs_ok` (replaces a per-call
+    /// `HashSet`; the count of distinct high-degree neighbors is
+    /// order-independent).
+    mark: Vec<u32>,
+    mark_epoch: u32,
 
     /// Vregs >= this are spill temporaries (never profitable to spill).
     temp_watermark: u32,
@@ -296,6 +386,39 @@ struct IrcState<'a> {
     coverage: Vec<u32>,
 
     adjacency: Option<&'a AdjacencyIndex>,
+
+    // Work counters (`irc.*` telemetry).
+    simplify_steps: u64,
+    coalesce_steps: u64,
+    freeze_steps: u64,
+    spill_selects: u64,
+}
+
+/// Union of two ascending move-index slices (the dense equivalent of
+/// `move_list[u].extend(move_list[v].clone())`).
+fn merge_moves(a: &[u32], b: &[u32]) -> Box<[u32]> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out.into_boxed_slice()
 }
 
 impl<'a> IrcState<'a> {
@@ -325,10 +448,40 @@ impl<'a> IrcState<'a> {
         // colors. They carry effectively infinite degree and no adjacency
         // list (never simplified, never walked).
         let mut color = vec![None; n];
+        let mut node_state = vec![NodeState::Inactive; n];
         for e in vreg_count as usize..n {
             color[e] = Some((e - vreg_count as usize) as u8);
             degree[e] = usize::MAX / 2;
             adj_list[e].clear();
+            node_state[e] = NodeState::Precolored;
+        }
+
+        // CSR move lists: one slot per (node, move) incidence, ascending
+        // move indices per node (counting sort over `mi`). A self-move
+        // (dst == src) takes one slot, like its single set entry did.
+        let mut move_off = vec![0u32; n + 1];
+        for m in &moves {
+            move_off[m.dst as usize + 1] += 1;
+            if m.src != m.dst {
+                move_off[m.src as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            move_off[i + 1] += move_off[i];
+        }
+        let mut move_dat = vec![0u32; move_off[n] as usize];
+        let mut cursor: Vec<u32> = move_off[..n].to_vec();
+        for (mi, m) in moves.iter().enumerate() {
+            move_dat[cursor[m.dst as usize] as usize] = mi as u32;
+            cursor[m.dst as usize] += 1;
+            if m.src != m.dst {
+                move_dat[cursor[m.src as usize] as usize] = mi as u32;
+                cursor[m.src as usize] += 1;
+            }
+        }
+        let mut worklist_moves = OrderedIndexSet::new(moves.len());
+        for mi in 0..moves.len() {
+            worklist_moves.insert(mi as u32);
         }
 
         let mut st = IrcState {
@@ -342,33 +495,30 @@ impl<'a> IrcState<'a> {
             edges,
             degree,
             spill_weight: use_def_weight,
-            simplify_worklist: BTreeSet::new(),
-            freeze_worklist: BTreeSet::new(),
-            spill_worklist: BTreeSet::new(),
-            spilled_nodes: BTreeSet::new(),
-            coalesced_nodes: BTreeSet::new(),
-            colored_nodes: BTreeSet::new(),
+            node_state,
+            simplify_worklist: OrderedIndexSet::new(vreg_count as usize),
+            freeze_worklist: OrderedIndexSet::new(vreg_count as usize),
+            spill_worklist: OrderedIndexSet::new(vreg_count as usize),
             select_stack: Vec::new(),
-            on_stack: HashSet::new(),
-            move_list: vec![BTreeSet::new(); n],
+            spilled_count: 0,
+            move_state: vec![MoveState::Worklist; moves.len()],
             moves,
-            worklist_moves: BTreeSet::new(),
-            active_moves: BTreeSet::new(),
-            frozen_moves: BTreeSet::new(),
-            constrained_moves: BTreeSet::new(),
-            coalesced_moves: BTreeSet::new(),
-            alias: (0..n as u32).collect(),
+            move_off,
+            move_dat,
+            merged_moves: vec![None; n],
+            worklist_moves,
+            alias: (0..n as u32).map(Cell::new).collect(),
             color,
+            mark: vec![0; n],
+            mark_epoch: 0,
             temp_watermark: u32::MAX,
             coverage: Vec::new(),
             adjacency,
+            simplify_steps: 0,
+            coalesce_steps: 0,
+            freeze_steps: 0,
+            spill_selects: 0,
         };
-
-        for (mi, m) in st.moves.clone().into_iter().enumerate() {
-            st.move_list[m.dst as usize].insert(mi);
-            st.move_list[m.src as usize].insert(mi);
-            st.worklist_moves.insert(mi);
-        }
 
         // Initial worklists: only class-matching vregs participate. Values
         // never used or defined would pollute worklists; weight > 0 or any
@@ -379,15 +529,18 @@ impl<'a> IrcState<'a> {
             }
             let referenced = st.spill_weight[v as usize] > 0.0
                 || !st.adj_list[v as usize].is_empty()
-                || !st.move_list[v as usize].is_empty();
+                || !st.moves_of(v).is_empty();
             if !referenced {
                 continue;
             }
             if st.degree[v as usize] >= st.k {
+                st.node_state[v as usize] = NodeState::Spill;
                 st.spill_worklist.insert(v);
             } else if st.move_related(v) {
+                st.node_state[v as usize] = NodeState::Freeze;
                 st.freeze_worklist.insert(v);
             } else {
+                st.node_state[v as usize] = NodeState::Simplify;
                 st.simplify_worklist.insert(v);
             }
         }
@@ -398,6 +551,49 @@ impl<'a> IrcState<'a> {
     #[inline]
     fn is_precolored(&self, e: u32) -> bool {
         e >= self.vreg_count
+    }
+
+    /// Is `w` still in the graph? The old `adjacent()` filter: everything
+    /// except stacked and merged-away nodes counts as a live neighbor.
+    #[inline]
+    fn in_graph(&self, w: u32) -> bool {
+        !matches!(
+            self.node_state[w as usize],
+            NodeState::OnStack | NodeState::Coalesced
+        )
+    }
+
+    /// The move indices touching `n`, ascending.
+    #[inline]
+    fn moves_of(&self, n: u32) -> &[u32] {
+        match &self.merged_moves[n as usize] {
+            Some(b) => b,
+            None => {
+                let s = self.move_off[n as usize] as usize;
+                let e = self.move_off[n as usize + 1] as usize;
+                &self.move_dat[s..e]
+            }
+        }
+    }
+
+    /// `moves_of(n)[i]`, re-borrowed per call so loop bodies can mutate
+    /// move state while walking the list by index. Sound as a snapshot:
+    /// the only functions that replace a node's list (`combine`) are
+    /// never called while such a walk is in flight.
+    #[inline]
+    fn nth_move(&self, n: u32, i: usize) -> usize {
+        self.moves_of(n)[i] as usize
+    }
+
+    /// Does move `m` still count for move-relatedness (old
+    /// `node_moves` filter: active or worklist)?
+    #[inline]
+    fn move_is_live(&self, m: usize) -> bool {
+        matches!(self.move_state[m], MoveState::Active | MoveState::Worklist)
+    }
+
+    fn move_related(&self, n: u32) -> bool {
+        self.moves_of(n).iter().any(|&m| self.move_is_live(m as usize))
     }
 
     /// Add an edge during coalescing (combine), deduped via the bit-matrix.
@@ -418,11 +614,11 @@ impl<'a> IrcState<'a> {
 
     fn run(&mut self) {
         loop {
-            if let Some(&n) = self.simplify_worklist.iter().next() {
+            if let Some(n) = self.simplify_worklist.peek_min() {
                 self.simplify(n);
-            } else if let Some(&m) = self.worklist_moves.iter().next() {
-                self.coalesce(m);
-            } else if let Some(&n) = self.freeze_worklist.iter().next() {
+            } else if let Some(m) = self.worklist_moves.peek_min() {
+                self.coalesce(m as usize);
+            } else if let Some(n) = self.freeze_worklist.peek_min() {
                 self.freeze(n);
             } else if !self.spill_worklist.is_empty() {
                 self.select_spill();
@@ -431,7 +627,7 @@ impl<'a> IrcState<'a> {
             }
         }
         self.assign_colors();
-        if self.strategy == SelectStrategy::Differential && self.spilled_nodes.is_empty() {
+        if self.strategy == SelectStrategy::Differential && self.spilled_count == 0 {
             self.refine_colors();
         }
     }
@@ -449,35 +645,41 @@ impl<'a> IrcState<'a> {
         // in the graph at combine time — nodes already on the select
         // stack keep the edge on their side alone). Recoloring needs the
         // *full* symmetric interference neighborhood, so rebuild it from
-        // the undirected edge list with aliases resolved.
-        let mut nbr: std::collections::HashMap<u32, BTreeSet<u32>> =
-            std::collections::HashMap::new();
-        for &(a, b) in &self.edges {
+        // the undirected edge list with aliases resolved. Indexed by
+        // entity — no hash iteration anywhere in this pass. Duplicate
+        // entries are harmless (the list only drives color removal).
+        let mut nbr: Vec<Vec<u32>> = vec![Vec::new(); self.adj_list.len()];
+        for i in 0..self.edges.len() {
+            let (a, b) = self.edges[i];
             let ra = self.get_alias(a);
             let rb = self.get_alias(b);
             if ra != rb {
-                nbr.entry(ra).or_default().insert(rb);
-                nbr.entry(rb).or_default().insert(ra);
+                nbr[ra as usize].push(rb);
+                nbr[rb as usize].push(ra);
             }
         }
         // Hottest (highest incident adjacency weight) nodes move first:
         // their choices constrain everyone else, so they deserve first
-        // pick of the cheap colors.
-        let mut nodes: Vec<u32> = self.colored_nodes.iter().copied().collect();
+        // pick of the cheap colors. Stable sort over the ascending scan
+        // keeps ties in index order, like the sorted set scan it replaces.
+        let mut nodes: Vec<u32> = (0..self.vreg_count)
+            .filter(|&v| self.node_state[v as usize] == NodeState::Colored)
+            .collect();
         nodes.sort_by(|&a, &b| {
             adj.incident_weight(b)
                 .partial_cmp(&adj.incident_weight(a))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let empty = BTreeSet::new();
         for _pass in 0..8 {
             let mut improved = false;
             for &n in &nodes {
-                let mut ok: BTreeSet<u8> = (0..self.k as u8).collect();
-                for &wa in nbr.get(&n).unwrap_or(&empty) {
-                    if self.colored_nodes.contains(&wa) || self.is_precolored(wa) {
+                let mut ok = ColorSet::below(self.k as u8);
+                for &wa in &nbr[n as usize] {
+                    if self.node_state[wa as usize] == NodeState::Colored
+                        || self.is_precolored(wa)
+                    {
                         if let Some(c) = self.color[wa as usize] {
-                            ok.remove(&c);
+                            ok.remove(c);
                         }
                     }
                 }
@@ -500,7 +702,7 @@ impl<'a> IrcState<'a> {
                 let cur_cost = eval(current);
                 let mut best = current;
                 let mut best_cost = cur_cost;
-                for &c in &ok {
+                for c in ok.iter() {
                     if c == current {
                         continue;
                     }
@@ -520,38 +722,27 @@ impl<'a> IrcState<'a> {
             }
         }
         // Re-propagate to coalesced aliases.
-        for &n in &self.coalesced_nodes.clone() {
-            let a = self.get_alias(n);
-            self.color[n as usize] = self.color[a as usize];
+        for n in 0..self.vreg_count {
+            if self.node_state[n as usize] == NodeState::Coalesced {
+                let a = self.get_alias(n);
+                self.color[n as usize] = self.color[a as usize];
+            }
         }
     }
 
-    fn adjacent(&self, n: u32) -> Vec<u32> {
-        self.adj_list[n as usize]
-            .iter()
-            .copied()
-            .filter(|w| !self.on_stack.contains(w) && !self.coalesced_nodes.contains(w))
-            .collect()
-    }
-
-    fn node_moves(&self, n: u32) -> Vec<usize> {
-        self.move_list[n as usize]
-            .iter()
-            .copied()
-            .filter(|m| self.active_moves.contains(m) || self.worklist_moves.contains(m))
-            .collect()
-    }
-
-    fn move_related(&self, n: u32) -> bool {
-        !self.node_moves(n).is_empty()
-    }
-
     fn simplify(&mut self, n: u32) {
-        self.simplify_worklist.remove(&n);
+        self.simplify_steps += 1;
+        self.simplify_worklist.remove(n);
         self.select_stack.push(n);
-        self.on_stack.insert(n);
-        for m in self.adjacent(n) {
-            self.decrement_degree(m);
+        self.node_state[n as usize] = NodeState::OnStack;
+        // Walking the list by index with a lazy `in_graph` check equals
+        // the old collect-then-iterate: `decrement_degree` never changes
+        // an on-stack/coalesced verdict and never touches `adj_list[n]`.
+        for i in 0..self.adj_list[n as usize].len() {
+            let m = self.adj_list[n as usize][i];
+            if self.in_graph(m) {
+                self.decrement_degree(m);
+            }
         }
     }
 
@@ -562,34 +753,67 @@ impl<'a> IrcState<'a> {
         let d = self.degree[m as usize];
         self.degree[m as usize] = d.saturating_sub(1);
         if d == self.k {
-            let mut nodes = self.adjacent(m);
-            nodes.push(m);
-            self.enable_moves(&nodes);
-            self.spill_worklist.remove(&m);
+            // EnableMoves({m} ∪ Adjacent(m)) — neighbors first, then m,
+            // the order the collected slice had.
+            for i in 0..self.adj_list[m as usize].len() {
+                let w = self.adj_list[m as usize][i];
+                if self.in_graph(w) {
+                    self.enable_moves_for(w);
+                }
+            }
+            self.enable_moves_for(m);
+            if self.node_state[m as usize] == NodeState::Spill {
+                self.spill_worklist.remove(m);
+            }
             if self.move_related(m) {
+                debug_assert!(matches!(
+                    self.node_state[m as usize],
+                    NodeState::Spill | NodeState::Freeze
+                ));
+                self.node_state[m as usize] = NodeState::Freeze;
                 self.freeze_worklist.insert(m);
             } else {
+                debug_assert!(matches!(
+                    self.node_state[m as usize],
+                    NodeState::Spill | NodeState::Simplify
+                ));
+                self.node_state[m as usize] = NodeState::Simplify;
                 self.simplify_worklist.insert(m);
             }
         }
     }
 
-    fn enable_moves(&mut self, nodes: &[u32]) {
-        for &n in nodes {
-            for m in self.node_moves(n) {
-                if self.active_moves.remove(&m) {
-                    self.worklist_moves.insert(m);
-                }
+    /// Re-enable `n`'s deferred moves (old `EnableMoves` body for one
+    /// node): every `Active` move returns to the worklist. Reads the CSR
+    /// row directly — no filtered collection.
+    fn enable_moves_for(&mut self, n: u32) {
+        for i in 0..self.moves_of(n).len() {
+            let m = self.nth_move(n, i);
+            if self.move_state[m] == MoveState::Active {
+                self.move_state[m] = MoveState::Worklist;
+                self.worklist_moves.insert(m as u32);
             }
         }
     }
 
+    /// Union-find root of `n` with path compression. Roots are exactly
+    /// the nodes not in [`NodeState::Coalesced`]; before select they are
+    /// uncolored (or precolored) representatives.
     fn get_alias(&self, n: u32) -> u32 {
-        let mut cur = n;
-        while self.coalesced_nodes.contains(&cur) {
-            cur = self.alias[cur as usize];
+        if self.node_state[n as usize] != NodeState::Coalesced {
+            return n;
         }
-        cur
+        let mut root = self.alias[n as usize].get();
+        while self.node_state[root as usize] == NodeState::Coalesced {
+            root = self.alias[root as usize].get();
+        }
+        let mut cur = n;
+        while cur != root {
+            let next = self.alias[cur as usize].get();
+            self.alias[cur as usize].set(root);
+            cur = next;
+        }
+        root
     }
 
     fn add_work_list(&mut self, u: u32) {
@@ -597,7 +821,14 @@ impl<'a> IrcState<'a> {
             && !self.move_related(u)
             && self.degree[u as usize] < self.k
         {
-            self.freeze_worklist.remove(&u);
+            debug_assert!(matches!(
+                self.node_state[u as usize],
+                NodeState::Freeze | NodeState::Simplify
+            ));
+            if self.node_state[u as usize] == NodeState::Freeze {
+                self.freeze_worklist.remove(u);
+            }
+            self.node_state[u as usize] = NodeState::Simplify;
             self.simplify_worklist.insert(u);
         }
     }
@@ -608,19 +839,39 @@ impl<'a> IrcState<'a> {
             || self.adj_bits.contains(t as usize, r as usize)
     }
 
-    fn conservative(&self, nodes: &[u32]) -> bool {
+    /// George's test: every live neighbor of `v` is ok against `u`.
+    fn george_ok(&self, u: u32, v: u32) -> bool {
+        self.adj_list[v as usize]
+            .iter()
+            .all(|&t| !self.in_graph(t) || self.ok(t, u))
+    }
+
+    /// Briggs' conservative test over the combined neighborhoods: fewer
+    /// than k *distinct* live neighbors of significant degree. Dedup via
+    /// the epoch-marked scratch (count is order-independent).
+    fn briggs_ok(&mut self, u: u32, v: u32) -> bool {
+        self.mark_epoch += 1;
+        let epoch = self.mark_epoch;
         let mut k_count = 0;
-        let mut seen = HashSet::new();
-        for &n in nodes {
-            if seen.insert(n) && self.degree[n as usize] >= self.k {
-                k_count += 1;
+        for node in [u, v] {
+            for i in 0..self.adj_list[node as usize].len() {
+                let t = self.adj_list[node as usize][i];
+                if !self.in_graph(t) || self.mark[t as usize] == epoch {
+                    continue;
+                }
+                self.mark[t as usize] = epoch;
+                if self.degree[t as usize] >= self.k {
+                    k_count += 1;
+                }
             }
         }
         k_count < self.k
     }
 
     fn coalesce(&mut self, m: usize) {
-        self.worklist_moves.remove(&m);
+        self.coalesce_steps += 1;
+        self.worklist_moves.remove(m as u32);
+        self.move_state[m] = MoveState::Pending;
         let mv = self.moves[m];
         let x = self.get_alias(mv.dst);
         let y = self.get_alias(mv.src);
@@ -630,10 +881,10 @@ impl<'a> IrcState<'a> {
             (x, y)
         };
         if u == v {
-            self.coalesced_moves.insert(m);
+            self.move_state[m] = MoveState::Coalesced;
             self.add_work_list(u);
         } else if self.is_precolored(v) || self.adj_bits.contains(u as usize, v as usize) {
-            self.constrained_moves.insert(m);
+            self.move_state[m] = MoveState::Constrained;
             self.add_work_list(u);
             self.add_work_list(v);
         } else {
@@ -641,52 +892,63 @@ impl<'a> IrcState<'a> {
             // the allocatable range; never coalesce into those.
             let u_uncolorable =
                 self.is_precolored(u) && (self.color[u as usize].unwrap() as usize) >= self.k;
-            let george = self.is_precolored(u)
-                && self.adjacent(v).iter().all(|&t| self.ok(t, u));
-            let briggs = !self.is_precolored(u) && {
-                let mut all = self.adjacent(u);
-                all.extend(self.adjacent(v));
-                self.conservative(&all)
-            };
+            let george = self.is_precolored(u) && self.george_ok(u, v);
+            let briggs = !self.is_precolored(u) && self.briggs_ok(u, v);
             if !u_uncolorable && (george || briggs) {
-                self.coalesced_moves.insert(m);
+                self.move_state[m] = MoveState::Coalesced;
                 self.combine(u, v);
                 self.add_work_list(u);
             } else {
-                self.active_moves.insert(m);
+                self.move_state[m] = MoveState::Active;
             }
         }
+        debug_assert_ne!(self.move_state[m], MoveState::Pending);
     }
 
     fn combine(&mut self, u: u32, v: u32) {
-        if self.freeze_worklist.contains(&v) {
-            self.freeze_worklist.remove(&v);
+        if self.node_state[v as usize] == NodeState::Freeze {
+            self.freeze_worklist.remove(v);
         } else {
-            self.spill_worklist.remove(&v);
+            debug_assert_eq!(self.node_state[v as usize], NodeState::Spill);
+            self.spill_worklist.remove(v);
         }
-        self.coalesced_nodes.insert(v);
-        self.alias[v as usize] = u;
-        let v_moves = self.move_list[v as usize].clone();
-        self.move_list[u as usize].extend(v_moves);
-        self.enable_moves(&[v]);
-        for t in self.adjacent(v) {
+        self.node_state[v as usize] = NodeState::Coalesced;
+        self.alias[v as usize].set(u);
+        let merged = merge_moves(self.moves_of(u), self.moves_of(v));
+        self.merged_moves[u as usize] = Some(merged);
+        self.enable_moves_for(v);
+        for i in 0..self.adj_list[v as usize].len() {
+            let t = self.adj_list[v as usize][i];
+            if !self.in_graph(t) {
+                continue;
+            }
             self.add_edge_init(t, u);
             self.decrement_degree(t);
         }
-        if self.degree[u as usize] >= self.k && self.freeze_worklist.contains(&u) {
-            self.freeze_worklist.remove(&u);
+        if self.degree[u as usize] >= self.k && self.node_state[u as usize] == NodeState::Freeze {
+            self.freeze_worklist.remove(u);
+            self.node_state[u as usize] = NodeState::Spill;
             self.spill_worklist.insert(u);
         }
     }
 
     fn freeze(&mut self, u: u32) {
-        self.freeze_worklist.remove(&u);
+        self.freeze_steps += 1;
+        self.freeze_worklist.remove(u);
+        self.node_state[u as usize] = NodeState::Simplify;
         self.simplify_worklist.insert(u);
         self.freeze_moves(u);
     }
 
     fn freeze_moves(&mut self, u: u32) {
-        for m in self.node_moves(u) {
+        for i in 0..self.moves_of(u).len() {
+            let m = self.nth_move(u, i);
+            // Lazily re-checking liveness per move equals the old
+            // snapshot of `node_moves(u)`: the loop body only retires the
+            // move it is currently processing.
+            if !self.move_is_live(m) {
+                continue;
+            }
             let mv = self.moves[m];
             let (x, y) = (mv.dst, mv.src);
             let v = if self.get_alias(y) == self.get_alias(u) {
@@ -694,30 +956,45 @@ impl<'a> IrcState<'a> {
             } else {
                 self.get_alias(y)
             };
-            self.active_moves.remove(&m);
-            self.frozen_moves.insert(m);
+            // Only active moves retire to frozen; a worklist move stays
+            // queued (the old code inserted it into `frozen_moves` too,
+            // but never consulted that set — worklist membership won).
+            if self.move_state[m] == MoveState::Active {
+                self.move_state[m] = MoveState::Frozen;
+            }
             if !self.is_precolored(v)
-                && self.node_moves(v).is_empty()
+                && !self.move_related(v)
                 && self.degree[v as usize] < self.k
             {
-                self.freeze_worklist.remove(&v);
+                debug_assert!(matches!(
+                    self.node_state[v as usize],
+                    NodeState::Freeze | NodeState::Simplify
+                ));
+                if self.node_state[v as usize] == NodeState::Freeze {
+                    self.freeze_worklist.remove(v);
+                }
+                self.node_state[v as usize] = NodeState::Simplify;
                 self.simplify_worklist.insert(v);
             }
         }
     }
 
     fn select_spill(&mut self) {
-        // Lowest spill metric first: cheap, high-degree values go to memory.
-        let &m = self
-            .spill_worklist
-            .iter()
-            .min_by(|&&a, &&b| {
-                let ma = self.spill_metric(a);
-                let mb = self.spill_metric(b);
-                ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("nonempty spill worklist");
-        self.spill_worklist.remove(&m);
+        self.spill_selects += 1;
+        // Lowest spill metric first: cheap, high-degree values go to
+        // memory. Ascending scan, strict-improvement replacement — the
+        // first minimal element wins ties, like `Iterator::min_by` did.
+        let mut best: Option<(u32, f64)> = None;
+        for n in self.spill_worklist.iter() {
+            let metric = self.spill_metric(n);
+            match best {
+                Some((_, bm)) if !(metric < bm) => {}
+                _ => best = Some((n, metric)),
+            }
+        }
+        let m = best.expect("nonempty spill worklist").0;
+        self.spill_worklist.remove(m);
+        self.node_state[m as usize] = NodeState::Simplify;
         self.simplify_worklist.insert(m);
         self.freeze_moves(m);
     }
@@ -738,61 +1015,67 @@ impl<'a> IrcState<'a> {
 
     fn assign_colors(&mut self) {
         while let Some(n) = self.select_stack.pop() {
-            self.on_stack.remove(&n);
-            let mut ok_colors: BTreeSet<u8> = (0..self.k as u8).collect();
-            for &w in &self.adj_list[n as usize] {
+            let mut ok = ColorSet::below(self.k as u8);
+            for i in 0..self.adj_list[n as usize].len() {
+                let w = self.adj_list[n as usize][i];
                 let wa = self.get_alias(w);
-                if self.colored_nodes.contains(&wa) || self.is_precolored(wa) {
+                if self.node_state[wa as usize] == NodeState::Colored || self.is_precolored(wa)
+                {
                     if let Some(c) = self.color[wa as usize] {
-                        ok_colors.remove(&c);
+                        ok.remove(c);
                     }
                 }
             }
-            if ok_colors.is_empty() {
-                self.spilled_nodes.insert(n);
+            if ok.is_empty() {
+                self.node_state[n as usize] = NodeState::Spilled;
+                self.spilled_count += 1;
             } else {
-                self.colored_nodes.insert(n);
-                let c = self.choose_color(n, &ok_colors);
+                self.node_state[n as usize] = NodeState::Colored;
+                let c = self.choose_color(n, ok);
                 self.color[n as usize] = Some(c);
             }
         }
-        for &n in &self.coalesced_nodes.clone() {
-            let a = self.get_alias(n);
-            self.color[n as usize] = self.color[a as usize];
+        for n in 0..self.vreg_count {
+            if self.node_state[n as usize] == NodeState::Coalesced {
+                let a = self.get_alias(n);
+                self.color[n as usize] = self.color[a as usize];
+            }
         }
     }
 
     /// The select-stage hook: baseline takes the lowest color;
     /// differential select (Section 6) scores each candidate against the
     /// adjacency graph and takes the cheapest.
-    fn choose_color(&self, n: u32, ok: &BTreeSet<u8>) -> u8 {
+    fn choose_color(&self, n: u32, ok: ColorSet) -> u8 {
         match self.strategy {
-            SelectStrategy::Lowest => *ok.iter().next().expect("nonempty"),
+            SelectStrategy::Lowest => ok.first().expect("nonempty"),
             SelectStrategy::Biased => {
                 // A color already assigned to a move partner lets the
                 // remaining move coalesce away at zero cost.
-                for &m in &self.move_list[n as usize] {
-                    let mv = self.moves[m];
+                for &m in self.moves_of(n) {
+                    let mv = self.moves[m as usize];
                     let other = if self.get_alias(mv.dst) == self.get_alias(n) {
                         self.get_alias(mv.src)
                     } else {
                         self.get_alias(mv.dst)
                     };
-                    if self.colored_nodes.contains(&other) || self.is_precolored(other) {
+                    if self.node_state[other as usize] == NodeState::Colored
+                        || self.is_precolored(other)
+                    {
                         if let Some(c) = self.color[other as usize] {
-                            if ok.contains(&c) {
+                            if ok.contains(c) {
                                 return c;
                             }
                         }
                     }
                 }
-                *ok.iter().next().expect("nonempty")
+                ok.first().expect("nonempty")
             }
             SelectStrategy::Differential => {
                 let g = self.adjacency.expect("adjacency graph present");
-                let mut best = *ok.iter().next().expect("nonempty");
+                let mut best = ok.first().expect("nonempty");
                 let mut best_cost = f64::INFINITY;
-                for &c in ok {
+                for c in ok.iter() {
                     let cost = g.node_cost(
                         n,
                         |node| {
@@ -800,7 +1083,7 @@ impl<'a> IrcState<'a> {
                             if a == n || node == n {
                                 Some(c)
                             } else if self.is_precolored(a)
-                                || self.colored_nodes.contains(&a)
+                                || self.node_state[a as usize] == NodeState::Colored
                             {
                                 self.color[a as usize]
                             } else {
@@ -838,6 +1121,10 @@ pub fn irc_allocate_program(
         total.liveness_nanos += s.liveness_nanos;
         total.build_nanos += s.build_nanos;
         total.color_nanos += s.color_nanos;
+        total.simplify_steps += s.simplify_steps;
+        total.coalesce_steps += s.coalesce_steps;
+        total.freeze_steps += s.freeze_steps;
+        total.spill_selects += s.spill_selects;
     }
     Ok(total)
 }
@@ -1102,6 +1389,93 @@ mod tests {
         irc_allocate_program(&mut prog, &AllocConfig::baseline(4)).unwrap();
         for f in &prog.funcs {
             assert_allocated(f, 4);
+        }
+    }
+
+    #[test]
+    fn work_counters_cover_all_four_stages() {
+        // A program that drives the engine through all four stages with
+        // k = 4. Two disjoint near-cliques (a0..a4 and b0..b4) keep both
+        // sides of the move `y <- x` surrounded by >= k distinct
+        // significant-degree neighbors, so Briggs defers the move
+        // (coalesce -> active) twice; spill selection erodes the a-side
+        // until x's degree passes through k, which re-enables the move
+        // and parks x on the freeze worklist; the retried coalesce still
+        // fails against the intact b-side, so x is popped by freeze.
+        // Extra uses keep x and y's spill metric above the clique
+        // members' so spill selection never freezes the move itself.
+        let mut b = FunctionBuilder::new("f");
+        let a: Vec<_> = (0..5).map(|_| b.new_vreg()).collect();
+        let x = b.new_vreg();
+        let y = b.new_vreg();
+        let bs: Vec<_> = (0..5).map(|_| b.new_vreg()).collect();
+        let s = b.new_vreg();
+        b.mov_imm(s, 0);
+        for (i, &v) in a.iter().enumerate() {
+            b.mov_imm(v, i as i32);
+        }
+        b.bin(BinOp::Add, s, s.into(), a[4].into()); // a4 dies before x
+        b.mov_imm(x, 9);
+        b.bin(BinOp::Add, s, s.into(), x.into()); // weight so spill
+        b.bin(BinOp::Add, s, s.into(), x.into()); // selection skips x
+        for &v in a.iter().take(4) {
+            b.bin(BinOp::Add, s, s.into(), v.into()); // a-side dies pre-move
+        }
+        b.mov(y, x.into()); // x's last use: endpoints don't interfere
+        for (i, &v) in bs.iter().enumerate() {
+            b.mov_imm(v, i as i32);
+        }
+        b.bin(BinOp::Add, s, s.into(), bs[4].into());
+        for &v in bs.iter().take(4) {
+            b.bin(BinOp::Add, s, s.into(), v.into());
+        }
+        for _ in 0..3 {
+            b.bin(BinOp::Add, s, s.into(), y.into()); // y's weight
+        }
+        b.ret(Some(s.into()));
+        let mut f = b.finish();
+        let stats = irc_allocate(&mut f, &AllocConfig::baseline(4)).unwrap();
+        assert!(stats.simplify_steps > 0, "{stats:?}");
+        assert!(stats.coalesce_steps > 0, "{stats:?}");
+        assert!(stats.freeze_steps > 0, "{stats:?}");
+        assert!(stats.spill_selects > 0, "{stats:?}");
+        assert_allocated(&f, 4);
+    }
+
+    /// Differential select + refinement runs on indexed state only — no
+    /// code path may depend on hash iteration order. Repeated runs on
+    /// the same input must agree bit for bit.
+    #[test]
+    fn differential_allocation_is_deterministic() {
+        let build = || {
+            let mut b = FunctionBuilder::new("f");
+            let vs: Vec<_> = (0..14).map(|_| b.new_vreg()).collect();
+            for (i, &v) in vs.iter().enumerate() {
+                b.mov_imm(v, i as i32);
+            }
+            let s = b.new_vreg();
+            b.mov_imm(s, 0);
+            for k in 0..14 {
+                let v = vs[(k * 5) % 14];
+                b.bin(BinOp::Add, s, s.into(), v.into());
+            }
+            b.ret(Some(s.into()));
+            b.finish()
+        };
+        let run = || {
+            let mut f = build();
+            let stats = irc_allocate(&mut f, &AllocConfig::differential(DiffParams::new(12, 4)))
+                .unwrap();
+            (f, stats)
+        };
+        let (f0, s0) = run();
+        for _ in 0..5 {
+            let (f, s) = run();
+            assert_eq!(f0, f, "allocation must not vary run to run");
+            assert_eq!(
+                (s0.rounds, s0.spilled_vregs, s0.moves_coalesced),
+                (s.rounds, s.spilled_vregs, s.moves_coalesced)
+            );
         }
     }
 }

@@ -1,0 +1,711 @@
+//! The set-based IRC engine, preserved verbatim as the oracle for the
+//! dense indexed engine in the parent module.
+//!
+//! This is the implementation the crate shipped before the dense
+//! rewrite: `BTreeSet` worklists, `HashSet` membership tests, chain-walk
+//! aliasing. It is kept compilable and correct — not fast — so that
+//! `tests/proptest_irc_equiv.rs` can assert the dense engine produces
+//! **bit-identical** allocations (same colors, same spills, same
+//! coalesces, same work counters) on arbitrary programs, and so
+//! `benches/irc_color.rs` can measure the speedup against the real
+//! former implementation rather than a synthetic stand-in.
+//!
+//! Mirrors `interference::reference` (the seed's graph build kept as an
+//! oracle). Behavioral changes belong in the parent module *and* here
+//! only if the contract itself changes; otherwise this file stays
+//! frozen.
+
+use super::{overload_coverage, AllocConfig, AllocError, AllocStats, SelectStrategy, SpillMetric};
+use crate::interference::{InterferenceGraph, MoveRef};
+use crate::spill::rewrite_spills;
+use dra_adjgraph::{build_vreg_adjacency, AdjacencyIndex, DiffParams};
+use dra_ir::bitset::BitMatrix;
+use dra_ir::{Function, Liveness, PReg, Reg, RegClass, VReg};
+use std::collections::{BTreeSet, HashSet};
+
+/// Allocate registers for `f` in place with the set-based engine. Same
+/// contract as [`super::irc_allocate`], including the work counters.
+///
+/// # Errors
+///
+/// [`AllocError::DidNotConverge`] if spill rewriting exceeds
+/// `cfg.max_rounds`.
+pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, AllocError> {
+    let mut stats = AllocStats::default();
+    // Vregs created at or beyond this watermark are spill temporaries from
+    // earlier rounds; re-spilling them makes no progress, so they carry an
+    // effectively infinite spill metric.
+    let temp_watermark = f.vreg_count;
+    loop {
+        if stats.rounds >= cfg.max_rounds {
+            return Err(AllocError::DidNotConverge {
+                max_rounds: cfg.max_rounds,
+            });
+        }
+        stats.rounds += 1;
+        let t0 = std::time::Instant::now();
+        let liveness = Liveness::compute(f);
+        let t1 = std::time::Instant::now();
+        stats.liveness_nanos += (t1 - t0).as_nanos() as u64;
+        let ig = InterferenceGraph::build(f, &liveness, cfg.class, &cfg.call_clobbers);
+        let adjacency = match cfg.strategy {
+            SelectStrategy::Differential => Some(build_vreg_adjacency(f, cfg.class).index()),
+            SelectStrategy::Lowest | SelectStrategy::Biased => None,
+        };
+        let t2 = std::time::Instant::now();
+        stats.build_nanos += (t2 - t1).as_nanos() as u64;
+        let mut state = IrcState::new(f, ig, adjacency.as_ref(), cfg);
+        state.temp_watermark = temp_watermark;
+        if cfg.spill_metric == SpillMetric::GlobalCoverage {
+            state.coverage = overload_coverage(f, &liveness, cfg);
+        }
+        state.run();
+        stats.simplify_steps += state.simplify_steps;
+        stats.coalesce_steps += state.coalesce_steps;
+        stats.freeze_steps += state.freeze_steps;
+        stats.spill_selects += state.spill_selects;
+        if state.spilled_nodes.is_empty() {
+            stats.moves_coalesced = apply_allocation(f, &state, cfg);
+            stats.color_nanos += t2.elapsed().as_nanos() as u64;
+            return Ok(stats);
+        }
+        let to_spill: Vec<VReg> = state
+            .spilled_nodes
+            .iter()
+            .map(|&e| VReg(e))
+            .collect();
+        stats.spilled_vregs += to_spill.len();
+        rewrite_spills(f, &to_spill);
+        stats.color_nanos += t2.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Rewrite `f` using the colors in `state`; returns moves deleted.
+fn apply_allocation(f: &mut Function, state: &IrcState<'_>, cfg: &AllocConfig) -> usize {
+    // Substitute colors for virtual registers of the allocated class.
+    for b in &mut f.blocks {
+        for i in &mut b.insts {
+            i.map_regs(|r| match r {
+                Reg::Virt(v) if state.vreg_classes[v.index()] == cfg.class => {
+                    let c = state.color[state.get_alias(v.0) as usize]
+                        .expect("colored node");
+                    Reg::Phys(PReg(c))
+                }
+                other => other,
+            });
+        }
+    }
+    // Delete now-trivial moves (dst == src): these are the coalesced ones.
+    let mut removed = 0;
+    for b in &mut f.blocks {
+        b.insts.retain(|i| {
+            if let dra_ir::Inst::Mov { dst, src } = i {
+                if dst == src {
+                    removed += 1;
+                    return false;
+                }
+            }
+            true
+        });
+    }
+    f.recompute_cfg();
+    removed
+}
+
+/// The worklist state of one build/select round (set-based layout).
+struct IrcState<'a> {
+    k: usize,
+    strategy: SelectStrategy,
+    params: DiffParams,
+    vreg_count: u32,
+    vreg_classes: Vec<RegClass>,
+
+    // Graph.
+    adj_bits: BitMatrix,
+    adj_list: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32)>,
+    degree: Vec<usize>,
+    spill_weight: Vec<f64>,
+
+    // Node sets (an entity is in exactly one at any time).
+    simplify_worklist: BTreeSet<u32>,
+    freeze_worklist: BTreeSet<u32>,
+    spill_worklist: BTreeSet<u32>,
+    spilled_nodes: BTreeSet<u32>,
+    coalesced_nodes: BTreeSet<u32>,
+    colored_nodes: BTreeSet<u32>,
+    select_stack: Vec<u32>,
+    on_stack: HashSet<u32>,
+
+    // Moves.
+    move_list: Vec<BTreeSet<usize>>,
+    moves: Vec<MoveRef>,
+    worklist_moves: BTreeSet<usize>,
+    active_moves: BTreeSet<usize>,
+    frozen_moves: BTreeSet<usize>,
+    constrained_moves: BTreeSet<usize>,
+    coalesced_moves: BTreeSet<usize>,
+
+    alias: Vec<u32>,
+    color: Vec<Option<u8>>,
+
+    /// Vregs >= this are spill temporaries (never profitable to spill).
+    temp_watermark: u32,
+    /// Overloaded-point coverage per vreg (GlobalCoverage metric only).
+    coverage: Vec<u32>,
+
+    adjacency: Option<&'a AdjacencyIndex>,
+
+    // Work counters (`irc.*` telemetry).
+    simplify_steps: u64,
+    coalesce_steps: u64,
+    freeze_steps: u64,
+    spill_selects: u64,
+}
+
+impl<'a> IrcState<'a> {
+    fn new(
+        f: &Function,
+        ig: InterferenceGraph,
+        adjacency: Option<&'a AdjacencyIndex>,
+        cfg: &AllocConfig,
+    ) -> IrcState<'a> {
+        let n = ig.num_nodes();
+        let vreg_count = ig.vreg_count();
+        // Adopt the build's graph wholesale: bit-matrix, adjacency lists,
+        // and per-node degrees are already in the shape the worklists need.
+        let (adj_bits, mut adj_list, degrees, moves, use_def_weight) = ig.into_parts();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (a, ns) in adj_list.iter().enumerate() {
+            for &b in ns {
+                if (a as u32) < b {
+                    edges.push((a as u32, b));
+                }
+            }
+        }
+        let mut degree: Vec<usize> = degrees.into_iter().map(|d| d as usize).collect();
+        // Precolored entities: the used physical registers. Registers >= k
+        // are still precolored (with their own numbers) so that
+        // interference with them is honored, but they are not allocatable
+        // colors. They carry effectively infinite degree and no adjacency
+        // list (never simplified, never walked).
+        let mut color = vec![None; n];
+        for e in vreg_count as usize..n {
+            color[e] = Some((e - vreg_count as usize) as u8);
+            degree[e] = usize::MAX / 2;
+            adj_list[e].clear();
+        }
+
+        let mut st = IrcState {
+            k: cfg.k as usize,
+            strategy: cfg.strategy,
+            params: cfg.params,
+            vreg_count,
+            vreg_classes: f.vreg_classes.clone(),
+            adj_bits,
+            adj_list,
+            edges,
+            degree,
+            spill_weight: use_def_weight,
+            simplify_worklist: BTreeSet::new(),
+            freeze_worklist: BTreeSet::new(),
+            spill_worklist: BTreeSet::new(),
+            spilled_nodes: BTreeSet::new(),
+            coalesced_nodes: BTreeSet::new(),
+            colored_nodes: BTreeSet::new(),
+            select_stack: Vec::new(),
+            on_stack: HashSet::new(),
+            move_list: vec![BTreeSet::new(); n],
+            moves,
+            worklist_moves: BTreeSet::new(),
+            active_moves: BTreeSet::new(),
+            frozen_moves: BTreeSet::new(),
+            constrained_moves: BTreeSet::new(),
+            coalesced_moves: BTreeSet::new(),
+            alias: (0..n as u32).collect(),
+            color,
+            temp_watermark: u32::MAX,
+            coverage: Vec::new(),
+            adjacency,
+            simplify_steps: 0,
+            coalesce_steps: 0,
+            freeze_steps: 0,
+            spill_selects: 0,
+        };
+
+        for (mi, m) in st.moves.clone().into_iter().enumerate() {
+            st.move_list[m.dst as usize].insert(mi);
+            st.move_list[m.src as usize].insert(mi);
+            st.worklist_moves.insert(mi);
+        }
+
+        // Initial worklists: only class-matching vregs participate. Values
+        // never used or defined would pollute worklists; weight > 0 or any
+        // interference/move involvement marks a referenced node.
+        for v in 0..vreg_count {
+            if st.vreg_classes[v as usize] != cfg.class {
+                continue;
+            }
+            let referenced = st.spill_weight[v as usize] > 0.0
+                || !st.adj_list[v as usize].is_empty()
+                || !st.move_list[v as usize].is_empty();
+            if !referenced {
+                continue;
+            }
+            if st.degree[v as usize] >= st.k {
+                st.spill_worklist.insert(v);
+            } else if st.move_related(v) {
+                st.freeze_worklist.insert(v);
+            } else {
+                st.simplify_worklist.insert(v);
+            }
+        }
+        st
+    }
+
+    /// Is `e` a precolored (physical-register) entity?
+    #[inline]
+    fn is_precolored(&self, e: u32) -> bool {
+        e >= self.vreg_count
+    }
+
+    /// Add an edge during coalescing (combine), deduped via the bit-matrix.
+    fn add_edge_init(&mut self, a: u32, b: u32) {
+        if a == b || !self.adj_bits.set(a as usize, b as usize) {
+            return;
+        }
+        self.edges.push((a, b));
+        if !self.is_precolored(a) {
+            self.adj_list[a as usize].push(b);
+            self.degree[a as usize] += 1;
+        }
+        if !self.is_precolored(b) {
+            self.adj_list[b as usize].push(a);
+            self.degree[b as usize] += 1;
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            if let Some(&n) = self.simplify_worklist.iter().next() {
+                self.simplify(n);
+            } else if let Some(&m) = self.worklist_moves.iter().next() {
+                self.coalesce(m);
+            } else if let Some(&n) = self.freeze_worklist.iter().next() {
+                self.freeze(n);
+            } else if !self.spill_worklist.is_empty() {
+                self.select_spill();
+            } else {
+                break;
+            }
+        }
+        self.assign_colors();
+        if self.strategy == SelectStrategy::Differential && self.spilled_nodes.is_empty() {
+            self.refine_colors();
+        }
+    }
+
+    /// Iterative recoloring (differential select only); see the dense
+    /// engine for the rationale.
+    fn refine_colors(&mut self) {
+        let Some(adj) = self.adjacency else { return };
+        // `adj_list` is asymmetric after coalescing; rebuild the full
+        // symmetric interference neighborhood from the undirected edge
+        // list with aliases resolved.
+        let mut nbr: std::collections::HashMap<u32, BTreeSet<u32>> =
+            std::collections::HashMap::new();
+        for &(a, b) in &self.edges {
+            let ra = self.get_alias(a);
+            let rb = self.get_alias(b);
+            if ra != rb {
+                nbr.entry(ra).or_default().insert(rb);
+                nbr.entry(rb).or_default().insert(ra);
+            }
+        }
+        // Hottest (highest incident adjacency weight) nodes move first.
+        let mut nodes: Vec<u32> = self.colored_nodes.iter().copied().collect();
+        nodes.sort_by(|&a, &b| {
+            adj.incident_weight(b)
+                .partial_cmp(&adj.incident_weight(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let empty = BTreeSet::new();
+        for _pass in 0..8 {
+            let mut improved = false;
+            for &n in &nodes {
+                let mut ok: BTreeSet<u8> = (0..self.k as u8).collect();
+                for &wa in nbr.get(&n).unwrap_or(&empty) {
+                    if self.colored_nodes.contains(&wa) || self.is_precolored(wa) {
+                        if let Some(c) = self.color[wa as usize] {
+                            ok.remove(&c);
+                        }
+                    }
+                }
+                let current = self.color[n as usize].expect("colored");
+                ok.insert(current);
+                let eval = |c: u8| {
+                    adj.node_cost(
+                        n,
+                        |node| {
+                            let a = self.get_alias(node);
+                            if a == n || node == n {
+                                Some(c)
+                            } else {
+                                self.color[a as usize]
+                            }
+                        },
+                        self.params,
+                    )
+                };
+                let cur_cost = eval(current);
+                let mut best = current;
+                let mut best_cost = cur_cost;
+                for &c in &ok {
+                    if c == current {
+                        continue;
+                    }
+                    let cost = eval(c);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = c;
+                    }
+                }
+                if best != current {
+                    self.color[n as usize] = Some(best);
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        // Re-propagate to coalesced aliases.
+        for &n in &self.coalesced_nodes.clone() {
+            let a = self.get_alias(n);
+            self.color[n as usize] = self.color[a as usize];
+        }
+    }
+
+    fn adjacent(&self, n: u32) -> Vec<u32> {
+        self.adj_list[n as usize]
+            .iter()
+            .copied()
+            .filter(|w| !self.on_stack.contains(w) && !self.coalesced_nodes.contains(w))
+            .collect()
+    }
+
+    fn node_moves(&self, n: u32) -> Vec<usize> {
+        self.move_list[n as usize]
+            .iter()
+            .copied()
+            .filter(|m| self.active_moves.contains(m) || self.worklist_moves.contains(m))
+            .collect()
+    }
+
+    fn move_related(&self, n: u32) -> bool {
+        !self.node_moves(n).is_empty()
+    }
+
+    fn simplify(&mut self, n: u32) {
+        self.simplify_steps += 1;
+        self.simplify_worklist.remove(&n);
+        self.select_stack.push(n);
+        self.on_stack.insert(n);
+        for m in self.adjacent(n) {
+            self.decrement_degree(m);
+        }
+    }
+
+    fn decrement_degree(&mut self, m: u32) {
+        if self.is_precolored(m) {
+            return;
+        }
+        let d = self.degree[m as usize];
+        self.degree[m as usize] = d.saturating_sub(1);
+        if d == self.k {
+            let mut nodes = self.adjacent(m);
+            nodes.push(m);
+            self.enable_moves(&nodes);
+            self.spill_worklist.remove(&m);
+            if self.move_related(m) {
+                self.freeze_worklist.insert(m);
+            } else {
+                self.simplify_worklist.insert(m);
+            }
+        }
+    }
+
+    fn enable_moves(&mut self, nodes: &[u32]) {
+        for &n in nodes {
+            for m in self.node_moves(n) {
+                if self.active_moves.remove(&m) {
+                    self.worklist_moves.insert(m);
+                }
+            }
+        }
+    }
+
+    fn get_alias(&self, n: u32) -> u32 {
+        let mut cur = n;
+        while self.coalesced_nodes.contains(&cur) {
+            cur = self.alias[cur as usize];
+        }
+        cur
+    }
+
+    fn add_work_list(&mut self, u: u32) {
+        if !self.is_precolored(u)
+            && !self.move_related(u)
+            && self.degree[u as usize] < self.k
+        {
+            self.freeze_worklist.remove(&u);
+            self.simplify_worklist.insert(u);
+        }
+    }
+
+    fn ok(&self, t: u32, r: u32) -> bool {
+        self.degree[t as usize] < self.k
+            || self.is_precolored(t)
+            || self.adj_bits.contains(t as usize, r as usize)
+    }
+
+    fn conservative(&self, nodes: &[u32]) -> bool {
+        let mut k_count = 0;
+        let mut seen = HashSet::new();
+        for &n in nodes {
+            if seen.insert(n) && self.degree[n as usize] >= self.k {
+                k_count += 1;
+            }
+        }
+        k_count < self.k
+    }
+
+    fn coalesce(&mut self, m: usize) {
+        self.coalesce_steps += 1;
+        self.worklist_moves.remove(&m);
+        let mv = self.moves[m];
+        let x = self.get_alias(mv.dst);
+        let y = self.get_alias(mv.src);
+        let (u, v) = if self.is_precolored(y) {
+            (y, x)
+        } else {
+            (x, y)
+        };
+        if u == v {
+            self.coalesced_moves.insert(m);
+            self.add_work_list(u);
+        } else if self.is_precolored(v) || self.adj_bits.contains(u as usize, v as usize) {
+            self.constrained_moves.insert(m);
+            self.add_work_list(u);
+            self.add_work_list(v);
+        } else {
+            // Colors >= k exist on precolored nodes whose number exceeds
+            // the allocatable range; never coalesce into those.
+            let u_uncolorable =
+                self.is_precolored(u) && (self.color[u as usize].unwrap() as usize) >= self.k;
+            let george = self.is_precolored(u)
+                && self.adjacent(v).iter().all(|&t| self.ok(t, u));
+            let briggs = !self.is_precolored(u) && {
+                let mut all = self.adjacent(u);
+                all.extend(self.adjacent(v));
+                self.conservative(&all)
+            };
+            if !u_uncolorable && (george || briggs) {
+                self.coalesced_moves.insert(m);
+                self.combine(u, v);
+                self.add_work_list(u);
+            } else {
+                self.active_moves.insert(m);
+            }
+        }
+    }
+
+    fn combine(&mut self, u: u32, v: u32) {
+        if self.freeze_worklist.contains(&v) {
+            self.freeze_worklist.remove(&v);
+        } else {
+            self.spill_worklist.remove(&v);
+        }
+        self.coalesced_nodes.insert(v);
+        self.alias[v as usize] = u;
+        let v_moves = self.move_list[v as usize].clone();
+        self.move_list[u as usize].extend(v_moves);
+        self.enable_moves(&[v]);
+        for t in self.adjacent(v) {
+            self.add_edge_init(t, u);
+            self.decrement_degree(t);
+        }
+        if self.degree[u as usize] >= self.k && self.freeze_worklist.contains(&u) {
+            self.freeze_worklist.remove(&u);
+            self.spill_worklist.insert(u);
+        }
+    }
+
+    fn freeze(&mut self, u: u32) {
+        self.freeze_steps += 1;
+        self.freeze_worklist.remove(&u);
+        self.simplify_worklist.insert(u);
+        self.freeze_moves(u);
+    }
+
+    fn freeze_moves(&mut self, u: u32) {
+        for m in self.node_moves(u) {
+            let mv = self.moves[m];
+            let (x, y) = (mv.dst, mv.src);
+            let v = if self.get_alias(y) == self.get_alias(u) {
+                self.get_alias(x)
+            } else {
+                self.get_alias(y)
+            };
+            self.active_moves.remove(&m);
+            self.frozen_moves.insert(m);
+            if !self.is_precolored(v)
+                && self.node_moves(v).is_empty()
+                && self.degree[v as usize] < self.k
+            {
+                self.freeze_worklist.remove(&v);
+                self.simplify_worklist.insert(v);
+            }
+        }
+    }
+
+    fn select_spill(&mut self) {
+        self.spill_selects += 1;
+        // Lowest spill metric first: cheap, high-degree values go to memory.
+        let &m = self
+            .spill_worklist
+            .iter()
+            .min_by(|&&a, &&b| {
+                let ma = self.spill_metric(a);
+                let mb = self.spill_metric(b);
+                ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty spill worklist");
+        self.spill_worklist.remove(&m);
+        self.simplify_worklist.insert(m);
+        self.freeze_moves(m);
+    }
+
+    fn spill_metric(&self, e: u32) -> f64 {
+        if e >= self.temp_watermark && e < self.vreg_count {
+            // Spill temporary: choosing it again would loop forever.
+            return f64::MAX / 4.0;
+        }
+        let deg = self.degree[e as usize].max(1) as f64;
+        if let Some(&cover) = self.coverage.get(e as usize) {
+            // Global metric: coverage of over-pressure points dominates,
+            // degree breaks ties — cheap, wide-coverage ranges first.
+            return self.spill_weight[e as usize] / (deg + 4.0 * cover as f64);
+        }
+        self.spill_weight[e as usize] / deg
+    }
+
+    fn assign_colors(&mut self) {
+        while let Some(n) = self.select_stack.pop() {
+            self.on_stack.remove(&n);
+            let mut ok_colors: BTreeSet<u8> = (0..self.k as u8).collect();
+            for &w in &self.adj_list[n as usize] {
+                let wa = self.get_alias(w);
+                if self.colored_nodes.contains(&wa) || self.is_precolored(wa) {
+                    if let Some(c) = self.color[wa as usize] {
+                        ok_colors.remove(&c);
+                    }
+                }
+            }
+            if ok_colors.is_empty() {
+                self.spilled_nodes.insert(n);
+            } else {
+                self.colored_nodes.insert(n);
+                let c = self.choose_color(n, &ok_colors);
+                self.color[n as usize] = Some(c);
+            }
+        }
+        for &n in &self.coalesced_nodes.clone() {
+            let a = self.get_alias(n);
+            self.color[n as usize] = self.color[a as usize];
+        }
+    }
+
+    /// The select-stage hook: baseline takes the lowest color;
+    /// differential select (Section 6) scores each candidate against the
+    /// adjacency graph and takes the cheapest.
+    fn choose_color(&self, n: u32, ok: &BTreeSet<u8>) -> u8 {
+        match self.strategy {
+            SelectStrategy::Lowest => *ok.iter().next().expect("nonempty"),
+            SelectStrategy::Biased => {
+                // A color already assigned to a move partner lets the
+                // remaining move coalesce away at zero cost.
+                for &m in &self.move_list[n as usize] {
+                    let mv = self.moves[m];
+                    let other = if self.get_alias(mv.dst) == self.get_alias(n) {
+                        self.get_alias(mv.src)
+                    } else {
+                        self.get_alias(mv.dst)
+                    };
+                    if self.colored_nodes.contains(&other) || self.is_precolored(other) {
+                        if let Some(c) = self.color[other as usize] {
+                            if ok.contains(&c) {
+                                return c;
+                            }
+                        }
+                    }
+                }
+                *ok.iter().next().expect("nonempty")
+            }
+            SelectStrategy::Differential => {
+                let g = self.adjacency.expect("adjacency graph present");
+                let mut best = *ok.iter().next().expect("nonempty");
+                let mut best_cost = f64::INFINITY;
+                for &c in ok {
+                    let cost = g.node_cost(
+                        n,
+                        |node| {
+                            let a = self.get_alias(node);
+                            if a == n || node == n {
+                                Some(c)
+                            } else if self.is_precolored(a)
+                                || self.colored_nodes.contains(&a)
+                            {
+                                self.color[a as usize]
+                            } else {
+                                None
+                            }
+                        },
+                        self.params,
+                    );
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = c;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Allocate a whole program in place with the set-based engine.
+///
+/// # Errors
+///
+/// Propagates the first [`AllocError`] from any function.
+pub fn irc_allocate_program(
+    p: &mut dra_ir::Program,
+    cfg: &AllocConfig,
+) -> Result<AllocStats, AllocError> {
+    let mut total = AllocStats::default();
+    for f in &mut p.funcs {
+        let s = irc_allocate(f, cfg)?;
+        total.rounds = total.rounds.max(s.rounds);
+        total.spilled_vregs += s.spilled_vregs;
+        total.moves_coalesced += s.moves_coalesced;
+        total.liveness_nanos += s.liveness_nanos;
+        total.build_nanos += s.build_nanos;
+        total.color_nanos += s.color_nanos;
+        total.simplify_steps += s.simplify_steps;
+        total.coalesce_steps += s.coalesce_steps;
+        total.freeze_steps += s.freeze_steps;
+        total.spill_selects += s.spill_selects;
+    }
+    Ok(total)
+}

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod coalesce;
+pub mod dense;
 pub mod interference;
 pub mod irc;
 pub mod ospill;

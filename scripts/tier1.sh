@@ -13,6 +13,7 @@ cargo build --release
 cargo test -q
 cargo bench --bench remap_scaling -- --test
 cargo bench --bench irc_build -- --test
+cargo bench --bench irc_color -- --test
 
 rm -f results/telemetry/fig11.json
 cargo run -q -p dra-bench --release --bin fig11 > /dev/null

@@ -85,6 +85,18 @@ fn telemetry_counter_aggregates_identical_across_thread_counts() {
         setup.batch_threads = threads;
         let (_, mut telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
         telemetry.clear_spans();
+        // The dense IRC engine's per-stage work counters ride along in the
+        // whole-map comparison below; make their presence explicit so the
+        // pinning can't silently pass if they stop being emitted. (Freeze
+        // may legitimately be 0 on these workloads, so only its key is
+        // required.)
+        for key in ["irc.simplify", "irc.coalesce", "irc.freeze", "irc.spill"] {
+            assert!(
+                telemetry.counters().contains_key(key),
+                "counter {key} missing at batch_threads = {threads}"
+            );
+        }
+        assert!(telemetry.counter("irc.simplify") > 0, "no simplify steps recorded");
         match &reference {
             None => reference = Some(telemetry),
             Some(want) => assert_eq!(

@@ -1,0 +1,242 @@
+//! Property tests pinning the dense indexed IRC engine to the preserved
+//! set-based implementation (`irc::reference`).
+//!
+//! The dense engine (`NodeState`/`MoveState` arrays, `OrderedIndexSet`
+//! worklists, CSR move lists, path-compressed aliasing) reorganizes every
+//! data structure the allocator touches, but its contract is exact
+//! behavioral equality: same colors in the same instructions, same spill
+//! decisions, same coalesces, same per-stage work counters — on any
+//! program, under every select strategy and spill metric. These tests
+//! allocate generated programs with both engines and compare the rewritten
+//! functions bit for bit.
+
+use dra_ir::{BinOp, Function, FunctionBuilder, PReg, VReg};
+use dra_regalloc::irc::{self, reference};
+use dra_regalloc::{AllocConfig, AllocStats, SelectStrategy, SpillMetric};
+use dra_workloads::mibench::{generate, BenchSpec};
+use proptest::prelude::*;
+
+/// The schedule-invariant portion of [`AllocStats`] (everything except the
+/// wall-clock phase timings).
+fn stats_key(s: &AllocStats) -> (u32, usize, usize, u64, u64, u64, u64) {
+    (
+        s.rounds,
+        s.spilled_vregs,
+        s.moves_coalesced,
+        s.simplify_steps,
+        s.coalesce_steps,
+        s.freeze_steps,
+        s.spill_selects,
+    )
+}
+
+/// Run both engines on clones of `f` and assert bit-identical outcomes
+/// (including the `DidNotConverge` case: same error, same partial state).
+fn assert_engines_agree(f: &Function, cfg: &AllocConfig) -> Result<(), TestCaseError> {
+    let mut fd = f.clone();
+    let mut fr = f.clone();
+    let dense = irc::irc_allocate(&mut fd, cfg);
+    let refr = reference::irc_allocate(&mut fr, cfg);
+    prop_assert_eq!(
+        &fd,
+        &fr,
+        "rewritten functions diverge under {:?}/{:?}",
+        cfg.strategy,
+        cfg.spill_metric
+    );
+    match (dense, refr) {
+        (Ok(sd), Ok(sr)) => prop_assert_eq!(stats_key(&sd), stats_key(&sr)),
+        (Err(ed), Err(er)) => prop_assert_eq!(ed, er),
+        (d, r) => prop_assert!(false, "one engine errored: dense={d:?} reference={r:?}"),
+    }
+    Ok(())
+}
+
+/// The allocator configurations the pipeline exercises: plain baseline
+/// under heavy pressure, biased select, differential select, and the
+/// global-coverage spill metric with call clobbers.
+fn configs() -> Vec<AllocConfig> {
+    let mut biased = AllocConfig::baseline(8);
+    biased.strategy = SelectStrategy::Biased;
+    let mut coverage = AllocConfig::differential(dra_adjgraph::DiffParams::lowend_12_8());
+    coverage.spill_metric = SpillMetric::GlobalCoverage;
+    coverage.call_clobbers = vec![PReg(0), PReg(1)];
+    vec![
+        AllocConfig::baseline(4),
+        biased,
+        AllocConfig::differential(dra_adjgraph::DiffParams::new(12, 4)),
+        coverage,
+    ]
+}
+
+/// A bounded random benchmark spec (all knobs in safe ranges).
+fn arb_spec() -> impl Strategy<Value = BenchSpec> {
+    (
+        any::<u64>(),  // seed
+        1usize..=2,    // funcs
+        4usize..=18,   // pressure
+        4usize..=20,   // block_len
+        1usize..=3,    // loops per func
+        1u32..=2,      // depth
+        0.0f64..0.35,  // mem ratio
+        0.0f64..0.2,   // call ratio
+        0.0f64..0.5,   // branch ratio
+        0.0f64..0.2,   // muldiv
+    )
+        .prop_map(
+            |(seed, funcs, pressure, block_len, loops, depth, mem, call, branch, muldiv)| {
+                BenchSpec {
+                    name: "prop-irc",
+                    seed,
+                    funcs,
+                    pressure,
+                    block_len,
+                    loops_per_func: loops,
+                    max_depth: depth,
+                    mem_ratio: mem,
+                    call_ratio: call,
+                    branch_ratio: branch,
+                    trip_range: (2, 6),
+                    muldiv_ratio: muldiv,
+                }
+            },
+        )
+}
+
+/// One step of the shrinking-friendly straight-line program generator.
+/// Indices are taken modulo the live pool, so *any* byte sequence is a
+/// valid program and proptest can shrink freely without invalidating it.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Define a fresh value.
+    New(i8),
+    /// Copy an existing pool value into a fresh vreg (coalesce fodder).
+    Mov(u8),
+    /// Combine two pool values into a fresh vreg.
+    Add(u8, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<i8>().prop_map(Op::New),
+            any::<u8>().prop_map(Op::Mov),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Add(a, b)),
+        ],
+        1..48,
+    )
+}
+
+/// Materialize an op list as a straight-line function whose final sum
+/// keeps every defined value live — so long op lists force register
+/// pressure well past any small `k` (spill + freeze transitions) while
+/// `Mov` ops supply coalescible copies.
+fn build_ops(ops: &[Op]) -> Function {
+    let mut b = FunctionBuilder::new("prop-ops");
+    let mut pool: Vec<VReg> = Vec::new();
+    let first = b.new_vreg();
+    b.mov_imm(first, 1);
+    pool.push(first);
+    for op in ops {
+        let d = b.new_vreg();
+        match *op {
+            Op::New(i) => b.mov_imm(d, i as i32),
+            Op::Mov(s) => {
+                let src = pool[s as usize % pool.len()];
+                b.mov(d, src.into());
+            }
+            Op::Add(x, y) => {
+                let l = pool[x as usize % pool.len()];
+                let r = pool[y as usize % pool.len()];
+                b.bin(BinOp::Add, d, l.into(), r.into());
+            }
+        }
+        pool.push(d);
+    }
+    let s = b.new_vreg();
+    b.mov_imm(s, 0);
+    for &v in &pool {
+        b.bin(BinOp::Add, s, s.into(), v.into());
+    }
+    b.ret(Some(s.into()));
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(debug_assertions) { 8 } else { 32 }
+    ))]
+
+    /// Dense == reference on MiBench-style generated programs (loops,
+    /// branches, calls) under all four pipeline configurations.
+    #[test]
+    fn dense_engine_matches_reference_on_mibench(spec in arb_spec()) {
+        let p = generate(&spec);
+        for f in &p.funcs {
+            for cfg in configs() {
+                assert_engines_agree(f, &cfg)?;
+            }
+        }
+    }
+
+    /// Dense == reference on shrinking-friendly straight-line programs
+    /// whose keep-alive tail forces pressure far above k, driving the
+    /// spill, coalesce, and freeze stages.
+    #[test]
+    fn dense_engine_matches_reference_on_op_lists(ops in arb_ops()) {
+        let f = build_ops(&ops);
+        for cfg in configs() {
+            assert_engines_agree(&f, &cfg)?;
+        }
+    }
+}
+
+/// A hand-built program (two near-cliques bridged by an accumulator, a
+/// Briggs-blocked move between them) that deterministically walks the
+/// engine through all four stages — a fixed sanity anchor so the property
+/// tests above can't silently pass on programs that never freeze.
+#[test]
+fn four_stage_program_agrees_and_counts_every_stage() {
+    let mut b = FunctionBuilder::new("four-stage");
+    let a: Vec<_> = (0..5).map(|_| b.new_vreg()).collect();
+    let x = b.new_vreg();
+    let y = b.new_vreg();
+    let bs: Vec<_> = (0..5).map(|_| b.new_vreg()).collect();
+    let s = b.new_vreg();
+    b.mov_imm(s, 0);
+    for (i, &v) in a.iter().enumerate() {
+        b.mov_imm(v, i as i32);
+    }
+    b.bin(BinOp::Add, s, s.into(), a[4].into());
+    b.mov_imm(x, 9);
+    b.bin(BinOp::Add, s, s.into(), x.into());
+    b.bin(BinOp::Add, s, s.into(), x.into());
+    for &v in a.iter().take(4) {
+        b.bin(BinOp::Add, s, s.into(), v.into());
+    }
+    b.mov(y, x.into());
+    for (i, &v) in bs.iter().enumerate() {
+        b.mov_imm(v, i as i32);
+    }
+    b.bin(BinOp::Add, s, s.into(), bs[4].into());
+    for &v in bs.iter().take(4) {
+        b.bin(BinOp::Add, s, s.into(), v.into());
+    }
+    for _ in 0..3 {
+        b.bin(BinOp::Add, s, s.into(), y.into());
+    }
+    b.ret(Some(s.into()));
+    let f = b.finish();
+
+    let cfg = AllocConfig::baseline(4);
+    let mut fd = f.clone();
+    let mut fr = f.clone();
+    let sd = irc::irc_allocate(&mut fd, &cfg).unwrap();
+    let sr = reference::irc_allocate(&mut fr, &cfg).unwrap();
+    assert_eq!(fd, fr);
+    assert_eq!(stats_key(&sd), stats_key(&sr));
+    assert!(sd.simplify_steps > 0, "{sd:?}");
+    assert!(sd.coalesce_steps > 0, "{sd:?}");
+    assert!(sd.freeze_steps > 0, "{sd:?}");
+    assert!(sd.spill_selects > 0, "{sd:?}");
+}
