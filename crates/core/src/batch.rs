@@ -28,15 +28,18 @@
 //! reproducible bit-for-bit at any `batch_threads`.
 
 use crate::lowend::{
-    compile_program_telemetry, finish_run, Approach, LowEndRun, LowEndSetup, PipelineError,
+    compile_program_telemetry, finish_run_or_degrade, Approach, LowEndRun, LowEndSetup,
+    PipelineError,
 };
-use crate::telemetry::Telemetry;
+use crate::telemetry::{take_panic_stage, Telemetry};
 use dra_ir::{Liveness, Program};
 use dra_workloads::benchmark;
+use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Resolve a `0 = one per CPU` thread knob against the machine.
 pub fn resolve_threads(threads: usize) -> usize {
@@ -109,6 +112,122 @@ where
         .collect()
 }
 
+/// One cell's result under panic isolation: either the closure's value or
+/// a structured record of the panic that killed it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellOutcome<R> {
+    /// The cell completed normally.
+    Ok(R),
+    /// Every attempt at the cell panicked; the rest of the batch is
+    /// unaffected.
+    Failed {
+        /// The innermost telemetry stage active when the final attempt
+        /// panicked (`"cell"` when the panic escaped outside any stage).
+        stage: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// True for [`CellOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    /// The value, if the cell completed.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            CellOutcome::Ok(r) => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The value by move, if the cell completed.
+    pub fn into_ok(self) -> Option<R> {
+        match self {
+            CellOutcome::Ok(r) => Some(r),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Aggregate fallout of one isolated batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IsolationStats {
+    /// Cells whose every attempt panicked.
+    pub failed: u64,
+    /// Panicking attempts that were retried. Both counters depend only on
+    /// which `(index, item)` cells panic — never on the schedule.
+    pub retried: u64,
+}
+
+/// Render a panic payload for a [`CellOutcome::Failed`] record.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_batch`] with per-cell panic containment: each cell runs under
+/// [`catch_unwind`] with up to `retries` deterministic re-attempts, so one
+/// poisoned cell yields a [`CellOutcome::Failed`] hole instead of aborting
+/// the whole matrix.
+///
+/// The failed/retried totals are schedule-invariant because `f` is
+/// required to be deterministic per `(index, item)` (the same contract
+/// [`run_batch`] already imposes): whether a cell panics — and therefore
+/// how many times it is retried — cannot depend on which worker runs it.
+pub fn run_batch_isolated<T, R, F>(
+    items: &[T],
+    threads: usize,
+    retries: u32,
+    f: F,
+) -> (Vec<CellOutcome<R>>, IsolationStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let failed = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+    let outcomes = run_batch(items, threads, |i, item| {
+        let mut attempt = 0u32;
+        loop {
+            // Clear any stage left over from a previous cell on this
+            // worker so the attribution below is this attempt's own.
+            let _ = take_panic_stage();
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => return CellOutcome::Ok(r),
+                Err(payload) => {
+                    let stage = take_panic_stage().unwrap_or_else(|| "cell".to_string());
+                    if attempt < retries {
+                        attempt += 1;
+                        retried.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    return CellOutcome::Failed {
+                        stage,
+                        message: panic_message(payload.as_ref()),
+                    };
+                }
+            }
+        }
+    });
+    (
+        outcomes,
+        IsolationStats {
+            failed: failed.load(Ordering::Relaxed),
+            retried: retried.load(Ordering::Relaxed),
+        },
+    )
+}
+
 /// Everything derivable from a benchmark's *source* (pre-allocation)
 /// form, shared across the approaches that compile it.
 #[derive(Clone, Debug)]
@@ -158,6 +277,18 @@ impl SourceCache {
         SourceCache::default()
     }
 
+    /// Lock the memo, recovering from poison.
+    ///
+    /// A worker panicking while holding the lock poisons the mutex, but
+    /// the map's invariant survives any panic point: values are
+    /// insert-once `Arc`s, never mutated in place, so a poisoned map is
+    /// still a valid (possibly smaller) memo. Recovering here keeps one
+    /// contained cell failure from cascading cache panics into every
+    /// other cell of the batch.
+    fn entries(&self) -> MutexGuard<'_, HashMap<String, Arc<SourceArtifacts>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The artifacts for `name`, computing them on first request.
     ///
     /// The analysis runs outside the lock; if two workers race on the
@@ -165,11 +296,11 @@ impl SourceCache {
     /// dropped, so every consumer sees the same `Arc`.
     pub fn get(&self, name: &str) -> Arc<SourceArtifacts> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(a) = self.entries.lock().unwrap().get(name) {
+        if let Some(a) = self.entries().get(name) {
             return Arc::clone(a);
         }
         let computed = Arc::new(SourceArtifacts::analyze(name));
-        match self.entries.lock().unwrap().entry(name.to_string()) {
+        match self.entries().entry(name.to_string()) {
             Entry::Occupied(e) => Arc::clone(e.get()),
             Entry::Vacant(v) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -194,12 +325,12 @@ impl SourceCache {
 
     /// Number of memoized benchmarks.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries().len()
     }
 
     /// True when nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().unwrap().is_empty()
+        self.entries().is_empty()
     }
 }
 
@@ -226,7 +357,7 @@ pub fn compile_and_run_cached(
         Some(&src.pressures),
         &mut telemetry,
     )?;
-    finish_run(program, approach, setup, remap, telemetry)
+    finish_run_or_degrade(Some(&src.program), program, approach, setup, remap, telemetry)
 }
 
 /// Run the full benchmarks × approaches grid in parallel
@@ -245,8 +376,16 @@ pub fn run_lowend_matrix(
 /// [`run_lowend_matrix`], additionally aggregating batch-level telemetry:
 /// every successful cell's counters and spans summed in cell-index order
 /// (so the aggregate is bit-identical at any thread count, like the cells
-/// themselves), plus `cells.ok`/`cells.err`, the [`SourceCache`]'s
-/// counters, and a wall-clock `batch` span around the whole grid.
+/// themselves), plus the cell census
+/// (`cells.ok`/`cells.err`/`cells.failed`/`cells.retried`, always
+/// present), the [`SourceCache`]'s counters, and a wall-clock `batch`
+/// span around the whole grid.
+///
+/// Cells run under [`run_batch_isolated`] with
+/// [`LowEndSetup::cell_retries`] re-attempts: a panicking cell (including
+/// one injected via [`crate::faults::PipelineFaults::panic_cells`])
+/// surfaces as [`PipelineError::Panic`] in its own slot while every other
+/// cell completes bit-identically to an undisturbed run.
 pub fn run_lowend_matrix_with_telemetry(
     names: &[&str],
     approaches: &[Approach],
@@ -257,14 +396,34 @@ pub fn run_lowend_matrix_with_telemetry(
     let cells: Vec<(usize, usize)> = (0..names.len())
         .flat_map(|bi| (0..approaches.len()).map(move |ai| (bi, ai)))
         .collect();
-    let flat = agg.time("batch", || {
-        run_batch(&cells, setup.batch_threads, |_, &(bi, ai)| {
-            compile_and_run_cached(&cache, names[bi], approaches[ai], setup)
-        })
+    let (flat, iso) = agg.time("batch", || {
+        run_batch_isolated(
+            &cells,
+            setup.batch_threads,
+            setup.cell_retries,
+            |ci, &(bi, ai)| {
+                if setup.faults.panic_cells.contains(&ci) {
+                    panic!("injected cell fault (cell {ci})");
+                }
+                compile_and_run_cached(&cache, names[bi], approaches[ai], setup)
+            },
+        )
     });
+    // Seed the census at zero so every key is present even in a clean run
+    // (consumers diff telemetry files; an absent key reads as a schema
+    // change rather than a zero).
+    for key in ["cells.ok", "cells.err", "cells.failed", "cells.retried"] {
+        agg.count(key, 0);
+    }
+    agg.count("cells.failed", iso.failed);
+    agg.count("cells.retried", iso.retried);
     let mut matrix: Vec<Vec<Result<LowEndRun, PipelineError>>> =
         (0..names.len()).map(|_| Vec::new()).collect();
-    for ((bi, _), run) in cells.into_iter().zip(flat) {
+    for ((bi, _), outcome) in cells.into_iter().zip(flat) {
+        let run = match outcome {
+            CellOutcome::Ok(run) => run,
+            CellOutcome::Failed { stage, message } => Err(PipelineError::Panic { stage, message }),
+        };
         match &run {
             Ok(r) => {
                 agg.count("cells.ok", 1);
@@ -318,6 +477,73 @@ mod tests {
         let empty: [u32; 0] = [];
         assert!(run_batch(&empty, 8, |_, &x| x).is_empty());
         assert_eq!(run_batch(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn run_batch_isolated_contains_a_panicking_cell() {
+        let items: Vec<usize> = (0..10).collect();
+        for threads in [1, 2, 8] {
+            let (out, stats) = run_batch_isolated(&items, threads, 1, |_, &x| {
+                if x == 5 {
+                    panic!("injected fault in cell {x}");
+                }
+                x * 2
+            });
+            assert_eq!(stats, IsolationStats { failed: 1, retried: 1 });
+            for (i, o) in out.iter().enumerate() {
+                if i == 5 {
+                    match o {
+                        CellOutcome::Failed { stage, message } => {
+                            assert_eq!(stage, "cell", "panic outside any telemetry stage");
+                            assert!(message.contains("injected fault in cell 5"), "{message}");
+                        }
+                        CellOutcome::Ok(_) => panic!("cell 5 should have failed"),
+                    }
+                } else {
+                    assert_eq!(o.as_ok(), Some(&(i * 2)), "cell {i} survived untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_isolated_attributes_the_stage_and_retries() {
+        let items = [0usize];
+        let (out, stats) = run_batch_isolated(&items, 1, 2, |_, &x| {
+            let mut t = Telemetry::new();
+            t.time("alloc", || {
+                if x == 0 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert_eq!(stats, IsolationStats { failed: 1, retried: 2 });
+        match &out[0] {
+            CellOutcome::Failed { stage, message } => {
+                assert_eq!(stage, "alloc");
+                assert_eq!(message, "boom");
+            }
+            CellOutcome::Ok(_) => panic!("cell should have failed"),
+        }
+    }
+
+    #[test]
+    fn cache_recovers_from_a_poisoned_lock() {
+        let cache = SourceCache::new();
+        cache.get("crc32");
+        // Poison the mutex the way a mid-batch worker panic would: unwind
+        // while holding the guard.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = cache.entries.lock().unwrap();
+            panic!("injected panic while holding the cache lock");
+        }));
+        assert!(cache.entries.lock().is_err(), "lock is actually poisoned");
+        // The cache keeps serving: hits recover the memo, misses insert.
+        let a = cache.get("crc32");
+        assert_eq!(a.pressures.len(), a.program.funcs.len());
+        cache.get("bitcount");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

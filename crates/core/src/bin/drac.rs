@@ -13,6 +13,8 @@
 //! assembled LEAF16 words, run the cycle-level simulation, or validate
 //! and pretty-print a run's emitted telemetry.
 
+use dra_core::batch::run_lowend_matrix_with_telemetry;
+use dra_core::faults::{run_fault_campaign, PipelineFaults};
 use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
 use dra_core::profile::compile_and_run_profiled;
 use dra_core::telemetry::validate_telemetry;
@@ -22,7 +24,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n  drac report <telemetry.json>…\n\napproaches: baseline remapping select o-spill coalesce adaptive"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n  drac chaos [--seed <n>] [--faults <n>]\n  drac report <telemetry.json>…\n\napproaches: baseline remapping select o-spill coalesce adaptive"
     );
     ExitCode::FAILURE
 }
@@ -188,6 +190,25 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "chaos" => {
+            let mut seed = 1u64;
+            let mut n_faults = 96usize;
+            let mut it = argv[1..].iter();
+            while let Some(a) = it.next() {
+                let value = match a.as_str() {
+                    "--seed" | "--faults" => match it.next().map(|v| v.parse::<u64>()) {
+                        Some(Ok(v)) => v,
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                };
+                match a.as_str() {
+                    "--seed" => seed = value,
+                    _ => n_faults = value as usize,
+                }
+            }
+            run_chaos(seed, n_faults)
+        }
         "report" => {
             if argv.len() < 2 {
                 return usage();
@@ -222,5 +243,109 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `drac chaos`: the full benchmark × approach matrix under seeded
+/// pipeline faults (worker panics, per-function alloc/verify failures),
+/// plus an `n_faults`-deep stream-corruption campaign per benchmark.
+/// Writes the verdict to `results/telemetry/chaos.json`; exits nonzero if
+/// containment fails — an un-injected cell errors, a fault escapes
+/// adjudication, or a corrupted stream decodes to different registers
+/// without being detected.
+fn run_chaos(seed: u64, n_faults: usize) -> ExitCode {
+    let names = benchmark_names();
+    let mut approaches = Approach::ALL.to_vec();
+    approaches.push(Approach::Adaptive);
+    let cells = names.len() * approaches.len();
+
+    let mut setup = LowEndSetup::default();
+    setup.faults = PipelineFaults::from_seed(seed, cells, 4);
+    println!(
+        "chaos: seed {seed}, {cells} cells, {} injected panics, {} alloc faults, {} verify faults",
+        setup.faults.panic_cells.len(),
+        setup.faults.fail_alloc_funcs.len(),
+        setup.faults.fail_verify_funcs.len(),
+    );
+
+    // Injected cell panics are caught by the isolated driver; keep the
+    // default hook from dumping a backtrace per (expected) unwind.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (matrix, mut telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+    std::panic::set_hook(prev_hook);
+    let mut contained = true;
+    for (bi, row) in matrix.iter().enumerate() {
+        for (ai, cell) in row.iter().enumerate() {
+            let ci = bi * approaches.len() + ai;
+            let injected = setup.faults.panic_cells.contains(&ci);
+            match cell {
+                Ok(_) => {
+                    if injected {
+                        eprintln!("cell {ci}: injected panic did not surface");
+                        contained = false;
+                    }
+                }
+                Err(e) if injected => {
+                    println!("cell {ci} ({}, {}): {e}", names[bi], approaches[ai].label());
+                }
+                Err(e) => {
+                    eprintln!(
+                        "cell {ci} ({}, {}): UNCONTAINED: {e}",
+                        names[bi],
+                        approaches[ai].label()
+                    );
+                    contained = false;
+                }
+            }
+        }
+    }
+
+    // Stream-corruption campaigns: compile each benchmark clean, then
+    // corrupt its encoded diff stream n_faults ways.
+    let clean = LowEndSetup::default();
+    let cfg = EncodingConfig::new(clean.diff);
+    for (i, name) in names.iter().enumerate() {
+        let run = match compile_and_run(name, Approach::Select, &clean) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{name}: clean compile failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let f = &run.program.funcs[run.program.entry as usize];
+        let campaign_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        match run_fault_campaign(f, &cfg, &run.entry_trace, campaign_seed, n_faults) {
+            Ok(report) => {
+                report.record(&mut telemetry);
+                println!(
+                    "{name}: {} faults — {} detected, {} benign, {} diverged",
+                    report.injected, report.detected, report.benign, report.diverged
+                );
+                if !report.fully_adjudicated() {
+                    eprintln!("{name}: campaign left faults unadjudicated");
+                    contained = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("{name}: clean stream failed to decode: {e}");
+                contained = false;
+            }
+        }
+    }
+
+    match telemetry.write_results(std::path::Path::new("."), "chaos") {
+        Ok(path) => println!("telemetry: {}", path.display()),
+        Err(e) => {
+            eprintln!("telemetry write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if contained {
+        println!("chaos: all faults contained");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos: CONTAINMENT FAILURE");
+        ExitCode::FAILURE
     }
 }

@@ -26,19 +26,27 @@
 //! ```
 
 pub mod batch;
+pub mod faults;
 pub mod highend;
 pub mod lowend;
 pub mod profile;
 pub mod telemetry;
 
 pub use batch::{
-    compile_and_run_cached, run_batch, run_lowend_matrix, run_lowend_matrix_with_telemetry,
-    SourceCache,
+    compile_and_run_cached, run_batch, run_batch_isolated, run_lowend_matrix,
+    run_lowend_matrix_with_telemetry, CellOutcome, IsolationStats, SourceCache,
+};
+pub use faults::{
+    adjudicate, run_fault_campaign, sample_faults, FaultOutcome, FaultReport, PipelineFaults,
+    SplitMix64, StreamFault,
 };
 pub use highend::{
     run_highend_suite, run_highend_sweep, run_highend_sweep_with_telemetry, HighEndAggregate,
     HighEndSetup,
 };
-pub use lowend::{compile_and_run, compile_benchmark, Approach, LowEndRun, LowEndSetup};
+pub use lowend::{
+    compile_and_run, compile_and_run_source, compile_benchmark, Approach, LowEndRun, LowEndSetup,
+    PipelineError,
+};
 pub use profile::{apply_profile, compile_and_run_profiled};
 pub use telemetry::{validate_telemetry, Telemetry, TelemetryReport};

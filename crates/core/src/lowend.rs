@@ -1,9 +1,11 @@
 //! The Section 10.1 pipeline: allocate → encode → verify → simulate.
 
+use crate::faults::PipelineFaults;
 use crate::telemetry::Telemetry;
 use dra_adjgraph::DiffParams;
 use dra_encoding::{insert_set_last_reg_program, verify_program, EncodingConfig};
-use dra_ir::Program;
+use dra_ir::parse::ParseError;
+use dra_ir::{Function, Program};
 use dra_isa::{code_size_bits, IsaGeometry};
 use dra_regalloc::{
     coalesce_allocate_program, irc_allocate_program, ospill_allocate_program, remap_program,
@@ -68,6 +70,14 @@ impl Approach {
             Approach::Remapping | Approach::Select | Approach::Coalesce
         )
     }
+
+    /// Does this approach have a *differential path* that can degrade to
+    /// direct encoding? The direct approaches (`Baseline`, `O-spill`) are
+    /// already at the bottom of the lattice — there is nothing to fall
+    /// back to.
+    pub fn can_degrade(self) -> bool {
+        self.is_differential() || self == Approach::Adaptive
+    }
 }
 
 /// Machine and encoding parameters of the low-end experiment.
@@ -93,6 +103,20 @@ pub struct LowEndSetup {
     /// many (benchmark, approach) cells (`0` = one per CPU). Like
     /// `remap_threads`, results are identical at any thread count.
     pub batch_threads: usize,
+    /// Enable the degradation lattice: a per-function differential-path
+    /// failure (allocation, repair, verification) falls back to direct
+    /// encoding for that function, and a simulation failure of a
+    /// differential artifact falls back to a direct recompile of the whole
+    /// program — recorded in [`RemapStats::degraded`] and the `degrade.*`
+    /// counters instead of failing the run. Off (`false`) turns every such
+    /// failure back into a hard [`PipelineError`].
+    pub degrade: bool,
+    /// Panic re-attempts per batch cell before it is recorded as failed
+    /// (see [`crate::batch::run_batch_isolated`]).
+    pub cell_retries: u32,
+    /// Deterministic fault injection plan (clean by default); see
+    /// [`PipelineFaults`].
+    pub faults: PipelineFaults,
 }
 
 impl Default for LowEndSetup {
@@ -106,6 +130,9 @@ impl Default for LowEndSetup {
             remap_starts: 1000,
             remap_threads: 0,
             batch_threads: 0,
+            degrade: true,
+            cell_retries: 1,
+            faults: PipelineFaults::default(),
         }
     }
 }
@@ -175,6 +202,15 @@ impl LowEndRun {
 /// Pipeline failure.
 #[derive(Debug)]
 pub enum PipelineError {
+    /// The program text failed to parse (see [`compile_and_run_source`]).
+    Parse(ParseError),
+    /// The parsed program failed structural validation.
+    Validate {
+        /// Index of the offending function.
+        func: usize,
+        /// The validator's diagnostic.
+        message: String,
+    },
     /// Register allocation failed.
     Alloc(dra_regalloc::AllocError),
     /// The encoded program failed decode verification.
@@ -189,11 +225,32 @@ pub enum PipelineError {
         /// Entries in the supplied pressures slice.
         pressures: usize,
     },
+    /// A failure injected by [`PipelineFaults`] (fault-injection runs
+    /// only; never produced by a clean pipeline).
+    Injected {
+        /// Pipeline stage the fault was injected into.
+        stage: &'static str,
+        /// Index of the targeted function.
+        func: usize,
+    },
+    /// A batch cell panicked through every retry; the panic was contained
+    /// by [`crate::batch::run_batch_isolated`] and recorded here instead
+    /// of aborting the matrix.
+    Panic {
+        /// The innermost telemetry stage active when the cell panicked.
+        stage: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PipelineError::Parse(e) => write!(f, "parse: {e}"),
+            PipelineError::Validate { func, message } => {
+                write!(f, "validate: function {func}: {message}")
+            }
             PipelineError::Alloc(e) => write!(f, "allocation: {e}"),
             PipelineError::Encoding(e) => write!(f, "encoding: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
@@ -201,11 +258,23 @@ impl fmt::Display for PipelineError {
                 f,
                 "pressure table has {pressures} entries for a {funcs}-function program"
             ),
+            PipelineError::Injected { stage, func } => {
+                write!(f, "injected fault: stage {stage}, function {func}")
+            }
+            PipelineError::Panic { stage, message } => {
+                write!(f, "cell panicked in stage {stage}: {message}")
+            }
         }
     }
 }
 
 impl Error for PipelineError {}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
 
 impl From<dra_regalloc::AllocError> for PipelineError {
     fn from(e: dra_regalloc::AllocError) -> Self {
@@ -322,9 +391,40 @@ fn record_repair(t: &mut Telemetry, s: &dra_encoding::RepairStats) {
     t.count("repair.inconsistency", s.inconsistency as u64);
 }
 
+/// Map a differential-path failure to its `degrade.*` cause counter.
+fn degrade_counter(e: &PipelineError) -> &'static str {
+    match e {
+        PipelineError::Alloc(_) => "degrade.alloc",
+        PipelineError::Encoding(_) => "degrade.verify",
+        PipelineError::Injected { .. } => "degrade.injected",
+        _ => "degrade.other",
+    }
+}
+
+/// Fail with [`PipelineError::Injected`] when the fault plan targets any
+/// in-range function of the program being compiled.
+fn check_injected(
+    targets: &std::collections::BTreeSet<usize>,
+    stage: &'static str,
+    nfuncs: usize,
+) -> Result<(), PipelineError> {
+    match targets.iter().copied().find(|&fi| fi < nfuncs) {
+        Some(func) => Err(PipelineError::Injected { stage, func }),
+        None => Ok(()),
+    }
+}
+
 /// [`compile_program_with`], recording per-stage spans and work counters
 /// into `t` (see [`crate::telemetry`] for the names and the determinism
 /// contract).
+///
+/// When [`LowEndSetup::degrade`] is set (the default) and the approach
+/// has a differential path, a failure anywhere in that path does not fail
+/// the program: the pipeline restores the pristine input and recompiles
+/// it function by function, degrading exactly the failing functions to
+/// direct encoding ([`compile_program_degraded`]). The happy path is
+/// byte-identical to a `degrade = false` compile — the fallback only
+/// costs one up-front program clone.
 ///
 /// # Errors
 ///
@@ -332,7 +432,9 @@ fn record_repair(t: &mut Telemetry, s: &dra_encoding::RepairStats) {
 /// `p.funcs` is rejected up front as
 /// [`PipelineError::PressureMismatch`] — for any approach, since a
 /// mismatched table always signals a stale cache entry or caller error
-/// even when the approach would not consult it.
+/// even when the approach would not consult it. The pressure check is
+/// *not* subject to degradation: it indicts the caller, not the
+/// differential path.
 pub fn compile_program_telemetry(
     p: &mut Program,
     approach: Approach,
@@ -348,6 +450,30 @@ pub fn compile_program_telemetry(
             });
         }
     }
+    let fallback = (setup.degrade && approach.can_degrade()).then(|| p.clone());
+    match compile_program_attempt(p, approach, setup, pressures, t) {
+        Ok(rs) => Ok(rs),
+        Err(e) => match fallback {
+            Some(pristine) => {
+                t.count("degrade.programs", 1);
+                t.count(degrade_counter(&e), 0); // ensure the cause key exists
+                compile_program_degraded(p, pristine, approach, setup, pressures, t)
+            }
+            None => Err(e),
+        },
+    }
+}
+
+/// One full program-level compile under `approach` — the pre-lattice
+/// pipeline, plus the [`PipelineFaults`] injection points. May leave `p`
+/// partially compiled on failure; the caller holds the pristine clone.
+fn compile_program_attempt(
+    p: &mut Program,
+    approach: Approach,
+    setup: &LowEndSetup,
+    pressures: Option<&[usize]>,
+    t: &mut Telemetry,
+) -> Result<Vec<RemapStats>, PipelineError> {
     let mut remap_stats: Vec<RemapStats> = Vec::new();
     match approach {
         Approach::Baseline => {
@@ -359,6 +485,7 @@ pub fn compile_program_telemetry(
         Approach::Remapping => {
             // Allocate with the larger register file using the plain
             // allocator, then permute the numbers post-pass.
+            check_injected(&setup.faults.fail_alloc_funcs, "alloc", p.funcs.len())?;
             let mut cfg = AllocConfig::baseline(setup.diff.reg_n());
             cfg.call_clobbers = setup.call_clobbers.clone();
             let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
@@ -367,6 +494,7 @@ pub fn compile_program_telemetry(
             record_remap(t, &remap_stats);
         }
         Approach::Select => {
+            check_injected(&setup.faults.fail_alloc_funcs, "alloc", p.funcs.len())?;
             let mut cfg = AllocConfig::differential(setup.diff);
             cfg.strategy = SelectStrategy::Differential;
             cfg.call_clobbers = setup.call_clobbers.clone();
@@ -385,6 +513,7 @@ pub fn compile_program_telemetry(
             t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
         }
         Approach::Coalesce => {
+            check_injected(&setup.faults.fail_alloc_funcs, "alloc", p.funcs.len())?;
             let mut cfg = CoalesceConfig::new(setup.diff);
             cfg.call_clobbers = setup.call_clobbers.clone();
             let s = t.time("alloc", || coalesce_allocate_program(p, &cfg))?;
@@ -420,6 +549,12 @@ pub fn compile_program_telemetry(
                     let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
                     record_alloc(t, &s);
                 } else {
+                    if setup.faults.fail_alloc_funcs.contains(&fi) {
+                        return Err(PipelineError::Injected {
+                            stage: "alloc",
+                            func: fi,
+                        });
+                    }
                     let mut cfg = AllocConfig::differential(setup.diff);
                     cfg.call_clobbers = setup.call_clobbers.clone();
                     let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
@@ -429,6 +564,12 @@ pub fn compile_program_telemetry(
                     remap_stats.push(rs);
                     let repair = t.time("repair", || dra_encoding::insert_set_last_reg(f, &enc));
                     record_repair(t, &repair);
+                    if setup.faults.fail_verify_funcs.contains(&fi) {
+                        return Err(PipelineError::Injected {
+                            stage: "verify",
+                            func: fi,
+                        });
+                    }
                     t.time("verify", || dra_encoding::verify_function(f, &enc))?;
                 }
             }
@@ -441,7 +582,170 @@ pub fn compile_program_telemetry(
         let enc = EncodingConfig::new(setup.diff);
         let repair = t.time("repair", || insert_set_last_reg_program(p, &enc));
         record_repair(t, &repair);
+        check_injected(&setup.faults.fail_verify_funcs, "verify", p.funcs.len())?;
         t.time("verify", || verify_program(p, &enc))?;
+    }
+    Ok(remap_stats)
+}
+
+/// One function's share of the differential pipeline. The `*_program`
+/// passes are per-function loops, so this produces exactly the code the
+/// program-level attempt would have produced for that function — degraded
+/// runs keep every *surviving* function bit-identical to a clean compile.
+fn compile_function_attempt(
+    f: &mut Function,
+    fi: usize,
+    approach: Approach,
+    setup: &LowEndSetup,
+    pressure: Option<usize>,
+    t: &mut Telemetry,
+) -> Result<Vec<RemapStats>, PipelineError> {
+    let faults = &setup.faults;
+    let enc = EncodingConfig::new(setup.diff);
+    let mut remap_stats = Vec::new();
+    match approach {
+        Approach::Baseline | Approach::OSpill => {
+            unreachable!("direct approaches have no differential path to retry")
+        }
+        Approach::Remapping | Approach::Select => {
+            if faults.fail_alloc_funcs.contains(&fi) {
+                return Err(PipelineError::Injected {
+                    stage: "alloc",
+                    func: fi,
+                });
+            }
+            let mut cfg = if approach == Approach::Remapping {
+                AllocConfig::baseline(setup.diff.reg_n())
+            } else {
+                let mut c = AllocConfig::differential(setup.diff);
+                c.strategy = SelectStrategy::Differential;
+                c
+            };
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
+            record_alloc(t, &s);
+            let rs = dra_regalloc::remap_function(f, &setup.remap_config());
+            record_remap(t, std::slice::from_ref(&rs));
+            remap_stats.push(rs);
+        }
+        Approach::Coalesce => {
+            if faults.fail_alloc_funcs.contains(&fi) {
+                return Err(PipelineError::Injected {
+                    stage: "alloc",
+                    func: fi,
+                });
+            }
+            let mut cfg = CoalesceConfig::new(setup.diff);
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            let s = t.time("alloc", || dra_regalloc::coalesce_allocate(f, &cfg))?;
+            t.count("alloc.pressure_spills", s.pressure_spills as u64);
+            t.count("alloc.coloring_spills", s.coloring_spills as u64);
+            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
+            record_irc_steps(t, &s.irc);
+            t.span_ns("alloc.liveness", s.irc.liveness_nanos);
+            t.span_ns("alloc.build", s.irc.build_nanos);
+            t.span_ns("alloc.color", s.irc.color_nanos);
+            let rs = dra_regalloc::remap_function(f, &setup.remap_config());
+            record_remap(t, std::slice::from_ref(&rs));
+            remap_stats.push(rs);
+        }
+        Approach::Adaptive => {
+            let pressure =
+                pressure.unwrap_or_else(|| dra_ir::Liveness::compute(f).max_pressure(f));
+            if pressure <= setup.direct_regs as usize {
+                let mut cfg = AllocConfig::baseline(setup.direct_regs);
+                cfg.call_clobbers = setup.call_clobbers.clone();
+                let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
+                record_alloc(t, &s);
+            } else {
+                if faults.fail_alloc_funcs.contains(&fi) {
+                    return Err(PipelineError::Injected {
+                        stage: "alloc",
+                        func: fi,
+                    });
+                }
+                let mut cfg = AllocConfig::differential(setup.diff);
+                cfg.call_clobbers = setup.call_clobbers.clone();
+                let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
+                record_alloc(t, &s);
+                let rs = dra_regalloc::remap_function(f, &setup.remap_config());
+                record_remap(t, std::slice::from_ref(&rs));
+                remap_stats.push(rs);
+                let repair = t.time("repair", || dra_encoding::insert_set_last_reg(f, &enc));
+                record_repair(t, &repair);
+                if faults.fail_verify_funcs.contains(&fi) {
+                    return Err(PipelineError::Injected {
+                        stage: "verify",
+                        func: fi,
+                    });
+                }
+                t.time("verify", || dra_encoding::verify_function(f, &enc))?;
+            }
+            return Ok(remap_stats);
+        }
+    }
+    let repair = t.time("repair", || dra_encoding::insert_set_last_reg(f, &enc));
+    record_repair(t, &repair);
+    if faults.fail_verify_funcs.contains(&fi) {
+        return Err(PipelineError::Injected {
+            stage: "verify",
+            func: fi,
+        });
+    }
+    t.time("verify", || dra_encoding::verify_function(f, &enc))?;
+    Ok(remap_stats)
+}
+
+/// The degradation lattice's middle rung: recompile the pristine program
+/// function by function, keeping every function whose differential
+/// pipeline succeeds and dropping exactly the failing ones to direct
+/// encoding (`RegN = DiffN =` [`LowEndSetup::direct_regs`], repair-free).
+///
+/// Each degraded function is recorded in the `degrade.*` counters (cause
+/// via [`degrade_counter`]) and marked with
+/// [`RemapStats::degraded_marker`] in the returned stats so downstream
+/// reporting can see the holes. The bottom of the lattice — direct
+/// allocation itself failing — is a hard error.
+fn compile_program_degraded(
+    p: &mut Program,
+    pristine: Program,
+    approach: Approach,
+    setup: &LowEndSetup,
+    pressures: Option<&[usize]>,
+    t: &mut Telemetry,
+) -> Result<Vec<RemapStats>, PipelineError> {
+    *p = pristine;
+    let mut remap_stats = Vec::new();
+    for (fi, f) in p.funcs.iter_mut().enumerate() {
+        let pressure = pressures.map(|ps| ps[fi]);
+        let mut attempt = f.clone();
+        match compile_function_attempt(&mut attempt, fi, approach, setup, pressure, t) {
+            Ok(mut rs) => {
+                *f = attempt;
+                remap_stats.append(&mut rs);
+            }
+            Err(e) => {
+                t.count("degrade.functions", 1);
+                t.count(degrade_counter(&e), 1);
+                // `f` is still pristine (the attempt ran on a clone):
+                // compile it direct.
+                let differential_func = match approach {
+                    Approach::Adaptive => {
+                        let pr = pressure
+                            .unwrap_or_else(|| dra_ir::Liveness::compute(f).max_pressure(f));
+                        pr > setup.direct_regs as usize
+                    }
+                    _ => true,
+                };
+                let mut cfg = AllocConfig::baseline(setup.direct_regs);
+                cfg.call_clobbers = setup.call_clobbers.clone();
+                let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
+                record_alloc(t, &s);
+                if differential_func {
+                    remap_stats.push(RemapStats::degraded_marker());
+                }
+            }
+        }
     }
     Ok(remap_stats)
 }
@@ -449,16 +753,23 @@ pub fn compile_program_telemetry(
 /// Shared tail of every `compile_and_run*` front end: simulate the
 /// compiled program, record the simulator's counters and span into
 /// `telemetry`, and assemble the [`LowEndRun`].
+///
+/// Failure returns the telemetry alongside the error so
+/// [`finish_run_or_degrade`] can carry the attempt's record into the
+/// degraded re-run.
 pub(crate) fn finish_run(
     program: Program,
     approach: Approach,
     setup: &LowEndSetup,
     remap: Vec<RemapStats>,
     mut telemetry: Telemetry,
-) -> Result<LowEndRun, PipelineError> {
+) -> Result<LowEndRun, (PipelineError, Telemetry)> {
     let set_last_regs = program.count_insts(|i| i.is_set_last_reg());
     let sim: SimResult =
-        telemetry.time("simulate", || simulate(&program, &setup.machine, &setup.args))?;
+        match telemetry.time("simulate", || simulate(&program, &setup.machine, &setup.args)) {
+            Ok(sim) => sim,
+            Err(e) => return Err((PipelineError::Sim(e), telemetry)),
+        };
     for (name, value) in sim.counters() {
         telemetry.count(name, value);
     }
@@ -483,6 +794,59 @@ pub(crate) fn finish_run(
     })
 }
 
+/// The last rung of the degradation lattice: run [`finish_run`], and on a
+/// simulation failure of a *differential* artifact (including one
+/// injected via [`PipelineFaults::fail_sim`]) recompile the pristine
+/// `source` program direct-encoded and simulate that instead — counted as
+/// `degrade.sim` (plus `degrade.programs`/`degrade.functions`) and marked
+/// in every [`RemapStats`] slot.
+///
+/// With no `source`, with [`LowEndSetup::degrade`] off, or for an already
+/// direct approach, a failure is simply returned.
+pub(crate) fn finish_run_or_degrade(
+    source: Option<&Program>,
+    program: Program,
+    approach: Approach,
+    setup: &LowEndSetup,
+    remap: Vec<RemapStats>,
+    telemetry: Telemetry,
+) -> Result<LowEndRun, PipelineError> {
+    let attempt = if setup.faults.fail_sim && approach.can_degrade() {
+        Err((
+            PipelineError::Injected {
+                stage: "simulate",
+                func: 0,
+            },
+            telemetry,
+        ))
+    } else {
+        finish_run(program, approach, setup, remap, telemetry)
+    };
+    match attempt {
+        Ok(run) => Ok(run),
+        Err((e, mut telemetry)) => {
+            let degradable = setup.degrade && approach.can_degrade();
+            let Some(src) = source.filter(|_| degradable) else {
+                return Err(e);
+            };
+            telemetry.count("degrade.sim", 1);
+            telemetry.count("degrade.programs", 1);
+            telemetry.count(degrade_counter(&e), 0); // ensure the cause key exists
+            // The differential artifact is unrunnable; rebuild the whole
+            // program at the bottom of the lattice (direct encoding,
+            // repair-free) and simulate that.
+            let mut p = src.clone();
+            let mut cfg = AllocConfig::baseline(setup.direct_regs);
+            cfg.call_clobbers = setup.call_clobbers.clone();
+            let s = telemetry.time("alloc", || irc_allocate_program(&mut p, &cfg))?;
+            record_alloc(&mut telemetry, &s);
+            telemetry.count("degrade.functions", p.funcs.len() as u64);
+            let remap = vec![RemapStats::degraded_marker(); p.funcs.len()];
+            finish_run(p, approach, setup, remap, telemetry).map_err(|(e, _)| e)
+        }
+    }
+}
+
 /// Compile and simulate a benchmark; the full Figure 11–14 measurement.
 ///
 /// # Errors
@@ -495,8 +859,42 @@ pub fn compile_and_run(
 ) -> Result<LowEndRun, PipelineError> {
     let mut telemetry = Telemetry::new();
     let mut program = telemetry.time("parse", || benchmark(name));
+    let source = (setup.degrade && approach.can_degrade()).then(|| program.clone());
     let remap = compile_program_telemetry(&mut program, approach, setup, None, &mut telemetry)?;
-    finish_run(program, approach, setup, remap, telemetry)
+    finish_run_or_degrade(source.as_ref(), program, approach, setup, remap, telemetry)
+}
+
+/// [`compile_and_run`] over arbitrary (possibly hostile) program *text*
+/// instead of a named benchmark: parse, validate, then run the normal
+/// pipeline. Parse and validation failures are structured
+/// [`PipelineError`]s — malformed text can never panic a batch.
+///
+/// # Errors
+///
+/// [`PipelineError::Parse`] / [`PipelineError::Validate`] for bad text,
+/// otherwise as [`compile_and_run`].
+pub fn compile_and_run_source(
+    text: &str,
+    approach: Approach,
+    setup: &LowEndSetup,
+) -> Result<LowEndRun, PipelineError> {
+    let mut telemetry = Telemetry::new();
+    let mut program = telemetry.time("parse", || dra_ir::parse::parse_program(text))?;
+    for (fi, f) in program.funcs.iter().enumerate() {
+        dra_ir::validate::validate_function(f).map_err(|e| PipelineError::Validate {
+            func: fi,
+            message: e.to_string(),
+        })?;
+    }
+    // Cross-function checks (callee indices) on top of the per-function
+    // pass above (which pinpointed the offending function).
+    dra_ir::validate::validate_program(&program).map_err(|e| PipelineError::Validate {
+        func: 0,
+        message: e.to_string(),
+    })?;
+    let source = (setup.degrade && approach.can_degrade()).then(|| program.clone());
+    let remap = compile_program_telemetry(&mut program, approach, setup, None, &mut telemetry)?;
+    finish_run_or_degrade(source.as_ref(), program, approach, setup, remap, telemetry)
 }
 
 #[cfg(test)]

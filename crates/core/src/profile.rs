@@ -13,7 +13,8 @@
 //!    weights, spill costs, and coalesce scores now reflect reality.
 
 use crate::lowend::{
-    compile_and_run, compile_program_telemetry, finish_run, Approach, LowEndSetup, PipelineError,
+    compile_and_run, compile_program_telemetry, finish_run_or_degrade, Approach, LowEndSetup,
+    PipelineError,
 };
 use crate::telemetry::Telemetry;
 use crate::LowEndRun;
@@ -54,8 +55,9 @@ pub fn compile_and_run_profiled(
     let mut telemetry = Telemetry::new();
     let mut p = telemetry.time("parse", || benchmark(name));
     apply_profile(&mut p, &profile_run.block_counts);
+    let source = (setup.degrade && approach.can_degrade()).then(|| p.clone());
     let remap = compile_program_telemetry(&mut p, approach, setup, None, &mut telemetry)?;
-    finish_run(p, approach, setup, remap, telemetry)
+    finish_run_or_degrade(source.as_ref(), p, approach, setup, remap, telemetry)
 }
 
 #[cfg(test)]

@@ -51,10 +51,62 @@
 //! recursive-descent JSON reader sufficient for the schema (and strict
 //! enough to reject malformed files).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+thread_local! {
+    /// The stack of [`Telemetry::time`] span names currently live on this
+    /// thread. Innermost last; read when a panic unwinds through a span.
+    static STAGE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// The innermost stage a panic unwound through, captured by the first
+    /// [`StageGuard`] dropped while the thread is panicking. First write
+    /// wins so outer spans cannot overwrite the precise site.
+    static PANIC_STAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII marker for a named pipeline stage, pushed by [`Telemetry::time`]
+/// (or [`enter_stage`] directly). When a panic unwinds through the guard,
+/// the innermost live stage name is recorded for
+/// [`take_panic_stage`] — that is how the panic-isolated batch driver
+/// attributes a caught panic to `alloc`/`repair`/`verify`/`simulate`
+/// without any cooperation from the panicking code.
+pub struct StageGuard(());
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        STAGE_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if std::thread::panicking() {
+                if let Some(name) = stack.last() {
+                    PANIC_STAGE.with(|p| {
+                        let mut p = p.borrow_mut();
+                        if p.is_none() {
+                            *p = Some(name.clone());
+                        }
+                    });
+                }
+            }
+            stack.pop();
+        });
+    }
+}
+
+/// Push `name` onto this thread's stage stack until the guard drops.
+pub fn enter_stage(name: &str) -> StageGuard {
+    STAGE_STACK.with(|stack| stack.borrow_mut().push(name.to_string()));
+    StageGuard(())
+}
+
+/// Take (and clear) the stage the last caught panic unwound through, if
+/// any. The panic-isolated batch driver calls this after `catch_unwind`
+/// to label the failed cell; it also clears the slot *before* each
+/// attempt so a stale stage from an earlier failure cannot leak in.
+pub fn take_panic_stage() -> Option<String> {
+    PANIC_STAGE.with(|p| p.borrow_mut().take())
+}
 
 /// Schema identifier embedded in every emitted telemetry object. Bump the
 /// suffix when the layout changes incompatibly.
@@ -86,8 +138,11 @@ impl Telemetry {
         *self.spans.entry(name.to_string()).or_insert(0) += nanos;
     }
 
-    /// Run `f`, recording its wall-clock time under span `name`.
+    /// Run `f`, recording its wall-clock time under span `name`. The span
+    /// also serves as a stage marker: if `f` panics, the unwind records
+    /// `name` (or a nested span's name) for [`take_panic_stage`].
     pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _stage = enter_stage(name);
         let t0 = Instant::now();
         let r = f();
         self.span_ns(name, t0.elapsed().as_nanos() as u64);
@@ -662,5 +717,23 @@ mod tests {
         let src = std::fs::read_to_string(&path).unwrap();
         assert_eq!(validate_telemetry(&src).unwrap().counters["c"], 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_stage_captures_the_innermost_span() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut t = Telemetry::new();
+            t.time("outer", || {
+                let mut inner = Telemetry::new();
+                inner.time("inner", || panic!("boom"))
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(take_panic_stage().as_deref(), Some("inner"));
+        // The slot is cleared by the take; the stack fully unwound.
+        assert_eq!(take_panic_stage(), None);
+        let mut t = Telemetry::new();
+        t.time("calm", || ());
+        assert_eq!(take_panic_stage(), None, "non-panicking spans record nothing");
     }
 }

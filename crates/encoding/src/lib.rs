@@ -41,4 +41,7 @@ pub use state::{
     block_entry_states, block_entry_states_ordered, block_entry_states_reference_ordered,
     transfer_block, DecodeState, LastReg,
 };
-pub use verify::{decode_trace, encode_fields, verify_function, verify_program, DecodeError};
+pub use verify::{
+    decode_trace, decode_trace_fields, encode_fields, verify_function, verify_program,
+    DecodeError, InstFields,
+};

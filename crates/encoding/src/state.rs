@@ -62,17 +62,20 @@ impl LastReg {
         if let Some(r) = decoded_updates_last {
             self.value = Some(r);
         }
-        for p in self.pending.iter_mut() {
-            p.1 -= 1;
-        }
-        while let Some(&(v, d)) = self.pending.front() {
-            if d == 0 {
+        // Each pending set lands when its own delay elapses, in queue
+        // order among ties. Repaired code queues at most one set at a
+        // time, but a faulty stream may queue several with arbitrary
+        // delays — landing must not depend on the front entry's delay,
+        // or a set stuck behind a slower one underflows its counter.
+        let mut rest = VecDeque::with_capacity(self.pending.len());
+        for (v, d) in self.pending.drain(..) {
+            if d <= 1 {
                 self.value = Some(v);
-                self.pending.pop_front();
             } else {
-                break;
+                rest.push_back((v, d - 1));
             }
         }
+        self.pending = rest;
     }
 
     /// Scramble the state (a call transferred control to an unknown

@@ -50,6 +50,17 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     })
 }
 
+/// Cap on parsed entity ids (`bbN`, `vN`, `slotN`). Ids name slots in
+/// dense arrays — `blocks`, `vreg_classes`, spill frames — so hostile text
+/// like `br bb4000000000` must be rejected here, not answered with a
+/// multi-gigabyte allocation (or an index overflow) downstream.
+const MAX_ID: u32 = 1 << 20;
+
+fn parse_id(s: &str) -> Option<u32> {
+    let n: u32 = s.parse().ok()?;
+    (n <= MAX_ID).then_some(n)
+}
+
 /// Parse one function from its textual form.
 ///
 /// # Errors
@@ -91,6 +102,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         line: hline,
         message: "missing `)`".into(),
     })?;
+    if close < open + 1 {
+        // `)` before `(`, as in `fn f)(:` — slicing would panic.
+        return err(hline, "`)` precedes `(` in the parameter list");
+    }
     let params_src = rest[open + 1..close].trim_matches(['[', ']']);
     let mut f = Function::new(name);
     let mut max_vreg: i64 = -1;
@@ -102,6 +117,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
 
     let mut current: Option<usize> = None;
     let mut blocks: Vec<BasicBlock> = Vec::new();
+    let mut branch_refs: Vec<(usize, BlockId)> = Vec::new();
 
     for (ln, raw) in lines {
         let line = raw.split(';').next().unwrap_or("").trim_end();
@@ -132,6 +148,9 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
             return err(ln, "instruction before any block label");
         };
         let inst = parse_inst(trimmed, ln)?;
+        for t in inst.branch_targets() {
+            branch_refs.push((ln, t));
+        }
         for r in inst.accesses() {
             if let Reg::Virt(v) = r {
                 max_vreg = max_vreg.max(v.0 as i64);
@@ -145,6 +164,17 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
 
     if blocks.is_empty() {
         blocks.push(BasicBlock::new());
+    }
+    // Every branch must land on a declared label: `recompute_cfg` indexes
+    // `preds`/`succs` by target, so a dangling `br bb99` would panic there
+    // instead of erroring here.
+    for (ln, t) in branch_refs {
+        if t.index() >= blocks.len() {
+            return err(
+                ln,
+                format!("branch target {t} does not exist ({} blocks)", blocks.len()),
+            );
+        }
     }
     f.blocks = blocks;
     f.vreg_count = (max_vreg + 1) as u32;
@@ -163,7 +193,7 @@ fn parse_freq(comment: &str) -> Option<f64> {
 }
 
 fn parse_vreg(s: &str, line: usize) -> Result<VReg, ParseError> {
-    match s.strip_prefix('v').and_then(|n| n.parse().ok()) {
+    match s.strip_prefix('v').and_then(parse_id) {
         Some(n) => Ok(VReg(n)),
         None => err(line, format!("expected virtual register, got `{s}`")),
     }
@@ -171,7 +201,7 @@ fn parse_vreg(s: &str, line: usize) -> Result<VReg, ParseError> {
 
 fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
     let s = s.trim();
-    if let Some(n) = s.strip_prefix('v').and_then(|n| n.parse().ok()) {
+    if let Some(n) = s.strip_prefix('v').and_then(parse_id) {
         return Ok(Reg::Virt(VReg(n)));
     }
     if let Some(n) = s.strip_prefix('r').and_then(|n| n.parse().ok()) {
@@ -181,7 +211,7 @@ fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
 }
 
 fn parse_block(s: &str, line: usize) -> Result<BlockId, ParseError> {
-    match s.trim().strip_prefix("bb").and_then(|n| n.parse().ok()) {
+    match s.trim().strip_prefix("bb").and_then(parse_id) {
         Some(n) => Ok(BlockId(n)),
         None => err(line, format!("expected block label, got `{s}`")),
     }
@@ -225,7 +255,7 @@ fn parse_mem_operand(s: &str, line: usize) -> Result<(Reg, i32), ParseError> {
 }
 
 fn parse_slot(s: &str, line: usize) -> Result<SpillSlot, ParseError> {
-    match s.trim().strip_prefix("slot").and_then(|n| n.parse().ok()) {
+    match s.trim().strip_prefix("slot").and_then(parse_id) {
         Some(n) => Ok(SpillSlot(n)),
         None => err(line, format!("expected `slotN`, got `{s}`")),
     }
@@ -533,6 +563,37 @@ mod tests {
     fn empty_input_is_an_error() {
         assert!(parse_function("").is_err());
         assert!(parse_function("not a function").is_err());
+    }
+
+    #[test]
+    fn reversed_parens_in_header_are_an_error() {
+        // `rfind(')') < find('(')` used to slice out of order and panic.
+        let e = parse_function("fn f)(:\nbb0:\n    ret\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("precedes"), "{}", e.message);
+    }
+
+    #[test]
+    fn oversized_ids_are_rejected_not_allocated() {
+        // A block id names a slot in a dense vector; parsing `bb4000000000`
+        // must fail instead of allocating four billion blocks.
+        assert!(parse_function("fn f([]):\nbb4000000000:\n    ret\n").is_err());
+        assert!(parse_function("fn f([]):\nbb0:\n    v4294967295 = mov #1\n    ret\n").is_err());
+        assert!(parse_function("fn f([v4294967295]):\nbb0:\n    ret\n").is_err());
+        assert!(parse_function("fn f([]):\nbb0:\n    spill r0, slot4294967295\n    ret\n").is_err());
+        // The cap itself is inclusive.
+        assert!(parse_function(&format!("fn f([]):\nbb0:\n    v{MAX_ID} = mov #1\n    ret\n")).is_ok());
+    }
+
+    #[test]
+    fn dangling_branch_targets_are_errors_not_cfg_panics() {
+        let e = parse_function("fn f([]):\nbb0:\n    br bb7\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bb7"), "{}", e.message);
+        let e =
+            parse_function("fn f([]):\nbb0:\n    br.lt r0, r1 -> bb1, bb9\nbb1:\n    ret\n")
+                .unwrap_err();
+        assert!(e.message.contains("bb9"), "{}", e.message);
     }
 }
 

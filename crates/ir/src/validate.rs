@@ -53,6 +53,13 @@ pub enum ValidateError {
         /// The missing callee index.
         callee: u32,
     },
+    /// The program's entry index names no function (or there are none).
+    BadEntry {
+        /// The entry index.
+        entry: u32,
+        /// Number of functions in the program.
+        funcs: usize,
+    },
     /// Cached CFG edges disagree with the terminators.
     StaleCfg {
         /// Function name.
@@ -82,6 +89,9 @@ impl fmt::Display for ValidateError {
             ),
             ValidateError::BadCallee { func, callee } => {
                 write!(f, "function `{func}`: call to nonexistent f{callee}")
+            }
+            ValidateError::BadEntry { entry, funcs } => {
+                write!(f, "program entry f{entry} out of range ({funcs} functions)")
             }
             ValidateError::StaleCfg { func, block } => {
                 write!(f, "function `{func}`: cached CFG edges of {block} are stale")
@@ -159,6 +169,12 @@ pub fn validate_function(f: &Function) -> Result<(), ValidateError> {
 ///
 /// Returns the first structural defect found in any function.
 pub fn validate_program(p: &Program) -> Result<(), ValidateError> {
+    if p.entry as usize >= p.funcs.len() {
+        return Err(ValidateError::BadEntry {
+            entry: p.entry,
+            funcs: p.funcs.len(),
+        });
+    }
     for f in &p.funcs {
         validate_function(f)?;
         for inst in f.iter_insts() {

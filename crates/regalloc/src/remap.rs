@@ -47,6 +47,14 @@ use std::time::Instant;
 /// masquerade as an improving swap (which could cycle the descent).
 const EPS: f64 = 1e-9;
 
+/// Default per-descent evaluation budget ([`RemapConfig::eval_budget`]).
+/// A greedy descent on the evaluation's `RegN = 12` sweeps 66 candidate
+/// pairs per improvement step, so this bound allows tens of thousands of
+/// improving swaps — orders of magnitude beyond what any real workload
+/// descends through — while still guaranteeing termination on adversarial
+/// cost surfaces.
+pub const DEFAULT_EVAL_BUDGET: u64 = 1_000_000;
+
 /// Configuration of the remapping search.
 #[derive(Clone, Debug)]
 pub struct RemapConfig {
@@ -67,6 +75,15 @@ pub struct RemapConfig {
     /// Worker threads for the greedy restarts; `0` means one per available
     /// CPU. The search result is identical at any thread count.
     pub threads: usize,
+    /// Evaluation budget: the maximum [`AdjacencyIndex::swap_delta`] calls
+    /// one greedy descent (or the whole exhaustive enumeration) may spend
+    /// before stopping at its current best. Applied per descent — not
+    /// shared across restarts — so the early stop is a pure function of
+    /// the input and the result stays bit-identical at any
+    /// [`RemapConfig::threads`]. The default never binds on realistic
+    /// inputs; it exists so a pathological cost surface degrades to a
+    /// bounded search instead of an unbounded one.
+    pub eval_budget: u64,
 }
 
 impl RemapConfig {
@@ -82,6 +99,7 @@ impl RemapConfig {
             pinned: Vec::new(),
             seed: 0x5eed,
             threads: 0,
+            eval_budget: DEFAULT_EVAL_BUDGET,
         }
     }
 
@@ -118,6 +136,28 @@ pub struct RemapStats {
     pub starts_run: u32,
     /// Wall-clock time of the whole remap (graph build + search), ns.
     pub search_nanos: u64,
+    /// True when this entry marks a function that *fell back to direct
+    /// encoding* instead of being remapped: the pipeline's degradation
+    /// lattice replaces the failed differential compilation with a direct
+    /// one and records the substitution here (no search ran; every work
+    /// counter is zero).
+    pub degraded: bool,
+}
+
+impl RemapStats {
+    /// The marker entry the degradation lattice records for a function
+    /// whose differential path failed and was recompiled direct.
+    pub fn degraded_marker() -> RemapStats {
+        RemapStats {
+            cost_before: 0.0,
+            cost_after: 0.0,
+            exhaustive: false,
+            evaluations: 0,
+            starts_run: 0,
+            search_nanos: 0,
+            degraded: true,
+        }
+    }
 }
 
 /// Work counters shared by both search strategies.
@@ -150,6 +190,7 @@ pub fn remap_function(f: &mut Function, cfg: &RemapConfig) -> RemapStats {
             evaluations: 0,
             starts_run: 0,
             search_nanos: t0.elapsed().as_nanos() as u64,
+            degraded: false,
         };
     }
 
@@ -174,6 +215,7 @@ pub fn remap_function(f: &mut Function, cfg: &RemapConfig) -> RemapStats {
         evaluations: counters.evaluations,
         starts_run: counters.starts_run,
         search_nanos: t0.elapsed().as_nanos() as u64,
+        degraded: false,
     }
 }
 
@@ -238,7 +280,7 @@ fn exhaustive_search(
     let n = free.len();
     let mut c = vec![0usize; n];
     let mut i = 0;
-    while i < n && best_cost > 0.0 {
+    while i < n && best_cost > 0.0 && counters.evaluations < cfg.eval_budget {
         if c[i] < i {
             let p = if i % 2 == 0 { 0 } else { c[i] };
             let (sa, sb) = (free[p], free[i]);
@@ -304,16 +346,23 @@ fn start_vector(reg_n: usize, free: &[usize], seed: u64, start: u32) -> Vec<u8> 
 /// local minimum. Candidate swaps are scored **only** with
 /// [`AdjacencyIndex::swap_delta`]; the full cost is computed once before
 /// the loop and once after it (to shed incremental rounding drift).
+///
+/// `budget` caps the `swap_delta` evaluations of this one descent
+/// ([`RemapConfig::eval_budget`]): a surface that keeps producing
+/// improving swaps stops at its current (still valid) permutation instead
+/// of looping unboundedly. The cutoff depends only on the input, so
+/// determinism across thread counts is preserved.
 fn descend(
     g: &AdjacencyGraph,
     idx: &AdjacencyIndex,
     free: &[usize],
     params: DiffParams,
+    budget: u64,
     mut rv: Vec<u8>,
 ) -> StartOutcome {
     let mut cost = perm_cost(g, &rv, params);
     let mut evals = 0u64;
-    while cost > EPS {
+    while cost > EPS && evals < budget {
         let mut best_swap: Option<(usize, usize, f64)> = None;
         for a in 0..free.len() {
             for b in a + 1..free.len() {
@@ -370,7 +419,7 @@ fn greedy_multistart(
         let mut best: Option<(f64, u32, Vec<u8>)> = None;
         for start in lo..hi {
             let rv0 = start_vector(reg_n, &free, cfg.seed, start);
-            let out = descend(g, idx, &free, params, rv0);
+            let out = descend(g, idx, &free, params, cfg.eval_budget, rv0);
             counters.evaluations += out.evals;
             counters.starts_run += 1;
             let better = best.as_ref().is_none_or(|(c, _, _)| out.cost < *c);
@@ -634,6 +683,51 @@ mod tests {
         // the zero-cost early exit must stop at (or before) the one that
         // reaches a perfect vector.
         assert!(stats.evaluations <= 23);
+    }
+
+    #[test]
+    fn eval_budget_bounds_the_search_deterministically() {
+        let run = |budget: u64, threads: usize| {
+            let mut f = hoppy();
+            let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+            cfg.exhaustive_limit = 0;
+            cfg.starts = 16;
+            cfg.threads = threads;
+            cfg.eval_budget = budget;
+            let stats = remap_function(&mut f, &cfg);
+            assert!(stats.cost_after <= stats.cost_before);
+            (format!("{f}"), stats.cost_after.to_bits())
+        };
+        // A budget that cuts descents short still yields a valid
+        // permutation, bit-identical at any thread count.
+        let tight = run(10, 1);
+        assert_eq!(run(10, 2), tight, "2 threads diverged under budget");
+        assert_eq!(run(10, 8), tight, "8 threads diverged under budget");
+        // And the default budget reproduces the unbudgeted behavior on
+        // real-sized inputs (it never binds).
+        let roomy = run(DEFAULT_EVAL_BUDGET, 1);
+        assert_eq!(run(DEFAULT_EVAL_BUDGET, 8), roomy);
+    }
+
+    #[test]
+    fn exhaustive_respects_eval_budget() {
+        let mut f = hoppy();
+        let mut cfg = RemapConfig::new(DiffParams::new(4, 2));
+        cfg.eval_budget = 3;
+        let stats = remap_function(&mut f, &cfg);
+        assert!(stats.exhaustive);
+        assert!(stats.evaluations <= 3, "budget ignored: {}", stats.evaluations);
+        assert!(stats.cost_after <= stats.cost_before);
+    }
+
+    #[test]
+    fn degraded_marker_is_inert() {
+        let m = RemapStats::degraded_marker();
+        assert!(m.degraded);
+        assert_eq!(m.evaluations, 0);
+        assert_eq!(m.starts_run, 0);
+        let real = remap_function(&mut hoppy(), &RemapConfig::new(DiffParams::new(4, 2)));
+        assert!(!real.degraded, "normal remaps never carry the marker");
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Chaos smoke: run the full benchmark × approach matrix with a nonzero
+# fault seed — injected worker panics, per-function alloc/verify
+# failures, and a stream-corruption campaign per benchmark — and insist
+# that every fault is contained (isolated cell failure, degradation to
+# direct encoding, or a detected/benign decode). The emitted
+# results/telemetry/chaos.json must validate under `drac report`.
+#
+# usage: scripts/chaos.sh [seed] [faults-per-benchmark]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-3}"
+FAULTS="${2:-96}"
+
+cargo run -q -p dra-core --release --bin drac -- chaos --seed "$SEED" --faults "$FAULTS"
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry/chaos.json > /dev/null
+echo "chaos OK (seed $SEED)"

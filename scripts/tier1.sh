@@ -19,3 +19,10 @@ rm -f results/telemetry/fig11.json
 cargo run -q -p dra-bench --release --bin fig11 > /dev/null
 cargo run -q -p dra-core --release --bin drac -- report results/telemetry/fig11.json > /dev/null
 echo "telemetry smoke OK"
+
+# Fault containment: the injection suite end to end, then the decoder
+# totality properties by name (the load-bearing "hostile streams never
+# panic" guarantee gets its own loud line in CI output).
+cargo test -q --test fault_injection
+cargo test -q --test fault_injection decoder_is_total
+echo "fault containment OK"

@@ -12,7 +12,7 @@
 
 use dra_core::batch::{run_batch, run_lowend_matrix, run_lowend_matrix_with_telemetry};
 use dra_core::highend::run_highend_sweep;
-use dra_core::lowend::{Approach, LowEndRun, LowEndSetup};
+use dra_core::lowend::{Approach, LowEndRun, LowEndSetup, PipelineError};
 use dra_workloads::{generate_loop_suite, LoopSuiteConfig};
 
 /// Zero the schedule-dependent remap work counters and drop wall-clock
@@ -104,6 +104,88 @@ fn telemetry_counter_aggregates_identical_across_thread_counts() {
                 "telemetry counters diverged at batch_threads = {threads}"
             ),
         }
+    }
+}
+
+/// Panic isolation extends the determinism contract to faulty matrices:
+/// an injected worker panic fails exactly its own cell, and every
+/// *surviving* cell is bit-identical to the clean run — at any width.
+#[test]
+fn injected_panic_fails_one_cell_and_preserves_the_rest() {
+    let names = ["crc32", "bitcount", "sha"];
+    let approaches = [
+        Approach::Baseline,
+        Approach::Remapping,
+        Approach::Select,
+        Approach::Adaptive,
+    ];
+    let mut setup = LowEndSetup::default();
+    setup.remap_starts = 50;
+    setup.remap_threads = 1;
+
+    let (clean, _) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+
+    // Cell 5 = (bitcount, Remapping) in row-major (benchmark, approach)
+    // order.
+    setup.faults.panic_cells.insert(5);
+    for threads in [1usize, 2, 8] {
+        setup.batch_threads = threads;
+        let (matrix, telemetry) = run_lowend_matrix_with_telemetry(&names, &approaches, &setup);
+        for (bi, row) in matrix.iter().enumerate() {
+            for (ai, cell) in row.iter().enumerate() {
+                if bi * approaches.len() + ai == 5 {
+                    match cell {
+                        Err(PipelineError::Panic { message, .. }) => assert!(
+                            message.contains("injected cell fault"),
+                            "threads {threads}: wrong panic payload: {message}"
+                        ),
+                        other => panic!(
+                            "threads {threads}: faulted cell produced {other:?}"
+                        ),
+                    }
+                } else {
+                    let want = normalized(clean[bi][ai].as_ref().unwrap().clone());
+                    let got = normalized(cell.as_ref().unwrap().clone());
+                    assert_eq!(
+                        want, got,
+                        "threads {threads}: survivor ({bi},{ai}) diverged"
+                    );
+                }
+            }
+        }
+        assert_eq!(telemetry.counter("cells.failed"), 1, "threads {threads}");
+        // Default `cell_retries = 1`: one re-attempt before giving up.
+        assert_eq!(telemetry.counter("cells.retried"), 1, "threads {threads}");
+        assert_eq!(telemetry.counter("cells.err"), 1, "threads {threads}");
+        assert_eq!(
+            telemetry.counter("cells.ok"),
+            (names.len() * approaches.len() - 1) as u64,
+            "threads {threads}"
+        );
+    }
+}
+
+/// A stale pressure table is the caller's bug, not the differential
+/// path's: it must surface as `PressureMismatch` for every approach, and
+/// must not be swallowed by degradation.
+#[test]
+fn pressure_mismatch_is_reported_not_degraded() {
+    use dra_core::lowend::compile_program_telemetry;
+    use dra_core::telemetry::Telemetry;
+
+    let setup = LowEndSetup::default();
+    for approach in [Approach::Baseline, Approach::Select, Approach::Adaptive] {
+        let mut p = dra_workloads::benchmark("crc32");
+        let funcs = p.funcs.len();
+        let stale = vec![7usize; funcs + 2];
+        let mut t = Telemetry::new();
+        match compile_program_telemetry(&mut p, approach, &setup, Some(&stale), &mut t) {
+            Err(PipelineError::PressureMismatch { funcs: f, pressures }) => {
+                assert_eq!((f, pressures), (funcs, funcs + 2), "{}", approach.label());
+            }
+            other => panic!("{}: expected PressureMismatch, got {other:?}", approach.label()),
+        }
+        assert_eq!(t.counter("degrade.programs"), 0, "{}", approach.label());
     }
 }
 

@@ -1,0 +1,323 @@
+//! Fault-injection campaigns against the full pipeline.
+//!
+//! Three layers of the containment story:
+//!
+//! * **Stream faults** — seeded corruption of real benchmarks' encoded
+//!   field streams must always be *detected* (a structured `DecodeError`
+//!   naming the site) or *provably benign* (decode bit-equal to the clean
+//!   one); silent divergence is asserted to be zero. This is the paper's
+//!   safety property run in reverse: the verifier that proves repaired
+//!   programs decode correctly must also refuse everything else.
+//! * **Decoder totality** — `decode_trace_fields` over arbitrary garbage
+//!   streams, traces, and power-on states returns `Ok`/`Err`, never
+//!   panics.
+//! * **Pipeline degradation** — injected per-function alloc/verify
+//!   failures and simulation failures degrade to direct encoding (same
+//!   program answer, `degrade.*` telemetry, `RemapStats::degraded`
+//!   markers) instead of failing the run, and `degrade = false` restores
+//!   the hard error.
+
+use dra_core::faults::{run_fault_campaign, FaultOutcome, PipelineFaults, SplitMix64};
+use dra_core::lowend::{compile_and_run, compile_and_run_source, Approach, LowEndSetup};
+use dra_encoding::{decode_trace_fields, encode_fields, EncodingConfig, LastReg};
+use dra_ir::{BlockId, FunctionBuilder, Inst, PReg};
+use proptest::prelude::*;
+
+fn quick_setup() -> LowEndSetup {
+    LowEndSetup {
+        remap_starts: 50,
+        remap_threads: 1,
+        batch_threads: 1,
+        ..LowEndSetup::default()
+    }
+}
+
+/// Stream-fault campaigns over real compiled benchmarks: every injected
+/// fault adjudicated, detections present, zero divergence.
+#[test]
+fn campaigns_on_compiled_benchmarks_fully_adjudicate() {
+    let setup = quick_setup();
+    let cfg = EncodingConfig::new(setup.diff);
+    for (name, seed) in [("crc32", 11u64), ("bitcount", 22), ("sha", 33)] {
+        let run = compile_and_run(name, Approach::Select, &setup).unwrap();
+        let f = &run.program.funcs[run.program.entry as usize];
+        let report = run_fault_campaign(f, &cfg, &run.entry_trace, seed, 128)
+            .unwrap_or_else(|e| panic!("{name}: clean decode failed: {e}"));
+        assert_eq!(report.injected, 128, "{name}");
+        assert_eq!(
+            report.diverged, 0,
+            "{name}: a fault decoded to different registers silently"
+        );
+        assert!(
+            report.fully_adjudicated(),
+            "{name}: {} faults unaccounted",
+            report.injected - report.detected - report.benign
+        );
+        assert!(report.detected > 0, "{name}: campaign detected nothing");
+        assert!(
+            report.benign > 0,
+            "{name}: campaign should also hit never-consumed state"
+        );
+        // Detected outcomes carry precise diagnostics (site naming).
+        for (fault, outcome) in &report.outcomes {
+            if let FaultOutcome::Detected(e) = outcome {
+                let text = format!("{e}");
+                assert!(
+                    text.contains("bb") || text.contains("trace"),
+                    "fault `{fault}` detected without a site: {text}"
+                );
+            }
+        }
+    }
+}
+
+/// The campaign is a pure function of its seed.
+#[test]
+fn campaigns_are_deterministic() {
+    let setup = quick_setup();
+    let cfg = EncodingConfig::new(setup.diff);
+    let run = compile_and_run("crc32", Approach::Select, &setup).unwrap();
+    let f = &run.program.funcs[run.program.entry as usize];
+    let a = run_fault_campaign(f, &cfg, &run.entry_trace, 7, 48).unwrap();
+    let b = run_fault_campaign(f, &cfg, &run.entry_trace, 7, 48).unwrap();
+    assert_eq!(a, b);
+    let c = run_fault_campaign(f, &cfg, &run.entry_trace, 8, 48).unwrap();
+    assert_ne!(a.outcomes, c.outcomes, "different seed, different faults");
+}
+
+/// A tiny fixed function for decoder-totality fuzzing.
+fn totality_function() -> dra_ir::Function {
+    let mut b = FunctionBuilder::new("tot");
+    b.push(Inst::Mov {
+        dst: PReg(1).into(),
+        src: PReg(0).into(),
+    });
+    let t = b.new_block();
+    let e = b.new_block();
+    b.cond_br(dra_ir::Cond::Lt, PReg(0).into(), PReg(1).into(), t, e);
+    b.switch_to(t);
+    b.push(Inst::Mov {
+        dst: PReg(5).into(),
+        src: PReg(1).into(),
+    });
+    b.ret(None);
+    b.switch_to(e);
+    b.push(Inst::Mov {
+        dst: PReg(11).into(),
+        src: PReg(5).into(),
+    });
+    b.ret(None);
+    b.finish()
+}
+
+proptest! {
+    /// Decoder totality: arbitrary stream shapes, arbitrary codes,
+    /// arbitrary traces, arbitrary power-on state — `Ok` or `Err`, never
+    /// a panic, never an out-of-bounds index.
+    #[test]
+    fn decoder_is_total_on_arbitrary_streams(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(0u16..64, 0..4),
+                0..6,
+            ),
+            0..5,
+        ),
+        trace in proptest::collection::vec(0u32..8, 0..12),
+        init in 0u8..32,
+        known in any::<bool>(),
+    ) {
+        let f = totality_function();
+        let cfg = EncodingConfig::new(dra_adjgraph::DiffParams::new(12, 8));
+        let trace: Vec<BlockId> = trace.into_iter().map(BlockId).collect();
+        let init = if known { LastReg::known(init) } else { LastReg::default() };
+        let _ = decode_trace_fields(&f, &cfg, &blocks, &trace, init);
+    }
+
+    /// Totality also over *shape-correct* streams with corrupt codes: the
+    /// stream matches a real compiled function's block/instruction
+    /// structure, so the decoder gets past the shape checks and into the
+    /// arithmetic — and walks a real execution trace while at it.
+    #[test]
+    fn decoder_is_total_on_shape_correct_garbage(
+        seed in any::<u64>(),
+        init in 0u8..32,
+    ) {
+        let (f, clean, trace, cfg) = shape_correct_seed();
+        let mut encoded = clean.clone();
+        let mut rng = SplitMix64::new(seed);
+        for block in &mut encoded {
+            for fields in block {
+                for code in fields {
+                    *code = rng.below(64) as u16;
+                }
+            }
+        }
+        let _ = decode_trace_fields(f, cfg, &encoded, trace, LastReg::known(init));
+    }
+}
+
+type ShapeSeed = (
+    dra_ir::Function,
+    Vec<Vec<Vec<u16>>>,
+    Vec<BlockId>,
+    EncodingConfig,
+);
+
+/// A repaired, encodable function plus its clean stream and a real trace —
+/// compiled once, corrupted per proptest case.
+fn shape_correct_seed() -> &'static ShapeSeed {
+    static SEED: std::sync::OnceLock<ShapeSeed> = std::sync::OnceLock::new();
+    SEED.get_or_init(|| {
+        let setup = quick_setup();
+        let cfg = EncodingConfig::new(setup.diff);
+        let run = compile_and_run("bitcount", Approach::Select, &setup).unwrap();
+        let f = run.program.funcs[run.program.entry as usize].clone();
+        let encoded = encode_fields(&f, &cfg).unwrap();
+        (f, encoded, run.entry_trace, cfg)
+    })
+}
+
+/// An injected allocation failure degrades exactly that function to
+/// direct encoding; the program still runs and computes the clean answer.
+#[test]
+fn injected_alloc_failure_degrades_function_not_program() {
+    let setup = quick_setup();
+    let clean = compile_and_run("crc32", Approach::Select, &setup).unwrap();
+
+    let mut faulty = quick_setup();
+    faulty.faults.fail_alloc_funcs.insert(0);
+    let run = compile_and_run("crc32", Approach::Select, &faulty)
+        .expect("degradation should contain the injected failure");
+    assert_eq!(run.ret_value, clean.ret_value, "degraded run still correct");
+    assert_eq!(run.telemetry.counter("degrade.programs"), 1);
+    assert!(run.telemetry.counter("degrade.functions") >= 1);
+    assert_eq!(
+        run.telemetry.counter("degrade.injected"),
+        run.telemetry.counter("degrade.functions"),
+        "every degraded function traces back to the injection"
+    );
+    let degraded: Vec<_> = run.remap.iter().filter(|s| s.degraded).collect();
+    assert_eq!(degraded.len(), 1, "exactly one function marked degraded");
+    assert!(
+        degraded.iter().all(|s| s.evaluations == 0 && s.starts_run == 0),
+        "markers are inert"
+    );
+}
+
+#[test]
+fn injected_verify_failure_degrades_too() {
+    let mut faulty = quick_setup();
+    faulty.faults.fail_verify_funcs.insert(0);
+    for approach in [Approach::Remapping, Approach::Select, Approach::Coalesce] {
+        let clean = compile_and_run("bitcount", approach, &quick_setup()).unwrap();
+        let run = compile_and_run("bitcount", approach, &faulty)
+            .unwrap_or_else(|e| panic!("{}: {e}", approach.label()));
+        assert_eq!(run.ret_value, clean.ret_value, "{}", approach.label());
+        assert!(run.telemetry.counter("degrade.functions") >= 1);
+        assert!(run.remap.iter().any(|s| s.degraded));
+    }
+}
+
+#[test]
+fn injected_sim_failure_degrades_whole_program() {
+    let setup = quick_setup();
+    let clean = compile_and_run("crc32", Approach::Select, &setup).unwrap();
+    let direct = compile_and_run("crc32", Approach::Baseline, &setup).unwrap();
+
+    let mut faulty = quick_setup();
+    faulty.faults.fail_sim = true;
+    let run = compile_and_run("crc32", Approach::Select, &faulty).unwrap();
+    assert_eq!(run.ret_value, clean.ret_value);
+    assert_eq!(run.telemetry.counter("degrade.sim"), 1);
+    assert!(run.remap.iter().all(|s| s.degraded), "every slot marked");
+    // The degraded artifact is the direct compile: repair-free.
+    assert_eq!(run.set_last_regs, 0);
+    assert_eq!(run.spill_insts, direct.spill_insts);
+}
+
+#[test]
+fn degradation_off_restores_the_hard_error() {
+    use dra_core::lowend::PipelineError;
+    let mut faulty = quick_setup();
+    faulty.degrade = false;
+    faulty.faults.fail_alloc_funcs.insert(0);
+    match compile_and_run("crc32", Approach::Select, &faulty) {
+        Err(PipelineError::Injected { stage: "alloc", .. }) => {}
+        other => panic!("expected the injected error, got {other:?}"),
+    }
+    faulty.faults.fail_alloc_funcs.clear();
+    faulty.faults.fail_sim = true;
+    match compile_and_run("crc32", Approach::Select, &faulty) {
+        Err(PipelineError::Injected {
+            stage: "simulate", ..
+        }) => {}
+        other => panic!("expected the injected sim error, got {other:?}"),
+    }
+}
+
+#[test]
+fn direct_approaches_ignore_differential_faults() {
+    let mut faulty = quick_setup();
+    faulty.faults.fail_alloc_funcs.insert(0);
+    faulty.faults.fail_verify_funcs.insert(0);
+    faulty.faults.fail_sim = true;
+    for approach in [Approach::Baseline, Approach::OSpill] {
+        let clean = compile_and_run("crc32", approach, &quick_setup()).unwrap();
+        let run = compile_and_run("crc32", approach, &faulty).unwrap();
+        assert_eq!(run.ret_value, clean.ret_value, "{}", approach.label());
+        assert_eq!(run.telemetry.counter("degrade.programs"), 0);
+    }
+}
+
+#[test]
+fn clean_runs_are_untouched_by_the_lattice() {
+    // The degradation machinery must be invisible when nothing fails:
+    // bit-identical results with degrade on and off.
+    let on = quick_setup();
+    let mut off = quick_setup();
+    off.degrade = false;
+    for approach in [Approach::Select, Approach::Adaptive] {
+        let a = compile_and_run("crc32", approach, &on).unwrap();
+        let b = compile_and_run("crc32", approach, &off).unwrap();
+        assert_eq!(a.program, b.program, "{}", approach.label());
+        assert_eq!(a.ret_value, b.ret_value);
+        assert_eq!(a.telemetry.counter("degrade.programs"), 0);
+    }
+}
+
+#[test]
+fn hostile_source_text_is_an_error_not_a_panic() {
+    use dra_core::lowend::PipelineError;
+    let setup = quick_setup();
+    for text in [
+        "",
+        "fn f)(:\nbb0:\n    ret\n",
+        "fn f([]):\nbb0:\n    br bb4000000000\n",
+        "fn f([]):\nbb0:\n    v0 = frobnicate v1, v2\n",
+        "fn f([]):\nbb0:\n    nop\n", // missing terminator
+        "fn f([]):\nbb0:\n    call f99()\n    ret\n", // callee out of range
+    ] {
+        match compile_and_run_source(text, Approach::Select, &setup) {
+            Err(PipelineError::Parse(_) | PipelineError::Validate { .. }) => {}
+            other => panic!("hostile text {text:?} produced {other:?}"),
+        }
+    }
+    // And well-formed text compiles end to end.
+    let run = compile_and_run_source(
+        "fn main([]):\nbb0:\n    v0 = mov #21\n    v1 = add v0, v0\n    ret v1\n",
+        Approach::Select,
+        &setup,
+    )
+    .unwrap();
+    assert_eq!(run.ret_value, Some(42));
+}
+
+#[test]
+fn pipeline_fault_plans_are_seeded_and_deterministic() {
+    let a = PipelineFaults::from_seed(3, 30, 4);
+    let b = PipelineFaults::from_seed(3, 30, 4);
+    assert_eq!(a, b);
+    assert!(!a.is_clean());
+    assert!(PipelineFaults::from_seed(0, 30, 4).is_clean());
+}
