@@ -27,16 +27,16 @@
 //! search is bit-identical at any `remap_threads`), so a whole matrix is
 //! reproducible bit-for-bit at any `batch_threads`.
 
+use crate::cache::LruCache;
 use crate::lowend::{
     compile_program_telemetry, finish_run_or_degrade, Approach, LowEndRun, LowEndSetup,
     PipelineError,
 };
+use crate::session::CompileSession;
 use crate::telemetry::{take_panic_stage, Telemetry};
 use dra_ir::{Liveness, Program};
 use dra_workloads::benchmark;
 use std::any::Any;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -173,6 +173,42 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
+/// Run `f` under [`catch_unwind`] with up to `retries` deterministic
+/// re-attempts, attributing a final panic to the innermost telemetry
+/// stage it unwound through.
+///
+/// This is the per-cell core of [`run_batch_isolated`], exposed on its
+/// own so the resident serving workers ([`crate::serve`]) give every
+/// request exactly the same containment semantics as a batch cell: a
+/// panicking request yields a structured [`CellOutcome::Failed`] with
+/// stage attribution instead of killing its worker thread. Returns the
+/// outcome plus the number of retried attempts.
+pub fn run_isolated<R>(retries: u32, f: impl Fn() -> R) -> (CellOutcome<R>, u32) {
+    let mut retried = 0u32;
+    loop {
+        // Clear any stage left over from earlier work on this thread so
+        // the attribution below is this attempt's own.
+        let _ = take_panic_stage();
+        match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(r) => return (CellOutcome::Ok(r), retried),
+            Err(payload) => {
+                let stage = take_panic_stage().unwrap_or_else(|| "cell".to_string());
+                if retried < retries {
+                    retried += 1;
+                    continue;
+                }
+                return (
+                    CellOutcome::Failed {
+                        stage,
+                        message: panic_message(payload.as_ref()),
+                    },
+                    retried,
+                );
+            }
+        }
+    }
+}
+
 /// [`run_batch`] with per-cell panic containment: each cell runs under
 /// [`catch_unwind`] with up to `retries` deterministic re-attempts, so one
 /// poisoned cell yields a [`CellOutcome::Failed`] hole instead of aborting
@@ -196,28 +232,12 @@ where
     let failed = AtomicU64::new(0);
     let retried = AtomicU64::new(0);
     let outcomes = run_batch(items, threads, |i, item| {
-        let mut attempt = 0u32;
-        loop {
-            // Clear any stage left over from a previous cell on this
-            // worker so the attribution below is this attempt's own.
-            let _ = take_panic_stage();
-            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-                Ok(r) => return CellOutcome::Ok(r),
-                Err(payload) => {
-                    let stage = take_panic_stage().unwrap_or_else(|| "cell".to_string());
-                    if attempt < retries {
-                        attempt += 1;
-                        retried.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    failed.fetch_add(1, Ordering::Relaxed);
-                    return CellOutcome::Failed {
-                        stage,
-                        message: panic_message(payload.as_ref()),
-                    };
-                }
-            }
+        let (outcome, attempts) = run_isolated(retries, || f(i, item));
+        retried.fetch_add(attempts as u64, Ordering::Relaxed);
+        if !outcome.is_ok() {
+            failed.fetch_add(1, Ordering::Relaxed);
         }
+        outcome
     });
     (
         outcomes,
@@ -252,29 +272,58 @@ impl SourceArtifacts {
     }
 }
 
-/// A thread-safe memo of [`SourceArtifacts`] keyed by benchmark name.
+/// Default entry bound for [`SourceCache`] — far above the ten built-in
+/// benchmarks (so the batch pipelines never evict and their counters keep
+/// the schedule-invariance contract), small enough that a resident daemon
+/// holds a bounded working set of parsed programs.
+pub const DEFAULT_SOURCE_CAPACITY: usize = 512;
+
+/// A thread-safe, LRU-bounded memo of [`SourceArtifacts`] keyed by
+/// benchmark name.
 ///
 /// Every figure pipeline compiles each benchmark under several approaches;
 /// the parse and the liveness analysis of the virgin program depend only
 /// on the name, so they are computed once and shared (`Arc`) with all
 /// consumers. Safe to use from [`run_batch`] workers.
-#[derive(Default)]
+///
+/// The memo is bounded ([`LruCache`], default
+/// [`DEFAULT_SOURCE_CAPACITY`]): a long-lived serving process
+/// ([`crate::serve`]) cannot grow it without limit. Evictions surface as
+/// `source_cache.evictions`; they are zero — and all counters remain
+/// schedule-invariant — whenever the distinct key count stays within
+/// capacity, which holds for every batch pipeline.
 pub struct SourceCache {
-    entries: Mutex<HashMap<String, Arc<SourceArtifacts>>>,
+    entries: Mutex<LruCache<String, Arc<SourceArtifacts>>>,
     /// Total `get` calls. One per consumer, so schedule-invariant.
     lookups: AtomicU64,
     /// Distinct keys whose artifacts this cache ended up owning. Counted
     /// at insert-win time, *not* per computation: when two workers race
     /// on the same benchmark both compute but only the first insert
     /// counts, so the value is the number of distinct benchmarks — a pure
-    /// function of the work list, never of the schedule.
+    /// function of the work list, never of the schedule (as long as
+    /// nothing is evicted and recomputed).
     misses: AtomicU64,
 }
 
+impl Default for SourceCache {
+    fn default() -> Self {
+        SourceCache::with_capacity(DEFAULT_SOURCE_CAPACITY)
+    }
+}
+
 impl SourceCache {
-    /// An empty cache.
+    /// An empty cache with the default entry bound.
     pub fn new() -> SourceCache {
         SourceCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` benchmarks.
+    pub fn with_capacity(capacity: usize) -> SourceCache {
+        SourceCache {
+            entries: Mutex::new(LruCache::new(capacity)),
+            lookups: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Lock the memo, recovering from poison.
@@ -285,7 +334,7 @@ impl SourceCache {
     /// still a valid (possibly smaller) memo. Recovering here keeps one
     /// contained cell failure from cascading cache panics into every
     /// other cell of the batch.
-    fn entries(&self) -> MutexGuard<'_, HashMap<String, Arc<SourceArtifacts>>> {
+    fn entries(&self) -> MutexGuard<'_, LruCache<String, Arc<SourceArtifacts>>> {
         self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -296,31 +345,38 @@ impl SourceCache {
     /// dropped, so every consumer sees the same `Arc`.
     pub fn get(&self, name: &str) -> Arc<SourceArtifacts> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        if let Some(a) = self.entries().get(name) {
+        if let Some(a) = self.entries().get(&name.to_string()) {
             return Arc::clone(a);
         }
         let computed = Arc::new(SourceArtifacts::analyze(name));
-        match self.entries().entry(name.to_string()) {
-            Entry::Occupied(e) => Arc::clone(e.get()),
-            Entry::Vacant(v) => {
+        let mut entries = self.entries();
+        match entries.get(&name.to_string()) {
+            Some(winner) => Arc::clone(winner),
+            None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(v.insert(computed))
+                entries.insert(name.to_string(), Arc::clone(&computed));
+                computed
             }
         }
     }
 
-    /// Record the cache's schedule-invariant counters
-    /// (`source_cache.lookups` / `.misses` / `.hits`) into `t`.
+    /// Record the cache's counters (`source_cache.lookups` / `.misses` /
+    /// `.hits` / `.evictions`) into `t`.
     ///
     /// Hits are derived as `lookups - misses`: a racing duplicate
     /// computation is neither a hit nor a miss, keeping all three values
-    /// pure functions of the work list.
+    /// pure functions of the work list. Evictions are zero (and the whole
+    /// record schedule-invariant) whenever the distinct keys fit the
+    /// capacity; past the bound, eviction order — and therefore recompute
+    /// misses — can depend on request interleaving, which a resident
+    /// server reports as observed.
     pub fn record_counters(&self, t: &mut Telemetry) {
         let lookups = self.lookups.load(Ordering::Relaxed);
         let misses = self.misses.load(Ordering::Relaxed);
         t.count("source_cache.lookups", lookups);
         t.count("source_cache.misses", misses);
         t.count("source_cache.hits", lookups - misses);
+        t.count("source_cache.evictions", self.entries().evictions());
     }
 
     /// Number of memoized benchmarks.
@@ -331,6 +387,11 @@ impl SourceCache {
     /// True when nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
         self.entries().is_empty()
+    }
+
+    /// Entries evicted by the LRU bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.entries().evictions()
     }
 }
 
@@ -378,8 +439,15 @@ pub fn run_lowend_matrix(
 /// (so the aggregate is bit-identical at any thread count, like the cells
 /// themselves), plus the cell census
 /// (`cells.ok`/`cells.err`/`cells.failed`/`cells.retried`, always
-/// present), the [`SourceCache`]'s counters, and a wall-clock `batch`
-/// span around the whole grid.
+/// present), the shared [`CompileSession`]'s cache counters
+/// (`source_cache.*` and `result_cache.*`), and a wall-clock `batch` span
+/// around the whole grid.
+///
+/// Since the serving refactor the grid runs through a [`CompileSession`]:
+/// the same object a resident `drac serve` daemon keeps across requests,
+/// so batch and service compile through one code path. A figure grid's
+/// cells are all distinct `(benchmark, approach)` keys, so its result
+/// cache records only misses here — the counters stay schedule-invariant.
 ///
 /// Cells run under [`run_batch_isolated`] with
 /// [`LowEndSetup::cell_retries`] re-attempts: a panicking cell (including
@@ -392,7 +460,7 @@ pub fn run_lowend_matrix_with_telemetry(
     setup: &LowEndSetup,
 ) -> (Vec<Vec<Result<LowEndRun, PipelineError>>>, Telemetry) {
     let mut agg = Telemetry::new();
-    let cache = SourceCache::new();
+    let session = CompileSession::new(setup.clone());
     let cells: Vec<(usize, usize)> = (0..names.len())
         .flat_map(|bi| (0..approaches.len()).map(move |ai| (bi, ai)))
         .collect();
@@ -405,7 +473,9 @@ pub fn run_lowend_matrix_with_telemetry(
                 if setup.faults.panic_cells.contains(&ci) {
                     panic!("injected cell fault (cell {ci})");
                 }
-                compile_and_run_cached(&cache, names[bi], approaches[ai], setup)
+                session
+                    .compile_bench(names[bi], approaches[ai])
+                    .map(|(run, _cached)| (*run).clone())
             },
         )
     });
@@ -433,7 +503,7 @@ pub fn run_lowend_matrix_with_telemetry(
         }
         matrix[bi].push(run);
     }
-    cache.record_counters(&mut agg);
+    session.record_counters(&mut agg);
     (matrix, agg)
 }
 

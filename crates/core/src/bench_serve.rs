@@ -1,0 +1,518 @@
+//! # `drac bench-serve` — seeded load harness for the resident service
+//!
+//! Boots a [`crate::serve`] daemon per worker-count in a sweep, replays a
+//! deterministic mixed workload against it from closed-loop client
+//! threads, and reports client-observed latency quantiles (p50/p95/p99),
+//! throughput, and cache hit rates into `results/serve_bench.json`.
+//!
+//! ## Workload phases
+//!
+//! Each sweep point runs three phases against a *fresh* daemon (so the
+//! caches start cold), all derived from one seed:
+//!
+//! * **cold** — `jobs` distinct program texts, each submitted once.
+//!   Texts are a builtin benchmark's rendering plus a unique trailing
+//!   comment (`; uniq <seed>-<i>`): the parser ignores the comment, so
+//!   every job does identical pipeline work while hashing to a distinct
+//!   result-cache key. Expect ~0% hits.
+//! * **warm** — the same `jobs` texts again. Every key is now resident;
+//!   expect ~100% hits and the latency collapse the paper's
+//!   differential pipeline makes possible (allocation results are pure
+//!   functions of the input, so replaying bytes is sound).
+//! * **dup** — `jobs` requests drawn by a seeded [`SplitMix64`] from a
+//!   4-text pool, modelling a duplicate-heavy fleet where many clients
+//!   compile the same few inputs.
+//!
+//! Latency is measured client-side around `send → response`, so it
+//! includes queueing — the quantity a caller of the service actually
+//! observes.
+//!
+//! ## Determinism
+//!
+//! The request *set* is a pure function of the seed; only wall-clock
+//! derived numbers (latencies, throughput) vary run to run. The
+//! telemetry frame this module writes (`bench_serve.json`) therefore
+//! keeps schedule-dependent quantities (observed hit counts can shift
+//! when racing duplicates both compute) out of its counters: counters
+//! record the submitted workload, spans record wall-clock.
+
+use crate::faults::SplitMix64;
+use crate::lowend::Approach;
+use crate::serve::{serve, ServeAddr, ServeClient, ServeConfig};
+use crate::telemetry::{escape_json, Telemetry};
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Schema identifier for `results/serve_bench.json`.
+pub const BENCH_SCHEMA: &str = "dra-serve-bench-v1";
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct BenchServeConfig {
+    /// Worker-pool sizes to sweep (one daemon each).
+    pub workers: Vec<usize>,
+    /// Jobs per phase.
+    pub jobs: usize,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Workload seed (request set is a pure function of it).
+    pub seed: u64,
+    /// Builtin benchmark whose rendering seeds the generated sources.
+    pub bench: String,
+    /// Allocation approach every job requests.
+    pub approach: Approach,
+    /// Where to write the JSON report (created, parents included).
+    pub out_path: Option<PathBuf>,
+    /// When set, writes `results/telemetry/bench_serve.json` under this
+    /// root.
+    pub telemetry_root: Option<PathBuf>,
+}
+
+impl BenchServeConfig {
+    /// The full sweep: 1→8 workers, 24 jobs/phase, 4 clients.
+    pub fn standard() -> BenchServeConfig {
+        BenchServeConfig {
+            workers: vec![1, 2, 4, 8],
+            jobs: 24,
+            clients: 4,
+            seed: 0xd5ac_5e1f_0b0e_11ce,
+            bench: "crc32".to_string(),
+            approach: Approach::Select,
+            out_path: None,
+            telemetry_root: None,
+        }
+    }
+
+    /// A seconds-scale CI smoke: one daemon at 2 workers, 6 jobs/phase.
+    pub fn smoke() -> BenchServeConfig {
+        BenchServeConfig {
+            workers: vec![2],
+            jobs: 6,
+            clients: 2,
+            ..BenchServeConfig::standard()
+        }
+    }
+}
+
+/// One phase's measured outcome.
+#[derive(Clone, Debug)]
+pub struct PhaseStats {
+    /// `cold`, `warm`, or `dup`.
+    pub name: &'static str,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// `ok:false` responses (0 in a healthy run).
+    pub errors: u64,
+    /// Responses served from the result cache.
+    pub hits: u64,
+    /// p50 client-observed latency, microseconds.
+    pub p50_us: u64,
+    /// p95 client-observed latency, microseconds.
+    pub p95_us: u64,
+    /// p99 client-observed latency, microseconds.
+    pub p99_us: u64,
+    /// Phase wall-clock, microseconds.
+    pub wall_us: u64,
+}
+
+impl PhaseStats {
+    /// Fraction of responses served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.jobs.max(1)) as f64
+    }
+
+    /// Completed jobs per second of phase wall-clock.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / (self.wall_us.max(1) as f64 / 1e6)
+    }
+}
+
+/// One daemon's (worker count's) results.
+#[derive(Clone, Debug)]
+pub struct SweepStats {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// The three phases, in order: cold, warm, dup.
+    pub phases: Vec<PhaseStats>,
+    /// `result_cache.hits` reported by the daemon at shutdown.
+    pub server_cache_hits: u64,
+}
+
+/// The whole harness run.
+#[derive(Clone, Debug)]
+pub struct BenchServeReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Jobs per phase.
+    pub jobs: usize,
+    /// Client threads.
+    pub clients: usize,
+    /// Base benchmark.
+    pub bench: String,
+    /// Approach requested.
+    pub approach: Approach,
+    /// One entry per worker count.
+    pub sweeps: Vec<SweepStats>,
+}
+
+impl BenchServeReport {
+    /// The `dra-serve-bench-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"seed\": {},\n  \"jobs\": {},\n  \"clients\": {},\n  \"bench\": \"{}\",\n  \"approach\": \"{}\",\n  \"sweeps\": [",
+            self.seed,
+            self.jobs,
+            self.clients,
+            escape_json(&self.bench),
+            escape_json(self.approach.label()),
+        ));
+        for (si, sweep) in self.sweeps.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"workers\": {}, \"server_cache_hits\": {}, \"phases\": [",
+                sweep.workers, sweep.server_cache_hits
+            ));
+            for (pi, p) in sweep.phases.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"name\": \"{}\", \"jobs\": {}, \"errors\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"wall_us\": {}, \"jobs_per_sec\": {:.2}}}",
+                    p.name,
+                    p.jobs,
+                    p.errors,
+                    p.hits,
+                    p.hit_rate(),
+                    p.p50_us,
+                    p.p95_us,
+                    p.p99_us,
+                    p.wall_us,
+                    p.jobs_per_sec(),
+                ));
+            }
+            out.push_str("\n    ]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// A human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve bench: {} jobs/phase x {} clients, bench={} approach={}, seed={:#x}\n",
+            self.jobs,
+            self.clients,
+            self.bench,
+            self.approach.label(),
+            self.seed,
+        ));
+        out.push_str(
+            "workers phase  jobs errors  hit%   p50_us   p95_us   p99_us  jobs/s\n",
+        );
+        for sweep in &self.sweeps {
+            for p in &sweep.phases {
+                out.push_str(&format!(
+                    "{:>7} {:<5} {:>5} {:>6} {:>5.1} {:>8} {:>8} {:>8} {:>7.1}\n",
+                    sweep.workers,
+                    p.name,
+                    p.jobs,
+                    p.errors,
+                    100.0 * p.hit_rate(),
+                    p.p50_us,
+                    p.p95_us,
+                    p.p99_us,
+                    p.jobs_per_sec(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The phase entry for (`workers`, `phase`), if present.
+    pub fn phase(&self, workers: usize, phase: &str) -> Option<&PhaseStats> {
+        self.sweeps
+            .iter()
+            .find(|s| s.workers == workers)
+            .and_then(|s| s.phases.iter().find(|p| p.name == phase))
+    }
+}
+
+/// `q`-quantile of an unsorted latency sample (nearest-rank on the
+/// sorted order; 0 for an empty sample).
+pub fn quantile_us(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The generated source texts for a seed: the base benchmark's rendering
+/// plus a unique trailing comment per job (parsed identically, hashed
+/// distinctly).
+pub fn workload_sources(bench: &str, seed: u64, jobs: usize) -> Vec<String> {
+    let base = dra_workloads::benchmark(bench).to_string();
+    (0..jobs)
+        .map(|i| format!("{base}\n; uniq {seed:x}-{i}\n"))
+        .collect()
+}
+
+struct PhaseRaw {
+    latencies_us: Vec<u64>,
+    hits: u64,
+    errors: u64,
+    wall_us: u64,
+}
+
+/// Replay `lines` (request lines, one job each) from `clients`
+/// closed-loop threads against `addr`; round-robin assignment.
+fn run_phase(addr: &ServeAddr, lines: &[String], clients: usize) -> io::Result<PhaseRaw> {
+    let clients = clients.max(1);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let mine: Vec<String> = lines
+            .iter()
+            .skip(c)
+            .step_by(clients)
+            .cloned()
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let addr = addr.clone();
+        handles.push(thread::spawn(move || -> io::Result<(Vec<u64>, u64, u64)> {
+            let mut client = ServeClient::connect_with_retry(&addr, Duration::from_secs(5))?;
+            let mut latencies = Vec::with_capacity(mine.len());
+            let mut hits = 0u64;
+            let mut errors = 0u64;
+            for line in &mine {
+                let t0 = Instant::now();
+                let resp = client.request(line)?;
+                latencies.push(t0.elapsed().as_micros() as u64);
+                if resp.ok {
+                    if resp.cached {
+                        hits += 1;
+                    }
+                } else {
+                    errors += 1;
+                }
+            }
+            Ok((latencies, hits, errors))
+        }));
+    }
+    let mut raw = PhaseRaw {
+        latencies_us: Vec::with_capacity(lines.len()),
+        hits: 0,
+        errors: 0,
+        wall_us: 0,
+    };
+    for h in handles {
+        let (lat, hits, errors) = h
+            .join()
+            .map_err(|_| io::Error::other("bench client panicked"))??;
+        raw.latencies_us.extend(lat);
+        raw.hits += hits;
+        raw.errors += errors;
+    }
+    raw.wall_us = start.elapsed().as_micros() as u64;
+    Ok(raw)
+}
+
+fn finish_phase(name: &'static str, jobs: usize, raw: PhaseRaw) -> PhaseStats {
+    PhaseStats {
+        name,
+        jobs,
+        errors: raw.errors,
+        hits: raw.hits,
+        p50_us: quantile_us(&raw.latencies_us, 0.50),
+        p95_us: quantile_us(&raw.latencies_us, 0.95),
+        p99_us: quantile_us(&raw.latencies_us, 0.99),
+        wall_us: raw.wall_us,
+    }
+}
+
+/// Run the sweep: one fresh daemon per worker count, three phases each.
+/// Writes the JSON report and the `bench_serve` telemetry frame when
+/// configured.
+///
+/// # Errors
+///
+/// Daemon startup, socket, or filesystem failures. Per-job pipeline
+/// errors do *not* abort the run — they are counted in
+/// [`PhaseStats::errors`].
+pub fn run_bench_serve(config: &BenchServeConfig) -> io::Result<BenchServeReport> {
+    let mut telemetry = Telemetry::new();
+    telemetry.count("bench_serve.sweeps", config.workers.len() as u64);
+    telemetry.count(
+        "bench_serve.jobs_submitted",
+        (config.workers.len() * config.jobs * 3) as u64,
+    );
+    telemetry.count("bench_serve.clients", config.clients as u64);
+
+    let sources = workload_sources(&config.bench, config.seed, config.jobs);
+    let mut sweeps = Vec::with_capacity(config.workers.len());
+    for &workers in &config.workers {
+        let sweep_start = Instant::now();
+        let mut serve_config = ServeConfig::new(ServeAddr::Tcp("127.0.0.1:0".to_string()));
+        serve_config.workers = workers.max(1);
+        let handle = serve(serve_config)?;
+        let addr = handle.addr().clone();
+
+        let unique: Vec<String> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                crate::serve::request_compile_source(&format!("cold-{i}"), s, config.approach)
+            })
+            .collect();
+        let cold = run_phase(&addr, &unique, config.clients)?;
+
+        let warm_lines: Vec<String> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                crate::serve::request_compile_source(&format!("warm-{i}"), s, config.approach)
+            })
+            .collect();
+        let warm = run_phase(&addr, &warm_lines, config.clients)?;
+
+        let pool = sources.len().min(4).max(1);
+        let mut rng = SplitMix64::new(config.seed ^ workers as u64);
+        let dup_lines: Vec<String> = (0..config.jobs)
+            .map(|i| {
+                let pick = rng.below(pool as u64) as usize;
+                crate::serve::request_compile_source(
+                    &format!("dup-{i}"),
+                    &sources[pick],
+                    config.approach,
+                )
+            })
+            .collect();
+        let dup = run_phase(&addr, &dup_lines, config.clients)?;
+
+        // Pull the daemon's own view, then shut it down cleanly.
+        let mut control = ServeClient::connect_with_retry(&addr, Duration::from_secs(5))?;
+        let stats = control.stats("bench-stats")?;
+        let server_cache_hits = stats
+            .stats
+            .as_ref()
+            .and_then(|t| t.counters.get("result_cache.hits"))
+            .copied()
+            .unwrap_or(0);
+        let _ = control.shutdown("bench-shutdown")?;
+        handle
+            .join()
+            .map_err(|e| io::Error::other(format!("serve join failed: {e}")))?;
+
+        telemetry.span_ns(
+            &format!("bench_serve.sweep_w{workers}"),
+            sweep_start.elapsed().as_nanos() as u64,
+        );
+        sweeps.push(SweepStats {
+            workers,
+            phases: vec![
+                finish_phase("cold", config.jobs, cold),
+                finish_phase("warm", config.jobs, warm),
+                finish_phase("dup", config.jobs, dup),
+            ],
+            server_cache_hits,
+        });
+    }
+
+    let report = BenchServeReport {
+        seed: config.seed,
+        jobs: config.jobs,
+        clients: config.clients,
+        bench: config.bench.clone(),
+        approach: config.approach,
+        sweeps,
+    };
+
+    if let Some(path) = &config.out_path {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(report.to_json().as_bytes())?;
+    }
+    if let Some(root) = &config.telemetry_root {
+        telemetry.write_results(root, "bench_serve")?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_us(&s, 0.50), 51);
+        assert_eq!(quantile_us(&s, 0.95), 95);
+        assert_eq!(quantile_us(&s, 0.99), 99);
+        assert_eq!(quantile_us(&[], 0.5), 0);
+        assert_eq!(quantile_us(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn workload_sources_are_distinct_but_equivalent() {
+        let sources = workload_sources("crc32", 42, 4);
+        assert_eq!(sources.len(), 4);
+        for (i, a) in sources.iter().enumerate() {
+            for b in &sources[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Same seed → same set (the workload is replayable).
+        assert_eq!(sources, workload_sources("crc32", 42, 4));
+        // Every variant still parses to the same program as the base.
+        let base = dra_ir::parse::parse_program(&dra_workloads::benchmark("crc32").to_string()).unwrap();
+        for s in &sources {
+            let p = dra_ir::parse::parse_program(s).unwrap();
+            assert_eq!(p.to_string(), base.to_string());
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = BenchServeReport {
+            seed: 1,
+            jobs: 2,
+            clients: 1,
+            bench: "crc32".into(),
+            approach: Approach::Select,
+            sweeps: vec![SweepStats {
+                workers: 2,
+                server_cache_hits: 5,
+                phases: vec![PhaseStats {
+                    name: "cold",
+                    jobs: 2,
+                    errors: 0,
+                    hits: 0,
+                    p50_us: 10,
+                    p95_us: 20,
+                    p99_us: 20,
+                    wall_us: 40,
+                }],
+            }],
+        };
+        let doc = crate::telemetry::parse_json(&report.to_json()).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(
+            obj.get("schema").and_then(|j| j.as_str()),
+            Some(BENCH_SCHEMA)
+        );
+        assert!(obj.contains_key("sweeps"));
+        assert!(!report.render().is_empty());
+    }
+}

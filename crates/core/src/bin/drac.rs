@@ -14,31 +14,26 @@
 //! and pretty-print a run's emitted telemetry.
 
 use dra_core::batch::run_lowend_matrix_with_telemetry;
+use dra_core::bench_serve::{run_bench_serve, BenchServeConfig};
 use dra_core::faults::{run_fault_campaign, PipelineFaults};
 use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
 use dra_core::profile::compile_and_run_profiled;
+use dra_core::serve::{serve, ServeAddr, ServeConfig};
 use dra_core::telemetry::validate_telemetry;
 use dra_encoding::EncodingConfig;
 use dra_workloads::benchmark_names;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n  drac chaos [--seed <n>] [--faults <n>]\n  drac report <telemetry.json>…\n\napproaches: baseline remapping select o-spill coalesce adaptive"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive"
     );
     ExitCode::FAILURE
 }
 
 fn parse_approach(s: &str) -> Option<Approach> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "baseline" => Approach::Baseline,
-        "remapping" | "remap" => Approach::Remapping,
-        "select" => Approach::Select,
-        "o-spill" | "ospill" => Approach::OSpill,
-        "coalesce" => Approach::Coalesce,
-        "adaptive" => Approach::Adaptive,
-        _ => return None,
-    })
+    Approach::parse(s)
 }
 
 struct Args {
@@ -209,41 +204,241 @@ fn main() -> ExitCode {
             }
             run_chaos(seed, n_faults)
         }
-        "report" => {
-            if argv.len() < 2 {
-                return usage();
-            }
-            let mut failed = false;
-            for (i, path) in argv[1..].iter().enumerate() {
-                let src = match std::fs::read_to_string(path) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("{path}: {e}");
-                        failed = true;
-                        continue;
-                    }
-                };
-                match validate_telemetry(&src) {
-                    Ok(report) => {
-                        if i > 0 {
-                            println!();
-                        }
-                        print!("{}", report.render());
-                    }
-                    Err(e) => {
-                        eprintln!("{path}: invalid telemetry: {e}");
-                        failed = true;
-                    }
-                }
-            }
-            if failed {
-                ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
+        "serve" => run_serve(&argv[1..]),
+        "bench-serve" => run_bench_serve_cmd(&argv[1..]),
+        "report" => run_report(&argv[1..]),
         _ => usage(),
     }
+}
+
+/// `drac report`: validate and pretty-print telemetry documents. Each
+/// argument is a file or a directory (directories contribute their
+/// `*.json` entries, sorted); with no arguments, discovers
+/// `results/telemetry`. Any binary's frame is accepted — the schema, not
+/// a hard-coded emitter list, is the contract.
+fn run_report(args: &[String]) -> ExitCode {
+    let roots: Vec<String> = if args.is_empty() {
+        vec!["results/telemetry".to_string()]
+    } else {
+        args.to_vec()
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut failed = false;
+    for root in &roots {
+        let p = Path::new(root);
+        if p.is_dir() {
+            let mut found: Vec<PathBuf> = match std::fs::read_dir(p) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("{root}: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            found.sort();
+            if found.is_empty() {
+                eprintln!("{root}: no telemetry documents");
+                failed = true;
+            }
+            paths.extend(found);
+        } else {
+            paths.push(p.to_path_buf());
+        }
+    }
+    for (i, path) in paths.iter().enumerate() {
+        let display = path.display();
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{display}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_telemetry(&src) {
+            Ok(report) => {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", report.render());
+            }
+            Err(e) => {
+                eprintln!("{display}: invalid telemetry: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `drac serve`: run the resident daemon until a `shutdown` request
+/// arrives, then print where the final telemetry went.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut addr: Option<ServeAddr> = None;
+    let mut workers = 0usize;
+    let mut retries = 1u32;
+    let mut telemetry_root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(ServeAddr::parse(v)),
+                None => return usage(),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return usage(),
+            },
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retries = v,
+                None => return usage(),
+            },
+            "--telemetry-root" => match it.next() {
+                Some(v) => telemetry_root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("serve: --addr is required (unix:/path or tcp:host:port)");
+        return ExitCode::FAILURE;
+    };
+    let mut config = ServeConfig::new(addr);
+    config.workers = workers;
+    config.retries = retries;
+    config.telemetry_root = telemetry_root.clone();
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving on {}", handle.addr());
+    match handle.join() {
+        Ok(telemetry) => {
+            println!(
+                "served {} requests ({} from cache)",
+                telemetry.counter("serve.requests"),
+                telemetry.counter("serve.cache_hits"),
+            );
+            if let Some(root) = telemetry_root {
+                println!(
+                    "telemetry: {}",
+                    root.join("results/telemetry/serve.json").display()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `drac bench-serve`: the seeded load harness; `--smoke` shrinks the
+/// sweep to CI scale and asserts the caches actually served hits.
+fn run_bench_serve_cmd(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut config = BenchServeConfig::standard();
+    let mut out: Option<PathBuf> = Some(PathBuf::from("results/serve_bench.json"));
+    let mut telemetry_root: Option<PathBuf> = Some(PathBuf::from("."));
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => match it.next() {
+                Some(v) => {
+                    let parsed: Option<Vec<usize>> =
+                        v.split(',').map(|w| w.trim().parse().ok()).collect();
+                    match parsed {
+                        Some(w) if !w.is_empty() => config.workers = w,
+                        _ => return usage(),
+                    }
+                }
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.jobs = v,
+                None => return usage(),
+            },
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.clients = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.seed = v,
+                None => return usage(),
+            },
+            "--bench" => match it.next() {
+                Some(v) => config.bench = v.clone(),
+                None => return usage(),
+            },
+            "--approach" => match it.next().and_then(|v| parse_approach(v)) {
+                Some(v) => config.approach = v,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--telemetry-root" => match it.next() {
+                Some(v) => telemetry_root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if smoke {
+        let full = config;
+        config = BenchServeConfig::smoke();
+        config.seed = full.seed;
+        config.bench = full.bench;
+        config.approach = full.approach;
+    }
+    if !benchmark_names().contains(&config.bench.as_str()) {
+        eprintln!("bench-serve: unknown benchmark {:?}", config.bench);
+        return ExitCode::FAILURE;
+    }
+    config.out_path = out.clone();
+    config.telemetry_root = telemetry_root;
+    let report = match run_bench_serve(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = out {
+        println!("report: {}", path.display());
+    }
+    let errors: u64 = report
+        .sweeps
+        .iter()
+        .flat_map(|s| s.phases.iter())
+        .map(|p| p.errors)
+        .sum();
+    let hits: u64 = report.sweeps.iter().map(|s| s.server_cache_hits).sum();
+    if errors > 0 {
+        eprintln!("bench-serve: {errors} jobs failed");
+        return ExitCode::FAILURE;
+    }
+    if smoke && hits == 0 {
+        eprintln!("bench-serve: smoke expected nonzero cache hits");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// `drac chaos`: the full benchmark × approach matrix under seeded

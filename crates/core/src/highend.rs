@@ -119,27 +119,45 @@ pub fn run_highend_sweep(
     reg_ns: &[u16],
     threads: usize,
 ) -> Vec<HighEndAggregate> {
+    sweep_grid(suite, reg_ns, threads).0
+}
+
+/// The flat (point × loop) grid behind [`run_highend_sweep`], with the
+/// batch driver's panic containment: a poisoned loop cell becomes a hole
+/// (dropping that loop from every point's common set), not an abort of
+/// the whole sweep. Returns the per-point aggregates and the number of
+/// contained cell panics.
+fn sweep_grid(
+    suite: &[SuiteLoop],
+    reg_ns: &[u16],
+    threads: usize,
+) -> (Vec<HighEndAggregate>, u64) {
     // One flat batch over every (point, loop) cell keeps all workers busy
     // even when one sweep point dominates the cost.
     let cells: Vec<(u16, usize)> = reg_ns
         .iter()
         .flat_map(|&r| (0..suite.len()).map(move |i| (r, i)))
         .collect();
-    let mut flat = crate::batch::run_batch(&cells, threads, |_, &(reg_n, i)| {
-        let cfg = PipelineConfig::highend(reg_n);
-        pipeline_loop(&suite[i].ddg, &cfg).ok()
-    })
-    .into_iter();
+    let (outcomes, stats) =
+        crate::batch::run_batch_isolated(&cells, threads, 0, |_, &(reg_n, i)| {
+            let cfg = PipelineConfig::highend(reg_n);
+            pipeline_loop(&suite[i].ddg, &cfg).ok()
+        });
+    let mut flat = outcomes.into_iter().map(|o| match o {
+        crate::batch::CellOutcome::Ok(r) => r,
+        crate::batch::CellOutcome::Failed { .. } => None,
+    });
     let per_point: Vec<Vec<Option<PipelinedLoop>>> = reg_ns
         .iter()
         .map(|_| (0..suite.len()).map(|_| flat.next().expect("cell")).collect())
         .collect();
     let common = |i: usize| per_point.iter().all(|v| v[i].is_some());
-    reg_ns
+    let aggregates = reg_ns
         .iter()
         .zip(&per_point)
         .map(|(&reg_n, results)| aggregate(reg_n, results, &common))
-        .collect()
+        .collect();
+    (aggregates, stats.failed)
 }
 
 /// [`run_highend_sweep`], additionally recording telemetry: the
@@ -152,8 +170,9 @@ pub fn run_highend_sweep_with_telemetry(
     threads: usize,
 ) -> (Vec<HighEndAggregate>, Telemetry) {
     let mut t = Telemetry::new();
-    let sweep = t.time("sweep", || run_highend_sweep(suite, reg_ns, threads));
+    let (sweep, cell_panics) = t.time("sweep", || sweep_grid(suite, reg_ns, threads));
     t.count("swp.sweep_points", sweep.len() as u64);
+    t.count("swp.cell_panics", cell_panics);
     for agg in &sweep {
         t.count("swp.loops_total", agg.total_loops as u64);
         t.count("swp.loops_optimized", agg.optimized_loops as u64);

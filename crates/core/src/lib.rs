@@ -26,16 +26,22 @@
 //! ```
 
 pub mod batch;
+pub mod bench_serve;
+pub mod cache;
 pub mod faults;
 pub mod highend;
 pub mod lowend;
 pub mod profile;
+pub mod serve;
+pub mod session;
 pub mod telemetry;
 
 pub use batch::{
-    compile_and_run_cached, run_batch, run_batch_isolated, run_lowend_matrix,
+    compile_and_run_cached, run_batch, run_batch_isolated, run_isolated, run_lowend_matrix,
     run_lowend_matrix_with_telemetry, CellOutcome, IsolationStats, SourceCache,
 };
+pub use cache::LruCache;
+pub use session::{result_key, CompileSession, ResultKey};
 pub use faults::{
     adjudicate, run_fault_campaign, sample_faults, FaultOutcome, FaultReport, PipelineFaults,
     SplitMix64, StreamFault,

@@ -50,6 +50,22 @@ impl Approach {
         Approach::Coalesce,
     ];
 
+    /// Parse a user- or wire-supplied approach name (the inverse of
+    /// [`Approach::label`], case-insensitive, with the common aliases the
+    /// CLI has always taken). Shared by `drac`'s argument parsing and the
+    /// `dra-serve-v1` request decoder.
+    pub fn parse(s: &str) -> Option<Approach> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "baseline" => Approach::Baseline,
+            "remapping" | "remap" => Approach::Remapping,
+            "select" => Approach::Select,
+            "o-spill" | "ospill" => Approach::OSpill,
+            "coalesce" => Approach::Coalesce,
+            "adaptive" => Approach::Adaptive,
+            _ => return None,
+        })
+    }
+
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -242,6 +258,23 @@ pub enum PipelineError {
         /// The panic payload, when it was a string.
         message: String,
     },
+}
+
+impl PipelineError {
+    /// A stable, wire-safe discriminator for structured error reporting
+    /// (the `error.kind` field of `dra-serve-v1` responses).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PipelineError::Parse(_) => "parse",
+            PipelineError::Validate { .. } => "validate",
+            PipelineError::Alloc(_) => "alloc",
+            PipelineError::Encoding(_) => "encoding",
+            PipelineError::Sim(_) => "sim",
+            PipelineError::PressureMismatch { .. } => "pressure",
+            PipelineError::Injected { .. } => "injected",
+            PipelineError::Panic { .. } => "panic",
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {

@@ -1,0 +1,1446 @@
+//! # Resident allocation service (`drac serve`)
+//!
+//! A long-lived daemon that accepts compile jobs over a Unix or TCP
+//! socket and dispatches them to a persistent pool of sharded workers,
+//! all sharing one [`CompileSession`] — so the source cache and the
+//! content-hash result cache survive *across* requests instead of being
+//! rebuilt per invocation. The paper's pipelines are pure functions of
+//! their input, which is what makes the cross-request cache sound: two
+//! requests with the same content hash get byte-identical runs no matter
+//! which worker, connection, or ordering served them.
+//!
+//! ## Wire protocol (`dra-serve-v1`)
+//!
+//! Line-delimited JSON over the socket: one request per line, one
+//! response line per request. Every request carries `schema`, a caller
+//! chosen `id` (echoed on the response so concurrent clients can match
+//! replies), and a `kind`:
+//!
+//! ```text
+//! {"schema":"dra-serve-v1","id":"r1","kind":"compile","approach":"select","bench":"crc32"}
+//! {"schema":"dra-serve-v1","id":"r2","kind":"compile","approach":"coalesce","source":"fn f { ... }"}
+//! {"schema":"dra-serve-v1","id":"r3","kind":"ping"}
+//! {"schema":"dra-serve-v1","id":"r4","kind":"stats"}
+//! {"schema":"dra-serve-v1","id":"r5","kind":"shutdown"}
+//! ```
+//!
+//! Responses are `{"schema":…,"id":…,"ok":true,…}` or
+//! `{"schema":…,"id":…,"ok":false,"error":{"kind":…,"message":…}}`.
+//! Malformed input never kills a connection silently and never reaches a
+//! worker: bad JSON, unknown fields, unknown benchmarks, oversized lines
+//! and truncated trailing lines all produce a structured error response.
+//! Worker panics are contained per request by [`run_isolated`] — the
+//! same containment the batch driver uses — and surface as an
+//! `"error":{"kind":"panic",…}` response with stage attribution.
+//!
+//! ## Sharding
+//!
+//! Jobs are routed to workers by the *result-cache key* (`shard =
+//! key[0] % workers`), so duplicate requests land on the same worker and
+//! hit its just-inserted cache entry instead of racing a recompute on
+//! another shard. Distinct keys spread uniformly (FNV-1a output).
+//!
+//! ## Telemetry
+//!
+//! The daemon keeps per-shard [`Telemetry`] (merged in shard order, so
+//! aggregate counters are schedule-invariant for a fixed request set)
+//! plus connection-level counters (`serve.connections`,
+//! `serve.bad_requests`, …). A `stats` request returns the merged frame
+//! inline; shutdown writes it to `results/telemetry/serve.json` when a
+//! telemetry root is configured.
+
+use crate::batch::run_isolated;
+use crate::lowend::{Approach, LowEndRun, LowEndSetup};
+use crate::session::{result_key, CompileSession};
+use crate::telemetry::{escape_json, parse_json, Json, Telemetry, TelemetryReport};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Protocol identifier; every request and response carries it.
+pub const SERVE_SCHEMA: &str = "dra-serve-v1";
+
+/// Default cap on a single request line (bytes, newline included).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Longest request id the server echoes back.
+pub const MAX_ID_BYTES: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Addresses, listeners, streams.
+// ---------------------------------------------------------------------------
+
+/// Where the daemon listens (or a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` (use port 0 to let the OS pick; the bound
+    /// address is reported by [`ServerHandle::addr`]).
+    Tcp(String),
+}
+
+impl ServeAddr {
+    /// Parse `unix:/path` or `tcp:host:port` (a bare value with no
+    /// scheme is treated as a Unix path).
+    pub fn parse(s: &str) -> ServeAddr {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            ServeAddr::Tcp(rest.to_string())
+        } else if let Some(rest) = s.strip_prefix("unix:") {
+            ServeAddr::Unix(PathBuf::from(rest))
+        } else {
+            ServeAddr::Unix(PathBuf::from(s))
+        }
+    }
+}
+
+impl fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+            ServeAddr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(addr: &ServeAddr) -> io::Result<Listener> {
+        match addr {
+            ServeAddr::Unix(path) => Ok(Listener::Unix(UnixListener::bind(path)?)),
+            ServeAddr::Tcp(a) => Ok(Listener::Tcp(TcpListener::bind(a.as_str())?)),
+        }
+    }
+
+    /// The concretely bound address (resolves TCP port 0).
+    fn bound_addr(&self, requested: &ServeAddr) -> ServeAddr {
+        match self {
+            Listener::Unix(_) => requested.clone(),
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => ServeAddr::Tcp(a.to_string()),
+                Err(_) => requested.clone(),
+            },
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                // One-line request/response traffic: Nagle + delayed ACK
+                // would add ~40 ms per exchange.
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+}
+
+/// A connected socket of either flavour.
+pub enum Stream {
+    /// Unix-domain.
+    Unix(UnixStream),
+    /// TCP.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn connect(addr: &ServeAddr) -> io::Result<Stream> {
+        match addr {
+            ServeAddr::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            ServeAddr::Tcp(a) => {
+                let s = TcpStream::connect(a.as_str())?;
+                let _ = s.set_nodelay(true);
+                Ok(Stream::Tcp(s))
+            }
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(d),
+            Stream::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded line reader.
+// ---------------------------------------------------------------------------
+
+/// What [`LineReader::next_line`] yielded.
+pub enum LineEvent {
+    /// A complete line (newline stripped, `\r` trimmed).
+    Line(String),
+    /// The read timed out with no complete line; retained partial input
+    /// stays buffered for the next call.
+    Timeout,
+    /// Peer closed the socket. `partial` is true when unterminated bytes
+    /// were left in the buffer — a truncated request.
+    Eof {
+        /// Whether a partial line was discarded.
+        partial: bool,
+    },
+    /// The current line exceeded the configured byte cap before its
+    /// newline arrived.
+    Oversized,
+}
+
+/// A newline-framed reader with a hard per-line byte cap, so a client
+/// streaming an endless unterminated line cannot balloon server memory.
+pub struct LineReader {
+    stream: Stream,
+    buf: Vec<u8>,
+    max_line: usize,
+}
+
+impl LineReader {
+    /// Wrap `stream`; lines longer than `max_line` bytes are rejected.
+    pub fn new(stream: Stream, max_line: usize) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            max_line: max_line.max(64),
+        }
+    }
+
+    /// Pull the next event. `Timeout` only occurs when the underlying
+    /// stream has a read timeout configured.
+    pub fn next_line(&mut self) -> io::Result<LineEvent> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(LineEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > self.max_line {
+                self.buf.clear();
+                return Ok(LineEvent::Oversized);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    let partial = !self.buf.is_empty();
+                    self.buf.clear();
+                    return Ok(LineEvent::Eof { partial });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(LineEvent::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: requests.
+// ---------------------------------------------------------------------------
+
+/// A compile job's payload: a builtin benchmark by name, or inline
+/// program text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobSpec {
+    /// One of [`dra_workloads::benchmark_names`].
+    Bench(String),
+    /// Program text for the parser.
+    Source(String),
+}
+
+/// A validated `dra-serve-v1` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Compile and simulate.
+    Compile {
+        /// Echoed on the response.
+        id: String,
+        /// Allocation approach.
+        approach: Approach,
+        /// What to compile.
+        spec: JobSpec,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed on the response.
+        id: String,
+    },
+    /// Merged telemetry snapshot.
+    Stats {
+        /// Echoed on the response.
+        id: String,
+    },
+    /// Graceful daemon shutdown.
+    Shutdown {
+        /// Echoed on the response.
+        id: String,
+    },
+}
+
+/// A protocol-level rejection: carried back as a structured error
+/// response instead of ever reaching a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// The request id when one could be recovered (error responses echo
+    /// it so pipelined clients can re-associate).
+    pub id: Option<String>,
+    /// Machine-readable kind: `bad-json`, `bad-request`, `oversized`,
+    /// `truncated`, or a [`crate::lowend::PipelineError::kind`].
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(id: Option<&str>, kind: &'static str, message: impl Into<String>) -> WireError {
+        WireError {
+            id: id.map(str::to_string),
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parse and validate one request line. Unknown fields are rejected —
+/// a client speaking a future schema revision gets a structured
+/// `bad-request`, not silent misinterpretation.
+///
+/// # Errors
+///
+/// [`WireError`] with kind `bad-json` (not JSON / not an object) or
+/// `bad-request` (schema, id, kind, or field violations).
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let doc = parse_json(line).map_err(|e| WireError::new(None, "bad-json", e))?;
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| WireError::new(None, "bad-json", "request is not a JSON object"))?;
+
+    // Recover the id first so every later rejection can echo it.
+    let id = match obj.get("id") {
+        Some(Json::Str(s)) if !s.is_empty() && s.len() <= MAX_ID_BYTES => s.clone(),
+        Some(_) => {
+            return Err(WireError::new(
+                None,
+                "bad-request",
+                format!("\"id\" must be a non-empty string of at most {MAX_ID_BYTES} bytes"),
+            ))
+        }
+        None => return Err(WireError::new(None, "bad-request", "missing \"id\"")),
+    };
+
+    match obj.get("schema").and_then(Json::as_str) {
+        Some(SERVE_SCHEMA) => {}
+        Some(other) => {
+            return Err(WireError::new(
+                Some(&id),
+                "bad-request",
+                format!("unsupported schema {other:?} (want {SERVE_SCHEMA:?})"),
+            ))
+        }
+        None => {
+            return Err(WireError::new(
+                Some(&id),
+                "bad-request",
+                format!("missing \"schema\" (want {SERVE_SCHEMA:?})"),
+            ))
+        }
+    }
+
+    let kind = match obj.get("kind").and_then(Json::as_str) {
+        Some(k) => k,
+        None => return Err(WireError::new(Some(&id), "bad-request", "missing \"kind\"")),
+    };
+
+    let allowed: &[&str] = match kind {
+        "compile" => &["schema", "id", "kind", "approach", "bench", "source"],
+        "ping" | "stats" | "shutdown" => &["schema", "id", "kind"],
+        other => {
+            return Err(WireError::new(
+                Some(&id),
+                "bad-request",
+                format!("unknown kind {other:?}"),
+            ))
+        }
+    };
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(WireError::new(
+                Some(&id),
+                "bad-request",
+                format!("unknown field {key:?} for kind {kind:?}"),
+            ));
+        }
+    }
+
+    match kind {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        _ => {
+            let approach = match obj.get("approach").and_then(Json::as_str) {
+                Some(s) => Approach::parse(s).ok_or_else(|| {
+                    WireError::new(Some(&id), "bad-request", format!("unknown approach {s:?}"))
+                })?,
+                None => {
+                    return Err(WireError::new(
+                        Some(&id),
+                        "bad-request",
+                        "compile requires \"approach\"",
+                    ))
+                }
+            };
+            let bench = obj.get("bench");
+            let source = obj.get("source");
+            let spec = match (bench, source) {
+                (Some(Json::Str(b)), None) => JobSpec::Bench(b.clone()),
+                (None, Some(Json::Str(s))) => JobSpec::Source(s.clone()),
+                (Some(_), Some(_)) => {
+                    return Err(WireError::new(
+                        Some(&id),
+                        "bad-request",
+                        "compile takes exactly one of \"bench\" or \"source\", not both",
+                    ))
+                }
+                _ => {
+                    return Err(WireError::new(
+                        Some(&id),
+                        "bad-request",
+                        "compile requires a string \"bench\" or \"source\"",
+                    ))
+                }
+            };
+            Ok(Request::Compile { id, approach, spec })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: responses.
+// ---------------------------------------------------------------------------
+
+fn id_json(id: Option<&str>) -> String {
+    match id {
+        Some(s) => format!("\"{}\"", escape_json(s)),
+        None => "null".to_string(),
+    }
+}
+
+/// Render the deterministic result object for a run. Field order is
+/// fixed and only schedule-invariant quantities appear — no wall-clock,
+/// no search-work counters — so concurrent and sequential service of the
+/// same job produce *byte-identical* fragments (pinned by test).
+pub fn result_json(run: &LowEndRun) -> String {
+    let degraded = run.remap.iter().filter(|s| s.degraded).count();
+    let ret = match run.ret_value {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"approach\":\"{}\",\"total_insts\":{},\"spill_insts\":{},\"set_last_regs\":{},\
+         \"code_bits\":{},\"cycles\":{},\"dynamic_spills\":{},\"dynamic_set_last_regs\":{},\
+         \"icache_misses\":{},\"dcache_misses\":{},\"degraded_funcs\":{},\"ret\":{}}}",
+        escape_json(run.approach.label()),
+        run.total_insts,
+        run.spill_insts,
+        run.set_last_regs,
+        run.code_bits,
+        run.cycles,
+        run.dynamic_spills,
+        run.dynamic_set_last_regs,
+        run.icache_misses,
+        run.dcache_misses,
+        degraded,
+        ret,
+    )
+}
+
+/// An `ok:false` response line (no trailing newline).
+pub fn response_error(id: Option<&str>, kind: &str, message: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+        id_json(id),
+        escape_json(kind),
+        escape_json(message),
+    )
+}
+
+/// A successful compile response line.
+pub fn response_run(id: &str, run: &LowEndRun, cached: bool, micros: u64) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":true,\"kind\":\"compile\",\"cached\":{},\"micros\":{},\"result\":{}}}",
+        id_json(Some(id)),
+        cached,
+        micros,
+        result_json(run),
+    )
+}
+
+fn response_plain(id: &str, kind: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":true,\"kind\":\"{}\"}}",
+        id_json(Some(id)),
+        kind,
+    )
+}
+
+/// A `stats` response embedding the merged telemetry frame.
+pub fn response_stats(id: &str, telemetry: &Telemetry) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":true,\"kind\":\"stats\",\"stats\":{}}}",
+        id_json(Some(id)),
+        telemetry.to_json_compact("serve"),
+    )
+}
+
+/// A parsed response line, as seen by clients.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The raw line, verbatim (for byte-level comparisons).
+    pub raw: String,
+    /// The echoed request id (None on early protocol errors).
+    pub id: Option<String>,
+    /// Success flag.
+    pub ok: bool,
+    /// Response kind (`compile`, `pong`, `stats`, `bye`; None on
+    /// errors).
+    pub kind: Option<String>,
+    /// Whether a compile was served from the result cache.
+    pub cached: bool,
+    /// Service time in microseconds (compile responses).
+    pub micros: u64,
+    /// The result object (compile responses).
+    pub result: Option<std::collections::BTreeMap<String, Json>>,
+    /// `(kind, message)` on failures.
+    pub error: Option<(String, String)>,
+    /// The embedded telemetry frame (stats responses).
+    pub stats: Option<TelemetryReport>,
+}
+
+impl Response {
+    /// Parse one response line.
+    ///
+    /// # Errors
+    ///
+    /// A description when the line is not a `dra-serve-v1` response
+    /// object.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = parse_json(line)?;
+        let obj = doc.as_obj().ok_or("response is not a JSON object")?;
+        match obj.get("schema").and_then(Json::as_str) {
+            Some(SERVE_SCHEMA) => {}
+            other => return Err(format!("bad response schema {other:?}")),
+        }
+        let id = obj.get("id").and_then(Json::as_str).map(str::to_string);
+        let ok = matches!(obj.get("ok"), Some(Json::Bool(true)));
+        let kind = obj.get("kind").and_then(Json::as_str).map(str::to_string);
+        let cached = matches!(obj.get("cached"), Some(Json::Bool(true)));
+        let micros = obj.get("micros").and_then(Json::as_u64).unwrap_or(0);
+        let result = obj.get("result").and_then(Json::as_obj).cloned();
+        let error = obj.get("error").and_then(Json::as_obj).map(|e| {
+            (
+                e.get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                e.get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            )
+        });
+        let stats = obj.get("stats").and_then(Json::as_obj).map(|s| {
+            let grab = |key: &str| {
+                s.get(key)
+                    .and_then(Json::as_obj)
+                    .map(|m| {
+                        m.iter()
+                            .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            TelemetryReport {
+                binary: s
+                    .get("binary")
+                    .and_then(Json::as_str)
+                    .unwrap_or("serve")
+                    .to_string(),
+                counters: grab("counters"),
+                spans_ns: grab("spans_ns"),
+            }
+        });
+        Ok(Response {
+            raw: line.to_string(),
+            id,
+            ok,
+            kind,
+            cached,
+            micros,
+            result,
+            error,
+            stats,
+        })
+    }
+
+    /// The verbatim `"result":{…}` fragment of the raw line, for
+    /// byte-identical comparisons across servers and schedules. The
+    /// result object is flat (numbers and null only), so scanning to the
+    /// first closing brace is exact.
+    pub fn result_fragment(&self) -> Option<&str> {
+        let start = self.raw.find("\"result\":{")? + "\"result\":".len();
+        let end = self.raw[start..].find('}')? + start + 1;
+        Some(&self.raw[start..end])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request builders (shared by the client and the load harness).
+// ---------------------------------------------------------------------------
+
+/// Build a benchmark compile request line.
+pub fn request_compile_bench(id: &str, bench: &str, approach: Approach) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":\"{}\",\"kind\":\"compile\",\"approach\":\"{}\",\"bench\":\"{}\"}}",
+        escape_json(id),
+        escape_json(approach.label()),
+        escape_json(bench),
+    )
+}
+
+/// Build a source-text compile request line (text is JSON-escaped, so
+/// embedded newlines survive the line framing).
+pub fn request_compile_source(id: &str, source: &str, approach: Approach) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":\"{}\",\"kind\":\"compile\",\"approach\":\"{}\",\"source\":\"{}\"}}",
+        escape_json(id),
+        escape_json(approach.label()),
+        escape_json(source),
+    )
+}
+
+/// Build a `ping` / `stats` / `shutdown` request line.
+pub fn request_plain(id: &str, kind: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":\"{}\",\"kind\":\"{}\"}}",
+        escape_json(id),
+        escape_json(kind),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------------
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub addr: ServeAddr,
+    /// Worker pool size; 0 means one per available core.
+    pub workers: usize,
+    /// Per-request panic re-attempts (see [`run_isolated`]).
+    pub retries: u32,
+    /// Pipeline setup shared by every request.
+    pub setup: LowEndSetup,
+    /// Source-cache capacity (parsed/validated artifacts).
+    pub source_capacity: usize,
+    /// Result-cache capacity (completed runs).
+    pub result_capacity: usize,
+    /// Per-line byte cap.
+    pub max_line_bytes: usize,
+    /// When set, shutdown writes `results/telemetry/serve.json` under
+    /// this root.
+    pub telemetry_root: Option<PathBuf>,
+    /// Request ids whose jobs panic on purpose (fault-injection hook for
+    /// the isolation tests; empty in production).
+    pub fault_request_ids: BTreeSet<String>,
+}
+
+impl ServeConfig {
+    /// Defaults: single-threaded remap inside each worker (the pool is
+    /// the parallelism), one retry, 1 MiB lines.
+    pub fn new(addr: ServeAddr) -> ServeConfig {
+        let setup = LowEndSetup {
+            remap_threads: 1,
+            ..LowEndSetup::default()
+        };
+        ServeConfig {
+            addr,
+            workers: 0,
+            retries: 1,
+            setup,
+            source_capacity: crate::batch::DEFAULT_SOURCE_CAPACITY,
+            result_capacity: crate::session::DEFAULT_RESULT_CAPACITY,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            telemetry_root: None,
+            fault_request_ids: BTreeSet::new(),
+        }
+    }
+}
+
+/// A serialized writer around one connection's outbound half: workers
+/// and the connection thread interleave whole-line writes through it.
+struct ConnWriter {
+    stream: Mutex<Stream>,
+}
+
+impl ConnWriter {
+    fn new(stream: Stream) -> ConnWriter {
+        ConnWriter {
+            stream: Mutex::new(stream),
+        }
+    }
+
+    /// Write `line` + newline; errors are swallowed (the peer may have
+    /// hung up without collecting its responses — that must not unwind a
+    /// worker).
+    fn send(&self, line: &str) {
+        if let Ok(mut s) = self.stream.lock() {
+            let _ = s.write_all(line.as_bytes());
+            let _ = s.write_all(b"\n");
+            let _ = s.flush();
+        }
+    }
+}
+
+struct Job {
+    id: String,
+    approach: Approach,
+    spec: JobSpec,
+    reply: Arc<ConnWriter>,
+}
+
+/// Everything a connection thread needs, cloned per accept.
+struct ConnCtx {
+    running: Arc<AtomicBool>,
+    base: Arc<Mutex<Telemetry>>,
+    shard_telemetry: Arc<Vec<Arc<Mutex<Telemetry>>>>,
+    session: Arc<CompileSession>,
+    senders: Vec<Sender<Job>>,
+    max_line_bytes: usize,
+    workers: u64,
+}
+
+impl ConnCtx {
+    fn clone_for_conn(&self) -> ConnCtx {
+        ConnCtx {
+            running: Arc::clone(&self.running),
+            base: Arc::clone(&self.base),
+            shard_telemetry: Arc::clone(&self.shard_telemetry),
+            session: Arc::clone(&self.session),
+            senders: self.senders.clone(),
+            max_line_bytes: self.max_line_bytes,
+            workers: self.workers,
+        }
+    }
+
+    fn count(&self, name: &str, delta: u64) {
+        if let Ok(mut t) = self.base.lock() {
+            t.count(name, delta);
+        }
+    }
+
+    /// Merge base + shards (in shard order) + session cache counters
+    /// into one frame.
+    fn snapshot(&self) -> Telemetry {
+        let mut out = self
+            .base
+            .lock()
+            .map(|t| t.clone())
+            .unwrap_or_else(|_| Telemetry::new());
+        for shard in self.shard_telemetry.iter() {
+            if let Ok(t) = shard.lock() {
+                out.merge(&t);
+            }
+        }
+        self.session.record_counters(&mut out);
+        out.set_counter("serve.workers", self.workers);
+        out
+    }
+}
+
+/// Handle to a running daemon.
+pub struct ServerHandle {
+    addr: ServeAddr,
+    running: Arc<AtomicBool>,
+    thread: JoinHandle<io::Result<Telemetry>>,
+}
+
+impl ServerHandle {
+    /// The concretely bound address (TCP port 0 resolved).
+    pub fn addr(&self) -> &ServeAddr {
+        &self.addr
+    }
+
+    /// Ask the daemon to stop accepting and drain; returns immediately.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+    }
+
+    /// Wait for the daemon to finish and collect its final merged
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error that aborted the accept loop.
+    pub fn join(self) -> io::Result<Telemetry> {
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("serve thread panicked")),
+        }
+    }
+}
+
+/// Bind and start the daemon. Binding happens synchronously, so a
+/// returned handle means the socket is live and [`ServerHandle::addr`]
+/// is connectable.
+///
+/// # Errors
+///
+/// Bind failures (address in use, bad path, …).
+pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = Listener::bind(&config.addr)?;
+    let addr = listener.bound_addr(&config.addr);
+    listener.set_nonblocking(true)?;
+    let running = Arc::new(AtomicBool::new(true));
+    let thread = {
+        let running = Arc::clone(&running);
+        thread::spawn(move || run_server(listener, config, running))
+    };
+    Ok(ServerHandle {
+        addr,
+        running,
+        thread,
+    })
+}
+
+fn resolved_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+fn run_server(
+    listener: Listener,
+    config: ServeConfig,
+    running: Arc<AtomicBool>,
+) -> io::Result<Telemetry> {
+    let workers = resolved_workers(config.workers);
+    let session = Arc::new(CompileSession::with_capacities(
+        config.setup.clone(),
+        config.source_capacity,
+        config.result_capacity,
+    ));
+    let faults = Arc::new(config.fault_request_ids.clone());
+
+    let mut senders = Vec::with_capacity(workers);
+    let mut shard_telemetry = Vec::with_capacity(workers);
+    let mut worker_handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let telemetry = Arc::new(Mutex::new(Telemetry::new()));
+        senders.push(tx);
+        shard_telemetry.push(Arc::clone(&telemetry));
+        let session = Arc::clone(&session);
+        let faults = Arc::clone(&faults);
+        let retries = config.retries;
+        worker_handles.push(thread::spawn(move || {
+            worker_loop(rx, session, telemetry, retries, faults)
+        }));
+    }
+
+    let ctx = ConnCtx {
+        running: Arc::clone(&running),
+        base: Arc::new(Mutex::new(Telemetry::new())),
+        shard_telemetry: Arc::new(shard_telemetry),
+        session,
+        senders,
+        max_line_bytes: config.max_line_bytes,
+        workers: workers as u64,
+    };
+
+    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    while running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                ctx.count("serve.connections", 1);
+                let conn = ctx.clone_for_conn();
+                conn_handles.push(thread::spawn(move || conn_loop(stream, conn)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                ctx.count("serve.accept_errors", 1);
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+        // Reap finished connection threads so a long-lived daemon does
+        // not accumulate handles.
+        conn_handles.retain(|h| !h.is_finished());
+    }
+
+    // Teardown: stop accepting, let connection threads notice `running`
+    // (they poll on a read timeout), then drop the job senders so each
+    // worker drains its queue and exits.
+    drop(listener);
+    if let ServeAddr::Unix(path) = &config.addr {
+        let _ = std::fs::remove_file(path);
+    }
+    for h in conn_handles {
+        let _ = h.join();
+    }
+    let ConnCtx {
+        base,
+        shard_telemetry,
+        session,
+        senders,
+        max_line_bytes,
+        workers,
+        ..
+    } = ctx;
+    drop(senders);
+    for h in worker_handles {
+        let _ = h.join();
+    }
+
+    let final_ctx = ConnCtx {
+        running,
+        base,
+        shard_telemetry,
+        session,
+        senders: Vec::new(),
+        max_line_bytes,
+        workers,
+    };
+    let telemetry = final_ctx.snapshot();
+    if let Some(root) = &config.telemetry_root {
+        telemetry.write_results(root, "serve")?;
+    }
+    Ok(telemetry)
+}
+
+fn conn_loop(stream: Stream, ctx: ConnCtx) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(ConnWriter::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(stream, ctx.max_line_bytes);
+    loop {
+        if !ctx.running.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.next_line() {
+            Ok(LineEvent::Line(line)) => {
+                if !handle_line(&line, &writer, &ctx) {
+                    break;
+                }
+            }
+            Ok(LineEvent::Timeout) => {}
+            Ok(LineEvent::Eof { partial: false }) => break,
+            Ok(LineEvent::Eof { partial: true }) => {
+                ctx.count("serve.truncated", 1);
+                writer.send(&response_error(
+                    None,
+                    "truncated",
+                    "request line truncated by connection close",
+                ));
+                break;
+            }
+            Ok(LineEvent::Oversized) => {
+                ctx.count("serve.oversized", 1);
+                writer.send(&response_error(
+                    None,
+                    "oversized",
+                    &format!("request line exceeds {} bytes", ctx.max_line_bytes),
+                ));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Process one request line. Returns false when the connection should
+/// close (shutdown).
+fn handle_line(line: &str, writer: &Arc<ConnWriter>, ctx: &ConnCtx) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    ctx.count("serve.lines", 1);
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(we) => {
+            ctx.count("serve.bad_requests", 1);
+            writer.send(&response_error(we.id.as_deref(), we.kind, &we.message));
+            return true;
+        }
+    };
+    match request {
+        Request::Ping { id } => {
+            ctx.count("serve.pings", 1);
+            writer.send(&response_plain(&id, "pong"));
+            true
+        }
+        Request::Stats { id } => {
+            ctx.count("serve.stats_requests", 1);
+            let snapshot = ctx.snapshot();
+            writer.send(&response_stats(&id, &snapshot));
+            true
+        }
+        Request::Shutdown { id } => {
+            ctx.count("serve.shutdowns", 1);
+            writer.send(&response_plain(&id, "bye"));
+            ctx.running.store(false, Ordering::SeqCst);
+            false
+        }
+        Request::Compile { id, approach, spec } => {
+            if let JobSpec::Bench(name) = &spec {
+                // `benchmark()` panics on unknown names; reject here so a
+                // typo is a protocol error, not a contained worker panic.
+                if !dra_workloads::benchmark_names().contains(&name.as_str()) {
+                    ctx.count("serve.bad_requests", 1);
+                    writer.send(&response_error(
+                        Some(&id),
+                        "bad-request",
+                        &format!("unknown benchmark {name:?}"),
+                    ));
+                    return true;
+                }
+            }
+            let key = match &spec {
+                JobSpec::Bench(name) => result_key("bench", name, approach),
+                JobSpec::Source(text) => result_key("src", text, approach),
+            };
+            let shard = (key[0] % ctx.senders.len() as u64) as usize;
+            let job = Job {
+                id,
+                approach,
+                spec,
+                reply: Arc::clone(writer),
+            };
+            match ctx.senders[shard].send(job) {
+                Ok(()) => {
+                    ctx.count("serve.dispatched", 1);
+                    true
+                }
+                Err(mpsc::SendError(job)) => {
+                    // Only reachable mid-shutdown.
+                    writer.send(&response_error(
+                        Some(&job.id),
+                        "shutdown",
+                        "server is shutting down",
+                    ));
+                    false
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    session: Arc<CompileSession>,
+    telemetry: Arc<Mutex<Telemetry>>,
+    retries: u32,
+    faults: Arc<BTreeSet<String>>,
+) {
+    while let Ok(job) = rx.recv() {
+        let start = Instant::now();
+        let (outcome, _attempts) = run_isolated(retries, || {
+            if faults.contains(&job.id) {
+                panic!("injected serve fault (request {})", job.id);
+            }
+            match &job.spec {
+                JobSpec::Bench(name) => session.compile_bench(name, job.approach),
+                JobSpec::Source(text) => session.compile_source(text, job.approach),
+            }
+        });
+        let elapsed = start.elapsed();
+        let micros = elapsed.as_micros() as u64;
+        let mut t = match telemetry.lock() {
+            Ok(t) => t,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        t.count("serve.requests", 1);
+        t.span_ns("serve.request", elapsed.as_nanos() as u64);
+        match outcome {
+            crate::batch::CellOutcome::Ok(Ok((run, cached))) => {
+                t.count("serve.ok", 1);
+                if cached {
+                    t.count("serve.cache_hits", 1);
+                } else {
+                    // Fold the fresh compile's pipeline telemetry into
+                    // this shard's frame (cache hits did no new work).
+                    t.merge(&run.telemetry);
+                }
+                drop(t);
+                job.reply.send(&response_run(&job.id, &run, cached, micros));
+            }
+            crate::batch::CellOutcome::Ok(Err(e)) => {
+                t.count("serve.errors", 1);
+                drop(t);
+                job.reply
+                    .send(&response_error(Some(&job.id), e.kind(), &e.to_string()));
+            }
+            crate::batch::CellOutcome::Failed { stage, message } => {
+                t.count("serve.panics", 1);
+                drop(t);
+                job.reply.send(&response_error(
+                    Some(&job.id),
+                    "panic",
+                    &format!("panic in stage {stage:?}: {message}"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+/// A blocking line-protocol client.
+pub struct ServeClient {
+    reader: LineReader,
+    writer: Stream,
+}
+
+impl ServeClient {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &ServeAddr) -> io::Result<ServeClient> {
+        let stream = Stream::connect(addr)?;
+        let reader = LineReader::new(stream.try_clone()?, DEFAULT_MAX_LINE_BYTES);
+        Ok(ServeClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Connect, retrying until `deadline` elapses — for scripts that
+    /// race the daemon's startup.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once the deadline passes.
+    pub fn connect_with_retry(addr: &ServeAddr, deadline: Duration) -> io::Result<ServeClient> {
+        let start = Instant::now();
+        loop {
+            match ServeClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send one raw request line.
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Block until the next response line arrives and parse it.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, early EOF, or a malformed response.
+    pub fn recv_response(&mut self) -> io::Result<Response> {
+        loop {
+            match self.reader.next_line()? {
+                LineEvent::Line(line) => {
+                    return Response::parse(&line)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+                }
+                LineEvent::Timeout => continue,
+                LineEvent::Eof { .. } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                LineEvent::Oversized => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized response line",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Send a raw line and collect its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::send_line`] / [`ServeClient::recv_response`].
+    pub fn request(&mut self, line: &str) -> io::Result<Response> {
+        self.send_line(line)?;
+        self.recv_response()
+    }
+
+    /// Compile a builtin benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (a pipeline error is an `ok:false` response,
+    /// not an `Err`).
+    pub fn compile_bench(
+        &mut self,
+        id: &str,
+        bench: &str,
+        approach: Approach,
+    ) -> io::Result<Response> {
+        self.request(&request_compile_bench(id, bench, approach))
+    }
+
+    /// Compile inline program text.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn compile_source(
+        &mut self,
+        id: &str,
+        source: &str,
+        approach: Approach,
+    ) -> io::Result<Response> {
+        self.request(&request_compile_source(id, source, approach))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ping(&mut self, id: &str) -> io::Result<Response> {
+        self.request(&request_plain(id, "ping"))
+    }
+
+    /// Fetch the daemon's merged telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self, id: &str) -> io::Result<Response> {
+        self.request(&request_plain(id, "stats"))
+    }
+
+    /// Request graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self, id: &str) -> io::Result<Response> {
+        self.request(&request_plain(id, "shutdown"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_request_roundtrips_every_kind() {
+        let r = parse_request(&request_compile_bench("a", "crc32", Approach::Select)).unwrap();
+        assert_eq!(
+            r,
+            Request::Compile {
+                id: "a".into(),
+                approach: Approach::Select,
+                spec: JobSpec::Bench("crc32".into()),
+            }
+        );
+        let src = "fn f {\n  entry:\n    ret\n}\n";
+        let r = parse_request(&request_compile_source("b", src, Approach::OSpill)).unwrap();
+        assert_eq!(
+            r,
+            Request::Compile {
+                id: "b".into(),
+                approach: Approach::OSpill,
+                spec: JobSpec::Source(src.into()),
+            }
+        );
+        for (kind, want) in [
+            ("ping", Request::Ping { id: "c".into() }),
+            ("stats", Request::Stats { id: "c".into() }),
+            ("shutdown", Request::Shutdown { id: "c".into() }),
+        ] {
+            assert_eq!(parse_request(&request_plain("c", kind)).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn parse_request_rejects_hostile_lines() {
+        let cases: &[(&str, &str)] = &[
+            ("", "bad-json"),
+            ("{", "bad-json"),
+            ("[1,2]", "bad-json"),
+            ("{\"schema\":\"dra-serve-v1\",\"kind\":\"ping\"}", "bad-request"), // no id
+            ("{\"schema\":\"dra-serve-v1\",\"id\":\"\",\"kind\":\"ping\"}", "bad-request"),
+            ("{\"schema\":\"nope\",\"id\":\"x\",\"kind\":\"ping\"}", "bad-request"),
+            ("{\"id\":\"x\",\"kind\":\"ping\"}", "bad-request"), // no schema
+            ("{\"schema\":\"dra-serve-v1\",\"id\":\"x\"}", "bad-request"), // no kind
+            ("{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"frobnicate\"}", "bad-request"),
+            // Unknown field.
+            (
+                "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"ping\",\"extra\":1}",
+                "bad-request",
+            ),
+            // compile: missing approach / payload, both payloads, bad types.
+            (
+                "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"compile\",\"bench\":\"crc32\"}",
+                "bad-request",
+            ),
+            (
+                "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"warp\",\"bench\":\"crc32\"}",
+                "bad-request",
+            ),
+            (
+                "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"select\"}",
+                "bad-request",
+            ),
+            (
+                "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"select\",\"bench\":\"a\",\"source\":\"b\"}",
+                "bad-request",
+            ),
+            (
+                "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"select\",\"bench\":7}",
+                "bad-request",
+            ),
+        ];
+        for (line, want_kind) in cases {
+            let err = parse_request(line).expect_err(line);
+            assert_eq!(&err.kind, want_kind, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn hostile_errors_echo_the_id_once_known() {
+        let err = parse_request(
+            "{\"schema\":\"dra-serve-v1\",\"id\":\"req-9\",\"kind\":\"compile\",\"approach\":\"warp\",\"bench\":\"crc32\"}",
+        )
+        .unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("req-9"));
+        // …and not before the id field validates.
+        let err = parse_request("{\"schema\":\"dra-serve-v1\",\"id\":7,\"kind\":\"ping\"}").unwrap_err();
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn response_lines_parse_back() {
+        let e = Response::parse(&response_error(Some("x"), "bad-request", "nope")).unwrap();
+        assert!(!e.ok);
+        assert_eq!(e.id.as_deref(), Some("x"));
+        assert_eq!(e.error.as_ref().unwrap().0, "bad-request");
+
+        let p = Response::parse(&response_plain("y", "pong")).unwrap();
+        assert!(p.ok);
+        assert_eq!(p.kind.as_deref(), Some("pong"));
+
+        let mut t = Telemetry::new();
+        t.count("serve.requests", 3);
+        let s = Response::parse(&response_stats("z", &t)).unwrap();
+        let stats = s.stats.unwrap();
+        assert_eq!(stats.counters.get("serve.requests"), Some(&3));
+    }
+
+    #[test]
+    fn oversized_line_reader_rejects_without_allocating_the_world() {
+        // A socketless check of the framing state machine via a Unix
+        // socketpair.
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut reader = LineReader::new(Stream::Unix(a), 1024);
+        let mut tx = b;
+        tx.write_all(&vec![b'x'; 4096]).unwrap();
+        drop(tx);
+        match reader.next_line().unwrap() {
+            LineEvent::Oversized => {}
+            _ => panic!("expected Oversized"),
+        }
+    }
+
+    #[test]
+    fn truncated_line_is_flagged_at_eof() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut reader = LineReader::new(Stream::Unix(a), 1024);
+        let mut tx = b;
+        tx.write_all(b"{\"half\":").unwrap();
+        drop(tx);
+        match reader.next_line().unwrap() {
+            LineEvent::Eof { partial: true } => {}
+            _ => panic!("expected partial EOF"),
+        }
+    }
+}

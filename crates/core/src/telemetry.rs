@@ -211,6 +211,23 @@ impl Telemetry {
         out
     }
 
+    /// [`Telemetry::to_json`] on a single line — the form embedded in
+    /// line-delimited protocols (`dra-serve-v1` `stats` responses), where
+    /// a newline would terminate the frame. Parses to the same document.
+    pub fn to_json_compact(&self, binary: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{SCHEMA}\",\"binary\":\"{}\",\"counters\":{{",
+            escape_json(binary)
+        );
+        write_map_compact(&mut out, &self.counters);
+        let _ = write!(out, "}},\"spans_ns\":{{");
+        write_map_compact(&mut out, &self.spans);
+        let _ = write!(out, "}}}}");
+        out
+    }
+
     /// Write `to_json` to `results/telemetry/<binary>.json` relative to
     /// `root`, creating the directory. Returns the path written.
     ///
@@ -238,7 +255,19 @@ fn write_map(out: &mut String, map: &BTreeMap<String, u64>) {
     }
 }
 
-fn escape_json(s: &str) -> String {
+fn write_map_compact(out: &mut String, map: &BTreeMap<String, u64>) {
+    let n = map.len();
+    for (i, (k, v)) in map.iter().enumerate() {
+        let comma = if i + 1 < n { "," } else { "" };
+        let _ = write!(out, "\"{}\":{v}{comma}", escape_json(k));
+    }
+}
+
+/// JSON string-escape `s` (quotes, backslashes, control characters).
+/// Public because every hand-emitted JSON writer in the workspace — the
+/// telemetry files, the `dra-serve-v1` responses, the serve-bench
+/// artifact — must escape identically.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -624,6 +653,21 @@ mod tests {
         assert_eq!(rep.counters["alloc.spilled_vregs"], 42);
         assert_eq!(rep.counters["sim.cycles"], 123_456_789);
         assert_eq!(rep.spans_ns["simulate"], 5_000_000);
+    }
+
+    #[test]
+    fn compact_json_is_one_line_and_roundtrips() {
+        let mut t = Telemetry::new();
+        t.count("serve.requests", 7);
+        t.span_ns("serve.request", 1234);
+        let compact = t.to_json_compact("serve");
+        assert!(!compact.contains('\n'), "single-line frame");
+        let rep = validate_telemetry(&compact).expect("schema-valid");
+        assert_eq!(rep.binary, "serve");
+        assert_eq!(rep.counters["serve.requests"], 7);
+        assert_eq!(rep.spans_ns["serve.request"], 1234);
+        // Identical document to the pretty form.
+        assert_eq!(rep, validate_telemetry(&t.to_json("serve")).unwrap());
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Serving-throughput benchmark: boots one resident daemon per worker
+# count (1→8 by default), replays seeded cold / warm / duplicate-heavy
+# workloads from closed-loop clients, and writes p50/p95/p99 latency,
+# jobs/sec, and cache hit rates to results/serve_bench.json plus the
+# bench_serve telemetry frame. The request set is a pure function of
+# the seed; only the wall-clock numbers vary run to run.
+#
+# usage: scripts/bench_serve.sh [drac bench-serve flags…]
+#        scripts/bench_serve.sh --smoke        # CI-scale single sweep
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p dra-core --release --bin drac -- bench-serve "$@"
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry/bench_serve.json > /dev/null
+echo "serve bench OK -> results/serve_bench.json"

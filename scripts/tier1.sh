@@ -26,3 +26,45 @@ echo "telemetry smoke OK"
 cargo test -q --test fault_injection
 cargo test -q --test fault_injection decoder_is_total
 echo "fault containment OK"
+
+# Serve smoke: a resident daemon on a temp Unix socket, driven through
+# the dra-serve-v1 line protocol — ping, two identical compiles (the
+# second must come from the cross-request result cache), a stats probe,
+# graceful shutdown (asserted by `wait` under `set -e`, and by the
+# socket file being cleaned up) — then the self-hosted load harness in
+# smoke mode, which itself asserts nonzero cache hits.
+SOCK="$(mktemp -u /tmp/drac-serve-XXXXXX.sock)"
+SMOKE_DIR="$(mktemp -d /tmp/drac-serve-smoke-XXXXXX)"
+trap 'rm -rf "$SMOKE_DIR"; rm -f "$SOCK"' EXIT
+cargo run -q -p dra-core --release --bin drac -- serve --addr "unix:$SOCK" --workers 2 > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "serve socket never appeared"; exit 1; }
+python3 - "$SOCK" <<'EOF'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+f = s.makefile("rw")
+def rpc(**req):
+    f.write(json.dumps(req) + "\n")
+    f.flush()
+    return json.loads(f.readline())
+assert rpc(schema="dra-serve-v1", id="p", kind="ping")["kind"] == "pong"
+first = rpc(schema="dra-serve-v1", id="c1", kind="compile", approach="select", bench="crc32")
+assert first["ok"] and not first["cached"], first
+again = rpc(schema="dra-serve-v1", id="c2", kind="compile", approach="select", bench="crc32")
+assert again["ok"] and again["cached"], again
+assert again["result"] == first["result"], (first, again)
+stats = rpc(schema="dra-serve-v1", id="s", kind="stats")
+assert stats["stats"]["counters"]["result_cache.hits"] >= 1, stats
+assert rpc(schema="dra-serve-v1", id="q", kind="shutdown")["kind"] == "bye"
+EOF
+wait "$SERVE_PID"
+[ ! -S "$SOCK" ] || { echo "stale serve socket left behind"; exit 1; }
+cargo run -q -p dra-core --release --bin drac -- bench-serve --smoke \
+  --out "$SMOKE_DIR/serve_bench.json" --telemetry-root "$SMOKE_DIR" > /dev/null
+cargo run -q -p dra-core --release --bin drac -- report "$SMOKE_DIR/results/telemetry" > /dev/null
+# The committed telemetry directory must validate wholesale — `report`
+# discovers every frame, serve/bench_serve included.
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry > /dev/null
+echo "serve smoke OK"
