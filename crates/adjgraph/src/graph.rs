@@ -63,11 +63,25 @@ impl AdjacencyGraph {
         self.edges.values().sum()
     }
 
+    /// Edges incident to `node` (either direction), as `(from, to, w)`,
+    /// without allocating: the hot-path variant of [`Self::incident_edges`].
+    pub fn incident_edges_iter(&self, node: u32) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.iter_edges().filter(move |&(a, b, _)| a == node || b == node)
+    }
+
+    /// Collect the edges incident to `node` into a caller-owned scratch
+    /// buffer (cleared first), so repeated queries reuse one allocation.
+    pub fn incident_edges_into(&self, node: u32, buf: &mut Vec<(u32, u32, f64)>) {
+        buf.clear();
+        buf.extend(self.incident_edges_iter(node));
+    }
+
     /// Edges incident to `node` (either direction), as `(from, to, w)`.
+    ///
+    /// Allocates a fresh `Vec` per call; inner loops should prefer
+    /// [`Self::incident_edges_iter`] or [`Self::incident_edges_into`].
     pub fn incident_edges(&self, node: u32) -> Vec<(u32, u32, f64)> {
-        self.iter_edges()
-            .filter(|&(a, b, _)| a == node || b == node)
-            .collect()
+        self.incident_edges_iter(node).collect()
     }
 
     /// The differential cost of a register-number assignment: the summed
@@ -98,10 +112,7 @@ impl AdjacencyGraph {
         params: DiffParams,
     ) -> f64 {
         let mut cost = 0.0;
-        for (&(a, b), &w) in &self.edges {
-            if a != node && b != node {
-                continue;
-            }
+        for (a, b, w) in self.incident_edges_iter(node) {
             if let (Some(ra), Some(rb)) = (assign(a), assign(b)) {
                 if !params.in_range(ra, rb) {
                     cost += w;
@@ -131,10 +142,7 @@ impl AdjacencyGraph {
 
     /// Out-degree plus in-degree of `node` in distinct edges.
     pub fn degree(&self, node: u32) -> usize {
-        self.edges
-            .keys()
-            .filter(|&&(a, b)| a == node || b == node)
-            .count()
+        self.incident_edges_iter(node).count()
     }
 
     /// Build a per-node incidence index for fast repeated [`AdjacencyIndex::node_cost`]
@@ -229,6 +237,61 @@ impl AdjacencyIndex {
     /// Total weight of edges incident to `node`.
     pub fn incident_weight(&self, node: u32) -> f64 {
         self.per_node[node as usize].iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// The edges incident to `node` as an owned-by-the-index slice — the
+    /// allocation-free counterpart of [`AdjacencyGraph::incident_edges`].
+    /// Edges between two nodes appear in both endpoints' slices.
+    pub fn incident(&self, node: u32) -> &[(u32, u32, f64)] {
+        &self.per_node[node as usize]
+    }
+
+    /// Exact cost change of rotating register numbers along `cycle`: node
+    /// `cycle[i]` takes the number previously held by `cycle[(i+1) % k]`
+    /// (a left rotation of the value sequence). A 2-cycle is exactly
+    /// [`Self::swap_delta`]. Runs in `O(sum of deg(cycle[i]) * k)` with no
+    /// allocation; `k` is expected to be small (3..=8).
+    ///
+    /// Each edge with multiple in-cycle endpoints appears in several
+    /// incidence lists; it is charged only at the smallest in-cycle
+    /// position among its endpoints, so every edge counts exactly once.
+    /// Returns `cost(after) - cost(before)`; profitable rotations are
+    /// negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` has repeated nodes (debug builds), or if any node
+    /// is out of range of `rv`.
+    pub fn cycle_delta(&self, rv: &[u8], cycle: &[u32], params: DiffParams) -> f64 {
+        let k = cycle.len();
+        if k < 2 {
+            return 0.0;
+        }
+        debug_assert!(
+            (0..k).all(|i| (i + 1..k).all(|j| cycle[i] != cycle[j])),
+            "cycle must not repeat nodes: {cycle:?}"
+        );
+        // Position of `n` in the cycle, if any; linear scan — k is small.
+        let pos = |n: u32| cycle.iter().position(|&c| c == n);
+        let after = |n: u32| match pos(n) {
+            Some(p) => rv[cycle[(p + 1) % k] as usize],
+            None => rv[n as usize],
+        };
+        let mut delta = 0.0;
+        for (i, &node) in cycle.iter().enumerate() {
+            for &(a, b, w) in &self.per_node[node as usize] {
+                let other = if a == node { b } else { a };
+                // Charge the edge at its smallest in-cycle endpoint
+                // position; `other`'s position only matters when smaller.
+                if matches!(pos(other), Some(p) if p < i) {
+                    continue;
+                }
+                let was = !params.in_range(rv[a as usize], rv[b as usize]);
+                let is = !params.in_range(after(a), after(b));
+                delta += (is as i8 - was as i8) as f64 * w;
+            }
+        }
+        delta
     }
 }
 
@@ -435,6 +498,97 @@ mod tests {
         let before = g.assignment_cost(|n| Some(rv[n as usize]), params);
         let after = g.assignment_cost(|n| Some(rv[1 - n as usize]), params);
         assert_eq!(idx.swap_delta(&rv, 0, 1, params), after - before);
+    }
+
+    #[test]
+    fn incident_edges_into_reuses_buffer() {
+        let mut g = AdjacencyGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 0, 3.0);
+        g.add_edge(2, 3, 5.0);
+        let mut buf = Vec::new();
+        g.incident_edges_into(0, &mut buf);
+        assert_eq!(buf, g.incident_edges(0));
+        g.incident_edges_into(3, &mut buf);
+        assert_eq!(buf, vec![(2, 3, 5.0)], "buffer cleared between queries");
+    }
+
+    fn dense_test_graph() -> AdjacencyGraph {
+        let mut g = AdjacencyGraph::new(6);
+        let edges = [
+            (0u32, 1u32, 2.0),
+            (1, 0, 1.0),
+            (1, 2, 1.5),
+            (2, 3, 4.0),
+            (3, 1, 0.5),
+            (4, 5, 2.5),
+            (0, 5, 3.0),
+            (2, 0, 1.0),
+            (3, 5, 1.25),
+        ];
+        for (a, b, w) in edges {
+            g.add_edge(a, b, w);
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_delta_matches_full_recost() {
+        let g = dense_test_graph();
+        let idx = g.index();
+        let params = DiffParams::new(8, 3);
+        let rv: Vec<u8> = vec![5, 0, 7, 2, 4, 1];
+        let cycles: &[&[u32]] = &[
+            &[0, 1, 2],
+            &[2, 1, 0],
+            &[1, 3, 5],
+            &[0, 2, 4, 5],
+            &[5, 4, 3, 2, 1],
+            &[0, 1, 2, 3, 4, 5],
+        ];
+        for cycle in cycles {
+            let mut rotated = rv.clone();
+            let k = cycle.len();
+            for (i, &n) in cycle.iter().enumerate() {
+                rotated[n as usize] = rv[cycle[(i + 1) % k] as usize];
+            }
+            let before = g.assignment_cost(|n| Some(rv[n as usize]), params);
+            let after = g.assignment_cost(|n| Some(rotated[n as usize]), params);
+            let delta = idx.cycle_delta(&rv, cycle, params);
+            assert!(
+                (delta - (after - before)).abs() < 1e-12,
+                "cycle {cycle:?}: delta {delta} vs full {}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_delta_two_cycle_equals_swap_delta() {
+        let g = dense_test_graph();
+        let idx = g.index();
+        let params = DiffParams::new(8, 2);
+        let rv: Vec<u8> = vec![3, 6, 0, 1, 7, 4];
+        for x in 0..6u32 {
+            for y in 0..6u32 {
+                if x == y {
+                    continue;
+                }
+                let swap = idx.swap_delta(&rv, x, y, params);
+                let cyc = idx.cycle_delta(&rv, &[x, y], params);
+                assert!((swap - cyc).abs() < 1e-12, "({x},{y}): {swap} vs {cyc}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_delta_trivial_cycles_are_zero() {
+        let g = dense_test_graph();
+        let idx = g.index();
+        let params = DiffParams::new(8, 3);
+        let rv: Vec<u8> = vec![5, 0, 7, 2, 4, 1];
+        assert_eq!(idx.cycle_delta(&rv, &[], params), 0.0);
+        assert_eq!(idx.cycle_delta(&rv, &[3], params), 0.0);
     }
 
     #[test]

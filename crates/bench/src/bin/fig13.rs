@@ -9,9 +9,11 @@
 //! evaluations, restarts executed, search wall-clock) so tooling can track
 //! the search cost alongside the code-size outcome.
 
+use dra_adjgraph::DiffParams;
 use dra_bench::{average, batch_threads, emit_telemetry, render_table};
 use dra_core::batch::run_lowend_matrix_with_telemetry;
-use dra_core::lowend::{Approach, LowEndRun, LowEndSetup};
+use dra_core::lowend::{compile_and_run, compile_benchmark, Approach, LowEndRun, LowEndSetup};
+use dra_regalloc::{remap_function, RemapConfig, RemapStrategy};
 use dra_workloads::benchmark_names;
 use std::fmt::Write as _;
 
@@ -97,6 +99,161 @@ fn main() {
     );
     println!("\npaper shape: remapping ~1.07, select <= 1.01, O-spill ~0.96, coalesce ~0.98");
 
+    // --- Portfolio vs greedy-1000 at an equal evaluation budget ---------
+    //
+    // The search-portfolio acceptance experiment. Uncapped, greedy-1000
+    // already certifies at the branch-and-bound optimum on these
+    // benchmarks (see the gap table below), so the interesting regime is
+    // a *constrained* equal budget: both searches get 1/8 of the
+    // evaluations greedy-1000 naturally spends per searching function.
+    // Greedy keeps the paper's fixed 1000 restarts and truncates every
+    // descent; the portfolio concentrates the same budget on fewer,
+    // complete greedy/SA/LNS racers. The portfolio must never be worse
+    // and should win outright on some benchmarks at equal or lower
+    // search time.
+    let mut port_rows = Vec::new();
+    let mut json_portfolio = Vec::new();
+    for (name, runs) in names.iter().zip(&matrix) {
+        let natural = runs[1]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name}/remap: {e}"));
+        let (nat_evals, _, _) = remap_totals(natural);
+        let searching = natural.remap.iter().filter(|st| st.evaluations > 0).count() as u64;
+        let budget = (nat_evals / searching.max(1) / 8).max(1);
+        let mut setup_g = setup.clone();
+        setup_g.remap_eval_budget = budget;
+        let greedy = compile_and_run(name, Approach::Remapping, &setup_g)
+            .unwrap_or_else(|e| panic!("{name}/greedy-capped: {e}"));
+        let mut setup_p = setup_g.clone();
+        setup_p.remap_strategy = RemapStrategy::Portfolio;
+        let port = compile_and_run(name, Approach::Remapping, &setup_p)
+            .unwrap_or_else(|e| panic!("{name}/portfolio: {e}"));
+        let (g_evals, _, g_nanos) = remap_totals(&greedy);
+        let (p_evals, _, p_nanos) = remap_totals(&port);
+        port_rows.push(vec![
+            name.to_string(),
+            format!("{budget}"),
+            format!("{}", greedy.dynamic_set_last_regs),
+            format!("{}", port.dynamic_set_last_regs),
+            format!("{g_evals}"),
+            format!("{p_evals}"),
+            format!("{:.2}", g_nanos as f64 / 1e6),
+            format!("{:.2}", p_nanos as f64 / 1e6),
+        ]);
+        json_portfolio.push(format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"eval_budget\": {}, ",
+                "\"natural_greedy_evaluations\": {}, ",
+                "\"greedy_dynamic_slr\": {}, \"portfolio_dynamic_slr\": {}, ",
+                "\"greedy_evaluations\": {}, \"portfolio_evaluations\": {}, ",
+                "\"greedy_search_nanos\": {}, \"portfolio_search_nanos\": {}}}"
+            ),
+            name,
+            budget,
+            nat_evals,
+            greedy.dynamic_set_last_regs,
+            port.dynamic_set_last_regs,
+            g_evals,
+            p_evals,
+            g_nanos,
+            p_nanos
+        ));
+    }
+    print!(
+        "\n{}",
+        render_table(
+            "Remap portfolio vs greedy-1000 at an equal (1/8-natural) eval budget",
+            &[
+                "benchmark".into(),
+                "budget/fn".into(),
+                "greedy dyn slr".into(),
+                "portfolio dyn slr".into(),
+                "greedy evals".into(),
+                "portfolio evals".into(),
+                "greedy ms".into(),
+                "portfolio ms".into(),
+            ],
+            &port_rows
+        )
+    );
+
+    // --- Optimality gap vs the certified branch-and-bound ---------------
+    //
+    // On the direct-encoded (`RegN = 8`) baseline allocations, the exact
+    // branch-and-bound certifies the true optimum of the remap objective
+    // at `DiffN = 4`, which measures every heuristic's absolute gap.
+    let gap_params = DiffParams::new(8, 4);
+    let heuristics: [(&str, RemapStrategy); 4] = [
+        ("greedy", RemapStrategy::Greedy),
+        ("anneal", RemapStrategy::Anneal),
+        ("lns", RemapStrategy::Lns),
+        ("portfolio", RemapStrategy::Portfolio),
+    ];
+    let mut json_gap = Vec::new();
+    // Two regimes: a tight budget where the heuristics differ, and an
+    // ample one where they should all close the gap.
+    for gap_budget in [2_000u64, 50_000] {
+        let mut gap_rows = Vec::new();
+        for name in &names {
+            let (prog, _, _) = compile_benchmark(name, Approach::Baseline, &setup)
+                .unwrap_or_else(|e| panic!("{name}/baseline: {e}"));
+            let mut bb_cfg = RemapConfig::new(gap_params);
+            bb_cfg.strategy = RemapStrategy::BranchBound;
+            bb_cfg.eval_budget = 5_000_000;
+            let (mut optimal, mut bb_nodes) = (0.0f64, 0u64);
+            for f in &prog.funcs {
+                let mut f = f.clone();
+                let st = remap_function(&mut f, &bb_cfg);
+                assert!(
+                    st.certified,
+                    "{name}/{}: branch-and-bound must certify RegN = 8 instances",
+                    f.name
+                );
+                optimal += st.cost_after;
+                bb_nodes += st.bb_nodes;
+            }
+            let mut row = vec![name.to_string(), format!("{optimal:.1}")];
+            let mut fields = vec![format!(
+                "\"eval_budget\": {gap_budget}, \"optimal_cost\": {optimal:.6}, \"bb_nodes\": {bb_nodes}"
+            )];
+            for &(label, strat) in &heuristics {
+                let mut cfg = RemapConfig::new(gap_params);
+                cfg.exhaustive_limit = 0; // force the heuristic searches
+                cfg.strategy = strat;
+                cfg.starts = 64;
+                cfg.eval_budget = gap_budget;
+                let mut cost = 0.0f64;
+                for f in &prog.funcs {
+                    let mut f = f.clone();
+                    cost += remap_function(&mut f, &cfg).cost_after;
+                }
+                let gap = cost - optimal;
+                row.push(format!("{cost:.1} (+{gap:.1})"));
+                fields.push(format!(
+                    "\"{label}_cost\": {cost:.6}, \"{label}_gap\": {gap:.6}"
+                ));
+            }
+            gap_rows.push(row);
+            json_gap.push(format!(
+                "    {{\"name\": \"{name}\", {}}}",
+                fields.join(", ")
+            ));
+        }
+        let mut gap_header = vec!["benchmark".to_string(), "optimal".to_string()];
+        gap_header.extend(heuristics.iter().map(|&(l, _)| format!("{l} (gap)")));
+        print!(
+            "\n{}",
+            render_table(
+                &format!(
+                    "Remap optimality gap vs certified branch-and-bound \
+                     (RegN=8, DiffN=4, 64 starts, {gap_budget} evals)"
+                ),
+                &gap_header,
+                &gap_rows
+            )
+        );
+    }
+
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"figure\": \"fig13\",").unwrap();
@@ -108,6 +265,12 @@ fn main() {
     .unwrap();
     writeln!(json, "  \"benchmarks\": [").unwrap();
     writeln!(json, "{}", json_benchmarks.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"portfolio_vs_greedy\": [").unwrap();
+    writeln!(json, "{}", json_portfolio.join(",\n")).unwrap();
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"optimality_gap\": [").unwrap();
+    writeln!(json, "{}", json_gap.join(",\n")).unwrap();
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
     match std::fs::write("results/fig13.json", &json) {

@@ -512,21 +512,17 @@ mod tests {
     use super::*;
     use crate::lowend::compile_and_run;
 
-    /// Zero the remap work counters (`evaluations`, `starts_run`,
-    /// `search_nanos`): they measure wall-clock and scheduling, not the
-    /// compilation result, so two otherwise-identical runs differ there.
-    /// Telemetry is normalized the same way: spans are wall-clock-only
-    /// (and a cached run records no `parse` span at all), and the
-    /// `remap.*` work counters mirror `RemapStats`.
+    /// Zero the remap wall-clock field (`search_nanos`) and drop telemetry
+    /// spans: they measure wall-clock time, not the compilation result, so
+    /// two otherwise-identical runs differ there. The remap *work*
+    /// counters (`evaluations`, `starts_run`, `cycle_moves`) are
+    /// schedule-invariant — the portfolio splits its budget
+    /// deterministically — so they stay in the comparison.
     fn normalized(mut r: LowEndRun) -> LowEndRun {
         for st in &mut r.remap {
-            st.evaluations = 0;
-            st.starts_run = 0;
             st.search_nanos = 0;
         }
         r.telemetry.clear_spans();
-        r.telemetry.set_counter("remap.evaluations", 0);
-        r.telemetry.set_counter("remap.starts_run", 0);
         r
     }
 

@@ -21,13 +21,14 @@ use dra_core::profile::compile_and_run_profiled;
 use dra_core::serve::{serve, ServeAddr, ServeConfig};
 use dra_core::telemetry::validate_telemetry;
 use dra_encoding::EncodingConfig;
+use dra_regalloc::RemapStrategy;
 use dra_workloads::benchmark_names;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile]\n  drac run --bench <name> --approach <a> [--profile]\n  drac sweep --bench <name>\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--remap-strategy <s>]\n  drac sweep --bench <name> [--remap-strategy <s>]\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio"
     );
     ExitCode::FAILURE
 }
@@ -41,6 +42,7 @@ struct Args {
     approach: Option<Approach>,
     emit: String,
     profile: bool,
+    remap_strategy: Option<RemapStrategy>,
 }
 
 fn parse_args(rest: &[String]) -> Option<Args> {
@@ -49,6 +51,7 @@ fn parse_args(rest: &[String]) -> Option<Args> {
         approach: None,
         emit: "stats".to_string(),
         profile: false,
+        remap_strategy: None,
     };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -57,6 +60,9 @@ fn parse_args(rest: &[String]) -> Option<Args> {
             "--approach" => args.approach = Some(parse_approach(it.next()?)?),
             "--emit" => args.emit = it.next()?.clone(),
             "--profile" => args.profile = true,
+            "--remap-strategy" => {
+                args.remap_strategy = Some(RemapStrategy::parse(it.next()?)?)
+            }
             _ => return None,
         }
     }
@@ -82,7 +88,10 @@ fn main() -> ExitCode {
             let (Some(bench), Some(approach)) = (args.bench, args.approach) else {
                 return usage();
             };
-            let setup = LowEndSetup::default();
+            let mut setup = LowEndSetup::default();
+            if let Some(strategy) = args.remap_strategy {
+                setup.remap_strategy = strategy;
+            }
             let run = if args.profile {
                 compile_and_run_profiled(&bench, approach, &setup)
             } else {
@@ -163,7 +172,10 @@ fn main() -> ExitCode {
             let Some(bench) = args.bench else {
                 return usage();
             };
-            let setup = LowEndSetup::default();
+            let mut setup = LowEndSetup::default();
+            if let Some(strategy) = args.remap_strategy {
+                setup.remap_strategy = strategy;
+            }
             println!(
                 "{:<11} {:>7} {:>7} {:>11} {:>10}",
                 "approach", "spill%", "slr%", "code(bits)", "cycles"

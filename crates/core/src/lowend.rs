@@ -10,7 +10,7 @@ use dra_isa::{code_size_bits, IsaGeometry};
 use dra_regalloc::{
     coalesce_allocate_program, irc_allocate_program, ospill_allocate_program, remap_program,
     AllocConfig, AllocStats, CoalesceConfig, OspillConfig, RemapConfig, RemapStats,
-    SelectStrategy,
+    RemapStrategy, SelectStrategy,
 };
 use dra_sim::{simulate, LowEndConfig, SimResult};
 use dra_workloads::benchmark;
@@ -115,6 +115,12 @@ pub struct LowEndSetup {
     /// Worker threads for the remapping restarts (`0` = one per CPU).
     /// The search result is identical at any thread count.
     pub remap_threads: usize,
+    /// Search strategy for the remapping pass (greedy restarts by
+    /// default — the paper's algorithm; see [`RemapStrategy`]).
+    pub remap_strategy: RemapStrategy,
+    /// Portfolio-wide evaluation budget for the remapping search, split
+    /// deterministically across restart tasks.
+    pub remap_eval_budget: u64,
     /// Worker threads for the batch driver ([`crate::batch`]) when running
     /// many (benchmark, approach) cells (`0` = one per CPU). Like
     /// `remap_threads`, results are identical at any thread count.
@@ -145,6 +151,8 @@ impl Default for LowEndSetup {
             args: vec![],
             remap_starts: 1000,
             remap_threads: 0,
+            remap_strategy: RemapStrategy::Greedy,
+            remap_eval_budget: dra_regalloc::DEFAULT_EVAL_BUDGET,
             batch_threads: 0,
             degrade: true,
             cell_retries: 1,
@@ -159,6 +167,8 @@ impl LowEndSetup {
         let mut cfg = RemapConfig::new(self.diff);
         cfg.starts = self.remap_starts;
         cfg.threads = self.remap_threads;
+        cfg.strategy = self.remap_strategy;
+        cfg.eval_budget = self.remap_eval_budget;
         cfg
     }
 }
@@ -406,14 +416,31 @@ fn record_irc_steps(t: &mut Telemetry, s: &AllocStats) {
 
 /// Record the remapping search's work counters and wall-clock span.
 ///
-/// `evaluations` and `starts_run` are schedule-dependent only when a
-/// parallel search (`remap_threads != 1`) exits early on a zero-cost
-/// vector — the same caveat `RemapStats` documents.
+/// Every counter here is a pure function of the input (the portfolio's
+/// budget split and tie-breaks are schedule-invariant), so aggregates are
+/// identical at any `remap_threads` / batch thread count; only the `remap`
+/// span varies with the wall clock.
 fn record_remap(t: &mut Telemetry, stats: &[RemapStats]) {
     t.count("remap.functions", stats.len() as u64);
     for st in stats {
         t.count("remap.evaluations", st.evaluations);
         t.count("remap.starts_run", st.starts_run as u64);
+        t.count("remap.cycle_moves", st.cycle_moves);
+        t.count("remap.bb_nodes", st.bb_nodes);
+        t.count(
+            match st.winner {
+                dra_regalloc::RemapWinner::Identity => "remap.win.identity",
+                dra_regalloc::RemapWinner::Exhaustive => "remap.win.exhaustive",
+                dra_regalloc::RemapWinner::Greedy => "remap.win.greedy",
+                dra_regalloc::RemapWinner::Anneal => "remap.win.anneal",
+                dra_regalloc::RemapWinner::Lns => "remap.win.lns",
+                dra_regalloc::RemapWinner::BranchBound => "remap.win.branch-bound",
+            },
+            1,
+        );
+        if st.certified {
+            t.count("remap.certified", 1);
+        }
         t.span_ns("remap", st.search_nanos);
     }
 }

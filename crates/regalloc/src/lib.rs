@@ -50,4 +50,7 @@ pub use irc::{
 };
 pub use ospill::{ospill_allocate, ospill_allocate_program, OspillConfig, OspillStats};
 pub use coalesce::{coalesce_allocate, coalesce_allocate_program, CoalesceConfig, CoalesceEval, CoalesceStats};
-pub use remap::{remap_function, remap_program, RemapConfig, RemapStats, DEFAULT_EVAL_BUDGET};
+pub use remap::{
+    remap_function, remap_program, RemapConfig, RemapStats, RemapStrategy, RemapWinner,
+    DEFAULT_EVAL_BUDGET,
+};

@@ -4,42 +4,57 @@
 //! permuted freely: a permutation preserves the only constraint a
 //! traditional allocator enforces (co-live ranges in distinct registers)
 //! while changing the differential-encoding cost. This pass searches the
-//! permutation space for a low-cost register vector:
+//! permutation space for a low-cost register vector with a **portfolio**
+//! of strategies ([`RemapStrategy`]):
 //!
 //! * **exhaustive** search for small `RegN` (the paper notes
-//!   `O(RegN² · RegN!)` is tractable there), and
+//!   `O(RegN² · RegN!)` is tractable there),
 //! * the paper's **greedy pairwise-swap descent** restarted from many
-//!   random initial register vectors (1000 in the paper) otherwise.
+//!   random initial register vectors (1000 in the paper),
+//! * **simulated annealing** over the same transposition neighborhood,
+//!   with a seeded geometric temperature ladder spanning each task's
+//!   evaluation slice,
+//! * **large-neighborhood search** (LNS): greedy descent to a local
+//!   minimum, then 3-cycle and k-cycle rotation moves scored with
+//!   [`AdjacencyIndex::cycle_delta`] to escape transposition-local minima,
+//! * an exact **branch-and-bound** for small instances (admissible bound
+//!   from a sorted incident-weight relaxation) that certifies optima and
+//!   measures every heuristic's gap.
 //!
 //! # Incremental delta-cost evaluation
 //!
-//! Both searches move through permutation space one **transposition** at a
-//! time: the greedy descent considers pairwise swaps, and Heap's algorithm
-//! generates each successive permutation from the previous one by a single
-//! swap. A swap of the numbers held by nodes `x` and `y` can only change
-//! the violation status of edges incident to `x` or `y`, so a candidate is
-//! scored with [`AdjacencyIndex::swap_delta`] in `O(deg(x) + deg(y))`
+//! All searches move through permutation space by **transpositions** (and
+//! LNS by short rotations): a swap of the numbers held by nodes `x` and
+//! `y` can only change the violation status of edges incident to `x` or
+//! `y`, so a candidate is scored with [`AdjacencyIndex::swap_delta`] in
+//! `O(deg(x) + deg(y))` (rotations with [`AdjacencyIndex::cycle_delta`])
 //! instead of re-walking the whole edge set (`O(E)`). Accumulated
-//! floating-point drift is shed by recomputing the exact cost once per
-//! descent (outside the swap loop) before results are compared.
+//! floating-point drift is shed by recomputing the exact cost whenever a
+//! new champion is recorded and once per descent before results are
+//! compared.
 //!
-//! # Deterministic parallel restarts
+//! # Deterministic parallel racing under one budget
 //!
-//! Restarts are independent, so they run on [`std::thread::scope`] threads
-//! ([`RemapConfig::threads`]). Each start's RNG stream is a pure function
-//! of `(seed, start index)` and the winner is the lowest-cost result with
-//! ties broken toward the **lowest start index**, so the chosen
-//! `(permutation, cost)` is bit-identical at any thread count, including
-//! the sequential `threads = 1` path. Only the work counters
-//! ([`RemapStats::starts_run`], [`RemapStats::evaluations`]) depend on
-//! scheduling, because every worker stops early once it holds a zero-cost
-//! vector.
+//! The portfolio runs `starts` tasks; task `i` uses strategy
+//! `racers[i % racers.len()]` and the start vector of index `i`. Tasks are
+//! independent, so they run on [`std::thread::scope`] threads
+//! ([`RemapConfig::threads`]). Each task's RNG stream is a pure function
+//! of `(seed, strategy, start index)` (SplitMix64-finalized), the shared
+//! [`RemapConfig::eval_budget`] is pre-split into per-task slices
+//! (`budget / tasks`, the remainder spread over the lowest indices), and
+//! the winner is the lowest-cost result with ties broken by **strategy
+//! order, then lowest start index**. Nothing a task does depends on any
+//! other task, so the chosen `(permutation, cost)` *and every work
+//! counter* ([`RemapStats::evaluations`], [`RemapStats::starts_run`],
+//! [`RemapStats::cycle_moves`]) are bit-identical at any thread count,
+//! including the sequential `threads = 1` path.
 
 use dra_adjgraph::{build_preg_adjacency, AdjacencyGraph, AdjacencyIndex, DiffParams};
 use dra_ir::{Function, PReg, Program, Reg, RegClass};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
 use std::time::Instant;
 
 /// Improvement threshold for incrementally-maintained costs: deltas within
@@ -47,13 +62,106 @@ use std::time::Instant;
 /// masquerade as an improving swap (which could cycle the descent).
 const EPS: f64 = 1e-9;
 
-/// Default per-descent evaluation budget ([`RemapConfig::eval_budget`]).
-/// A greedy descent on the evaluation's `RegN = 12` sweeps 66 candidate
-/// pairs per improvement step, so this bound allows tens of thousands of
-/// improving swaps — orders of magnitude beyond what any real workload
-/// descends through — while still guaranteeing termination on adversarial
-/// cost surfaces.
-pub const DEFAULT_EVAL_BUDGET: u64 = 1_000_000;
+/// Default portfolio-wide evaluation budget ([`RemapConfig::eval_budget`]).
+/// Shared by all restarts: at the paper's 1000 starts each task's slice is
+/// 4000 evaluations, roughly ten times what a greedy descent on the
+/// evaluation's `RegN = 12` actually spends (~6 sweeps of 66 candidate
+/// pairs), so the default never binds on realistic inputs — it exists so a
+/// pathological cost surface degrades to a bounded search instead of an
+/// unbounded one.
+pub const DEFAULT_EVAL_BUDGET: u64 = 4_000_000;
+
+/// Search strategy for the remapping pass ([`RemapConfig::strategy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RemapStrategy {
+    /// The paper's greedy pairwise-swap descent from random restarts.
+    #[default]
+    Greedy,
+    /// Simulated annealing over the transposition neighborhood.
+    Anneal,
+    /// Large-neighborhood search: greedy descent plus cycle-rotation moves.
+    Lns,
+    /// Exact branch-and-bound (admissible incident-weight bound). Certifies
+    /// the optimum when it completes within the evaluation budget; meant
+    /// for small `RegN` (≤ 8-ish) or gap measurement.
+    BranchBound,
+    /// Race greedy, annealing, and LNS as interleaved restart tasks under
+    /// the shared budget.
+    Portfolio,
+}
+
+impl RemapStrategy {
+    /// Parse a command-line strategy name.
+    pub fn parse(s: &str) -> Option<RemapStrategy> {
+        match s {
+            "greedy" => Some(RemapStrategy::Greedy),
+            "anneal" | "sa" => Some(RemapStrategy::Anneal),
+            "lns" => Some(RemapStrategy::Lns),
+            "bb" | "bnb" | "branch-bound" => Some(RemapStrategy::BranchBound),
+            "portfolio" => Some(RemapStrategy::Portfolio),
+            _ => None,
+        }
+    }
+
+    /// Canonical name (accepted by [`RemapStrategy::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            RemapStrategy::Greedy => "greedy",
+            RemapStrategy::Anneal => "anneal",
+            RemapStrategy::Lns => "lns",
+            RemapStrategy::BranchBound => "branch-bound",
+            RemapStrategy::Portfolio => "portfolio",
+        }
+    }
+
+    /// The strategies this configuration races as restart tasks (task `i`
+    /// runs `racers()[i % racers().len()]`). Branch-and-bound is not a
+    /// restart strategy and never appears here.
+    fn racers(self) -> &'static [RemapStrategy] {
+        match self {
+            RemapStrategy::Greedy | RemapStrategy::BranchBound => &[RemapStrategy::Greedy],
+            RemapStrategy::Anneal => &[RemapStrategy::Anneal],
+            RemapStrategy::Lns => &[RemapStrategy::Lns],
+            RemapStrategy::Portfolio => &[
+                RemapStrategy::Greedy,
+                RemapStrategy::Anneal,
+                RemapStrategy::Lns,
+            ],
+        }
+    }
+}
+
+/// Which searcher produced the final register vector of a remap run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RemapWinner {
+    /// No search beat the allocator's own numbering (or none was needed).
+    #[default]
+    Identity,
+    /// The small-`RegN` exhaustive enumeration.
+    Exhaustive,
+    /// A greedy-descent restart task.
+    Greedy,
+    /// A simulated-annealing restart task.
+    Anneal,
+    /// A large-neighborhood-search restart task.
+    Lns,
+    /// The exact branch-and-bound.
+    BranchBound,
+}
+
+impl RemapWinner {
+    /// Short name used in telemetry counter keys (`remap.win.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RemapWinner::Identity => "identity",
+            RemapWinner::Exhaustive => "exhaustive",
+            RemapWinner::Greedy => "greedy",
+            RemapWinner::Anneal => "anneal",
+            RemapWinner::Lns => "lns",
+            RemapWinner::BranchBound => "branch-bound",
+        }
+    }
+}
 
 /// Configuration of the remapping search.
 #[derive(Clone, Debug)]
@@ -62,28 +170,34 @@ pub struct RemapConfig {
     pub params: DiffParams,
     /// Register class whose numbers are permuted.
     pub class: RegClass,
-    /// Use exhaustive permutation search when `RegN <=` this bound.
+    /// Use exhaustive permutation search when `RegN <=` this bound (unless
+    /// [`RemapConfig::strategy`] is [`RemapStrategy::BranchBound`], which
+    /// always runs the branch-and-bound).
     pub exhaustive_limit: u16,
-    /// Number of random restarts for the greedy search (the paper uses
+    /// Number of restart tasks for the heuristic searches (the paper uses
     /// 1000, which is the default).
     pub starts: u32,
     /// Registers that must keep their numbers (special-purpose registers,
     /// Section 9.2, or calling-convention anchors, Section 9.3).
     pub pinned: Vec<PReg>,
-    /// RNG seed for the random restarts (reproducibility).
+    /// RNG seed for the restart tasks (reproducibility).
     pub seed: u64,
-    /// Worker threads for the greedy restarts; `0` means one per available
-    /// CPU. The search result is identical at any thread count.
+    /// Worker threads for the restart tasks; `0` means one per available
+    /// CPU. The search result and all work counters are identical at any
+    /// thread count.
     pub threads: usize,
-    /// Evaluation budget: the maximum [`AdjacencyIndex::swap_delta`] calls
-    /// one greedy descent (or the whole exhaustive enumeration) may spend
-    /// before stopping at its current best. Applied per descent — not
-    /// shared across restarts — so the early stop is a pure function of
-    /// the input and the result stays bit-identical at any
-    /// [`RemapConfig::threads`]. The default never binds on realistic
-    /// inputs; it exists so a pathological cost surface degrades to a
-    /// bounded search instead of an unbounded one.
+    /// Portfolio-wide evaluation budget: the maximum incremental scorings
+    /// ([`AdjacencyIndex::swap_delta`] counting 1, a k-node
+    /// [`AdjacencyIndex::cycle_delta`] counting `k - 1`) the whole run may
+    /// spend. Pre-split deterministically across the restart tasks
+    /// (`budget / starts` each, remainder to the lowest indices), so the
+    /// cutoff is a pure function of the input and both the result and the
+    /// counters stay bit-identical at any [`RemapConfig::threads`]. The
+    /// exhaustive and branch-and-bound searches spend the budget as a
+    /// single task.
     pub eval_budget: u64,
+    /// Which search strategy (or portfolio of strategies) to run.
+    pub strategy: RemapStrategy,
 }
 
 impl RemapConfig {
@@ -100,6 +214,7 @@ impl RemapConfig {
             seed: 0x5eed,
             threads: 0,
             eval_budget: DEFAULT_EVAL_BUDGET,
+            strategy: RemapStrategy::Greedy,
         }
     }
 
@@ -116,6 +231,12 @@ impl RemapConfig {
         self.threads = threads;
         self
     }
+
+    /// Override the search strategy.
+    pub fn with_strategy(mut self, strategy: RemapStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
 }
 
 /// Outcome of one remapping run.
@@ -127,13 +248,27 @@ pub struct RemapStats {
     pub cost_after: f64,
     /// Whether the exhaustive search was used.
     pub exhaustive: bool,
-    /// Candidate-swap evaluations performed (`swap_delta` calls). Depends
-    /// on thread scheduling when a zero-cost vector is found early.
+    /// Incremental cost evaluations performed (`swap_delta` calls counting
+    /// 1, k-node `cycle_delta` calls counting `k - 1`, branch-and-bound
+    /// candidate scorings counting 1). A pure function of the input —
+    /// identical at any thread count.
     pub evaluations: u64,
-    /// Greedy restarts actually executed (0 for exhaustive runs; may be
-    /// below `RemapConfig::starts` after a zero-cost early exit, and
-    /// depends on thread scheduling in that case).
+    /// Restart tasks actually executed (0 for exhaustive runs; below
+    /// `RemapConfig::starts` only when the eval budget is smaller than the
+    /// task count, in which case zero-slice tasks are skipped). A pure
+    /// function of the input.
     pub starts_run: u32,
+    /// Improving cycle rotations applied by LNS tasks.
+    pub cycle_moves: u64,
+    /// Branch-and-bound nodes expanded (0 unless the strategy was
+    /// [`RemapStrategy::BranchBound`]).
+    pub bb_nodes: u64,
+    /// Which searcher produced `cost_after`.
+    pub winner: RemapWinner,
+    /// True when `cost_after` is a certified optimum: the exhaustive
+    /// enumeration or branch-and-bound completed within budget, or a
+    /// zero-cost vector (unbeatable) was found.
+    pub certified: bool,
     /// Wall-clock time of the whole remap (graph build + search), ns.
     pub search_nanos: u64,
     /// True when this entry marks a function that *fell back to direct
@@ -154,17 +289,42 @@ impl RemapStats {
             exhaustive: false,
             evaluations: 0,
             starts_run: 0,
+            cycle_moves: 0,
+            bb_nodes: 0,
+            winner: RemapWinner::Identity,
+            certified: false,
             search_nanos: 0,
             degraded: true,
         }
     }
 }
 
-/// Work counters shared by both search strategies.
+/// Work counters shared by the search strategies.
 #[derive(Clone, Copy, Debug, Default)]
 struct SearchCounters {
     evaluations: u64,
     starts_run: u32,
+    cycle_moves: u64,
+    bb_nodes: u64,
+}
+
+impl SearchCounters {
+    fn absorb(&mut self, other: SearchCounters) {
+        self.evaluations += other.evaluations;
+        self.starts_run += other.starts_run;
+        self.cycle_moves += other.cycle_moves;
+        self.bb_nodes += other.bb_nodes;
+    }
+}
+
+/// Result of one complete search (exhaustive, branch-and-bound, or the
+/// multistart portfolio).
+struct SearchOutcome {
+    rv: Vec<u8>,
+    cost: f64,
+    winner: RemapWinner,
+    certified: bool,
+    counters: SearchCounters,
 }
 
 /// Remap the register numbers of an allocated function in place.
@@ -189,31 +349,45 @@ pub fn remap_function(f: &mut Function, cfg: &RemapConfig) -> RemapStats {
             exhaustive: false,
             evaluations: 0,
             starts_run: 0,
+            cycle_moves: 0,
+            bb_nodes: 0,
+            winner: RemapWinner::Identity,
+            certified: true,
             search_nanos: t0.elapsed().as_nanos() as u64,
             degraded: false,
         };
     }
 
     let idx = g.index();
-    let (perm, cost_after, exhaustive, counters) = if reg_n <= cfg.exhaustive_limit {
-        let (p, c, n) = exhaustive_search(&g, &idx, cfg);
-        (p, c, true, n)
+    let use_exhaustive =
+        cfg.strategy != RemapStrategy::BranchBound && reg_n <= cfg.exhaustive_limit;
+    let outcome = if cfg.strategy == RemapStrategy::BranchBound {
+        branch_and_bound(&g, &idx, cfg)
+    } else if use_exhaustive {
+        exhaustive_search(&g, &idx, cfg)
     } else {
-        let (p, c, n) = greedy_multistart(&g, &idx, cfg);
-        (p, c, false, n)
+        portfolio_multistart(&g, &idx, cfg, cfg.strategy.racers())
     };
 
     // Keep the identity if the search could not improve on it.
-    let improved = cost_after < cost_before;
+    let improved = outcome.cost < cost_before;
     if improved {
-        apply_permutation(f, &perm, cfg.class);
+        apply_permutation(f, &outcome.rv, cfg.class);
     }
     RemapStats {
         cost_before,
-        cost_after: if improved { cost_after } else { cost_before },
-        exhaustive,
-        evaluations: counters.evaluations,
-        starts_run: counters.starts_run,
+        cost_after: if improved { outcome.cost } else { cost_before },
+        exhaustive: use_exhaustive,
+        evaluations: outcome.counters.evaluations,
+        starts_run: outcome.counters.starts_run,
+        cycle_moves: outcome.counters.cycle_moves,
+        bb_nodes: outcome.counters.bb_nodes,
+        winner: if improved {
+            outcome.winner
+        } else {
+            RemapWinner::Identity
+        },
+        certified: outcome.certified,
         search_nanos: t0.elapsed().as_nanos() as u64,
         degraded: false,
     }
@@ -266,7 +440,7 @@ fn exhaustive_search(
     g: &AdjacencyGraph,
     idx: &AdjacencyIndex,
     cfg: &RemapConfig,
-) -> (Vec<u8>, f64, SearchCounters) {
+) -> SearchOutcome {
     let reg_n = cfg.params.reg_n() as usize;
     let params = cfg.params;
     let free = free_slots(reg_n, &cfg.pinned);
@@ -304,14 +478,25 @@ fn exhaustive_search(
             i += 1;
         }
     }
-    (best, best_cost, counters)
+    // Certified if the enumeration finished (`i == n`) or a zero-cost
+    // vector (unbeatable) was found; only a budget cutoff leaves the
+    // optimum unconfirmed.
+    let certified = best_cost == 0.0 || i >= n;
+    SearchOutcome {
+        rv: best,
+        cost: best_cost,
+        winner: RemapWinner::Exhaustive,
+        certified,
+        counters,
+    }
 }
 
-/// Outcome of one greedy descent.
+/// Outcome of one restart task.
 struct StartOutcome {
     rv: Vec<u8>,
     cost: f64,
     evals: u64,
+    cycle_moves: u64,
 }
 
 /// Derive the RNG seed of restart `start`: a pure function of
@@ -320,6 +505,18 @@ struct StartOutcome {
 /// how the starts are partitioned.
 fn start_seed(seed: u64, start: u32) -> u64 {
     let mut z = seed ^ (u64::from(start) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG seed of the *search moves* of a task: a pure function of
+/// `(seed, strategy, start)`, distinct from the start-vector stream so all
+/// strategies explore from identical initial vectors but with independent
+/// move randomness.
+fn task_seed(seed: u64, strat_ix: usize, start: u32) -> u64 {
+    let mut z =
+        start_seed(seed, start) ^ (strat_ix as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -341,17 +538,24 @@ fn start_vector(reg_n: usize, free: &[usize], seed: u64, start: u32) -> Vec<u8> 
     rv
 }
 
+/// The per-task slice of the portfolio-wide evaluation budget: an even
+/// split with the remainder spread over the lowest task indices — a pure
+/// function of `(total, tasks, i)`, independent of scheduling.
+fn slice_budget(total: u64, tasks: u64, i: u64) -> u64 {
+    total / tasks + u64::from(i < total % tasks)
+}
+
 /// One greedy descent (the inner loop of the paper's Figure 7): repeatedly
 /// apply the single pairwise swap with the biggest cost reduction until a
 /// local minimum. Candidate swaps are scored **only** with
 /// [`AdjacencyIndex::swap_delta`]; the full cost is computed once before
 /// the loop and once after it (to shed incremental rounding drift).
 ///
-/// `budget` caps the `swap_delta` evaluations of this one descent
-/// ([`RemapConfig::eval_budget`]): a surface that keeps producing
-/// improving swaps stops at its current (still valid) permutation instead
-/// of looping unboundedly. The cutoff depends only on the input, so
-/// determinism across thread counts is preserved.
+/// `budget` caps the `swap_delta` evaluations of this descent (the task's
+/// slice of [`RemapConfig::eval_budget`]), checked per candidate so the
+/// slice is never overrun: a surface that keeps producing improving swaps
+/// stops at its current (still valid) permutation instead of looping
+/// unboundedly.
 fn descend(
     g: &AdjacencyGraph,
     idx: &AdjacencyIndex,
@@ -364,8 +568,11 @@ fn descend(
     let mut evals = 0u64;
     while cost > EPS && evals < budget {
         let mut best_swap: Option<(usize, usize, f64)> = None;
-        for a in 0..free.len() {
+        'sweep: for a in 0..free.len() {
             for b in a + 1..free.len() {
+                if evals >= budget {
+                    break 'sweep;
+                }
                 let d = idx.swap_delta(&rv, free[a] as u32, free[b] as u32, params);
                 evals += 1;
                 if d < -EPS && best_swap.is_none_or(|(_, _, bd)| d < bd) {
@@ -378,34 +585,235 @@ fn descend(
                 rv.swap(a, b);
                 cost += d;
             }
-            None => break, // local minimum
+            None => break, // local minimum (or slice exhausted mid-sweep)
         }
     }
     let cost = perm_cost(g, &rv, params);
-    StartOutcome { rv, cost, evals }
+    StartOutcome {
+        rv,
+        cost,
+        evals,
+        cycle_moves: 0,
+    }
 }
 
-/// The paper's greedy algorithm (Figure 7) over `cfg.starts` random
-/// restarts, run on up to `cfg.threads` scoped worker threads.
+/// Simulated annealing over the transposition neighborhood. The geometric
+/// temperature ladder is scaled from the mean edge weight and spans
+/// exactly the task's evaluation slice, so the schedule is a pure function
+/// of `(graph, budget, seed)` — deterministic at any thread count. Each
+/// proposal is one random free-pair swap scored with `swap_delta`;
+/// champions are re-scored exactly before being recorded.
+fn anneal(
+    g: &AdjacencyGraph,
+    idx: &AdjacencyIndex,
+    free: &[usize],
+    params: DiffParams,
+    budget: u64,
+    seed: u64,
+    mut rv: Vec<u8>,
+) -> StartOutcome {
+    let mut cost = perm_cost(g, &rv, params);
+    let mut best = rv.clone();
+    let mut best_cost = cost;
+    let mut evals = 0u64;
+    if free.len() < 2 || budget == 0 || best_cost <= EPS {
+        return StartOutcome {
+            rv: best,
+            cost: best_cost,
+            evals,
+            cycle_moves: 0,
+        };
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mean_w = g.total_weight() / g.num_edges().max(1) as f64;
+    let t0 = (2.0 * mean_w).max(EPS);
+    let t_end = (1e-3 * mean_w).max(EPS / 2.0);
+    let alpha = (t_end / t0).powf(1.0 / budget as f64);
+    let mut t = t0;
+    while evals < budget && best_cost > EPS {
+        let a = rng.gen_range(0..free.len());
+        let mut b = rng.gen_range(0..free.len() - 1);
+        if b >= a {
+            b += 1;
+        }
+        let (sa, sb) = (free[a], free[b]);
+        let d = idx.swap_delta(&rv, sa as u32, sb as u32, params);
+        evals += 1;
+        let accept = d < EPS || rng.gen::<f64>() < (-d / t).exp();
+        if accept {
+            rv.swap(sa, sb);
+            cost += d;
+            if cost < best_cost - EPS {
+                // Shed incremental drift before recording a champion.
+                let exact = perm_cost(g, &rv, params);
+                if exact < best_cost {
+                    best_cost = exact;
+                    best.copy_from_slice(&rv);
+                }
+            }
+        }
+        t *= alpha;
+    }
+    StartOutcome {
+        rv: best,
+        cost: best_cost,
+        evals,
+        cycle_moves: 0,
+    }
+}
+
+/// Draw `k` distinct free slots via a partial Fisher–Yates shuffle of the
+/// caller's scratch pool (which persists between samples — only the RNG
+/// stream matters for determinism).
+fn sample_cycle(rng: &mut SmallRng, pool: &mut [usize], k: usize, cycle: &mut Vec<u32>) {
+    for j in 0..k {
+        let r = rng.gen_range(j..pool.len());
+        pool.swap(j, r);
+    }
+    cycle.clear();
+    cycle.extend(pool[..k].iter().map(|&s| s as u32));
+}
+
+/// Apply the left rotation scored by [`AdjacencyIndex::cycle_delta`]:
+/// `rv[cycle[i]] <- rv[cycle[i+1]]`, the last position taking the first's
+/// old value.
+fn apply_cycle(rv: &mut [u8], cycle: &[u32]) {
+    let first = rv[cycle[0] as usize];
+    for i in 0..cycle.len() - 1 {
+        rv[cycle[i] as usize] = rv[cycle[i + 1] as usize];
+    }
+    rv[cycle[cycle.len() - 1] as usize] = first;
+}
+
+/// Large-neighborhood search: greedy-descend to a transposition-local
+/// minimum, then sample 3-cycle and k-cycle (k ≤ 6) rotations scored
+/// incrementally with [`AdjacencyIndex::cycle_delta`]; applying the best
+/// improving rotation escapes the local minimum and the descent resumes.
+/// A k-cycle evaluation charges `k - 1` budget units (it is k-1
+/// transpositions' worth of scoring work).
+fn lns_descend(
+    g: &AdjacencyGraph,
+    idx: &AdjacencyIndex,
+    free: &[usize],
+    params: DiffParams,
+    budget: u64,
+    seed: u64,
+    rv: Vec<u8>,
+) -> StartOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut evals = 0u64;
+    let mut cycle_moves = 0u64;
+    let mut pool: Vec<usize> = free.to_vec();
+    let mut cycle: Vec<u32> = Vec::with_capacity(8);
+    let mut cur = rv;
+    loop {
+        let out = descend(g, idx, free, params, budget - evals, cur);
+        evals += out.evals;
+        cur = out.rv;
+        let cost = out.cost;
+        if cost <= EPS || evals >= budget || free.len() < 3 {
+            return StartOutcome {
+                rv: cur,
+                cost,
+                evals,
+                cycle_moves,
+            };
+        }
+        // At a local minimum: look for an improving rotation.
+        let mut best_cycle: Option<(Vec<u32>, f64)> = None;
+        let kmax = free.len().min(6);
+        'sampling: for k in 3..=kmax {
+            let samples = if k == 3 { 2 * free.len() } else { free.len() };
+            for _ in 0..samples {
+                let units = (k - 1) as u64;
+                if evals + units > budget {
+                    break 'sampling;
+                }
+                sample_cycle(&mut rng, &mut pool, k, &mut cycle);
+                let d = idx.cycle_delta(&cur, &cycle, params);
+                evals += units;
+                if d < -EPS && best_cycle.as_ref().is_none_or(|c| d < c.1) {
+                    best_cycle = Some((cycle.clone(), d));
+                }
+            }
+        }
+        match best_cycle {
+            Some((cyc, _)) => {
+                apply_cycle(&mut cur, &cyc);
+                cycle_moves += 1;
+            }
+            None => {
+                let cost = perm_cost(g, &cur, params);
+                return StartOutcome {
+                    rv: cur,
+                    cost,
+                    evals,
+                    cycle_moves,
+                };
+            }
+        }
+    }
+}
+
+/// A candidate result from one restart task, tagged for the deterministic
+/// tie-break: lowest cost, then strategy order, then start index.
+struct Candidate {
+    cost: f64,
+    strat_ix: usize,
+    start: u32,
+    rv: Vec<u8>,
+}
+
+impl Candidate {
+    fn beats(&self, other: &Candidate) -> bool {
+        match self.cost.partial_cmp(&other.cost).expect("NaN cost") {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => (self.strat_ix, self.start) < (other.strat_ix, other.start),
+        }
+    }
+}
+
+/// The restart portfolio: `cfg.starts` tasks, task `i` running
+/// `racers[i % racers.len()]` from start vector `i`, each under its
+/// deterministic slice of the shared evaluation budget, on up to
+/// `cfg.threads` scoped worker threads.
 ///
-/// Each worker owns a contiguous range of start indices and reports its
-/// best `(cost, start, rv)`; the merge takes the lowest cost, breaking
-/// ties toward the lowest start index. Because every start's RNG stream
-/// depends only on `(cfg.seed, start)`, the winning `(rv, cost)` is
-/// bit-identical for any thread count. Workers stop early once they hold a
-/// zero-cost vector (later starts can at best tie, and ties lose to the
-/// earlier index), which is also why the counters — but not the result —
-/// vary with scheduling.
-fn greedy_multistart(
+/// Each worker owns a contiguous range of task indices and reports its
+/// best candidate plus its work counters; the merge takes the lowest cost,
+/// breaking ties by strategy order then lowest start index. Because every
+/// task's RNG streams and budget slice depend only on
+/// `(cfg.seed, strategy, start)`, the winning `(rv, cost)` **and the
+/// counters** are bit-identical for any thread count — no task exits early
+/// based on another task's result.
+fn portfolio_multistart(
     g: &AdjacencyGraph,
     idx: &AdjacencyIndex,
     cfg: &RemapConfig,
-) -> (Vec<u8>, f64, SearchCounters) {
+    racers: &[RemapStrategy],
+) -> SearchOutcome {
     let reg_n = cfg.params.reg_n() as usize;
     let params = cfg.params;
     let free = free_slots(reg_n, &cfg.pinned);
 
     let starts = cfg.starts.max(1);
+    // The portfolio (more than one racer) treats `starts` as an *upper
+    // bound* and concentrates a tight budget on fewer, complete racers: a
+    // task needs several full descent sweeps' worth of evaluations
+    // (8 · |free|·(|free|−1)/2) before its result beats a random start, so
+    // the task count shrinks until every slice clears that bar.
+    // Single-strategy runs keep their fixed restart count and truncate
+    // descents instead — that is exactly the paper's greedy-1000 baseline
+    // the portfolio is measured against. The adapted count is a pure
+    // function of `(budget, starts, |free|)`, so schedule invariance is
+    // unaffected.
+    let starts = if racers.len() > 1 {
+        let pairs = (free.len() * free.len().saturating_sub(1) / 2) as u64;
+        let min_task = (8 * pairs).max(1);
+        (cfg.eval_budget / min_task).clamp(1, u64::from(starts)) as u32
+    } else {
+        starts
+    };
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -414,28 +822,43 @@ fn greedy_multistart(
     .min(starts as usize)
     .max(1);
 
-    let run_range = |lo: u32, hi: u32| -> (Option<(f64, u32, Vec<u8>)>, SearchCounters) {
+    let run_range = |lo: u32, hi: u32| -> (Option<Candidate>, SearchCounters) {
         let mut counters = SearchCounters::default();
-        let mut best: Option<(f64, u32, Vec<u8>)> = None;
+        let mut best: Option<Candidate> = None;
         for start in lo..hi {
+            let slice = slice_budget(cfg.eval_budget, u64::from(starts), u64::from(start));
+            if slice == 0 {
+                continue; // budget smaller than the task count
+            }
+            let strat_ix = start as usize % racers.len();
             let rv0 = start_vector(reg_n, &free, cfg.seed, start);
-            let out = descend(g, idx, &free, params, cfg.eval_budget, rv0);
+            let moves_seed = task_seed(cfg.seed, strat_ix, start);
+            let out = match racers[strat_ix] {
+                RemapStrategy::Greedy => descend(g, idx, &free, params, slice, rv0),
+                RemapStrategy::Anneal => anneal(g, idx, &free, params, slice, moves_seed, rv0),
+                RemapStrategy::Lns => lns_descend(g, idx, &free, params, slice, moves_seed, rv0),
+                RemapStrategy::BranchBound | RemapStrategy::Portfolio => {
+                    unreachable!("not restart strategies")
+                }
+            };
             counters.evaluations += out.evals;
             counters.starts_run += 1;
-            let better = best.as_ref().is_none_or(|(c, _, _)| out.cost < *c);
-            if better {
-                let done = out.cost == 0.0;
-                best = Some((out.cost, start, out.rv));
-                if done {
-                    break; // later starts can only tie, and ties lose
-                }
+            counters.cycle_moves += out.cycle_moves;
+            let cand = Candidate {
+                cost: out.cost,
+                strat_ix,
+                start,
+                rv: out.rv,
+            };
+            if best.as_ref().is_none_or(|b| cand.beats(b)) {
+                best = Some(cand);
             }
         }
         (best, counters)
     };
 
     let chunk = starts.div_ceil(threads as u32);
-    let per_thread: Vec<(Option<(f64, u32, Vec<u8>)>, SearchCounters)> = if threads == 1 {
+    let per_thread: Vec<(Option<Candidate>, SearchCounters)> = if threads == 1 {
         vec![run_range(0, starts)]
     } else {
         std::thread::scope(|s| {
@@ -454,27 +877,243 @@ fn greedy_multistart(
         })
     };
 
-    // Identity baseline: the search result can never be worse than the
-    // allocator's own numbering. Per-thread winners are merged in start
-    // order with a strict-less comparison, so equal costs resolve to the
-    // lowest start index — the same winner the sequential loop picks.
-    let mut best: Vec<u8> = (0..reg_n as u8).collect();
-    let mut best_cost = perm_cost(g, &best, params);
     let mut counters = SearchCounters::default();
-    let mut winners: Vec<(f64, u32, Vec<u8>)> = Vec::new();
-    for (winner, c) in per_thread {
-        counters.evaluations += c.evaluations;
-        counters.starts_run += c.starts_run;
-        winners.extend(winner);
-    }
-    winners.sort_by(|a, b| a.1.cmp(&b.1));
-    for (cost, _, rv) in winners {
-        if cost < best_cost {
-            best_cost = cost;
-            best = rv;
+    let mut winner: Option<Candidate> = None;
+    for (cand, c) in per_thread {
+        counters.absorb(c);
+        if let Some(cand) = cand {
+            if winner.as_ref().is_none_or(|w| cand.beats(w)) {
+                winner = Some(cand);
+            }
         }
     }
-    (best, best_cost, counters)
+
+    // Identity baseline: the search result can never be worse than the
+    // allocator's own numbering, and equal costs keep the identity.
+    let identity: Vec<u8> = (0..reg_n as u8).collect();
+    let identity_cost = perm_cost(g, &identity, params);
+    let (rv, cost, win) = match winner {
+        Some(c) if c.cost < identity_cost => {
+            let strat = racers[c.strat_ix];
+            let win = match strat {
+                RemapStrategy::Greedy => RemapWinner::Greedy,
+                RemapStrategy::Anneal => RemapWinner::Anneal,
+                RemapStrategy::Lns => RemapWinner::Lns,
+                _ => unreachable!(),
+            };
+            (c.rv, c.cost, win)
+        }
+        _ => (identity, identity_cost, RemapWinner::Identity),
+    };
+    SearchOutcome {
+        certified: cost == 0.0, // zero is unbeatable; anything else is not certified
+        rv,
+        cost,
+        winner: win,
+        counters,
+    }
+}
+
+/// Exact branch-and-bound over the free-slot assignment, with an
+/// admissible bound from the **sorted incident-weight relaxation**: slots
+/// are branched in order of decreasing incident edge weight, and the lower
+/// bound for a partial assignment relaxes every edge between two
+/// unassigned slots to zero, charging each unassigned slot only the
+/// cheapest violation cost any unused number could give it against the
+/// already-assigned slots. That never overestimates the true completion
+/// cost, so pruning is safe and a completed search certifies the optimum.
+///
+/// The incumbent is seeded with one greedy descent from the identity
+/// (spending up to a quarter of the budget), then the tree search spends
+/// the rest; candidate scorings (both branching and bounding) each charge
+/// one evaluation. Budget exhaustion aborts with the incumbent and
+/// `certified = false`.
+struct BranchBound<'a> {
+    g: &'a AdjacencyGraph,
+    idx: &'a AdjacencyIndex,
+    params: DiffParams,
+    /// Free slots in branch order (decreasing incident weight).
+    order: Vec<usize>,
+    /// Candidate numbers (the free slots' own numbers, ascending).
+    values: Vec<u8>,
+    rv: Vec<u8>,
+    assigned: Vec<bool>,
+    used: Vec<bool>,
+    best: Vec<u8>,
+    best_cost: f64,
+    evals: u64,
+    nodes: u64,
+    budget: u64,
+    aborted: bool,
+}
+
+impl BranchBound<'_> {
+    /// Cost of the edges between slot `s` (holding number `v`) and the
+    /// already-assigned slots. O(deg(s)), allocation-free.
+    fn attach_cost(&self, s: usize, v: u8) -> f64 {
+        let mut c = 0.0;
+        for &(a, b, w) in self.idx.incident(s as u32) {
+            let other = (if a as usize == s { b } else { a }) as usize;
+            if !self.assigned[other] {
+                continue;
+            }
+            let ra = if a as usize == s { v } else { self.rv[a as usize] };
+            let rb = if b as usize == s { v } else { self.rv[b as usize] };
+            if !self.params.in_range(ra, rb) {
+                c += w;
+            }
+        }
+        c
+    }
+
+    /// Admissible lower bound on completing the assignment from `depth`:
+    /// each unassigned slot pays at least the cheapest attach cost over
+    /// the still-unused numbers (edges among unassigned slots relaxed to
+    /// zero). Returns `None` when the budget runs out mid-bound.
+    fn bound(&mut self, depth: usize) -> Option<f64> {
+        let mut lb = 0.0;
+        for d in depth..self.order.len() {
+            let s = self.order[d];
+            let mut cheapest = f64::INFINITY;
+            for &v in &self.values {
+                if self.used[v as usize] {
+                    continue;
+                }
+                if self.evals >= self.budget {
+                    self.aborted = true;
+                    return None;
+                }
+                self.evals += 1;
+                cheapest = cheapest.min(self.attach_cost(s, v));
+                if cheapest == 0.0 {
+                    break;
+                }
+            }
+            if cheapest.is_finite() {
+                lb += cheapest;
+            }
+        }
+        Some(lb)
+    }
+
+    fn search(&mut self, depth: usize, partial: f64) {
+        if self.aborted || partial >= self.best_cost - EPS {
+            return;
+        }
+        if depth == self.order.len() {
+            // Complete assignment: settle the cost exactly (the partial
+            // sum carries incremental drift) before recording.
+            let exact = perm_cost(self.g, &self.rv, self.params);
+            if exact < self.best_cost {
+                self.best_cost = exact;
+                self.best.copy_from_slice(&self.rv);
+            }
+            return;
+        }
+        match self.bound(depth) {
+            Some(lb) if partial + lb < self.best_cost - EPS => {}
+            _ => return, // pruned or aborted
+        }
+        let s = self.order[depth];
+        let saved = self.rv[s];
+        for vi in 0..self.values.len() {
+            let v = self.values[vi];
+            if self.used[v as usize] {
+                continue;
+            }
+            if self.evals >= self.budget {
+                self.aborted = true;
+                return;
+            }
+            self.evals += 1;
+            self.nodes += 1;
+            let add = self.attach_cost(s, v);
+            if partial + add >= self.best_cost - EPS {
+                continue;
+            }
+            self.rv[s] = v;
+            self.assigned[s] = true;
+            self.used[v as usize] = true;
+            self.search(depth + 1, partial + add);
+            self.rv[s] = saved;
+            self.assigned[s] = false;
+            self.used[v as usize] = false;
+            if self.aborted {
+                return;
+            }
+        }
+    }
+}
+
+fn branch_and_bound(g: &AdjacencyGraph, idx: &AdjacencyIndex, cfg: &RemapConfig) -> SearchOutcome {
+    let reg_n = cfg.params.reg_n() as usize;
+    let params = cfg.params;
+    let free = free_slots(reg_n, &cfg.pinned);
+    let mut counters = SearchCounters::default();
+
+    // Incumbent: one greedy descent from the identity.
+    let identity: Vec<u8> = (0..reg_n as u8).collect();
+    let inc = descend(g, idx, &free, params, cfg.eval_budget / 4, identity.clone());
+    counters.evaluations += inc.evals;
+    counters.starts_run += 1;
+    if inc.cost <= EPS {
+        return SearchOutcome {
+            rv: inc.rv,
+            cost: inc.cost,
+            winner: RemapWinner::BranchBound,
+            certified: true,
+            counters,
+        };
+    }
+
+    let mut order = free.clone();
+    order.sort_by(|&a, &b| {
+        idx.incident_weight(b as u32)
+            .partial_cmp(&idx.incident_weight(a as u32))
+            .expect("NaN weight")
+            .then(a.cmp(&b))
+    });
+    let mut assigned = vec![true; reg_n];
+    for &s in &free {
+        assigned[s] = false;
+    }
+    let mut used = vec![true; reg_n];
+    for &s in &free {
+        used[s] = false; // free slots' own numbers are the candidate pool
+    }
+    let mut rv = identity.clone();
+    // Cost among the pinned slots alone: constant under any branching.
+    let pinned_cost = g.assignment_cost(
+        |n| assigned[n as usize].then(|| rv[n as usize]),
+        params,
+    );
+    let mut bb = BranchBound {
+        g,
+        idx,
+        params,
+        values: free.iter().map(|&s| s as u8).collect(),
+        order,
+        rv: std::mem::take(&mut rv),
+        assigned,
+        used,
+        best: inc.rv,
+        best_cost: inc.cost,
+        evals: counters.evaluations,
+        nodes: 0,
+        budget: cfg.eval_budget,
+        aborted: false,
+    };
+    bb.search(0, pinned_cost);
+
+    counters.evaluations = bb.evals;
+    counters.bb_nodes = bb.nodes;
+    SearchOutcome {
+        rv: bb.best,
+        cost: bb.best_cost,
+        winner: RemapWinner::BranchBound,
+        certified: !bb.aborted || bb.best_cost == 0.0,
+        counters,
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +1137,34 @@ mod tests {
         b.finish()
     }
 
+    /// A denser instance on 6 registers with no zero-cost solution at
+    /// `RegN = 6, DiffN = 2` — useful when a test needs the searches to
+    /// actually compete rather than all hit zero.
+    fn tangled() -> Function {
+        let mut b = FunctionBuilder::new("tangled");
+        for (src, dst) in [
+            (0u8, 3u8),
+            (3, 1),
+            (1, 4),
+            (4, 2),
+            (2, 5),
+            (5, 0),
+            (0, 4),
+            (4, 1),
+            (1, 5),
+            (5, 2),
+            (2, 3),
+            (3, 0),
+        ] {
+            b.push(Inst::Mov {
+                dst: PReg(dst).into(),
+                src: PReg(src).into(),
+            });
+        }
+        b.ret(None);
+        b.finish()
+    }
+
     #[test]
     fn exhaustive_finds_zero_cost() {
         let mut f = hoppy();
@@ -506,6 +1173,8 @@ mod tests {
         assert!(stats.exhaustive);
         assert!(stats.cost_before > 0.0);
         assert_eq!(stats.cost_after, 0.0, "a zero-cost permutation exists");
+        assert_eq!(stats.winner, RemapWinner::Exhaustive);
+        assert!(stats.certified, "zero cost is unbeatable");
         // And the rewritten code reflects it: the move now spans an
         // in-range pair.
         let p = DiffParams::new(4, 2);
@@ -543,6 +1212,8 @@ mod tests {
         let before = f.clone();
         let stats = remap_function(&mut f, &RemapConfig::new(DiffParams::new(4, 2)));
         assert_eq!(stats.cost_after, 0.0);
+        assert_eq!(stats.winner, RemapWinner::Identity);
+        assert!(stats.certified);
         assert_eq!(f, before, "no gratuitous rewrite");
     }
 
@@ -643,20 +1314,34 @@ mod tests {
 
     #[test]
     fn parallel_multistart_matches_sequential() {
-        // The determinism contract: identical (permutation, cost) at any
-        // thread count, including sequential.
-        let run = |threads: usize| {
-            let mut f = hoppy();
-            let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
-            cfg.exhaustive_limit = 0;
-            cfg.starts = 64;
-            cfg.threads = threads;
-            let stats = remap_function(&mut f, &cfg);
-            (format!("{f}"), stats.cost_after.to_bits())
-        };
-        let sequential = run(1);
-        assert_eq!(run(2), sequential, "2 threads diverged");
-        assert_eq!(run(8), sequential, "8 threads diverged");
+        // The determinism contract: identical (permutation, cost) *and
+        // counters* at any thread count, including sequential.
+        for strategy in [
+            RemapStrategy::Greedy,
+            RemapStrategy::Anneal,
+            RemapStrategy::Lns,
+            RemapStrategy::Portfolio,
+        ] {
+            let run = |threads: usize| {
+                let mut f = hoppy();
+                let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+                cfg.exhaustive_limit = 0;
+                cfg.starts = 64;
+                cfg.threads = threads;
+                cfg.strategy = strategy;
+                let stats = remap_function(&mut f, &cfg);
+                (
+                    format!("{f}"),
+                    stats.cost_after.to_bits(),
+                    stats.evaluations,
+                    stats.starts_run,
+                    stats.cycle_moves,
+                )
+            };
+            let sequential = run(1);
+            assert_eq!(run(2), sequential, "{strategy:?}: 2 threads diverged");
+            assert_eq!(run(8), sequential, "{strategy:?}: 8 threads diverged");
+        }
     }
 
     #[test]
@@ -668,9 +1353,13 @@ mod tests {
         cfg.threads = 1;
         let stats = remap_function(&mut f, &cfg);
         assert!(!stats.exhaustive);
-        assert!(stats.starts_run >= 1 && stats.starts_run <= 16);
-        // Every executed start sweeps all 66 free pairs at least once.
-        assert!(stats.evaluations >= 66 * u64::from(stats.starts_run));
+        // Counters are schedule-invariant now: every task with a nonzero
+        // budget slice runs, so all 16 starts execute (zero-cost start
+        // vectors included — they just spend no evaluations).
+        assert_eq!(stats.starts_run, 16);
+        // The identity start (cost > 0) sweeps all 66 free pairs at least
+        // once before reaching a local minimum.
+        assert!(stats.evaluations >= 66);
     }
 
     #[test]
@@ -696,10 +1385,22 @@ mod tests {
             cfg.eval_budget = budget;
             let stats = remap_function(&mut f, &cfg);
             assert!(stats.cost_after <= stats.cost_before);
-            (format!("{f}"), stats.cost_after.to_bits())
+            assert!(
+                stats.evaluations <= budget,
+                "portfolio overran its budget: {} > {budget}",
+                stats.evaluations
+            );
+            (
+                format!("{f}"),
+                stats.cost_after.to_bits(),
+                stats.evaluations,
+                stats.starts_run,
+            )
         };
         // A budget that cuts descents short still yields a valid
-        // permutation, bit-identical at any thread count.
+        // permutation, bit-identical at any thread count — including the
+        // work counters (the budget split is deterministic, not first-
+        // come-first-served).
         let tight = run(10, 1);
         assert_eq!(run(10, 2), tight, "2 threads diverged under budget");
         assert_eq!(run(10, 8), tight, "8 threads diverged under budget");
@@ -707,6 +1408,24 @@ mod tests {
         // real-sized inputs (it never binds).
         let roomy = run(DEFAULT_EVAL_BUDGET, 1);
         assert_eq!(run(DEFAULT_EVAL_BUDGET, 8), roomy);
+    }
+
+    #[test]
+    fn budget_smaller_than_starts_skips_zero_slice_tasks() {
+        let mut f = hoppy();
+        let mut cfg = RemapConfig::new(DiffParams::new(12, 8));
+        cfg.exhaustive_limit = 0;
+        cfg.starts = 16;
+        cfg.threads = 1;
+        cfg.eval_budget = 10;
+        let stats = remap_function(&mut f, &cfg);
+        // 10 budget over 16 tasks: the first 10 tasks get a one-evaluation
+        // slice, the rest get zero and are skipped. (A task whose start
+        // vector is already zero-cost spends less than its slice, so the
+        // evaluation total is bounded by — not equal to — the budget.)
+        assert_eq!(stats.starts_run, 10);
+        assert!(stats.evaluations <= 10);
+        assert!(stats.evaluations > 0);
     }
 
     #[test]
@@ -718,6 +1437,140 @@ mod tests {
         assert!(stats.exhaustive);
         assert!(stats.evaluations <= 3, "budget ignored: {}", stats.evaluations);
         assert!(stats.cost_after <= stats.cost_before);
+        assert!(
+            !stats.certified || stats.cost_after == 0.0,
+            "a budget-cut enumeration must not claim certification"
+        );
+    }
+
+    #[test]
+    fn strategy_parse_roundtrip() {
+        for s in [
+            RemapStrategy::Greedy,
+            RemapStrategy::Anneal,
+            RemapStrategy::Lns,
+            RemapStrategy::BranchBound,
+            RemapStrategy::Portfolio,
+        ] {
+            assert_eq!(RemapStrategy::parse(s.label()), Some(s));
+        }
+        assert_eq!(RemapStrategy::parse("sa"), Some(RemapStrategy::Anneal));
+        assert_eq!(RemapStrategy::parse("bb"), Some(RemapStrategy::BranchBound));
+        assert_eq!(RemapStrategy::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_strategy_matches_exhaustive_on_small_case() {
+        let mut f0 = hoppy();
+        let ex = remap_function(&mut f0, &RemapConfig::new(DiffParams::new(4, 2)));
+        for strategy in [
+            RemapStrategy::Anneal,
+            RemapStrategy::Lns,
+            RemapStrategy::Portfolio,
+            RemapStrategy::BranchBound,
+        ] {
+            let mut f = hoppy();
+            let mut cfg = RemapConfig::new(DiffParams::new(4, 2));
+            cfg.exhaustive_limit = 0; // force the strategy itself
+            cfg.starts = 32;
+            cfg.strategy = strategy;
+            let stats = remap_function(&mut f, &cfg);
+            assert_eq!(
+                stats.cost_after, ex.cost_after,
+                "{strategy:?} missed the optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_certifies_and_counts_nodes() {
+        let mut f = tangled();
+        let mut cfg = RemapConfig::new(DiffParams::new(6, 2));
+        cfg.strategy = RemapStrategy::BranchBound;
+        let stats = remap_function(&mut f, &cfg);
+        assert!(!stats.exhaustive, "bb bypasses the exhaustive gate");
+        assert!(stats.certified, "bb within budget must certify");
+        assert!(stats.bb_nodes > 0, "no tree search happened");
+        // Cross-check the certificate against full enumeration.
+        let mut f2 = tangled();
+        let ex = remap_function(&mut f2, &RemapConfig::new(DiffParams::new(6, 2)));
+        assert_eq!(stats.cost_after, ex.cost_after, "certified cost not optimal");
+    }
+
+    #[test]
+    fn branch_and_bound_respects_budget_and_uncertifies() {
+        let mut f = tangled();
+        let mut cfg = RemapConfig::new(DiffParams::new(6, 2));
+        cfg.strategy = RemapStrategy::BranchBound;
+        cfg.eval_budget = 8;
+        let stats = remap_function(&mut f, &cfg);
+        assert!(stats.evaluations <= 8);
+        assert!(stats.cost_after <= stats.cost_before);
+        assert!(
+            !stats.certified || stats.cost_after == 0.0,
+            "a budget-cut bb must not claim certification"
+        );
+    }
+
+    #[test]
+    fn branch_and_bound_respects_pinning() {
+        let mut f = tangled();
+        let mut cfg = RemapConfig::new(DiffParams::new(6, 2));
+        cfg.strategy = RemapStrategy::BranchBound;
+        cfg.pinned = vec![PReg(0), PReg(5)];
+        let stats = remap_function(&mut f, &cfg);
+        assert!(stats.cost_after <= stats.cost_before);
+        // Pinned slots never change numbers: check against an unpinned
+        // optimum only if it renumbers r0 or r5 — instead just verify the
+        // rewrite kept r0/r5 operands stable by construction: the pinned
+        // optimum's cost can't beat the unpinned one.
+        let mut f2 = tangled();
+        let unpinned = remap_function(&mut f2, &{
+            let mut c = RemapConfig::new(DiffParams::new(6, 2));
+            c.strategy = RemapStrategy::BranchBound;
+            c
+        });
+        assert!(stats.cost_after >= unpinned.cost_after);
+    }
+
+    #[test]
+    fn lns_counts_cycle_moves_deterministically() {
+        let run = |threads: usize| {
+            let mut f = tangled();
+            let mut cfg = RemapConfig::new(DiffParams::new(6, 2));
+            cfg.exhaustive_limit = 0;
+            cfg.strategy = RemapStrategy::Lns;
+            cfg.starts = 24;
+            cfg.threads = threads;
+            let stats = remap_function(&mut f, &cfg);
+            (stats.cycle_moves, stats.evaluations, stats.starts_run)
+        };
+        assert_eq!(run(1), run(4), "cycle-move counter is schedule-dependent");
+    }
+
+    /// Under a tight budget the portfolio concentrates on fewer, complete
+    /// racers instead of starving `starts` tasks; single-strategy greedy
+    /// keeps its fixed restart count (the paper's baseline behavior).
+    #[test]
+    fn portfolio_concentrates_a_tight_budget() {
+        let run = |strategy: RemapStrategy| {
+            let mut f = tangled();
+            let mut cfg = RemapConfig::new(DiffParams::new(6, 2));
+            cfg.exhaustive_limit = 0;
+            cfg.strategy = strategy;
+            cfg.starts = 100;
+            cfg.eval_budget = 1000;
+            remap_function(&mut f, &cfg)
+        };
+        // |free| = 6 → 15 pairs → 120-eval minimum slice → 8 tasks.
+        let port = run(RemapStrategy::Portfolio);
+        assert_eq!(port.starts_run, 8, "tasks should shrink to fit the budget");
+        assert!(port.evaluations <= 1000);
+        let greedy = run(RemapStrategy::Greedy);
+        assert_eq!(greedy.starts_run, 100, "plain greedy keeps its restart count");
+        // With complete descents the portfolio must not lose to greedy's
+        // 100 starved 10-evaluation slices.
+        assert!(port.cost_after <= greedy.cost_after + 1e-9);
     }
 
     #[test]
@@ -726,6 +1579,7 @@ mod tests {
         assert!(m.degraded);
         assert_eq!(m.evaluations, 0);
         assert_eq!(m.starts_run, 0);
+        assert_eq!(m.winner, RemapWinner::Identity);
         let real = remap_function(&mut hoppy(), &RemapConfig::new(DiffParams::new(4, 2)));
         assert!(!real.degraded, "normal remaps never carry the marker");
     }

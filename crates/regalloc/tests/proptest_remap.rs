@@ -4,9 +4,9 @@
 //! RNG stream is a pure function of `(seed, start index)` and ties break
 //! toward the lowest start index.
 
-use dra_adjgraph::DiffParams;
-use dra_ir::{Function, FunctionBuilder, Inst, PReg};
-use dra_regalloc::{remap_function, RemapConfig};
+use dra_adjgraph::{build_preg_adjacency, DiffParams};
+use dra_ir::{Function, FunctionBuilder, Inst, PReg, RegClass};
+use dra_regalloc::{remap_function, RemapConfig, RemapStrategy};
 use proptest::prelude::*;
 
 const REG_N: u8 = 12;
@@ -28,21 +28,37 @@ proptest! {
         if cfg!(debug_assertions) { 8 } else { 24 }
     ))]
 
-    /// Threads 1, 2, and 8 produce identical (function, cost) results.
+    /// Threads 1, 2, and 8 produce identical (function, cost, counters)
+    /// results for every portfolio strategy — including the randomized
+    /// simulated-annealing and LNS searchers, whose RNG streams are pure
+    /// functions of `(seed, strategy, start)`.
     #[test]
     fn parallel_multistart_matches_sequential(
         pairs in proptest::collection::vec((0u8..REG_N, 0u8..REG_N), 1..64),
         seed in any::<u64>(),
+        strategy in prop_oneof![
+            Just(RemapStrategy::Greedy),
+            Just(RemapStrategy::Anneal),
+            Just(RemapStrategy::Lns),
+            Just(RemapStrategy::Portfolio),
+        ],
     ) {
         let run = |threads: usize| {
             let mut f = build_function(&pairs);
             let mut cfg = RemapConfig::new(DiffParams::new(REG_N as u16, 6));
-            cfg.exhaustive_limit = 0; // force the greedy multistart
+            cfg.exhaustive_limit = 0; // force the restart portfolio
             cfg.starts = 48;
             cfg.seed = seed;
             cfg.threads = threads;
+            cfg.strategy = strategy;
             let stats = remap_function(&mut f, &cfg);
-            (format!("{f}"), stats.cost_after.to_bits())
+            (
+                format!("{f}"),
+                stats.cost_after.to_bits(),
+                stats.evaluations,
+                stats.starts_run,
+                stats.cycle_moves,
+            )
         };
         let sequential = run(1);
         prop_assert_eq!(&run(2), &sequential, "2 threads diverged");
@@ -70,5 +86,55 @@ proptest! {
         let (text2, stats2) = run();
         prop_assert_eq!(text, text2);
         prop_assert_eq!(stats.cost_after.to_bits(), stats2.cost_after.to_bits());
+    }
+
+    /// Branch-and-bound certifies the true optimum on brute-forceable
+    /// instances: its cost equals the minimum over all `RegN!` register
+    /// vectors, for `RegN <= 6`.
+    #[test]
+    fn branch_and_bound_is_optimal_on_small_instances(
+        pairs in proptest::collection::vec((0u8..6, 0u8..6), 1..32),
+        reg_n in 4u16..=6,
+        diff_n in 1u16..=3,
+    ) {
+        let small: Vec<(u8, u8)> = pairs
+            .iter()
+            .map(|&(a, b)| (a % reg_n as u8, b % reg_n as u8))
+            .collect();
+        let mut f = build_function(&small);
+        let params = DiffParams::new(reg_n, diff_n);
+        let g = build_preg_adjacency(&f, RegClass::Int, reg_n);
+
+        // Brute force: minimum assignment cost over every permutation.
+        let mut perm: Vec<u8> = (0..reg_n as u8).collect();
+        let mut optimum = f64::INFINITY;
+        permute(&mut perm, 0, &mut |rv| {
+            let c = g.assignment_cost(|n| Some(rv[n as usize]), params);
+            if c < optimum {
+                optimum = c;
+            }
+        });
+
+        let mut cfg = RemapConfig::new(params);
+        cfg.strategy = RemapStrategy::BranchBound;
+        let stats = remap_function(&mut f, &cfg);
+        prop_assert!(stats.certified, "bb within the default budget must certify");
+        prop_assert!(
+            (stats.cost_after - optimum).abs() < 1e-9,
+            "bb cost {} vs brute-force optimum {optimum}", stats.cost_after
+        );
+    }
+}
+
+/// Recursively visit every permutation of `v[at..]` (Heap-style swaps).
+fn permute(v: &mut Vec<u8>, at: usize, visit: &mut impl FnMut(&[u8])) {
+    if at == v.len() {
+        visit(v);
+        return;
+    }
+    for i in at..v.len() {
+        v.swap(at, i);
+        permute(v, at + 1, visit);
+        v.swap(at, i);
     }
 }

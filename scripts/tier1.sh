@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verification: release build, full test suite, one-shot smokes of
-# the remap_scaling and irc_build benches (criterion's `--test` mode runs
+# the remap_scaling, remap_ablation, and irc benches (criterion's `--test` mode runs
 # each bench body exactly once, so regressions in the bench harnesses,
 # the incremental-search plumbing, or the interference-graph
 # representations fail CI without paying for a full sweep), and a
@@ -12,6 +12,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo bench --bench remap_scaling -- --test
+cargo bench --bench remap_ablation -- --test
 cargo bench --bench irc_build -- --test
 cargo bench --bench irc_color -- --test
 
