@@ -16,10 +16,10 @@
 use dra_core::batch::run_lowend_matrix_with_telemetry;
 use dra_core::bench_serve::{run_bench_serve, BenchServeConfig};
 use dra_core::faults::{run_fault_campaign, PipelineFaults};
-use dra_core::lowend::{compile_and_run, Approach, LowEndSetup};
+use dra_core::lowend::{compile_and_run, compile_program_telemetry, Approach, LowEndSetup};
 use dra_core::profile::compile_and_run_profiled;
 use dra_core::serve::{serve, ServeAddr, ServeConfig};
-use dra_core::telemetry::validate_telemetry;
+use dra_core::telemetry::{validate_telemetry, Telemetry};
 use dra_encoding::EncodingConfig;
 use dra_regalloc::RemapStrategy;
 use dra_workloads::benchmark_names;
@@ -28,7 +28,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--remap-strategy <s>]\n  drac sweep --bench <name> [--remap-strategy <s>]\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--check] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--check] [--remap-strategy <s>]\n  drac sweep --bench <name> [--check] [--remap-strategy <s>]\n  drac check [--bench <name>] [--approach <a>]\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio"
     );
     ExitCode::FAILURE
 }
@@ -42,6 +42,7 @@ struct Args {
     approach: Option<Approach>,
     emit: String,
     profile: bool,
+    check: bool,
     remap_strategy: Option<RemapStrategy>,
 }
 
@@ -51,6 +52,7 @@ fn parse_args(rest: &[String]) -> Option<Args> {
         approach: None,
         emit: "stats".to_string(),
         profile: false,
+        check: false,
         remap_strategy: None,
     };
     let mut it = rest.iter();
@@ -60,6 +62,7 @@ fn parse_args(rest: &[String]) -> Option<Args> {
             "--approach" => args.approach = Some(parse_approach(it.next()?)?),
             "--emit" => args.emit = it.next()?.clone(),
             "--profile" => args.profile = true,
+            "--check" => args.check = true,
             "--remap-strategy" => {
                 args.remap_strategy = Some(RemapStrategy::parse(it.next()?)?)
             }
@@ -89,6 +92,7 @@ fn main() -> ExitCode {
                 return usage();
             };
             let mut setup = LowEndSetup::default();
+            setup.check = args.check;
             if let Some(strategy) = args.remap_strategy {
                 setup.remap_strategy = strategy;
             }
@@ -173,6 +177,7 @@ fn main() -> ExitCode {
                 return usage();
             };
             let mut setup = LowEndSetup::default();
+            setup.check = args.check;
             if let Some(strategy) = args.remap_strategy {
                 setup.remap_strategy = strategy;
             }
@@ -216,6 +221,12 @@ fn main() -> ExitCode {
             }
             run_chaos(seed, n_faults)
         }
+        "check" => {
+            let Some(args) = parse_args(&argv[1..]) else {
+                return usage();
+            };
+            run_check(args.bench.as_deref(), args.approach)
+        }
         "serve" => run_serve(&argv[1..]),
         "bench-serve" => run_bench_serve_cmd(&argv[1..]),
         "report" => run_report(&argv[1..]),
@@ -239,18 +250,31 @@ fn run_report(args: &[String]) -> ExitCode {
     for root in &roots {
         let p = Path::new(root);
         if p.is_dir() {
-            let mut found: Vec<PathBuf> = match std::fs::read_dir(p) {
-                Ok(entries) => entries
-                    .filter_map(|e| e.ok())
-                    .map(|e| e.path())
-                    .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
-                    .collect(),
+            let entries = match std::fs::read_dir(p) {
+                Ok(entries) => entries,
                 Err(e) => {
                     eprintln!("{root}: {e}");
                     failed = true;
                     continue;
                 }
             };
+            // An unreadable directory entry is a failure, not a skip: a
+            // corrupt telemetry file must never pass silently.
+            let mut found: Vec<PathBuf> = Vec::new();
+            for entry in entries {
+                match entry {
+                    Ok(e) => {
+                        let path = e.path();
+                        if path.extension().is_some_and(|ext| ext == "json") {
+                            found.push(path);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{root}: unreadable entry: {e}");
+                        failed = true;
+                    }
+                }
+            }
             found.sort();
             if found.is_empty() {
                 eprintln!("{root}: no telemetry documents");
@@ -285,6 +309,74 @@ fn run_report(args: &[String]) -> ExitCode {
         }
     }
     if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `drac check`: run the symbolic allocation checker over the benchmark ×
+/// approach matrix. Every function of every cell is compiled with
+/// [`LowEndSetup::check`] on (degradation off, so a rejection surfaces
+/// instead of silently recompiling direct), the `checker.*` counters are
+/// aggregated to `results/telemetry/checker.json`, and the exit code is
+/// nonzero if any cell is rejected.
+fn run_check(bench: Option<&str>, approach: Option<Approach>) -> ExitCode {
+    let names: Vec<&str> = match bench {
+        Some(b) => match benchmark_names().iter().find(|n| **n == b) {
+            Some(n) => vec![n],
+            None => {
+                eprintln!("check: unknown benchmark {b:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => benchmark_names().to_vec(),
+    };
+    let approaches: Vec<Approach> = match approach {
+        Some(a) => vec![a],
+        None => {
+            let mut all = Approach::ALL.to_vec();
+            all.push(Approach::Adaptive);
+            all
+        }
+    };
+    let mut setup = LowEndSetup::default();
+    setup.check = true;
+    setup.degrade = false;
+    let mut telemetry = Telemetry::new();
+    let mut failed = false;
+    for name in &names {
+        let mut bad = Vec::new();
+        for &a in &approaches {
+            let mut p = dra_workloads::benchmark(name);
+            if let Err(e) = compile_program_telemetry(&mut p, a, &setup, None, &mut telemetry) {
+                eprintln!("{name} × {}: {e}", a.label());
+                bad.push(a.label());
+                failed = true;
+            }
+        }
+        if bad.is_empty() {
+            println!("{name}: ok ({} approaches)", approaches.len());
+        } else {
+            println!("{name}: REJECTED under {}", bad.join(", "));
+        }
+    }
+    println!(
+        "checked {} functions, {} instructions, {} fields replayed, {} violations",
+        telemetry.counter("checker.functions"),
+        telemetry.counter("checker.insts"),
+        telemetry.counter("checker.fields_replayed"),
+        telemetry.counter("checker.violations"),
+    );
+    match telemetry.write_results(Path::new("."), "checker") {
+        Ok(path) => println!("telemetry: {}", path.display()),
+        Err(e) => {
+            eprintln!("telemetry write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed {
+        eprintln!("check: CHECKER REJECTION");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -526,8 +618,12 @@ fn run_chaos(seed: u64, n_faults: usize) -> ExitCode {
             Ok(report) => {
                 report.record(&mut telemetry);
                 println!(
-                    "{name}: {} faults — {} detected, {} benign, {} diverged",
-                    report.injected, report.detected, report.benign, report.diverged
+                    "{name}: {} faults — {} detected ({} checker-only), {} benign, {} diverged",
+                    report.injected,
+                    report.detected,
+                    report.detected_static,
+                    report.benign,
+                    report.diverged
                 );
                 if !report.fully_adjudicated() {
                     eprintln!("{name}: campaign left faults unadjudicated");

@@ -179,8 +179,15 @@ impl fmt::Display for StreamFault {
 pub enum FaultOutcome {
     /// The decoder rejected the corrupted stream with a precise error.
     Detected(DecodeError),
-    /// The decode succeeded and is bit-equal to the clean decode (the
-    /// fault touched state the trace never consumed).
+    /// The dynamic decode along the trace was bit-equal to the clean
+    /// decode, but the *static* symbolic checker
+    /// ([`dra_regalloc::check_encoded_fields`]) rejected the faulted
+    /// artifact — the fault is latent on this trace yet provably unsafe
+    /// on some path. Counts as detected.
+    DetectedStatic(String),
+    /// Both adjudicators agree the fault is harmless: the decode is
+    /// bit-equal to the clean decode *and* the symbolic checker accepts
+    /// the faulted artifact on every path.
     Benign,
     /// The decode succeeded but produced different registers — silent
     /// divergence. Must never happen; campaigns assert the count is 0.
@@ -354,7 +361,12 @@ pub fn apply_fault(
 }
 
 /// Inject `fault` into a clean encode of `f` and classify the decode of
-/// `trace` against the clean decode.
+/// `trace` against the clean decode, with the symbolic checker as second
+/// adjudicator: a fault is only [`FaultOutcome::Benign`] when the dynamic
+/// decode is bit-equal to the clean decode *and*
+/// [`dra_regalloc::check_encoded_fields`] accepts the faulted artifact on
+/// every static path. A trace-equal decode the checker rejects is
+/// [`FaultOutcome::DetectedStatic`].
 ///
 /// # Errors
 ///
@@ -374,9 +386,14 @@ pub fn adjudicate(
     let mut em = clean_encoded;
     let mut init = LastReg::default();
     apply_fault(&mut fm, &mut em, &mut init, fault);
-    Ok(match decode_trace_fields(&fm, cfg, &em, trace, init) {
+    Ok(match decode_trace_fields(&fm, cfg, &em, trace, init.clone()) {
         Err(e) => FaultOutcome::Detected(e),
-        Ok(decoded) if decoded == clean => FaultOutcome::Benign,
+        Ok(decoded) if decoded == clean => {
+            match dra_regalloc::check_encoded_fields(&fm, cfg, &em, Some(&init)) {
+                Ok(_) => FaultOutcome::Benign,
+                Err(e) => FaultOutcome::DetectedStatic(e.to_string()),
+            }
+        }
         Ok(_) => FaultOutcome::Diverged,
     })
 }
@@ -386,9 +403,13 @@ pub fn adjudicate(
 pub struct FaultReport {
     /// Faults injected.
     pub injected: u64,
-    /// Faults the decoder rejected with a structured error.
+    /// Faults rejected by either adjudicator (the decoder's structured
+    /// error or the symbolic checker's static rejection).
     pub detected: u64,
-    /// Faults whose decode stayed bit-equal to the clean decode.
+    /// Of `detected`: faults the dynamic decode missed (bit-equal trace)
+    /// that only the symbolic checker rejected.
+    pub detected_static: u64,
+    /// Faults both adjudicators agree are harmless.
     pub benign: u64,
     /// Faults that decoded successfully to *different* registers. The
     /// campaign's safety property is that this stays zero.
@@ -407,6 +428,7 @@ impl FaultReport {
     pub fn record(&self, t: &mut Telemetry) {
         t.count("faults.injected", self.injected);
         t.count("faults.detected", self.detected);
+        t.count("faults.detected_static", self.detected_static);
         t.count("faults.benign", self.benign);
         t.count("faults.diverged", self.diverged);
     }
@@ -434,6 +456,10 @@ pub fn run_fault_campaign(
         report.injected += 1;
         match outcome {
             FaultOutcome::Detected(_) => report.detected += 1,
+            FaultOutcome::DetectedStatic(_) => {
+                report.detected += 1;
+                report.detected_static += 1;
+            }
             FaultOutcome::Benign => report.benign += 1,
             FaultOutcome::Diverged => report.diverged += 1,
         }

@@ -8,9 +8,9 @@ use dra_ir::parse::ParseError;
 use dra_ir::{Function, Program};
 use dra_isa::{code_size_bits, IsaGeometry};
 use dra_regalloc::{
-    coalesce_allocate_program, irc_allocate_program, ospill_allocate_program, remap_program,
-    AllocConfig, AllocStats, CoalesceConfig, OspillConfig, RemapConfig, RemapStats,
-    RemapStrategy, SelectStrategy,
+    allocate_program, check_allocation, check_function_encoding, remap_program, AllocConfig,
+    AllocStats, AllocationRecord, Allocator, AllocatorStats, CheckError, CheckStats, Coalescing,
+    DenseIrc, Ospill, RemapConfig, RemapStats, RemapStrategy,
 };
 use dra_sim::{simulate, LowEndConfig, SimResult};
 use dra_workloads::benchmark;
@@ -139,6 +139,15 @@ pub struct LowEndSetup {
     /// Deterministic fault injection plan (clean by default); see
     /// [`PipelineFaults`].
     pub faults: PipelineFaults,
+    /// Run the symbolic allocation checker over every compiled function:
+    /// each engine's [`AllocationRecord`] is replayed through
+    /// [`check_allocation`] after the full pipeline (including remapping),
+    /// and differential functions additionally replay their register
+    /// fields through the decoder ([`check_function_encoding`]). A
+    /// rejection is a [`PipelineError::Check`] — subject to the same
+    /// degradation lattice as a verification failure. Off by default
+    /// (`drac --check` turns it on).
+    pub check: bool,
 }
 
 impl Default for LowEndSetup {
@@ -157,6 +166,7 @@ impl Default for LowEndSetup {
             degrade: true,
             cell_retries: 1,
             faults: PipelineFaults::default(),
+            check: false,
         }
     }
 }
@@ -169,6 +179,11 @@ impl LowEndSetup {
         cfg.threads = self.remap_threads;
         cfg.strategy = self.remap_strategy;
         cfg.eval_budget = self.remap_eval_budget;
+        // The allocator keeps values that live across calls out of the
+        // clobbered registers; an unpinned permutation could move such a
+        // value *into* one. Pinning the clobbers preserves the allocator's
+        // calling-convention guarantees through the search.
+        cfg.pinned = self.call_clobbers.clone();
         cfg
     }
 }
@@ -243,6 +258,9 @@ pub enum PipelineError {
     Encoding(dra_encoding::DecodeError),
     /// Simulation failed.
     Sim(dra_sim::SimError),
+    /// The symbolic allocation checker rejected a compiled function
+    /// ([`LowEndSetup::check`]).
+    Check(CheckError),
     /// A precomputed per-function pressure slice didn't cover the
     /// program's functions (stale cache entry or caller error).
     PressureMismatch {
@@ -280,6 +298,7 @@ impl PipelineError {
             PipelineError::Alloc(_) => "alloc",
             PipelineError::Encoding(_) => "encoding",
             PipelineError::Sim(_) => "sim",
+            PipelineError::Check(_) => "check",
             PipelineError::PressureMismatch { .. } => "pressure",
             PipelineError::Injected { .. } => "injected",
             PipelineError::Panic { .. } => "panic",
@@ -297,6 +316,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Alloc(e) => write!(f, "allocation: {e}"),
             PipelineError::Encoding(e) => write!(f, "encoding: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation: {e}"),
+            PipelineError::Check(e) => write!(f, "checker: {e}"),
             PipelineError::PressureMismatch { funcs, pressures } => write!(
                 f,
                 "pressure table has {pressures} entries for a {funcs}-function program"
@@ -334,6 +354,12 @@ impl From<dra_encoding::DecodeError> for PipelineError {
 impl From<dra_sim::SimError> for PipelineError {
     fn from(e: dra_sim::SimError) -> Self {
         PipelineError::Sim(e)
+    }
+}
+
+impl From<CheckError> for PipelineError {
+    fn from(e: CheckError) -> Self {
+        PipelineError::Check(e)
     }
 }
 
@@ -451,11 +477,98 @@ fn record_repair(t: &mut Telemetry, s: &dra_encoding::RepairStats) {
     t.count("repair.inconsistency", s.inconsistency as u64);
 }
 
+/// Record an engine's statistics under the telemetry names the
+/// engine-specific arms have always used.
+fn record_allocator_stats(t: &mut Telemetry, s: &AllocatorStats) {
+    match s {
+        AllocatorStats::Irc(s) => record_alloc(t, s),
+        AllocatorStats::Ospill(s) => {
+            t.count("alloc.pressure_spills", s.pressure_spills as u64);
+            t.count("alloc.coloring_spills", s.coloring_spills as u64);
+            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
+        }
+        AllocatorStats::Coalesce(s) => {
+            t.count("alloc.pressure_spills", s.pressure_spills as u64);
+            t.count("alloc.coloring_spills", s.coloring_spills as u64);
+            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
+            // The final coloring pass is a full IRC run; surface its
+            // per-stage work counters alongside the direct approaches'.
+            record_irc_steps(t, &s.irc);
+            t.span_ns("alloc.liveness", s.irc.liveness_nanos);
+            t.span_ns("alloc.build", s.irc.build_nanos);
+            t.span_ns("alloc.color", s.irc.color_nanos);
+        }
+    }
+}
+
+/// Run the symbolic checker on one compiled function: the substitution
+/// check against its [`AllocationRecord`] and, when `enc` is supplied
+/// (differential functions), the decoder replay of its register fields.
+/// Records the `checker` span and the `checker.*` work counters.
+fn check_function(
+    f: &Function,
+    rec: Option<&AllocationRecord>,
+    enc: Option<&EncodingConfig>,
+    t: &mut Telemetry,
+) -> Result<(), PipelineError> {
+    let result = t.time("checker", || {
+        let mut stats = CheckStats::default();
+        if let Some(rec) = rec {
+            stats.merge(&check_allocation(f, rec)?);
+        }
+        if let Some(enc) = enc {
+            stats.merge(&check_function_encoding(f, enc)?);
+        }
+        Ok::<_, CheckError>(stats)
+    });
+    match result {
+        Ok(stats) => {
+            t.count("checker.functions", 1);
+            t.count("checker.insts", stats.insts as u64);
+            t.count("checker.deleted_moves", stats.deleted_moves as u64);
+            t.count("checker.fields_replayed", stats.fields_replayed as u64);
+            t.count("checker.violations", 0); // ensure the key exists
+            Ok(())
+        }
+        Err(e) => {
+            t.count(
+                "checker.violations",
+                match &e {
+                    CheckError::Violations(v) => v.len() as u64,
+                    _ => 1,
+                },
+            );
+            Err(PipelineError::Check(e))
+        }
+    }
+}
+
+/// [`check_function`] over a whole program. `records` is in `p.funcs`
+/// order (as produced by [`allocate_program`]); `enc_flags[fi]` marks the
+/// functions that are differential-encoded and must also replay through
+/// the decoder.
+fn check_program(
+    p: &Program,
+    records: &[Option<AllocationRecord>],
+    enc_flags: &[bool],
+    setup: &LowEndSetup,
+    t: &mut Telemetry,
+) -> Result<(), PipelineError> {
+    let enc = EncodingConfig::new(setup.diff);
+    for (fi, f) in p.funcs.iter().enumerate() {
+        let rec = records.get(fi).and_then(|r| r.as_ref());
+        let e = enc_flags.get(fi).copied().unwrap_or(false);
+        check_function(f, rec, e.then_some(&enc), t)?;
+    }
+    Ok(())
+}
+
 /// Map a differential-path failure to its `degrade.*` cause counter.
 fn degrade_counter(e: &PipelineError) -> &'static str {
     match e {
         PipelineError::Alloc(_) => "degrade.alloc",
         PipelineError::Encoding(_) => "degrade.verify",
+        PipelineError::Check(_) => "degrade.check",
         PipelineError::Injected { .. } => "degrade.injected",
         _ => "degrade.other",
     }
@@ -535,12 +648,18 @@ fn compile_program_attempt(
     t: &mut Telemetry,
 ) -> Result<Vec<RemapStats>, PipelineError> {
     let mut remap_stats: Vec<RemapStats> = Vec::new();
+    // Checker snapshots (one per function, captured only under
+    // `setup.check`) and which functions are differential-encoded.
+    let record = setup.check;
+    let mut records: Vec<Option<AllocationRecord>> = Vec::new();
+    let mut enc_flags: Vec<bool> = Vec::new();
     match approach {
         Approach::Baseline => {
             let mut cfg = AllocConfig::baseline(setup.direct_regs);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
-            record_alloc(t, &s);
+            let (s, recs) = t.time("alloc", || allocate_program(&DenseIrc, p, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            records = recs;
         }
         Approach::Remapping => {
             // Allocate with the larger register file using the plain
@@ -548,44 +667,37 @@ fn compile_program_attempt(
             check_injected(&setup.faults.fail_alloc_funcs, "alloc", p.funcs.len())?;
             let mut cfg = AllocConfig::baseline(setup.diff.reg_n());
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
-            record_alloc(t, &s);
+            let (s, recs) = t.time("alloc", || allocate_program(&DenseIrc, p, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            records = recs;
             remap_stats = remap_program(p, &setup.remap_config());
             record_remap(t, &remap_stats);
         }
         Approach::Select => {
             check_injected(&setup.faults.fail_alloc_funcs, "alloc", p.funcs.len())?;
             let mut cfg = AllocConfig::differential(setup.diff);
-            cfg.strategy = SelectStrategy::Differential;
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || irc_allocate_program(p, &cfg))?;
-            record_alloc(t, &s);
+            let (s, recs) = t.time("alloc", || allocate_program(&DenseIrc, p, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            records = recs;
             // Figure 4: remapping may always run after approach 2.
             remap_stats = remap_program(p, &setup.remap_config());
             record_remap(t, &remap_stats);
         }
         Approach::OSpill => {
-            let mut cfg = OspillConfig::new(setup.direct_regs);
+            let mut cfg = AllocConfig::baseline(setup.direct_regs);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || ospill_allocate_program(p, &cfg))?;
-            t.count("alloc.pressure_spills", s.pressure_spills as u64);
-            t.count("alloc.coloring_spills", s.coloring_spills as u64);
-            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
+            let (s, recs) = t.time("alloc", || allocate_program(&Ospill, p, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            records = recs;
         }
         Approach::Coalesce => {
             check_injected(&setup.faults.fail_alloc_funcs, "alloc", p.funcs.len())?;
-            let mut cfg = CoalesceConfig::new(setup.diff);
+            let mut cfg = AllocConfig::differential(setup.diff);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || coalesce_allocate_program(p, &cfg))?;
-            t.count("alloc.pressure_spills", s.pressure_spills as u64);
-            t.count("alloc.coloring_spills", s.coloring_spills as u64);
-            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
-            // The final coloring pass is a full IRC run; surface its
-            // per-stage work counters alongside the direct approaches'.
-            record_irc_steps(t, &s.irc);
-            t.span_ns("alloc.liveness", s.irc.liveness_nanos);
-            t.span_ns("alloc.build", s.irc.build_nanos);
-            t.span_ns("alloc.color", s.irc.color_nanos);
+            let (s, recs) = t.time("alloc", || allocate_program(&Coalescing, p, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            records = recs;
             // Figure 4: remapping may always run after approach 3.
             remap_stats = remap_program(p, &setup.remap_config());
             record_remap(t, &remap_stats);
@@ -606,8 +718,10 @@ fn compile_program_attempt(
                 if pressure <= setup.direct_regs as usize {
                     let mut cfg = AllocConfig::baseline(setup.direct_regs);
                     cfg.call_clobbers = setup.call_clobbers.clone();
-                    let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
-                    record_alloc(t, &s);
+                    let (s, rec) = t.time("alloc", || DenseIrc.allocate_fn(f, &cfg, record))?;
+                    record_allocator_stats(t, &s);
+                    records.push(rec);
+                    enc_flags.push(false);
                 } else {
                     if setup.faults.fail_alloc_funcs.contains(&fi) {
                         return Err(PipelineError::Injected {
@@ -617,8 +731,10 @@ fn compile_program_attempt(
                     }
                     let mut cfg = AllocConfig::differential(setup.diff);
                     cfg.call_clobbers = setup.call_clobbers.clone();
-                    let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
-                    record_alloc(t, &s);
+                    let (s, rec) = t.time("alloc", || DenseIrc.allocate_fn(f, &cfg, record))?;
+                    record_allocator_stats(t, &s);
+                    records.push(rec);
+                    enc_flags.push(true);
                     let rs = dra_regalloc::remap_function(f, &setup.remap_config());
                     record_remap(t, std::slice::from_ref(&rs));
                     remap_stats.push(rs);
@@ -633,17 +749,23 @@ fn compile_program_attempt(
                     t.time("verify", || dra_encoding::verify_function(f, &enc))?;
                 }
             }
-            return Ok(remap_stats);
         }
     }
 
     // Differential approaches need the repair pass and verification.
+    // (Adaptive handled repairs per function above.)
     if approach.is_differential() {
         let enc = EncodingConfig::new(setup.diff);
         let repair = t.time("repair", || insert_set_last_reg_program(p, &enc));
         record_repair(t, &repair);
         check_injected(&setup.faults.fail_verify_funcs, "verify", p.funcs.len())?;
         t.time("verify", || verify_program(p, &enc))?;
+    }
+    if setup.check {
+        if approach != Approach::Adaptive {
+            enc_flags = vec![approach.is_differential(); p.funcs.len()];
+        }
+        check_program(p, &records, &enc_flags, setup, t)?;
     }
     Ok(remap_stats)
 }
@@ -663,6 +785,8 @@ fn compile_function_attempt(
     let faults = &setup.faults;
     let enc = EncodingConfig::new(setup.diff);
     let mut remap_stats = Vec::new();
+    let record = setup.check;
+    let rec: Option<AllocationRecord>;
     match approach {
         Approach::Baseline | Approach::OSpill => {
             unreachable!("direct approaches have no differential path to retry")
@@ -677,13 +801,12 @@ fn compile_function_attempt(
             let mut cfg = if approach == Approach::Remapping {
                 AllocConfig::baseline(setup.diff.reg_n())
             } else {
-                let mut c = AllocConfig::differential(setup.diff);
-                c.strategy = SelectStrategy::Differential;
-                c
+                AllocConfig::differential(setup.diff)
             };
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
-            record_alloc(t, &s);
+            let (s, r) = t.time("alloc", || DenseIrc.allocate_fn(f, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            rec = r;
             let rs = dra_regalloc::remap_function(f, &setup.remap_config());
             record_remap(t, std::slice::from_ref(&rs));
             remap_stats.push(rs);
@@ -695,16 +818,11 @@ fn compile_function_attempt(
                     func: fi,
                 });
             }
-            let mut cfg = CoalesceConfig::new(setup.diff);
+            let mut cfg = AllocConfig::differential(setup.diff);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = t.time("alloc", || dra_regalloc::coalesce_allocate(f, &cfg))?;
-            t.count("alloc.pressure_spills", s.pressure_spills as u64);
-            t.count("alloc.coloring_spills", s.coloring_spills as u64);
-            t.count("alloc.moves_coalesced", s.moves_coalesced as u64);
-            record_irc_steps(t, &s.irc);
-            t.span_ns("alloc.liveness", s.irc.liveness_nanos);
-            t.span_ns("alloc.build", s.irc.build_nanos);
-            t.span_ns("alloc.color", s.irc.color_nanos);
+            let (s, r) = t.time("alloc", || Coalescing.allocate_fn(f, &cfg, record))?;
+            record_allocator_stats(t, &s);
+            rec = r;
             let rs = dra_regalloc::remap_function(f, &setup.remap_config());
             record_remap(t, std::slice::from_ref(&rs));
             remap_stats.push(rs);
@@ -715,8 +833,11 @@ fn compile_function_attempt(
             if pressure <= setup.direct_regs as usize {
                 let mut cfg = AllocConfig::baseline(setup.direct_regs);
                 cfg.call_clobbers = setup.call_clobbers.clone();
-                let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
-                record_alloc(t, &s);
+                let (s, r) = t.time("alloc", || DenseIrc.allocate_fn(f, &cfg, record))?;
+                record_allocator_stats(t, &s);
+                if setup.check {
+                    check_function(f, r.as_ref(), None, t)?;
+                }
             } else {
                 if faults.fail_alloc_funcs.contains(&fi) {
                     return Err(PipelineError::Injected {
@@ -726,8 +847,8 @@ fn compile_function_attempt(
                 }
                 let mut cfg = AllocConfig::differential(setup.diff);
                 cfg.call_clobbers = setup.call_clobbers.clone();
-                let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
-                record_alloc(t, &s);
+                let (s, r) = t.time("alloc", || DenseIrc.allocate_fn(f, &cfg, record))?;
+                record_allocator_stats(t, &s);
                 let rs = dra_regalloc::remap_function(f, &setup.remap_config());
                 record_remap(t, std::slice::from_ref(&rs));
                 remap_stats.push(rs);
@@ -740,6 +861,9 @@ fn compile_function_attempt(
                     });
                 }
                 t.time("verify", || dra_encoding::verify_function(f, &enc))?;
+                if setup.check {
+                    check_function(f, r.as_ref(), Some(&enc), t)?;
+                }
             }
             return Ok(remap_stats);
         }
@@ -753,6 +877,9 @@ fn compile_function_attempt(
         });
     }
     t.time("verify", || dra_encoding::verify_function(f, &enc))?;
+    if setup.check {
+        check_function(f, rec.as_ref(), Some(&enc), t)?;
+    }
     Ok(remap_stats)
 }
 
@@ -799,8 +926,14 @@ fn compile_program_degraded(
                 };
                 let mut cfg = AllocConfig::baseline(setup.direct_regs);
                 cfg.call_clobbers = setup.call_clobbers.clone();
-                let s = t.time("alloc", || dra_regalloc::irc_allocate(f, &cfg))?;
-                record_alloc(t, &s);
+                let (s, rec) = t.time("alloc", || DenseIrc.allocate_fn(f, &cfg, setup.check))?;
+                record_allocator_stats(t, &s);
+                if setup.check {
+                    // The degraded function is direct-encoded: the
+                    // substitution check applies, the decoder replay
+                    // doesn't.
+                    check_function(f, rec.as_ref(), None, t)?;
+                }
                 if differential_func {
                     remap_stats.push(RemapStats::degraded_marker());
                 }
@@ -898,8 +1031,13 @@ pub(crate) fn finish_run_or_degrade(
             let mut p = src.clone();
             let mut cfg = AllocConfig::baseline(setup.direct_regs);
             cfg.call_clobbers = setup.call_clobbers.clone();
-            let s = telemetry.time("alloc", || irc_allocate_program(&mut p, &cfg))?;
-            record_alloc(&mut telemetry, &s);
+            let (s, recs) =
+                telemetry.time("alloc", || allocate_program(&DenseIrc, &mut p, &cfg, setup.check))?;
+            record_allocator_stats(&mut telemetry, &s);
+            if setup.check {
+                let enc_flags = vec![false; p.funcs.len()];
+                check_program(&p, &recs, &enc_flags, setup, &mut telemetry)?;
+            }
             telemetry.count("degrade.functions", p.funcs.len() as u64);
             let remap = vec![RemapStats::degraded_marker(); p.funcs.len()];
             finish_run(p, approach, setup, remap, telemetry).map_err(|(e, _)| e)

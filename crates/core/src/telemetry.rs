@@ -115,6 +115,33 @@ pub const SCHEMA: &str = "dra-telemetry-v1";
 /// Keys every telemetry JSON object must carry to be schema-valid.
 pub const REQUIRED_KEYS: [&str; 4] = ["schema", "binary", "counters", "spans_ns"];
 
+/// Registered pipeline stages: the first dot-separated segment of every
+/// counter and span name must appear here for a document to be
+/// schema-valid. Keeping the registry in one place means a typo'd or
+/// renamed stage fails `drac report` (and the tier-1 smoke) instead of
+/// shipping a silently unreadable counter.
+pub const STAGES: [&str; 19] = [
+    "alloc",
+    "batch",
+    "bench_serve",
+    "cells",
+    "checker",
+    "degrade",
+    "faults",
+    "irc",
+    "parse",
+    "remap",
+    "repair",
+    "result_cache",
+    "serve",
+    "sim",
+    "simulate",
+    "source_cache",
+    "sweep",
+    "swp",
+    "verify",
+];
+
 /// The span/counter registry of one pipeline cell or one aggregated batch.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Telemetry {
@@ -521,8 +548,9 @@ pub struct TelemetryReport {
 /// # Errors
 ///
 /// A description of the first violation: parse failure, missing required
-/// key ([`REQUIRED_KEYS`]), wrong schema identifier, or a non-integer
-/// counter/span value.
+/// key ([`REQUIRED_KEYS`]), wrong schema identifier, a non-integer
+/// counter/span value, or a counter/span whose stage prefix is not in
+/// [`STAGES`].
 pub fn validate_telemetry(src: &str) -> Result<TelemetryReport, String> {
     let doc = parse_json(src)?;
     let obj = doc.as_obj().ok_or("top level is not an object")?;
@@ -553,10 +581,25 @@ pub fn validate_telemetry(src: &str) -> Result<TelemetryReport, String> {
             })
             .collect()
     };
+    let check_stages = |key: &str, m: &BTreeMap<String, u64>| -> Result<(), String> {
+        for name in m.keys() {
+            let stage = name.split('.').next().unwrap_or(name);
+            if !STAGES.contains(&stage) {
+                return Err(format!(
+                    "{key:?} entry {name:?} uses unregistered stage {stage:?}"
+                ));
+            }
+        }
+        Ok(())
+    };
+    let counters = read_map("counters")?;
+    let spans_ns = read_map("spans_ns")?;
+    check_stages("counters", &counters)?;
+    check_stages("spans_ns", &spans_ns)?;
     Ok(TelemetryReport {
         binary,
-        counters: read_map("counters")?,
-        spans_ns: read_map("spans_ns")?,
+        counters,
+        spans_ns,
     })
 }
 
@@ -727,21 +770,34 @@ mod tests {
     #[test]
     fn escaping_roundtrips_through_parser() {
         let mut t = Telemetry::new();
-        t.count("weird\"name\\with\nescapes", 1);
+        t.count("checker.weird\"name\\with\nescapes", 1);
         let rep = validate_telemetry(&t.to_json("bin\"ary")).unwrap();
         assert_eq!(rep.binary, "bin\"ary");
-        assert_eq!(rep.counters["weird\"name\\with\nescapes"], 1);
+        assert_eq!(rep.counters["checker.weird\"name\\with\nescapes"], 1);
+    }
+
+    #[test]
+    fn validation_rejects_unregistered_stages() {
+        let mut t = Telemetry::new();
+        t.count("chekcer.violations", 1); // typo'd stage
+        let err = validate_telemetry(&t.to_json("x")).unwrap_err();
+        assert!(err.contains("unregistered stage"), "{err}");
+        assert!(err.contains("chekcer"), "{err}");
+        let mut ok = Telemetry::new();
+        ok.count("checker.violations", 0);
+        ok.span_ns("checker", 42);
+        validate_telemetry(&ok.to_json("x")).expect("registered stage is valid");
     }
 
     #[test]
     fn report_renders_counters_and_spans() {
         let mut t = Telemetry::new();
-        t.count("c.one", 11);
-        t.span_ns("stage", 2_500_000);
+        t.count("alloc.one", 11);
+        t.span_ns("simulate", 2_500_000);
         let rep = validate_telemetry(&t.to_json("b")).unwrap();
         let text = rep.render();
         assert!(text.contains("telemetry — b"));
-        assert!(text.contains("c.one"));
+        assert!(text.contains("alloc.one"));
         assert!(text.contains("11"));
         assert!(text.contains("2.500 ms"));
     }
@@ -755,11 +811,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let mut t = Telemetry::new();
-        t.count("c", 1);
+        t.count("cells", 1);
         let path = t.write_results(&dir, "unit").unwrap();
         assert!(path.ends_with("results/telemetry/unit.json"));
         let src = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(validate_telemetry(&src).unwrap().counters["c"], 1);
+        assert_eq!(validate_telemetry(&src).unwrap().counters["cells"], 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -78,6 +78,15 @@ impl LastReg {
         self.pending = rest;
     }
 
+    /// True while a delayed `set_last_reg` is queued but has not landed.
+    ///
+    /// A block that ends with a pending set has a decoder state the
+    /// instruction-granularity dataflow cannot name; replay clients (the
+    /// symbolic checker) must widen such an exit to `Top`.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
     /// Scramble the state (a call transferred control to an unknown
     /// instruction stream).
     pub fn clobber(&mut self) {

@@ -186,6 +186,19 @@ fn decode_one(cfg: &EncodingConfig, last: &mut LastReg, code: u16) -> Option<u8>
     Some(r)
 }
 
+/// Decode one field code against decoder state `last`, advancing the
+/// state exactly as the hardware (and [`decode_trace_fields`]) would.
+///
+/// This is [`decode_one`] made public for external replay clients — the
+/// symbolic allocation checker re-walks a function's field stream with
+/// its own per-block fixpoint and must consume fields through the *same*
+/// decoder the dynamic verifier uses, not a reimplementation. Total over
+/// arbitrary `code` values and corrupt `last` states: returns `None`
+/// instead of panicking.
+pub fn decode_field(cfg: &EncodingConfig, last: &mut LastReg, code: u16) -> Option<u8> {
+    decode_one(cfg, last, code)
+}
+
 /// Statically encode every instruction of `f`.
 ///
 /// Returns, per block, per instruction, the emitted field codes.

@@ -1,0 +1,372 @@
+//! The pluggable [`Allocator`] trait (DESIGN.md §12).
+//!
+//! Every allocation engine in this crate — the dense IRC engine, the
+//! frozen reference engine, optimal spilling, and differential coalesce —
+//! is exposed behind one trait so downstream consumers (the low-end
+//! pipeline, the symbolic checker, the property tests) handle a single
+//! uniform artifact: an [`Allocation`], which bundles the allocated
+//! function with the [`AllocationRecord`] the checker replays.
+//!
+//! The record is captured *inside* each engine at the moment of the final
+//! successful coloring round — after every spill rewrite, before color
+//! substitution — so the symbolic function and the vreg → color assignment
+//! are exactly the pair the engine's own rewrite consumed. The checker
+//! re-derives the rewrite from that pair and abstract-interprets the
+//! result; see [`crate::checker`].
+
+use crate::coalesce::{coalesce_allocate_recorded, CoalesceConfig, CoalesceStats};
+use crate::irc::{self, AllocConfig, AllocError, AllocStats};
+use crate::ospill::{ospill_allocate_recorded, OspillConfig, OspillStats};
+use dra_ir::{Function, PReg, Program, RegClass};
+
+/// The checker-facing snapshot of one function's allocation: the symbolic
+/// function entering the final coloring round plus the assignment that
+/// round produced. Substituting `assignment` into `symbolic` (and deleting
+/// the moves that become trivial) reproduces the allocated function.
+#[derive(Clone, Debug)]
+pub struct AllocationRecord {
+    /// The function after all spill rewriting, before color substitution.
+    pub symbolic: Function,
+    /// `assignment[v]` is the color of `VReg(v)`, `None` for vregs of
+    /// another class or vregs dead/unreferenced in the final round.
+    pub assignment: Vec<Option<u8>>,
+    /// Register class that was allocated.
+    pub class: RegClass,
+    /// Color count (the paper's `RegN`).
+    pub k: u16,
+    /// Physical registers the allocation treated as call-clobbered.
+    pub call_clobbers: Vec<PReg>,
+}
+
+/// Per-engine statistics, unified for trait consumers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AllocatorStats {
+    /// Stats of a plain IRC run (dense or reference engine).
+    Irc(AllocStats),
+    /// Stats of the optimal-spill pipeline.
+    Ospill(OspillStats),
+    /// Stats of differential coalesce.
+    Coalesce(CoalesceStats),
+}
+
+impl AllocatorStats {
+    /// Total values sent to memory, whichever engine produced the stats.
+    pub fn spilled(&self) -> usize {
+        match self {
+            AllocatorStats::Irc(s) => s.spilled_vregs,
+            AllocatorStats::Ospill(s) => s.pressure_spills + s.coloring_spills,
+            AllocatorStats::Coalesce(s) => s.pressure_spills + s.coloring_spills,
+        }
+    }
+
+    /// Moves removed by coalescing, whichever engine produced the stats.
+    pub fn moves_coalesced(&self) -> usize {
+        match self {
+            AllocatorStats::Irc(s) => s.moves_coalesced,
+            AllocatorStats::Ospill(s) => s.moves_coalesced,
+            AllocatorStats::Coalesce(s) => s.moves_coalesced,
+        }
+    }
+
+    /// Fold `other` into `self` with the same per-field rules the
+    /// engine-specific `*_allocate_program` aggregators use (`rounds` is a
+    /// max, everything else sums). Both sides must come from the same
+    /// engine kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` and `other` are from different engines — the
+    /// aggregation would be meaningless.
+    pub fn merge(&mut self, other: &AllocatorStats) {
+        match (self, other) {
+            (AllocatorStats::Irc(t), AllocatorStats::Irc(s)) => merge_irc(t, s),
+            (AllocatorStats::Ospill(t), AllocatorStats::Ospill(s)) => {
+                t.pressure_spills += s.pressure_spills;
+                t.coloring_spills += s.coloring_spills;
+                t.moves_coalesced += s.moves_coalesced;
+            }
+            (AllocatorStats::Coalesce(t), AllocatorStats::Coalesce(s)) => {
+                t.pressure_spills += s.pressure_spills;
+                t.coloring_spills += s.coloring_spills;
+                t.moves_coalesced += s.moves_coalesced;
+                t.final_cost += s.final_cost;
+                merge_irc(&mut t.irc, &s.irc);
+            }
+            (t, s) => panic!("cannot merge allocator stats of different kinds: {t:?} vs {s:?}"),
+        }
+    }
+}
+
+fn merge_irc(t: &mut AllocStats, s: &AllocStats) {
+    t.rounds = t.rounds.max(s.rounds);
+    t.spilled_vregs += s.spilled_vregs;
+    t.moves_coalesced += s.moves_coalesced;
+    t.liveness_nanos += s.liveness_nanos;
+    t.build_nanos += s.build_nanos;
+    t.color_nanos += s.color_nanos;
+    t.simplify_steps += s.simplify_steps;
+    t.coalesce_steps += s.coalesce_steps;
+    t.freeze_steps += s.freeze_steps;
+    t.spill_selects += s.spill_selects;
+}
+
+/// The uniform artifact of [`Allocator::allocate`]: the allocated function,
+/// the checker snapshot, and the engine's statistics.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// The fully allocated (physical) function.
+    pub func: Function,
+    /// Snapshot for [`crate::checker::check_allocation`].
+    pub record: AllocationRecord,
+    /// Engine statistics.
+    pub stats: AllocatorStats,
+}
+
+/// A register-allocation engine.
+///
+/// Implementations derive their engine-specific configuration from the
+/// common [`AllocConfig`]; fields an engine does not consume (e.g.
+/// `spill_metric` for optimal spilling, which fixes its own metric) are
+/// ignored, matching the engine's standalone entry point.
+pub trait Allocator {
+    /// Short stable name, used in telemetry and reports.
+    fn name(&self) -> &'static str;
+
+    /// Allocate `f` in place. When `record` is true, also return the
+    /// [`AllocationRecord`] snapshot for the checker (always `Some` on
+    /// success with `record == true`).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError`] when the engine fails to converge.
+    fn allocate_fn(
+        &self,
+        f: &mut Function,
+        cfg: &AllocConfig,
+        record: bool,
+    ) -> Result<(AllocatorStats, Option<AllocationRecord>), AllocError>;
+
+    /// Allocate a copy of `f`, returning the uniform [`Allocation`]
+    /// artifact (always with a record).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Allocator::allocate_fn`].
+    fn allocate(&self, f: &Function, cfg: &AllocConfig) -> Result<Allocation, AllocError> {
+        let mut work = f.clone();
+        let (stats, rec) = self.allocate_fn(&mut work, cfg, true)?;
+        let record = rec.expect("allocate_fn must return a record when record=true");
+        Ok(Allocation {
+            func: work,
+            record,
+            stats,
+        })
+    }
+}
+
+/// The dense worklist IRC engine ([`crate::irc`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseIrc;
+
+impl Allocator for DenseIrc {
+    fn name(&self) -> &'static str {
+        "irc-dense"
+    }
+
+    fn allocate_fn(
+        &self,
+        f: &mut Function,
+        cfg: &AllocConfig,
+        record: bool,
+    ) -> Result<(AllocatorStats, Option<AllocationRecord>), AllocError> {
+        irc::irc_allocate_recorded(f, cfg, record).map(|(s, r)| (AllocatorStats::Irc(s), r))
+    }
+}
+
+/// The frozen reference IRC engine ([`crate::irc::reference`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceIrc;
+
+impl Allocator for ReferenceIrc {
+    fn name(&self) -> &'static str {
+        "irc-reference"
+    }
+
+    fn allocate_fn(
+        &self,
+        f: &mut Function,
+        cfg: &AllocConfig,
+        record: bool,
+    ) -> Result<(AllocatorStats, Option<AllocationRecord>), AllocError> {
+        irc::reference::irc_allocate_recorded(f, cfg, record)
+            .map(|(s, r)| (AllocatorStats::Irc(s), r))
+    }
+}
+
+/// The optimal-spill pipeline ([`crate::ospill`]). `spill_metric` is fixed
+/// by the engine (global coverage); the rest of the [`AllocConfig`] maps
+/// field-for-field onto [`OspillConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ospill;
+
+impl Allocator for Ospill {
+    fn name(&self) -> &'static str {
+        "ospill"
+    }
+
+    fn allocate_fn(
+        &self,
+        f: &mut Function,
+        cfg: &AllocConfig,
+        record: bool,
+    ) -> Result<(AllocatorStats, Option<AllocationRecord>), AllocError> {
+        let ocfg = OspillConfig {
+            k: cfg.k,
+            params: cfg.params,
+            strategy: cfg.strategy,
+            call_clobbers: cfg.call_clobbers.clone(),
+            class: cfg.class,
+            max_rounds: cfg.max_rounds,
+        };
+        ospill_allocate_recorded(f, &ocfg, record).map(|(s, r)| (AllocatorStats::Ospill(s), r))
+    }
+}
+
+/// Differential coalesce ([`crate::coalesce`]). Evaluation knobs
+/// (`move_cost`, `eval_limit`, `eval`) take their [`CoalesceConfig::new`]
+/// defaults; `params`, `class`, and `call_clobbers` come from the
+/// [`AllocConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Coalescing;
+
+impl Allocator for Coalescing {
+    fn name(&self) -> &'static str {
+        "coalesce"
+    }
+
+    fn allocate_fn(
+        &self,
+        f: &mut Function,
+        cfg: &AllocConfig,
+        record: bool,
+    ) -> Result<(AllocatorStats, Option<AllocationRecord>), AllocError> {
+        let ccfg = CoalesceConfig {
+            class: cfg.class,
+            call_clobbers: cfg.call_clobbers.clone(),
+            ..CoalesceConfig::new(cfg.params)
+        };
+        coalesce_allocate_recorded(f, &ccfg, record).map(|(s, r)| (AllocatorStats::Coalesce(s), r))
+    }
+}
+
+/// Allocate every function of `p` with one engine, aggregating stats with
+/// the same rules as the engine-specific `*_allocate_program` wrappers and
+/// collecting one [`AllocationRecord`] per function when `record` is set.
+///
+/// # Errors
+///
+/// Propagates the first [`AllocError`] from any function.
+pub fn allocate_program(
+    alloc: &dyn Allocator,
+    p: &mut Program,
+    cfg: &AllocConfig,
+    record: bool,
+) -> Result<(AllocatorStats, Vec<Option<AllocationRecord>>), AllocError> {
+    let mut total: Option<AllocatorStats> = None;
+    let mut records = Vec::with_capacity(p.funcs.len());
+    for f in &mut p.funcs {
+        let (s, r) = alloc.allocate_fn(f, cfg, record)?;
+        match &mut total {
+            Some(t) => t.merge(&s),
+            None => total = Some(s),
+        }
+        records.push(r);
+    }
+    // An empty program still needs stats of the right kind: run the merge
+    // base case through an empty function-less default by kind name.
+    let total = total.unwrap_or(AllocatorStats::Irc(AllocStats::default()));
+    Ok((total, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_adjgraph::DiffParams;
+    use dra_ir::{BinOp, FunctionBuilder};
+
+    fn sample(width: usize) -> Function {
+        let mut b = FunctionBuilder::new("sample");
+        let vs: Vec<_> = (0..width).map(|_| b.new_vreg()).collect();
+        for (i, &v) in vs.iter().enumerate() {
+            b.mov_imm(v, i as i32);
+        }
+        let s = b.new_vreg();
+        b.mov_imm(s, 0);
+        for &v in &vs {
+            b.bin(BinOp::Add, s, s.into(), v.into());
+        }
+        b.ret(Some(s.into()));
+        b.finish()
+    }
+
+    fn engines() -> Vec<Box<dyn Allocator>> {
+        vec![
+            Box::new(DenseIrc),
+            Box::new(ReferenceIrc),
+            Box::new(Ospill),
+            Box::new(Coalescing),
+        ]
+    }
+
+    #[test]
+    fn every_engine_produces_a_record() {
+        let f = sample(6);
+        let cfg = AllocConfig::differential(DiffParams::new(8, 4));
+        for eng in engines() {
+            let a = eng.allocate(&f, &cfg).unwrap_or_else(|e| {
+                panic!("{} failed: {e}", eng.name());
+            });
+            assert!(a.func.is_fully_physical(), "{}", eng.name());
+            assert_eq!(
+                a.record.assignment.len(),
+                a.record.symbolic.vreg_count as usize,
+                "{}",
+                eng.name()
+            );
+            assert_eq!(a.record.k, 8, "{}", eng.name());
+            // Every class vreg referenced by the symbolic function has a
+            // color below k.
+            for i in a.record.symbolic.iter_insts() {
+                for r in i.accesses() {
+                    if let Some(v) = r.as_virt() {
+                        if a.record.symbolic.vreg_class(v) == a.record.class {
+                            let c = a.record.assignment[v.index()]
+                                .unwrap_or_else(|| panic!("{}: {v} unassigned", eng.name()));
+                            assert!((c as u16) < a.record.k, "{}", eng.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_aggregation_matches_standalone() {
+        let mut p = Program::single(sample(6));
+        p.funcs.push(sample(4));
+        let cfg = AllocConfig::baseline(4);
+        let mut p2 = p.clone();
+        let (stats, recs) = allocate_program(&DenseIrc, &mut p2, &cfg, true).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.is_some()));
+        let expected = irc::irc_allocate_program(&mut p, &cfg).unwrap();
+        match stats {
+            AllocatorStats::Irc(s) => {
+                assert_eq!(s.rounds, expected.rounds);
+                assert_eq!(s.spilled_vregs, expected.spilled_vregs);
+                assert_eq!(s.moves_coalesced, expected.moves_coalesced);
+            }
+            other => panic!("unexpected stats kind {other:?}"),
+        }
+    }
+}

@@ -18,7 +18,7 @@
 
 use crate::dense::ColorSet;
 use crate::interference::InterferenceGraph;
-use crate::irc::{irc_allocate, AllocConfig, AllocError, AllocStats, SelectStrategy, SpillMetric};
+use crate::irc::{irc_allocate_recorded, AllocConfig, AllocError, AllocStats, SelectStrategy, SpillMetric};
 use crate::ospill::reduce_pressure;
 use dra_adjgraph::{build_vreg_adjacency, AdjacencyGraph, AdjacencyIndex, DiffParams};
 use dra_ir::{Function, Inst, Liveness, PReg, Program, Reg, RegClass, VReg};
@@ -119,7 +119,25 @@ pub fn coalesce_allocate(
     f: &mut Function,
     cfg: &CoalesceConfig,
 ) -> Result<CoalesceStats, AllocError> {
-    coalesce_allocate_with(f, cfg, &irc_config(cfg))
+    coalesce_allocate_with(f, cfg, &irc_config(cfg), false).map(|(stats, _)| stats)
+}
+
+/// [`coalesce_allocate`] with optional
+/// [`AllocationRecord`](crate::allocator::AllocationRecord) capture. The
+/// record is taken by the final IRC pass, i.e. *after* the Figure 9
+/// coalescing loop has merged vregs and deleted their moves — the
+/// checker verifies the final substitution; vreg-level merges are
+/// validated upstream by the simulator equivalence suite.
+///
+/// # Errors
+///
+/// Same as [`coalesce_allocate`].
+pub fn coalesce_allocate_recorded(
+    f: &mut Function,
+    cfg: &CoalesceConfig,
+    record: bool,
+) -> Result<(CoalesceStats, Option<crate::allocator::AllocationRecord>), AllocError> {
+    coalesce_allocate_with(f, cfg, &irc_config(cfg), record)
 }
 
 /// [`coalesce_allocate`] with the final-pass IRC configuration supplied
@@ -128,7 +146,8 @@ fn coalesce_allocate_with(
     f: &mut Function,
     cfg: &CoalesceConfig,
     irc_cfg: &AllocConfig,
-) -> Result<CoalesceStats, AllocError> {
+    record: bool,
+) -> Result<(CoalesceStats, Option<crate::allocator::AllocationRecord>), AllocError> {
     let k = cfg.params.reg_n();
     let mut stats = CoalesceStats {
         pressure_spills: reduce_pressure(f, cfg.class, k as usize, 512).len(),
@@ -213,13 +232,13 @@ fn coalesce_allocate_with(
     // coalescing with the differential select stage. IRC both removes any
     // remaining profitable moves and handles residual spills far better
     // than a plain simplify/select pass.
-    let irc_stats = irc_allocate(f, irc_cfg)?;
+    let (irc_stats, rec) = irc_allocate_recorded(f, irc_cfg, record)?;
     stats.coloring_spills += irc_stats.spilled_vregs;
     stats.moves_coalesced += irc_stats.moves_coalesced;
     stats.irc = irc_stats;
     stats.final_cost = dra_adjgraph::build_preg_adjacency(f, cfg.class, k)
         .assignment_cost(|n| Some(n as u8), cfg.params);
-    Ok(stats)
+    Ok((stats, rec))
 }
 
 /// Allocate a whole program with differential coalesce.
@@ -234,7 +253,7 @@ pub fn coalesce_allocate_program(
     let irc_cfg = irc_config(cfg);
     let mut total = CoalesceStats::default();
     for f in &mut p.funcs {
-        let s = coalesce_allocate_with(f, cfg, &irc_cfg)?;
+        let (s, _) = coalesce_allocate_with(f, cfg, &irc_cfg, false)?;
         total.pressure_spills += s.pressure_spills;
         total.coloring_spills += s.coloring_spills;
         total.moves_coalesced += s.moves_coalesced;

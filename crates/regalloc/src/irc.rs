@@ -177,6 +177,26 @@ impl std::error::Error for AllocError {}
 /// `cfg.max_rounds` (pathological inputs only: each round strictly reduces
 /// the maximum register pressure).
 pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, AllocError> {
+    irc_allocate_recorded(f, cfg, false).map(|(stats, _)| stats)
+}
+
+/// [`irc_allocate`] that can additionally capture an
+/// [`AllocationRecord`](crate::allocator::AllocationRecord) for the
+/// symbolic checker: a snapshot of the function *entering* the final
+/// (successful) round — after every spill rewrite, before color
+/// substitution — plus the vreg → color assignment of that round. The
+/// snapshot/assignment pair is exactly what [`apply_allocation`] consumed,
+/// so [`crate::checker::check_allocation`] can re-derive the rewrite and
+/// verify it independently.
+///
+/// # Errors
+///
+/// Same as [`irc_allocate`].
+pub fn irc_allocate_recorded(
+    f: &mut Function,
+    cfg: &AllocConfig,
+    record: bool,
+) -> Result<(AllocStats, Option<crate::allocator::AllocationRecord>), AllocError> {
     let mut stats = AllocStats::default();
     // Vregs created at or beyond this watermark are spill temporaries from
     // earlier rounds; re-spilling them makes no progress, so they carry an
@@ -211,9 +231,22 @@ pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, A
         stats.freeze_steps += state.freeze_steps;
         stats.spill_selects += state.spill_selects;
         if state.spilled_count == 0 {
+            let rec = record.then(|| crate::allocator::AllocationRecord {
+                symbolic: f.clone(),
+                assignment: (0..state.vreg_count)
+                    .map(|v| {
+                        (state.vreg_classes[v as usize] == cfg.class)
+                            .then(|| state.color[state.get_alias(v) as usize])
+                            .flatten()
+                    })
+                    .collect(),
+                class: cfg.class,
+                k: cfg.k,
+                call_clobbers: cfg.call_clobbers.clone(),
+            });
             stats.moves_coalesced = apply_allocation(f, &state, cfg);
             stats.color_nanos += t2.elapsed().as_nanos() as u64;
-            return Ok(stats);
+            return Ok((stats, rec));
         }
         let to_spill: Vec<VReg> = (0..state.vreg_count)
             .filter(|&e| state.node_state[e as usize] == NodeState::Spilled)

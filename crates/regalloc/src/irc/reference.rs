@@ -31,6 +31,22 @@ use std::collections::{BTreeSet, HashSet};
 /// [`AllocError::DidNotConverge`] if spill rewriting exceeds
 /// `cfg.max_rounds`.
 pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, AllocError> {
+    irc_allocate_recorded(f, cfg, false).map(|(stats, _)| stats)
+}
+
+/// [`irc_allocate`] with optional
+/// [`AllocationRecord`](crate::allocator::AllocationRecord) capture; mirrors
+/// [`super::irc_allocate_recorded`] so the equivalence suite can assert
+/// both engines produce bit-identical records, not just identical code.
+///
+/// # Errors
+///
+/// Same as [`irc_allocate`].
+pub fn irc_allocate_recorded(
+    f: &mut Function,
+    cfg: &AllocConfig,
+    record: bool,
+) -> Result<(AllocStats, Option<crate::allocator::AllocationRecord>), AllocError> {
     let mut stats = AllocStats::default();
     // Vregs created at or beyond this watermark are spill temporaries from
     // earlier rounds; re-spilling them makes no progress, so they carry an
@@ -65,9 +81,22 @@ pub fn irc_allocate(f: &mut Function, cfg: &AllocConfig) -> Result<AllocStats, A
         stats.freeze_steps += state.freeze_steps;
         stats.spill_selects += state.spill_selects;
         if state.spilled_nodes.is_empty() {
+            let rec = record.then(|| crate::allocator::AllocationRecord {
+                symbolic: f.clone(),
+                assignment: (0..state.vreg_count)
+                    .map(|v| {
+                        (state.vreg_classes[v as usize] == cfg.class)
+                            .then(|| state.color[state.get_alias(v) as usize])
+                            .flatten()
+                    })
+                    .collect(),
+                class: cfg.class,
+                k: cfg.k,
+                call_clobbers: cfg.call_clobbers.clone(),
+            });
             stats.moves_coalesced = apply_allocation(f, &state, cfg);
             stats.color_nanos += t2.elapsed().as_nanos() as u64;
-            return Ok(stats);
+            return Ok((stats, rec));
         }
         let to_spill: Vec<VReg> = state
             .spilled_nodes

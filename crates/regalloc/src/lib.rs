@@ -36,6 +36,8 @@
 //! # Ok::<(), dra_regalloc::AllocError>(())
 //! ```
 
+pub mod allocator;
+pub mod checker;
 pub mod coalesce;
 pub mod dense;
 pub mod interference;
@@ -44,12 +46,20 @@ pub mod ospill;
 pub mod remap;
 pub mod spill;
 
+pub use allocator::{
+    allocate_program, Allocation, AllocationRecord, Allocator, AllocatorStats, Coalescing,
+    DenseIrc, Ospill, ReferenceIrc,
+};
+pub use checker::{
+    check_allocation, check_encoded_fields, check_function_encoding, CheckError, CheckStats,
+    Violation, ViolationKind,
+};
 pub use interference::InterferenceGraph;
 pub use irc::{
     irc_allocate, irc_allocate_program, AllocConfig, AllocError, AllocStats, SelectStrategy, SpillMetric,
 };
-pub use ospill::{ospill_allocate, ospill_allocate_program, OspillConfig, OspillStats};
-pub use coalesce::{coalesce_allocate, coalesce_allocate_program, CoalesceConfig, CoalesceEval, CoalesceStats};
+pub use ospill::{ospill_allocate, ospill_allocate_program, ospill_allocate_recorded, OspillConfig, OspillStats};
+pub use coalesce::{coalesce_allocate, coalesce_allocate_program, coalesce_allocate_recorded, CoalesceConfig, CoalesceEval, CoalesceStats};
 pub use remap::{
     remap_function, remap_program, RemapConfig, RemapStats, RemapStrategy, RemapWinner,
     DEFAULT_EVAL_BUDGET,

@@ -17,7 +17,7 @@
 //! Phase two colors the result with iterated register coalescing; because
 //! pressure is already below `RegN`, extra spills are rare.
 
-use crate::irc::{irc_allocate, AllocConfig, AllocError, SelectStrategy, SpillMetric};
+use crate::irc::{irc_allocate_recorded, AllocConfig, AllocError, SelectStrategy, SpillMetric};
 use crate::spill::rewrite_spills;
 use dra_adjgraph::DiffParams;
 use dra_ir::{Function, Liveness, PReg, Program, RegClass, VReg};
@@ -158,6 +158,21 @@ fn use_def_weights(f: &Function, class: RegClass) -> Vec<f64> {
 ///
 /// Propagates [`AllocError`] from the coloring phase.
 pub fn ospill_allocate(f: &mut Function, cfg: &OspillConfig) -> Result<OspillStats, AllocError> {
+    ospill_allocate_recorded(f, cfg, false).map(|(stats, _)| stats)
+}
+
+/// [`ospill_allocate`] with optional
+/// [`AllocationRecord`](crate::allocator::AllocationRecord) capture for
+/// the symbolic checker (the record comes from the final IRC round).
+///
+/// # Errors
+///
+/// Same as [`ospill_allocate`].
+pub fn ospill_allocate_recorded(
+    f: &mut Function,
+    cfg: &OspillConfig,
+    record: bool,
+) -> Result<(OspillStats, Option<crate::allocator::AllocationRecord>), AllocError> {
     // Spill decisions with the *global* coverage metric: candidates are
     // scored by how many over-pressure points their eviction relieves per
     // unit of spill cost — the greedy counterpart of Appel & George's
@@ -172,12 +187,15 @@ pub fn ospill_allocate(f: &mut Function, cfg: &OspillConfig) -> Result<OspillSta
         spill_metric: SpillMetric::GlobalCoverage,
         max_rounds: 24,
     };
-    let s = irc_allocate(f, &irc_cfg)?;
-    Ok(OspillStats {
-        pressure_spills: 0,
-        coloring_spills: s.spilled_vregs,
-        moves_coalesced: s.moves_coalesced,
-    })
+    let (s, rec) = irc_allocate_recorded(f, &irc_cfg, record)?;
+    Ok((
+        OspillStats {
+            pressure_spills: 0,
+            coloring_spills: s.spilled_vregs,
+            moves_coalesced: s.moves_coalesced,
+        },
+        rec,
+    ))
 }
 
 /// Allocate a whole program with the optimal-spill pipeline.
@@ -259,7 +277,7 @@ mod tests {
         let ospill_insts = f1.count_insts(|i| i.is_spill());
 
         let mut f2 = high_pressure(12);
-        irc_allocate(&mut f2, &AllocConfig::baseline(4)).unwrap();
+        crate::irc::irc_allocate(&mut f2, &AllocConfig::baseline(4)).unwrap();
         let irc_insts = f2.count_insts(|i| i.is_spill());
         assert!(
             ospill_insts <= irc_insts + 2,

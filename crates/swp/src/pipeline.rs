@@ -39,6 +39,11 @@ pub struct PipelineConfig {
     pub remap_threads: usize,
     /// Search strategy for the kernel remapping pass.
     pub remap_strategy: RemapStrategy,
+    /// Replay the repaired kernel's register fields through the symbolic
+    /// checker ([`dra_regalloc::check_function_encoding`]) after decode
+    /// verification; a rejection is a [`PipelineError::Check`]. Off by
+    /// default.
+    pub check: bool,
 }
 
 impl PipelineConfig {
@@ -53,6 +58,7 @@ impl PipelineConfig {
             max_spills: 256,
             remap_threads: 0,
             remap_strategy: RemapStrategy::Greedy,
+            check: false,
         }
     }
 }
@@ -88,6 +94,9 @@ pub enum PipelineError {
     Unschedulable,
     /// Spilling failed to bring the requirement under `reg_n`.
     SpillLimit,
+    /// The symbolic checker rejected the repaired kernel
+    /// ([`PipelineConfig::check`]); carries the checker's diagnostic.
+    Check(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -95,6 +104,7 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Unschedulable => write!(f, "no modulo schedule within the II cap"),
             PipelineError::SpillLimit => write!(f, "spilling failed to fit the register file"),
+            PipelineError::Check(e) => write!(f, "checker rejected the kernel: {e}"),
         }
     }
 }
@@ -178,6 +188,10 @@ pub fn pipeline_loop(ddg: &LoopDdg, cfg: &PipelineConfig) -> Result<PipelinedLoo
         let stats = insert_set_last_reg(&mut alloc.func, &enc);
         dra_encoding::verify_function(&alloc.func, &enc)
             .expect("repaired kernel decodes");
+        if cfg.check {
+            dra_regalloc::check_function_encoding(&alloc.func, &enc)
+                .map_err(|e| PipelineError::Check(e.to_string()))?;
+        }
         stats.inserted
     } else {
         0
@@ -266,6 +280,17 @@ mod tests {
             // Repairs exist but are bounded by kernel size.
             assert!(r.set_last_regs <= r.kernel_ops * 3 + 1);
         }
+    }
+
+    #[test]
+    fn checked_pipeline_matches_unchecked() {
+        let d = hungry_loop(24, 1000);
+        let plain = pipeline_loop(&d, &PipelineConfig::highend(64)).unwrap();
+        let mut cfg = PipelineConfig::highend(64);
+        cfg.check = true;
+        let checked = pipeline_loop(&d, &cfg).unwrap();
+        assert!(checked.differential_enabled, "workload must go differential");
+        assert_eq!(plain, checked, "the checker must not perturb the result");
     }
 
     #[test]

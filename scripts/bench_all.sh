@@ -20,6 +20,10 @@ cargo bench --bench irc_color
 # portfolio comparison and the optimality-gap table).
 cargo run -q -p dra-bench --release --bin fig13 > /dev/null
 
+# Symbolic checker sweep: refreshes results/telemetry/checker.json, whose
+# counters feed the `checker` headline below.
+cargo run -q -p dra-core --release --bin drac -- check > /dev/null
+
 python3 - <<'EOF'
 import json, os
 
@@ -76,6 +80,19 @@ if irc_color:
     summary["sources"]["irc_color"] = {
         "largest_color_speedup": irc_color["largest_color_speedup"],
         "differential_color_speedup": irc_color["differential_color_speedup"],
+    }
+
+checker = load("telemetry/checker.json")
+if checker:
+    c = checker["counters"]
+    ns = checker["spans_ns"].get("checker", 0)
+    insts = c.get("checker.insts", 0)
+    summary["sources"]["checker"] = {
+        "functions": c.get("checker.functions", 0),
+        "insts": insts,
+        "fields_replayed": c.get("checker.fields_replayed", 0),
+        "violations": c.get("checker.violations", 0),
+        "ns_per_inst": ns / insts if insts else 0.0,
     }
 
 serve = load("serve_bench.json")

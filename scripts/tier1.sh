@@ -21,6 +21,13 @@ cargo run -q -p dra-bench --release --bin fig11 > /dev/null
 cargo run -q -p dra-core --release --bin drac -- report results/telemetry/fig11.json > /dev/null
 echo "telemetry smoke OK"
 
+# Checker smoke: the symbolic allocation checker over the full benchmark ×
+# approach matrix (`--check` wired through the same pipeline), which must
+# come back with zero violations and a schema-valid telemetry frame.
+cargo run -q -p dra-core --release --bin drac -- check > /dev/null
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry/checker.json > /dev/null
+echo "checker smoke OK"
+
 # Fault containment: the injection suite end to end, then the decoder
 # totality properties by name (the load-bearing "hostile streams never
 # panic" guarantee gets its own loud line in CI output).
