@@ -17,7 +17,8 @@
 //! binaries honor `DRA_LOOPS=<n>` to shrink the 1928-loop suite for quick
 //! runs, and every binary honors `DRA_THREADS=<n>` to pin the batch
 //! driver's worker count (`0`/unset = one per CPU); results are identical
-//! at any thread count.
+//! at any thread count. `DRA_CACHE_CAP=<n>` bounds both session caches
+//! (see `dra_core::knob`). All knobs parse strictly — garbage aborts.
 
 use std::fmt::Write as _;
 
@@ -60,39 +61,10 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
     out
 }
 
-/// Strictly parse one knob value: empty/whitespace means `default`, a
-/// valid number is taken as-is, and anything else panics naming the knob
-/// and the offending value. A typo'd `DRA_THREADS=abc` must abort the
-/// experiment, not silently run it with the default.
-///
-/// Separated from the environment read so both paths are testable without
-/// racing on process-global env state.
-///
-/// # Panics
-///
-/// On any non-empty value that does not parse as an unsigned integer.
-pub fn parse_knob(name: &str, raw: &str, default: usize) -> usize {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return default;
-    }
-    trimmed.parse().unwrap_or_else(|_| {
-        panic!("{name}={raw:?} is not an unsigned integer (unset it or pass a number)")
-    })
-}
-
-/// Read an environment knob through [`parse_knob`].
-///
-/// # Panics
-///
-/// As [`parse_knob`]; also on a value that is not valid unicode.
-fn env_knob(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Err(std::env::VarError::NotPresent) => default,
-        Err(e) => panic!("{name}: {e}"),
-        Ok(raw) => parse_knob(name, &raw, default),
-    }
-}
+// Strict knob parsing lives in dra-core (`drac` needs it too, and core
+// cannot depend on the bench harness); re-exported here so the figure
+// binaries and existing callers keep their import path.
+pub use dra_core::knob::{env_knob, parse_knob};
 
 /// Loop-suite size: `DRA_LOOPS` env override, defaulting to the paper's
 /// 1928.

@@ -34,7 +34,7 @@ use crate::lowend::{
 };
 use crate::session::CompileSession;
 use crate::telemetry::{take_panic_stage, Telemetry};
-use dra_ir::{Liveness, Program};
+use dra_ir::Program;
 use dra_workloads::benchmark;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -266,7 +266,7 @@ impl SourceArtifacts {
         let pressures = program
             .funcs
             .iter()
-            .map(|f| Liveness::compute(f).max_pressure(f))
+            .map(dra_ir::liveness::max_pressure_of)
             .collect();
         SourceArtifacts { program, pressures }
     }

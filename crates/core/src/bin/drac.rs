@@ -15,6 +15,10 @@
 
 use dra_core::batch::run_lowend_matrix_with_telemetry;
 use dra_core::bench_serve::{run_bench_serve, BenchServeConfig};
+use dra_core::corpus::{
+    corpus_setup, resolve_profile, run_corpus_bench, run_corpus_compile, write_profile,
+    CorpusBenchConfig,
+};
 use dra_core::faults::{run_fault_campaign, PipelineFaults};
 use dra_core::lowend::{compile_and_run, compile_program_telemetry, Approach, LowEndSetup};
 use dra_core::profile::compile_and_run_profiled;
@@ -28,7 +32,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--check] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--check] [--remap-strategy <s>]\n  drac sweep --bench <name> [--check] [--remap-strategy <s>]\n  drac check [--bench <name>] [--approach <a>]\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--check] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--check] [--remap-strategy <s>]\n  drac sweep --bench <name> [--check] [--remap-strategy <s>]\n  drac check [--bench <name>] [--approach <a>]\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac profile [--bench <name>] [--name <out-name>] [--builtin <name|all>]   (default: all benchmarks)\n  drac corpus --profile <name|path> --count <n> [--seed <n>] [--threads <n>]\n  drac bench-corpus [--smoke] [--profile <name|path>] [--count <n>] [--seed <n>] [--threads <csv>] [--out <path>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio\nbuiltin profiles: embedded-dsp pointer-chasing deep-cfg call-heavy"
     );
     ExitCode::FAILURE
 }
@@ -229,6 +233,9 @@ fn main() -> ExitCode {
         }
         "serve" => run_serve(&argv[1..]),
         "bench-serve" => run_bench_serve_cmd(&argv[1..]),
+        "profile" => run_profile_cmd(&argv[1..]),
+        "corpus" => run_corpus_cmd(&argv[1..]),
+        "bench-corpus" => run_bench_corpus_cmd(&argv[1..]),
         "report" => run_report(&argv[1..]),
         _ => usage(),
     }
@@ -540,6 +547,254 @@ fn run_bench_serve_cmd(args: &[String]) -> ExitCode {
     }
     if smoke && hits == 0 {
         eprintln!("bench-serve: smoke expected nonzero cache hits");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `drac profile`: extract a `dra-profile-v1` workload profile from one
+/// named benchmark (or the whole mibench substitute suite) and write it
+/// to `results/profiles/<name>.json`.
+fn run_profile_cmd(args: &[String]) -> ExitCode {
+    let mut bench: Option<String> = None;
+    let mut out_name: Option<String> = None;
+    let mut builtin: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => match it.next() {
+                Some(v) => bench = Some(v.clone()),
+                None => return usage(),
+            },
+            "--name" => match it.next() {
+                Some(v) => out_name = Some(v.clone()),
+                None => return usage(),
+            },
+            "--builtin" => match it.next() {
+                Some(v) => builtin = Some(v.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // `--builtin <name|all>`: write the checked-in generator profiles
+    // instead of extracting one from a benchmark run.
+    if let Some(which) = builtin {
+        let profiles = if which == "all" {
+            dra_workloads::builtin_profiles()
+        } else {
+            match dra_workloads::builtin_profile(&which) {
+                Some(p) => vec![p],
+                None => {
+                    eprintln!("profile: unknown builtin {which:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        for p in &profiles {
+            match write_profile(Path::new("."), p) {
+                Ok(path) => println!("profile: {}", path.display()),
+                Err(e) => {
+                    eprintln!("profile: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    let (programs, default_name) = match bench {
+        Some(b) => {
+            if !benchmark_names().contains(&b.as_str()) {
+                eprintln!("profile: unknown benchmark {b:?}");
+                return ExitCode::FAILURE;
+            }
+            (vec![dra_workloads::benchmark(&b)], b)
+        }
+        None => (
+            benchmark_names()
+                .iter()
+                .map(|n| dra_workloads::benchmark(n))
+                .collect(),
+            "mibench".to_string(),
+        ),
+    };
+    let name = out_name.unwrap_or(default_name);
+    let profile = dra_workloads::extract_profile(&name, &programs);
+    match write_profile(Path::new("."), &profile) {
+        Ok(path) => {
+            println!("profile: {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `drac corpus`: synthesize a corpus from a profile and compile every
+/// program through a resident session with the symbolic checker on.
+/// Exits nonzero on any compile error or checker violation.
+fn run_corpus_cmd(args: &[String]) -> ExitCode {
+    let mut profile_spec: Option<String> = None;
+    let mut count = 1000usize;
+    let mut seed = 0u64;
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => match it.next() {
+                Some(v) => profile_spec = Some(v.clone()),
+                None => return usage(),
+            },
+            "--count" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => count = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(spec) = profile_spec else {
+        eprintln!("corpus: --profile is required (a builtin name or a profile JSON path)");
+        return ExitCode::FAILURE;
+    };
+    let profile = match resolve_profile(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut setup = corpus_setup();
+    dra_core::knob::apply_cache_cap(&mut setup);
+    setup.batch_threads = threads;
+    let report = match run_corpus_compile(&profile, count, seed, threads, &setup) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "corpus {}: {} functions in {} programs — {} errors, {} checker violations ({} functions checked)",
+        profile.name,
+        report.functions,
+        report.programs,
+        report.errors,
+        report.violations,
+        report.telemetry.counter("checker.functions"),
+    );
+    match report.telemetry.write_results(Path::new("."), "corpus") {
+        Ok(path) => println!("telemetry: {}", path.display()),
+        Err(e) => {
+            eprintln!("telemetry write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.errors > 0 || report.violations > 0 {
+        eprintln!("corpus: FAILED");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `drac bench-corpus`: the corpus throughput experiment (jobs/sec per
+/// worker count, scratch arenas off vs on, cache evictions, peak RSS);
+/// `--smoke` shrinks it to CI scale.
+fn run_bench_corpus_cmd(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut profile_spec = "call-heavy".to_string();
+    let mut count: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut out = PathBuf::from("results/corpus_bench.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--profile" => match it.next() {
+                Some(v) => profile_spec = v.clone(),
+                None => return usage(),
+            },
+            "--count" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => count = Some(v),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => return usage(),
+            },
+            "--threads" => match it.next() {
+                Some(v) => {
+                    let parsed: Option<Vec<usize>> =
+                        v.split(',').map(|w| w.trim().parse().ok()).collect();
+                    match parsed {
+                        Some(t) if !t.is_empty() => threads = Some(t),
+                        _ => return usage(),
+                    }
+                }
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = PathBuf::from(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let profile = match resolve_profile(&profile_spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench-corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = if smoke {
+        CorpusBenchConfig::smoke(profile)
+    } else {
+        CorpusBenchConfig::standard(profile)
+    };
+    if let Some(c) = count {
+        cfg.count = c;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t;
+    }
+    dra_core::knob::apply_cache_cap(&mut cfg.setup);
+    let report = match run_corpus_bench(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(parent) = out.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("bench-corpus: {}: {e}", parent.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("bench-corpus: {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("report: {}", out.display());
+    let errors: u64 = report.phases.iter().map(|p| p.errors).sum();
+    if errors > 0 {
+        eprintln!("bench-corpus: {errors} compiles failed");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

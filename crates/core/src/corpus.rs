@@ -1,0 +1,663 @@
+//! Corpus-scale workloads: profile artifacts on disk and the end-to-end
+//! throughput benchmark.
+//!
+//! The mibench substitutes are ten programs; the paper's high-end suite
+//! is 1928 loops. Neither says anything about how the pipeline behaves
+//! at *corpus* scale — tens of thousands of distinct functions through
+//! one resident [`CompileSession`] — which is exactly the regime the
+//! serving work (PR 7) and the scratch arenas (this PR) target. This
+//! module closes the loop:
+//!
+//! * **`dra-profile-v1`** — a [`WorkloadProfile`] serialized with the
+//!   same hand-rolled JSON the telemetry schema uses (no dependencies),
+//!   so a profile extracted from any run can be checked in, diffed, and
+//!   fed back to the generator ([`profile_to_json`] /
+//!   [`profile_from_json`], both gated by
+//!   [`dra_workloads::validate_profile`]).
+//! * [`run_corpus_compile`] — `drac corpus`: generate a corpus from a
+//!   profile and push every program through the session-backed batch
+//!   driver with the symbolic checker on; any checker rejection is a
+//!   hard failure.
+//! * [`run_corpus_bench`] — `drac bench-corpus`: the throughput
+//!   experiment. One generated corpus, compiled at each worker count
+//!   with the scratch arenas off and then on, reporting jobs/sec, the
+//!   arena speedup per thread count, per-stage spans, cache evictions
+//!   (the caches are deliberately overrun — a 10k-function corpus
+//!   against a 256-entry result cache is the eviction path's first real
+//!   workout), and a peak-RSS estimate.
+//!
+//! Determinism: the corpus itself is a pure function of
+//! `(profile, seed, count)` at any thread count (see
+//! [`dra_workloads::generate_from_profile`]); the bench's *timings* are
+//! wall-clock and excluded from any byte-stable artifact.
+
+use crate::batch::run_batch;
+use crate::lowend::{Approach, LowEndSetup};
+use crate::session::CompileSession;
+use crate::telemetry::{escape_json, parse_json, Json, Telemetry};
+use dra_workloads::profile::{
+    InstMix, WorkloadProfile, DEPTH_BUCKETS, PRESSURE_BUCKETS, PROFILE_SCHEMA,
+};
+use dra_workloads::{generate_from_profile, validate_profile};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// dra-profile-v1 serialization
+// ---------------------------------------------------------------------------
+
+fn json_f64(v: f64) -> String {
+    // `{}` on f64 prints the shortest representation that round-trips,
+    // and never produces exponents for the magnitudes a profile holds.
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_array(values: &[f64]) -> String {
+    let parts: Vec<String> = values.iter().map(|v| json_f64(*v)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Serialize a profile as a `dra-profile-v1` JSON document (validated
+/// first — a malformed profile must not reach disk).
+///
+/// # Errors
+///
+/// Whatever [`validate_profile`] rejects.
+pub fn profile_to_json(p: &WorkloadProfile) -> Result<String, String> {
+    validate_profile(p)?;
+    let m = &p.inst_mix;
+    let c = &p.cfg_shape;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"schema\": \"{PROFILE_SCHEMA}\",\n  \"name\": \"{}\",\n",
+        escape_json(&p.name)
+    );
+    let _ = write!(
+        out,
+        "  \"inst_mix\": {{\"alu\": {}, \"muldiv\": {}, \"mem\": {}, \"mov\": {}, \"call\": {}, \"branch\": {}}},\n",
+        json_f64(m.alu),
+        json_f64(m.muldiv),
+        json_f64(m.mem),
+        json_f64(m.mov),
+        json_f64(m.call),
+        json_f64(m.branch),
+    );
+    let _ = write!(
+        out,
+        "  \"pressure_hist\": {},\n  \"loop_depth_hist\": {},\n",
+        json_array(&p.pressure_hist),
+        json_array(&p.loop_depth_hist),
+    );
+    let _ = write!(
+        out,
+        "  \"cfg_shape\": {{\"avg_blocks\": {}, \"avg_block_len\": {}, \"branch_density\": {}, \"avg_funcs\": {}}},\n",
+        json_f64(c.avg_blocks),
+        json_f64(c.avg_block_len),
+        json_f64(c.branch_density),
+        json_f64(c.avg_funcs),
+    );
+    let _ = write!(out, "  \"call_density\": {}\n}}\n", json_f64(p.call_density));
+    Ok(out)
+}
+
+fn get<'a>(obj: &'a BTreeMap<String, Json>, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_f64(obj: &BTreeMap<String, Json>, key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => Ok(*n),
+        other => Err(format!("{key:?} is not a number: {other:?}")),
+    }
+}
+
+fn get_hist<const N: usize>(obj: &BTreeMap<String, Json>, key: &str) -> Result<[f64; N], String> {
+    let Json::Arr(items) = get(obj, key)? else {
+        return Err(format!("{key:?} is not an array"));
+    };
+    if items.len() != N {
+        return Err(format!("{key:?} has {} entries, expected {N}", items.len()));
+    }
+    let mut out = [0.0; N];
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            Json::Num(n) => out[i] = *n,
+            other => return Err(format!("{key:?}[{i}] is not a number: {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse and validate a `dra-profile-v1` JSON document.
+///
+/// # Errors
+///
+/// Malformed JSON, a wrong/missing `schema`, missing or mistyped keys,
+/// or a profile [`validate_profile`] rejects.
+pub fn profile_from_json(src: &str) -> Result<WorkloadProfile, String> {
+    let doc = parse_json(src)?;
+    let obj = doc.as_obj().ok_or("profile document is not an object")?;
+    match get(obj, "schema")?.as_str() {
+        Some(PROFILE_SCHEMA) => {}
+        Some(other) => return Err(format!("schema {other:?}, expected {PROFILE_SCHEMA:?}")),
+        None => return Err("schema is not a string".to_string()),
+    }
+    let name = get(obj, "name")?
+        .as_str()
+        .ok_or("name is not a string")?
+        .to_string();
+    let mix = get(obj, "inst_mix")?
+        .as_obj()
+        .ok_or("inst_mix is not an object")?;
+    let shape = get(obj, "cfg_shape")?
+        .as_obj()
+        .ok_or("cfg_shape is not an object")?;
+    let profile = WorkloadProfile {
+        name,
+        inst_mix: InstMix {
+            alu: get_f64(mix, "alu")?,
+            muldiv: get_f64(mix, "muldiv")?,
+            mem: get_f64(mix, "mem")?,
+            mov: get_f64(mix, "mov")?,
+            call: get_f64(mix, "call")?,
+            branch: get_f64(mix, "branch")?,
+        },
+        pressure_hist: get_hist::<PRESSURE_BUCKETS>(obj, "pressure_hist")?,
+        loop_depth_hist: get_hist::<DEPTH_BUCKETS>(obj, "loop_depth_hist")?,
+        cfg_shape: dra_workloads::profile::CfgShape {
+            avg_blocks: get_f64(shape, "avg_blocks")?,
+            avg_block_len: get_f64(shape, "avg_block_len")?,
+            branch_density: get_f64(shape, "branch_density")?,
+            avg_funcs: get_f64(shape, "avg_funcs")?,
+        },
+        call_density: get_f64(obj, "call_density")?,
+    };
+    validate_profile(&profile)?;
+    Ok(profile)
+}
+
+/// Write `profile` to `<root>/results/profiles/<name>.json`, creating
+/// the directory as needed, and return the path.
+///
+/// # Errors
+///
+/// Serialization failures (invalid profile) as `String`, I/O failures
+/// stringified with the path they concern.
+pub fn write_profile(root: &Path, profile: &WorkloadProfile) -> Result<PathBuf, String> {
+    let json = profile_to_json(profile)?;
+    let dir = root.join("results").join("profiles");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.json", profile.name));
+    std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Resolve a profile spec: a builtin name (`embedded-dsp`,
+/// `pointer-chasing`, `deep-cfg`, `call-heavy`) or a path to a
+/// `dra-profile-v1` JSON file.
+///
+/// # Errors
+///
+/// An unknown name that is not a readable file, or an invalid document.
+pub fn resolve_profile(spec: &str) -> Result<WorkloadProfile, String> {
+    if let Some(p) = dra_workloads::builtin_profile(spec) {
+        return Ok(p);
+    }
+    let path = Path::new(spec);
+    if !path.is_file() {
+        let names: Vec<String> = dra_workloads::builtin_profiles()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        return Err(format!(
+            "{spec:?} is neither a builtin profile ({}) nor a profile JSON file",
+            names.join(", ")
+        ));
+    }
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{spec}: {e}"))?;
+    profile_from_json(&src).map_err(|e| format!("{spec}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Corpus compilation (drac corpus)
+// ---------------------------------------------------------------------------
+
+/// The setup corpus runs compile under: single-threaded remap with a
+/// reduced restart budget (the batch driver is the parallelism, and a
+/// thousand restarts per generated function would measure the search,
+/// not the pipeline).
+pub fn corpus_setup() -> LowEndSetup {
+    let mut setup = LowEndSetup::default();
+    setup.remap_starts = 24;
+    setup.remap_threads = 1;
+    setup
+}
+
+/// What one corpus compile+check run observed.
+pub struct CorpusReport {
+    /// Programs pushed through the session.
+    pub programs: usize,
+    /// Functions across those programs (the requested `--count`).
+    pub functions: usize,
+    /// Compiles that errored (checker rejections included).
+    pub errors: u64,
+    /// Symbolic-checker violations (from the merged `checker.*` counters).
+    pub violations: u64,
+    /// Merged per-cell telemetry plus the `corpus.*` counters.
+    pub telemetry: Telemetry,
+}
+
+/// Generate `count` functions from `profile` and compile every program
+/// through a fresh [`CompileSession`] with the symbolic checker on.
+/// Degradation stays enabled (matching production corpus compiles), so
+/// a violation surfaces in `checker.violations` rather than as an
+/// error; both are reported.
+///
+/// # Errors
+///
+/// Generation failures (invalid profile) as `String`.
+pub fn run_corpus_compile(
+    profile: &WorkloadProfile,
+    count: usize,
+    seed: u64,
+    threads: usize,
+    setup: &LowEndSetup,
+) -> Result<CorpusReport, String> {
+    let mut setup = setup.clone();
+    setup.check = true;
+    let programs = generate_from_profile(profile, seed, count)?;
+    let texts: Vec<String> = programs.iter().map(|p| p.to_string()).collect();
+    drop(programs);
+
+    let session = CompileSession::new(setup);
+    let mut telemetry = Telemetry::new();
+    let t0 = Instant::now();
+    let cells = run_batch(&texts, threads, |_, text| {
+        session
+            .compile_source(text, Approach::Adaptive)
+            .map(|(run, _)| run.telemetry.clone())
+    });
+    let elapsed = t0.elapsed().as_nanos() as u64;
+
+    let mut errors = 0u64;
+    for cell in &cells {
+        match cell {
+            Ok(t) => telemetry.merge(t),
+            Err(_) => errors += 1,
+        }
+    }
+    session.record_counters(&mut telemetry);
+    telemetry.count("corpus.programs", texts.len() as u64);
+    telemetry.count("corpus.functions", count as u64);
+    telemetry.count("corpus.errors", errors);
+    telemetry.span_ns("corpus", elapsed);
+    Ok(CorpusReport {
+        programs: texts.len(),
+        functions: count,
+        errors,
+        violations: telemetry.counter("checker.violations"),
+        telemetry,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Throughput benchmark (drac bench-corpus)
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`run_corpus_bench`].
+pub struct CorpusBenchConfig {
+    /// The workload shape to synthesize.
+    pub profile: WorkloadProfile,
+    /// Total functions in the corpus.
+    pub count: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker counts to sweep.
+    pub threads: Vec<usize>,
+    /// The per-compile setup (see [`corpus_setup`]).
+    pub setup: LowEndSetup,
+}
+
+impl CorpusBenchConfig {
+    /// The headline experiment: 10k functions at 1, 2, and 8 workers.
+    pub fn standard(profile: WorkloadProfile) -> CorpusBenchConfig {
+        CorpusBenchConfig {
+            profile,
+            count: 10_000,
+            seed: 0,
+            threads: vec![1, 2, 8],
+            setup: corpus_setup(),
+        }
+    }
+
+    /// CI scale: a few hundred functions, two worker counts.
+    pub fn smoke(profile: WorkloadProfile) -> CorpusBenchConfig {
+        CorpusBenchConfig {
+            profile,
+            count: 200,
+            seed: 0,
+            threads: vec![1, 2],
+            setup: corpus_setup(),
+        }
+    }
+}
+
+/// One (worker count, arenas on/off) measurement.
+pub struct CorpusPhase {
+    /// Batch-driver workers.
+    pub threads: usize,
+    /// Whether the scratch arenas were enabled.
+    pub arena: bool,
+    /// Wall-clock for the whole corpus.
+    pub elapsed_ns: u64,
+    /// Programs compiled per second.
+    pub jobs_per_sec: f64,
+    /// Functions compiled per second.
+    pub functions_per_sec: f64,
+    /// Failed compiles (must be zero on a healthy corpus).
+    pub errors: u64,
+    /// Source-cache evictions during the phase.
+    pub source_evictions: u64,
+    /// Result-cache evictions during the phase (a corpus overruns the
+    /// result cache by design — this counts the overrun).
+    pub result_evictions: u64,
+}
+
+/// The full bench result.
+pub struct CorpusBenchReport {
+    /// Profile name.
+    pub profile: String,
+    /// Requested function count.
+    pub functions: usize,
+    /// Programs those functions were grouped into.
+    pub programs: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Wall-clock spent generating + rendering the corpus.
+    pub generate_ns: u64,
+    /// Every measured phase, in sweep order.
+    pub phases: Vec<CorpusPhase>,
+    /// Per-stage spans from the single-threaded arenas-on phase (the
+    /// only phase whose span sum decomposes its own wall-clock).
+    pub spans_ns: BTreeMap<String, u64>,
+    /// `VmHWM` after the sweep, if the platform exposes it (linux).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl CorpusBenchReport {
+    /// Arena speedup (arenas-off elapsed / arenas-on elapsed) per worker
+    /// count, in sweep order.
+    pub fn arena_speedups(&self) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for pair in self.phases.chunks(2) {
+            if let [off, on] = pair {
+                debug_assert!(!off.arena && on.arena && off.threads == on.threads);
+                out.push((off.threads, off.elapsed_ns as f64 / on.elapsed_ns.max(1) as f64));
+            }
+        }
+        out
+    }
+
+    /// The `dra-corpus-bench-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"dra-corpus-bench-v1\",\n  \"profile\": \"{}\",\n  \"functions\": {},\n  \"programs\": {},\n  \"seed\": {},\n  \"generate_ns\": {},\n",
+            escape_json(&self.profile),
+            self.functions,
+            self.programs,
+            self.seed,
+            self.generate_ns,
+        );
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"threads\": {}, \"arena\": {}, \"elapsed_ns\": {}, \"jobs_per_sec\": {:.3}, \"functions_per_sec\": {:.3}, \"errors\": {}, \"source_evictions\": {}, \"result_evictions\": {}}}{}\n",
+                p.threads,
+                p.arena,
+                p.elapsed_ns,
+                p.jobs_per_sec,
+                p.functions_per_sec,
+                p.errors,
+                p.source_evictions,
+                p.result_evictions,
+                if i + 1 < self.phases.len() { "," } else { "" },
+            );
+        }
+        out.push_str("  ],\n  \"arena_speedup\": {");
+        let speedups = self.arena_speedups();
+        for (i, (threads, s)) in speedups.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\"{threads}\": {s:.4}{}",
+                if i + 1 < speedups.len() { ", " } else { "" }
+            );
+        }
+        out.push_str("},\n  \"spans_ns\": {");
+        for (i, (k, v)) in self.spans_ns.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\"{}\": {v}{}",
+                escape_json(k),
+                if i + 1 < self.spans_ns.len() { ", " } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\n  \"peak_rss_bytes\": {}\n}}\n",
+            self.peak_rss_bytes
+                .map_or("null".to_string(), |v| v.to_string()),
+        );
+        out
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "corpus: {} — {} functions in {} programs (seed {})",
+            self.profile, self.functions, self.programs, self.seed
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:>12} {:>12} {:>8}",
+            "threads", "arena", "jobs/sec", "funcs/sec", "errors"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>6} {:>12.1} {:>12.1} {:>8}",
+                p.threads,
+                if p.arena { "on" } else { "off" },
+                p.jobs_per_sec,
+                p.functions_per_sec,
+                p.errors
+            );
+        }
+        for (threads, s) in self.arena_speedups() {
+            let _ = writeln!(out, "arena speedup @{threads} threads: {s:.3}x");
+        }
+        if let Some(rss) = self.peak_rss_bytes {
+            let _ = writeln!(out, "peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
+        out
+    }
+}
+
+/// `VmHWM` (peak resident set) from `/proc/self/status`, in bytes.
+/// `None` where proc is unavailable — the bench reports the estimate as
+/// absent rather than faking one.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Run the corpus throughput benchmark: one generated corpus, each
+/// worker count measured with the scratch arenas off and then on (a
+/// fresh [`CompileSession`] per phase, so phases are independent and
+/// every phase compiles every program). The global arena switch is
+/// restored on exit.
+///
+/// # Errors
+///
+/// Generation failures as `String`.
+pub fn run_corpus_bench(cfg: &CorpusBenchConfig) -> Result<CorpusBenchReport, String> {
+    let t0 = Instant::now();
+    let programs = generate_from_profile(&cfg.profile, cfg.seed, cfg.count)?;
+    let texts: Vec<String> = programs.iter().map(|p| p.to_string()).collect();
+    let generate_ns = t0.elapsed().as_nanos() as u64;
+    drop(programs);
+
+    let prev = dra_ir::scratch::reuse_enabled();
+    let mut phases = Vec::new();
+    let mut spans: BTreeMap<String, u64> = BTreeMap::new();
+    for &threads in &cfg.threads {
+        for arena in [false, true] {
+            dra_ir::scratch::set_reuse(arena);
+            let session = CompileSession::new(cfg.setup.clone());
+            let t0 = Instant::now();
+            let cells = run_batch(&texts, threads, |_, text| {
+                session
+                    .compile_source(text, Approach::Adaptive)
+                    .map(|(run, _)| run.telemetry.clone())
+            });
+            let elapsed = t0.elapsed().as_nanos().max(1) as u64;
+            let errors = cells.iter().filter(|c| c.is_err()).count() as u64;
+            // Per-stage spans: only the single-threaded arenas-on phase
+            // decomposes its own wall-clock (parallel phases sum worker
+            // time across threads).
+            if arena && threads == 1 {
+                let mut merged = Telemetry::new();
+                for t in cells.iter().flatten() {
+                    merged.merge(t);
+                }
+                spans = merged.spans().clone();
+            }
+            let mut counters = Telemetry::new();
+            session.record_counters(&mut counters);
+            let secs = elapsed as f64 / 1e9;
+            phases.push(CorpusPhase {
+                threads,
+                arena,
+                elapsed_ns: elapsed,
+                jobs_per_sec: texts.len() as f64 / secs,
+                functions_per_sec: cfg.count as f64 / secs,
+                errors,
+                source_evictions: counters.counter("source_cache.evictions"),
+                result_evictions: counters.counter("result_cache.evictions"),
+            });
+        }
+    }
+    dra_ir::scratch::set_reuse(prev);
+
+    Ok(CorpusBenchReport {
+        profile: cfg.profile.name.clone(),
+        functions: cfg.count,
+        programs: texts.len(),
+        seed: cfg.seed,
+        generate_ns,
+        phases,
+        spans_ns: spans,
+        peak_rss_bytes: peak_rss_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_round_trip_through_json() {
+        for profile in dra_workloads::builtin_profiles() {
+            let json = profile_to_json(&profile).unwrap();
+            let back = profile_from_json(&json).unwrap();
+            assert_eq!(profile, back, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn malformed_profile_documents_are_rejected() {
+        let good = profile_to_json(&dra_workloads::builtin_profile("deep-cfg").unwrap()).unwrap();
+        for (label, doc) in [
+            ("garbage", "not json".to_string()),
+            ("array", "[1,2,3]".to_string()),
+            ("schema", good.replace("dra-profile-v1", "dra-profile-v0")),
+            ("missing", good.replace("\"call_density\"", "\"call_densities\"")),
+            ("histogram", good.replace("\"pressure_hist\": [", "\"pressure_hist\": [0.5,")),
+        ] {
+            assert!(profile_from_json(&doc).is_err(), "{label} must be rejected");
+        }
+        // Structurally valid JSON carrying an invalid profile (negative
+        // mass) must fail the validate gate, not just the parser.
+        let negative = good.replace("\"call_density\": 0", "\"call_density\": -1");
+        assert!(profile_from_json(&negative).is_err());
+    }
+
+    #[test]
+    fn write_profile_emits_a_readable_artifact() {
+        let dir = std::env::temp_dir().join(format!("dra-profile-test-{}", std::process::id()));
+        let profile = dra_workloads::builtin_profile("call-heavy").unwrap();
+        let path = write_profile(&dir, &profile).unwrap();
+        assert!(path.ends_with("results/profiles/call-heavy.json"));
+        let back = profile_from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(profile, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resolve_prefers_builtins_and_reports_unknowns() {
+        assert_eq!(resolve_profile("deep-cfg").unwrap().name, "deep-cfg");
+        let err = resolve_profile("no-such-profile").unwrap_err();
+        assert!(err.contains("embedded-dsp"), "error lists builtins: {err}");
+    }
+
+    #[test]
+    fn corpus_compiles_clean_under_the_checker() {
+        let profile = dra_workloads::builtin_profile("embedded-dsp").unwrap();
+        let report = run_corpus_compile(&profile, 40, 7, 2, &corpus_setup()).unwrap();
+        assert_eq!(report.functions, 40);
+        assert!(report.programs > 0 && report.programs <= 40);
+        assert_eq!(report.errors, 0, "corpus compiles must not error");
+        assert_eq!(report.violations, 0, "checker must accept the corpus");
+        assert!(report.telemetry.counter("checker.functions") >= 40);
+    }
+
+    #[test]
+    fn corpus_bench_reports_every_phase() {
+        let profile = dra_workloads::builtin_profile("pointer-chasing").unwrap();
+        let mut cfg = CorpusBenchConfig::smoke(profile);
+        cfg.count = 30;
+        cfg.threads = vec![1, 2];
+        let report = run_corpus_bench(&cfg).unwrap();
+        assert_eq!(report.phases.len(), 4, "2 thread counts x arena off/on");
+        for p in &report.phases {
+            assert_eq!(p.errors, 0);
+            assert!(p.jobs_per_sec > 0.0);
+        }
+        assert_eq!(report.arena_speedups().len(), 2);
+        assert!(!report.spans_ns.is_empty(), "per-stage spans captured");
+        let json = report.to_json();
+        let doc = parse_json(&json).expect("bench JSON parses");
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["schema"].as_str(), Some("dra-corpus-bench-v1"));
+        assert!(obj.contains_key("arena_speedup"));
+        // The arena switch is restored for the rest of the process.
+        assert!(dra_ir::scratch::reuse_enabled());
+    }
+}

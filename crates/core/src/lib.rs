@@ -28,8 +28,10 @@
 pub mod batch;
 pub mod bench_serve;
 pub mod cache;
+pub mod corpus;
 pub mod faults;
 pub mod highend;
+pub mod knob;
 pub mod lowend;
 pub mod profile;
 pub mod serve;
@@ -41,6 +43,11 @@ pub use batch::{
     run_lowend_matrix_with_telemetry, CellOutcome, IsolationStats, SourceCache,
 };
 pub use cache::LruCache;
+pub use corpus::{
+    profile_from_json, profile_to_json, resolve_profile, run_corpus_bench, run_corpus_compile,
+    write_profile, CorpusBenchConfig, CorpusBenchReport, CorpusReport,
+};
+pub use knob::{apply_cache_cap, env_knob, parse_knob};
 pub use session::{result_key, CompileSession, ResultKey};
 pub use faults::{
     adjudicate, run_fault_campaign, sample_faults, FaultOutcome, FaultReport, PipelineFaults,

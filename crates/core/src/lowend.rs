@@ -148,6 +148,15 @@ pub struct LowEndSetup {
     /// degradation lattice as a verification failure. Off by default
     /// (`drac --check` turns it on).
     pub check: bool,
+    /// Entry bound for the session's parsed-source cache
+    /// ([`crate::batch::SourceCache`]). The `DRA_CACHE_CAP` knob
+    /// ([`crate::knob::apply_cache_cap`]) overrides it for low-memory
+    /// deployments.
+    pub source_cache_cap: usize,
+    /// Entry bound for the session's allocation-result cache (tighter by
+    /// default: a cached [`LowEndRun`] retains the compiled program).
+    /// Also overridden by `DRA_CACHE_CAP`.
+    pub result_cache_cap: usize,
 }
 
 impl Default for LowEndSetup {
@@ -167,6 +176,8 @@ impl Default for LowEndSetup {
             cell_retries: 1,
             faults: PipelineFaults::default(),
             check: false,
+            source_cache_cap: crate::batch::DEFAULT_SOURCE_CAPACITY,
+            result_cache_cap: crate::session::DEFAULT_RESULT_CAPACITY,
         }
     }
 }
@@ -713,7 +724,7 @@ fn compile_program_attempt(
             for (fi, f) in p.funcs.iter_mut().enumerate() {
                 let pressure = match pressures {
                     Some(ps) => ps[fi],
-                    None => dra_ir::Liveness::compute(f).max_pressure(f),
+                    None => dra_ir::liveness::max_pressure_of(f),
                 };
                 if pressure <= setup.direct_regs as usize {
                     let mut cfg = AllocConfig::baseline(setup.direct_regs);
@@ -829,7 +840,7 @@ fn compile_function_attempt(
         }
         Approach::Adaptive => {
             let pressure =
-                pressure.unwrap_or_else(|| dra_ir::Liveness::compute(f).max_pressure(f));
+                pressure.unwrap_or_else(|| dra_ir::liveness::max_pressure_of(f));
             if pressure <= setup.direct_regs as usize {
                 let mut cfg = AllocConfig::baseline(setup.direct_regs);
                 cfg.call_clobbers = setup.call_clobbers.clone();
@@ -919,7 +930,7 @@ fn compile_program_degraded(
                 let differential_func = match approach {
                     Approach::Adaptive => {
                         let pr = pressure
-                            .unwrap_or_else(|| dra_ir::Liveness::compute(f).max_pressure(f));
+                            .unwrap_or_else(|| dra_ir::liveness::max_pressure_of(f));
                         pr > setup.direct_regs as usize
                     }
                     _ => true,

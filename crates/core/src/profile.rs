@@ -26,14 +26,22 @@ use std::collections::HashMap;
 ///
 /// Blocks the profile never saw keep a small nonzero weight so their edges
 /// still matter slightly (cold paths should not become cost-free to
-/// violate — they may still execute under other inputs).
-pub fn apply_profile(p: &mut Program, counts: &HashMap<(u32, u32), u64>) {
+/// violate — they may still execute under other inputs). Returns how many
+/// blocks got that floor: a profile that covers almost nothing silently
+/// degenerates to near-uniform weights, and the caller should be able to
+/// see that (the pipeline records it as `profile.cold_blocks`).
+pub fn apply_profile(p: &mut Program, counts: &HashMap<(u32, u32), u64>) -> usize {
+    let mut cold = 0;
     for (fi, f) in p.funcs.iter_mut().enumerate() {
         for (bi, b) in f.blocks.iter_mut().enumerate() {
             let c = counts.get(&(fi as u32, bi as u32)).copied().unwrap_or(0);
+            if c == 0 {
+                cold += 1;
+            }
             b.freq = (c as f64).max(0.1);
         }
     }
+    cold
 }
 
 /// Compile `name` under `approach` with profile-guided frequencies: a
@@ -54,7 +62,8 @@ pub fn compile_and_run_profiled(
 
     let mut telemetry = Telemetry::new();
     let mut p = telemetry.time("parse", || benchmark(name));
-    apply_profile(&mut p, &profile_run.block_counts);
+    let cold = apply_profile(&mut p, &profile_run.block_counts);
+    telemetry.count("profile.cold_blocks", cold as u64);
     let source = (setup.degrade && approach.can_degrade()).then(|| p.clone());
     let remap = compile_program_telemetry(&mut p, approach, setup, None, &mut telemetry)?;
     finish_run_or_degrade(source.as_ref(), p, approach, setup, remap, telemetry)
@@ -69,7 +78,7 @@ mod tests {
         let setup = LowEndSetup::default();
         let run = compile_and_run("crc32", Approach::Baseline, &setup).unwrap();
         let mut p = benchmark("crc32");
-        apply_profile(&mut p, &run.block_counts);
+        let cold = apply_profile(&mut p, &run.block_counts);
         // Loop bodies must now carry their real trip counts, far above
         // the static estimate's 10.
         let max_freq = p
@@ -87,6 +96,28 @@ mod tests {
             .map(|b| b.freq)
             .fold(f64::INFINITY, f64::min);
         assert!(min_freq >= 0.1);
+        // The reported cold count is exactly the number of floored blocks
+        // (an executed block counts at least 1.0, so 0.1 only means cold).
+        let floored = p
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .filter(|b| b.freq == 0.1)
+            .count();
+        assert_eq!(cold, floored);
+    }
+
+    #[test]
+    fn profiled_runs_report_cold_blocks() {
+        let setup = LowEndSetup::default();
+        let run = compile_and_run_profiled("crc32", Approach::Select, &setup).unwrap();
+        // The counter must exist even at zero — a fully-covered program
+        // and a missing counter must be distinguishable.
+        assert!(
+            run.telemetry.counters().contains_key("profile.cold_blocks"),
+            "profile.cold_blocks missing from {:?}",
+            run.telemetry.counters().keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! duplicate computation is neither hit nor miss, and an error is
 //! counted under `result_cache.uncacheable`).
 
-use crate::batch::{compile_and_run_cached, SourceCache, DEFAULT_SOURCE_CAPACITY};
+use crate::batch::{compile_and_run_cached, SourceCache};
 use crate::cache::LruCache;
 use crate::lowend::{compile_and_run_source, Approach, LowEndRun, LowEndSetup, PipelineError};
 use crate::telemetry::Telemetry;
@@ -93,9 +93,13 @@ pub struct CompileSession {
 }
 
 impl CompileSession {
-    /// A session with the default cache bounds.
+    /// A session with the cache bounds the setup carries
+    /// ([`LowEndSetup::source_cache_cap`] / [`LowEndSetup::result_cache_cap`],
+    /// which default to [`crate::batch::DEFAULT_SOURCE_CAPACITY`] /
+    /// [`DEFAULT_RESULT_CAPACITY`]).
     pub fn new(setup: LowEndSetup) -> CompileSession {
-        CompileSession::with_capacities(setup, DEFAULT_SOURCE_CAPACITY, DEFAULT_RESULT_CAPACITY)
+        let (source, result) = (setup.source_cache_cap, setup.result_cache_cap);
+        CompileSession::with_capacities(setup, source, result)
     }
 
     /// A session with explicit source/result cache entry bounds.
@@ -320,6 +324,21 @@ mod tests {
             assert_eq!(direct.code_bits, via_session.code_bits);
             assert_eq!(direct.set_last_regs, via_session.set_last_regs);
         }
+    }
+
+    #[test]
+    fn setup_capacities_flow_into_new_sessions() {
+        let mut setup = quick_setup();
+        setup.source_cache_cap = 16;
+        setup.result_cache_cap = 2;
+        let session = CompileSession::new(setup);
+        session.compile_bench("crc32", Approach::Baseline).unwrap();
+        session.compile_bench("bitcount", Approach::Baseline).unwrap();
+        session.compile_bench("qsort", Approach::Baseline).unwrap();
+        assert_eq!(session.result_cache_len(), 2);
+        let mut t = Telemetry::new();
+        session.record_counters(&mut t);
+        assert_eq!(t.counter("result_cache.evictions"), 1);
     }
 
     #[test]

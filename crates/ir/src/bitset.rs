@@ -87,6 +87,18 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Re-initialize in place to an empty set over `0..capacity`,
+    /// reusing the word buffer — the scratch-arena primitive: a pooled
+    /// set `reset` to a new capacity is indistinguishable from
+    /// [`BitSet::new`] but skips the allocation when the buffer is
+    /// already large enough.
+    pub fn reset(&mut self, capacity: usize) {
+        let nw = capacity.div_ceil(64);
+        self.words.clear();
+        self.words.resize(nw, 0);
+        self.capacity = capacity;
+    }
+
     /// Overwrite `self` with the contents of `other` without reallocating.
     ///
     /// The scratch-buffer primitive of the worklist dataflow: capacities
@@ -153,6 +165,15 @@ impl BitMatrix {
     /// Number of rows/columns.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Re-initialize in place to an empty relation over `0..n`, reusing
+    /// the word buffer (see [`BitSet::reset`]).
+    pub fn reset(&mut self, n: usize) {
+        let bits = n * (n + 1) / 2;
+        self.words.clear();
+        self.words.resize(bits.div_ceil(64), 0);
+        self.n = n;
     }
 
     /// Bit index of the unordered pair `(a, b)` in the lower triangle.

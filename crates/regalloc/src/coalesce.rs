@@ -157,70 +157,10 @@ fn coalesce_allocate_with(
     // The differential coalesce loop (Figure 9).
     loop {
         let view = GraphView::of(f, cfg);
-        let candidates = view.coalesce_candidates(cfg.eval_limit);
-        if candidates.is_empty() {
-            break;
-        }
-        let base = view.color_cost(None, cfg);
-        let Some(base_cost) = base else {
-            break; // base graph uncolorable; fall through to spilling below
-        };
-        let mut best: Option<(VReg, VReg, f64)> = None;
-        match cfg.eval {
-            CoalesceEval::Full => {
-                for &(dst, src) in &candidates {
-                    if let Some(cost) = view.color_cost(Some((dst, src)), cfg) {
-                        // Coalescing removes one move of weight
-                        // `move_cost` * frequency; the cost function
-                        // already includes remaining move weight, so
-                        // `cost` is directly comparable.
-                        if cost < base_cost - 1e-9
-                            && best.is_none_or(|(_, _, bc)| cost < bc)
-                        {
-                            best = Some((dst, src, cost));
-                        }
-                    }
-                }
-            }
-            CoalesceEval::Incremental => {
-                // One base coloring; per-candidate O(degree) delta.
-                let Some((colors, _)) = view.try_color(None, cfg) else {
-                    break;
-                };
-                for &(dst, src) in &candidates {
-                    let Some(cd) = colors[dst.index()] else { continue };
-                    let assign_base = |node: u32| {
-                        if node >= view.vreg_count {
-                            Some((node - view.vreg_count) as u8)
-                        } else {
-                            colors[node as usize]
-                        }
-                    };
-                    let assign_merged = |node: u32| {
-                        if node == src.0 {
-                            Some(cd)
-                        } else {
-                            assign_base(node)
-                        }
-                    };
-                    let before = view.adj_index.node_cost(src.0, assign_base, cfg.params);
-                    let after = view.adj_index.node_cost(src.0, assign_merged, cfg.params);
-                    let move_w = view
-                        .moves
-                        .iter()
-                        .find(|(d, s, _)| (*d, *s) == (dst, src))
-                        .map(|&(_, _, w)| w)
-                        .unwrap_or(cfg.move_cost);
-                    let delta = after - before - move_w;
-                    let score = base_cost + delta;
-                    if delta < -1e-9 && best.is_none_or(|(_, _, bc)| score < bc) {
-                        best = Some((dst, src, score));
-                    }
-                }
-            }
-        }
+        let best = best_coalesce(&view, cfg);
+        view.recycle();
         match best {
-            Some((dst, src, _)) => {
+            Some((dst, src)) => {
                 commit_coalesce(f, dst, src);
                 stats.moves_coalesced += 1;
             }
@@ -270,6 +210,71 @@ pub fn coalesce_allocate_program(
         total.irc.spill_selects += s.irc.spill_selects;
     }
     Ok(total)
+}
+
+/// One round of the differential coalesce loop: pick the cheapest
+/// profitable move to merge, or `None` when no candidate improves on the
+/// base coloring (or the base graph is uncolorable).
+fn best_coalesce(view: &GraphView, cfg: &CoalesceConfig) -> Option<(VReg, VReg)> {
+    let candidates = view.coalesce_candidates(cfg.eval_limit);
+    if candidates.is_empty() {
+        return None;
+    }
+    // Base graph uncolorable: fall through to spilling in the caller.
+    let base_cost = view.color_cost(None, cfg)?;
+    let mut best: Option<(VReg, VReg, f64)> = None;
+    match cfg.eval {
+        CoalesceEval::Full => {
+            for &(dst, src) in &candidates {
+                if let Some(cost) = view.color_cost(Some((dst, src)), cfg) {
+                    // Coalescing removes one move of weight
+                    // `move_cost` * frequency; the cost function
+                    // already includes remaining move weight, so
+                    // `cost` is directly comparable.
+                    if cost < base_cost - 1e-9
+                        && best.is_none_or(|(_, _, bc)| cost < bc)
+                    {
+                        best = Some((dst, src, cost));
+                    }
+                }
+            }
+        }
+        CoalesceEval::Incremental => {
+            // One base coloring; per-candidate O(degree) delta.
+            let (colors, _) = view.try_color(None, cfg)?;
+            for &(dst, src) in &candidates {
+                let Some(cd) = colors[dst.index()] else { continue };
+                let assign_base = |node: u32| {
+                    if node >= view.vreg_count {
+                        Some((node - view.vreg_count) as u8)
+                    } else {
+                        colors[node as usize]
+                    }
+                };
+                let assign_merged = |node: u32| {
+                    if node == src.0 {
+                        Some(cd)
+                    } else {
+                        assign_base(node)
+                    }
+                };
+                let before = view.adj_index.node_cost(src.0, assign_base, cfg.params);
+                let after = view.adj_index.node_cost(src.0, assign_merged, cfg.params);
+                let move_w = view
+                    .moves
+                    .iter()
+                    .find(|(d, s, _)| (*d, *s) == (dst, src))
+                    .map(|&(_, _, w)| w)
+                    .unwrap_or(cfg.move_cost);
+                let delta = after - before - move_w;
+                let score = base_cost + delta;
+                if delta < -1e-9 && best.is_none_or(|(_, _, bc)| score < bc) {
+                    best = Some((dst, src, score));
+                }
+            }
+        }
+    }
+    best.map(|(dst, src, _)| (dst, src))
 }
 
 /// Physically merge `src` into `dst`: rewrite uses and drop trivial moves.
@@ -325,6 +330,7 @@ impl GraphView {
                 }
             }
         }
+        liveness.recycle();
         GraphView {
             ig,
             adj,
@@ -333,6 +339,14 @@ impl GraphView {
             class_vregs,
             moves,
         }
+    }
+
+    /// Return the pooled buffers inside the interference graph and the
+    /// adjacency index to their thread-local arenas. The `adj` BTreeMap
+    /// has no pooled parts and simply drops.
+    fn recycle(self) {
+        self.ig.recycle();
+        self.adj_index.recycle();
     }
 
     /// Non-interfering move pairs, best `limit` by a cheap pre-score

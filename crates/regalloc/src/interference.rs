@@ -22,7 +22,7 @@
 //! the full `MAX_PREGS` window, so 2-register functions no longer carry
 //! 64 physical-register nodes.
 
-use dra_ir::bitset::{BitMatrix, BitSet};
+use dra_ir::bitset::BitMatrix;
 use dra_ir::liveness::{reg_to_entity, Liveness};
 use dra_ir::{Function, Inst, PReg, Reg, RegClass};
 
@@ -78,21 +78,24 @@ impl InterferenceGraph {
     ) -> InterferenceGraph {
         let vreg_count = f.vreg_count;
         let n = vreg_count as usize + used_preg_limit(f, call_clobbers);
+        // All backing storage comes from the per-thread arena (fresh
+        // allocations when reuse is off or the pool is dry); see
+        // [`crate::scratch`].
         let mut g = InterferenceGraph {
             n,
             vreg_count,
-            bits: BitMatrix::new(n),
-            adj: vec![Vec::new(); n],
-            degree: vec![0; n],
-            moves: Vec::new(),
-            use_def_weight: vec![0.0; n],
+            bits: crate::scratch::take_matrix(n),
+            adj: crate::scratch::take_adj(n),
+            degree: crate::scratch::take_u32_zeroed(n),
+            moves: crate::scratch::take_moves(),
+            use_def_weight: crate::scratch::take_f64_zeroed(n),
         };
 
         // Scratch buffers reused across blocks and instructions.
-        let mut live = BitSet::new(liveness.num_entities);
-        let mut defs: Vec<u32> = Vec::new();
-        let mut uses: Vec<u32> = Vec::new();
-        let mut all_defs: Vec<u32> = Vec::new();
+        let mut live = dra_ir::scratch::take_set(liveness.num_entities);
+        let mut defs: Vec<u32> = crate::scratch::take_u32();
+        let mut uses: Vec<u32> = crate::scratch::take_u32();
+        let mut all_defs: Vec<u32> = crate::scratch::take_u32();
 
         for (b, blk) in f.iter_blocks() {
             // Entities live after each instruction, walked backwards.
@@ -159,7 +162,24 @@ impl InterferenceGraph {
                 }
             }
         }
+        dra_ir::scratch::put_set(live);
+        crate::scratch::put_u32(defs);
+        crate::scratch::put_u32(uses);
+        crate::scratch::put_u32(all_defs);
         g
+    }
+
+    /// Return this graph's backing storage to the per-thread arena.
+    ///
+    /// Consumers that drop a graph whole (rather than adopting its parts
+    /// via [`InterferenceGraph::into_parts`]) should call this in compile
+    /// hot paths; dropping is always safe, just slower.
+    pub fn recycle(self) {
+        crate::scratch::put_matrix(self.bits);
+        crate::scratch::put_adj(self.adj);
+        crate::scratch::put_u32(self.degree);
+        crate::scratch::put_moves(self.moves);
+        crate::scratch::put_f64(self.use_def_weight);
     }
 
     /// Map `r` to its entity id, asserting it fits the sized node range.

@@ -44,6 +44,7 @@ pub mod interference;
 pub mod irc;
 pub mod ospill;
 pub mod remap;
+pub mod scratch;
 pub mod spill;
 
 pub use allocator::{

@@ -88,14 +88,16 @@ pub fn reduce_pressure(
         let vc = f.vreg_count as usize;
         let mut over_cover: HashMap<u32, u32> = HashMap::new(); // vreg -> overloaded points covered
         let mut max_pressure = 0usize;
+        let mut lv: Vec<u32> = Vec::new();
 
         for (b, _) in f.iter_blocks() {
             liveness.for_each_inst_reverse(f, b, |_, live| {
-                let lv: Vec<u32> = live
-                    .iter()
-                    .filter(|&e| e < vc && f.vreg_classes[e] == class)
-                    .map(|e| e as u32)
-                    .collect();
+                lv.clear();
+                lv.extend(
+                    live.iter()
+                        .filter(|&e| e < vc && f.vreg_classes[e] == class)
+                        .map(|e| e as u32),
+                );
                 max_pressure = max_pressure.max(lv.len());
                 if lv.len() > limit {
                     for &v in &lv {
@@ -104,6 +106,7 @@ pub fn reduce_pressure(
                 }
             });
         }
+        liveness.recycle();
 
         if max_pressure <= limit {
             break;

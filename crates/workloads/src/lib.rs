@@ -29,6 +29,11 @@
 
 pub mod loops;
 pub mod mibench;
+pub mod profile;
 
 pub use loops::{generate_loop_suite, LoopSuiteConfig, SuiteLoop};
 pub use mibench::{benchmark, benchmark_names, BenchSpec};
+pub use profile::{
+    builtin_profile, builtin_profiles, extract_profile, generate_from_profile,
+    validate_profile, WorkloadProfile,
+};

@@ -204,15 +204,70 @@ pub fn benchmark(name: &str) -> Program {
 
 /// Generate a program from an explicit spec.
 pub fn generate(spec: &BenchSpec) -> Program {
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
-    let mut funcs = Vec::with_capacity(spec.funcs);
-    // Leaf-ward functions first so calls only target lower indices +1 …
-    // actually: entry is index 0 and calls 1..funcs; generate all, entry
-    // last but placed first.
-    for fi in 0..spec.funcs {
+    let shape = FuncShape::from_spec(spec);
+    let shapes = vec![shape; spec.funcs];
+    gen_program(spec.name, &shapes, spec.seed)
+}
+
+/// Per-function generator knobs — the shape-driven core shared by the
+/// named [`BenchSpec`] benchmarks and the profile-driven corpus
+/// generator. One `FuncShape` per generated function.
+#[derive(Clone, Debug)]
+pub struct FuncShape {
+    /// Live working-set size — the register-pressure knob.
+    pub pressure: usize,
+    /// Mibench pressure concentration: entry keeps `pressure`, other
+    /// functions drop to a small working set (with an RNG draw, so the
+    /// historical benchmark byte streams are preserved). Profile-driven
+    /// shapes set this false and give every function its own pressure.
+    pub hot_entry: bool,
+    /// Straight-line expression instructions per block.
+    pub block_len: usize,
+    /// Loop regions per function (0 = straight-line with one diamond).
+    pub loops_per_func: usize,
+    /// Maximum loop nesting depth.
+    pub max_depth: u32,
+    /// Probability that an expression step touches memory.
+    pub mem_ratio: f64,
+    /// Probability of a call step.
+    pub call_ratio: f64,
+    /// Probability of an if-else region per loop body.
+    pub branch_ratio: f64,
+    /// Trip count range for generated loops.
+    pub trip_range: (i32, i32),
+    /// Weight of multiply/divide in the opcode mix.
+    pub muldiv_ratio: f64,
+}
+
+impl FuncShape {
+    fn from_spec(spec: &BenchSpec) -> FuncShape {
+        FuncShape {
+            pressure: spec.pressure,
+            hot_entry: true,
+            block_len: spec.block_len,
+            loops_per_func: spec.loops_per_func,
+            max_depth: spec.max_depth,
+            mem_ratio: spec.mem_ratio,
+            call_ratio: spec.call_ratio,
+            branch_ratio: spec.branch_ratio,
+            trip_range: spec.trip_range,
+            muldiv_ratio: spec.muldiv_ratio,
+        }
+    }
+}
+
+/// Generate one program from per-function shapes under one seed. Function
+/// `i` is named `{name}_{i}`; the entry is function 0; calls only target
+/// later indices (acyclic by construction) and the last function is the
+/// loop-free leaf.
+pub fn gen_program(name: &str, shapes: &[FuncShape], seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_funcs = shapes.len();
+    let mut funcs = Vec::with_capacity(n_funcs);
+    for (fi, shape) in shapes.iter().enumerate() {
         let is_entry = fi == 0;
-        let callees: Vec<u32> = (fi as u32 + 1..spec.funcs as u32).collect();
-        funcs.push(gen_function(spec, &mut rng, fi, is_entry, &callees));
+        let callees: Vec<u32> = (fi as u32 + 1..n_funcs as u32).collect();
+        funcs.push(gen_function(shape, name, &mut rng, fi, n_funcs, is_entry, &callees));
     }
     let mut p = Program { funcs, entry: 0 };
     for f in &mut p.funcs {
@@ -228,7 +283,7 @@ const DATA_BASE: i32 = 0x1000;
 const DATA_SIZE: i32 = 2048;
 
 struct Ctx<'a> {
-    spec: &'a BenchSpec,
+    spec: &'a FuncShape,
     rng: &'a mut SmallRng,
     /// Live working set.
     ws: Vec<VReg>,
@@ -304,26 +359,29 @@ impl Ctx<'_> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gen_function(
-    spec: &BenchSpec,
+    spec: &FuncShape,
+    name: &str,
     rng: &mut SmallRng,
     index: usize,
+    n_funcs: usize,
     is_entry: bool,
     callees: &[u32],
 ) -> dra_ir::Function {
-    let is_leaf = index + 1 == spec.funcs;
+    let is_leaf = index + 1 == n_funcs;
     // Register pressure concentrates in one hot function — the paper's
     // premise is that "in most cases register pressure is lower than the
     // number of architected registers" with localized hot regions (from
     // inlining, unrolling, crypto rounds …). The rest of the program runs
-    // a small working set.
-    let hot = 0; // the entry runs unconditionally — pressure must execute
-    let pressure = if index == hot {
+    // a small working set. Profile-driven shapes (`hot_entry == false`)
+    // instead carry a per-function pressure sampled from the histogram.
+    let pressure = if !spec.hot_entry || index == 0 {
         spec.pressure
     } else {
         spec.pressure.min(4 + rng.gen_range(0..=2))
     };
-    let mut b = FunctionBuilder::new(format!("{}_{index}", spec.name));
+    let mut b = FunctionBuilder::new(format!("{name}_{index}"));
     // Parameters feed the working set.
     let n_params = if is_entry { 0 } else { rng.gen_range(1..=2) };
     let mut ws: Vec<VReg> = (0..n_params).map(|_| b.new_param()).collect();
@@ -345,16 +403,21 @@ fn gen_function(
         allow_calls: !callees.is_empty(),
         last_def: None,
         recent: Vec::new(),
-        leaf: if spec.funcs >= 2 && !is_leaf {
-            Some(spec.funcs as u32 - 1)
+        leaf: if n_funcs >= 2 && !is_leaf {
+            Some(n_funcs as u32 - 1)
         } else {
             None
         },
         loop_depth: 0,
     };
 
-    if is_leaf {
-        // The leaf kernel: straight-line pressure, no loops, no calls.
+    // The mibench path keeps its leaf loop-free (calls inside loops
+    // target it, and a loopy leaf would multiply dynamic trip counts);
+    // profile-driven corpora are compile/check workloads, never
+    // simulated, so their leaves follow the sampled shape.
+    if (is_leaf && spec.hot_entry) || spec.loops_per_func == 0 {
+        // The leaf kernel (or a deliberately loop-free shape):
+        // straight-line pressure, one diamond, no loops.
         gen_straight(&mut b, &mut ctx, spec.block_len * 2);
         gen_branch(&mut b, &mut ctx);
         gen_straight(&mut b, &mut ctx, spec.block_len);

@@ -1,0 +1,585 @@
+//! Workload profiles: compact statistical fingerprints of a program
+//! corpus, and a seeded generator that manufactures arbitrarily many
+//! functions matching a fingerprint.
+//!
+//! A [`WorkloadProfile`] captures the distributions that drive register
+//! allocator behavior — instruction mix, register-pressure histogram,
+//! loop-depth distribution, CFG shape, call density — without keeping the
+//! programs themselves. [`extract_profile`] measures any corpus;
+//! [`generate_from_profile`] inverts the measurement: it maps the profile
+//! back onto the shape knobs of the [`crate::mibench`] generator and
+//! emits parse-valid, validator-clean programs whose re-extracted profile
+//! lands near the source (the fidelity tolerance is pinned by tests).
+//!
+//! Generation is *order-independent*: program `i` of a corpus is derived
+//! from `(seed, i)` alone via a SplitMix64 stream split, so corpora are
+//! byte-identical no matter how many threads compile them or in which
+//! order programs are produced.
+
+use crate::mibench::{gen_program, FuncShape};
+use dra_ir::{BinOp, Inst, Program};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Schema tag for the on-disk JSON form (written by `drac profile`).
+pub const PROFILE_SCHEMA: &str = "dra-profile-v1";
+
+/// Number of register-pressure buckets ([0-3], [4-7], … [20+]).
+pub const PRESSURE_BUCKETS: usize = 6;
+/// Width of each pressure bucket in registers.
+pub const PRESSURE_BUCKET_WIDTH: usize = 4;
+/// Number of loop-depth buckets (depth 0, 1, 2, 3+).
+pub const DEPTH_BUCKETS: usize = 4;
+
+/// Fractions of the instruction stream by category. The six fields sum
+/// to ~1 for an extracted profile (Nop/SetLastReg pseudo-ops are not
+/// counted).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstMix {
+    /// Add/sub/logic/shift ALU operations (including immediate forms).
+    pub alu: f64,
+    /// Multiply, divide, and remainder.
+    pub muldiv: f64,
+    /// Loads and stores (including spill traffic, if present).
+    pub mem: f64,
+    /// Register and immediate moves, and parameter materialization.
+    pub mov: f64,
+    /// Direct calls.
+    pub call: f64,
+    /// Branches and returns.
+    pub branch: f64,
+}
+
+/// Control-flow shape summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CfgShape {
+    /// Mean basic blocks per function.
+    pub avg_blocks: f64,
+    /// Mean instructions per block.
+    pub avg_block_len: f64,
+    /// Fraction of blocks ending in a conditional branch.
+    pub branch_density: f64,
+    /// Mean functions per program.
+    pub avg_funcs: f64,
+}
+
+/// A statistical fingerprint of a workload, sufficient to drive the
+/// corpus generator. See the module docs for the extraction/generation
+/// round trip.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Profile name (also the default corpus name prefix).
+    pub name: String,
+    /// Instruction-category mix.
+    pub inst_mix: InstMix,
+    /// Fraction of functions whose MAXLIVE falls in each bucket
+    /// (`[4b, 4b+3]`, last bucket open-ended).
+    pub pressure_hist: [f64; PRESSURE_BUCKETS],
+    /// Fraction of instructions at loop-nesting depth 0, 1, 2, 3+.
+    pub loop_depth_hist: [f64; DEPTH_BUCKETS],
+    /// CFG shape summary.
+    pub cfg_shape: CfgShape,
+    /// Calls per instruction (redundant with `inst_mix.call` for
+    /// extracted profiles; kept separate so hand-written profiles can
+    /// dial call pressure without rebalancing the whole mix).
+    pub call_density: f64,
+}
+
+/// Pressure bucket index for a MAXLIVE value.
+pub fn pressure_bucket(p: usize) -> usize {
+    (p / PRESSURE_BUCKET_WIDTH).min(PRESSURE_BUCKETS - 1)
+}
+
+/// Measure a corpus into a profile.
+pub fn extract_profile(name: &str, programs: &[Program]) -> WorkloadProfile {
+    let mut mix = [0usize; 6]; // alu, muldiv, mem, mov, call, branch
+    let mut pressure_hist = [0usize; PRESSURE_BUCKETS];
+    let mut depth_hist = [0usize; DEPTH_BUCKETS];
+    let mut blocks = 0usize;
+    let mut insts = 0usize;
+    let mut cond_blocks = 0usize;
+    let mut funcs = 0usize;
+    for p in programs {
+        for f in &p.funcs {
+            funcs += 1;
+            pressure_hist[pressure_bucket(dra_ir::liveness::max_pressure_of(f))] += 1;
+            let depths = dra_ir::loops::loop_depths(f);
+            for (b, blk) in f.iter_blocks() {
+                blocks += 1;
+                let db = (depths[b.index()] as usize).min(DEPTH_BUCKETS - 1);
+                for i in &blk.insts {
+                    let cat = match i {
+                        Inst::Bin { op, .. } | Inst::BinImm { op, .. } => {
+                            if matches!(op, BinOp::Mul | BinOp::Div | BinOp::Rem) {
+                                1
+                            } else {
+                                0
+                            }
+                        }
+                        Inst::Load { .. }
+                        | Inst::Store { .. }
+                        | Inst::SpillLoad { .. }
+                        | Inst::SpillStore { .. } => 2,
+                        Inst::Mov { .. } | Inst::MovImm { .. } | Inst::GetParam { .. } => 3,
+                        Inst::Call { .. } => 4,
+                        Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. } => 5,
+                        Inst::SetLastReg { .. } | Inst::Nop => continue,
+                    };
+                    mix[cat] += 1;
+                    insts += 1;
+                    depth_hist[db] += 1;
+                }
+                if matches!(blk.insts.last(), Some(Inst::CondBr { .. })) {
+                    cond_blocks += 1;
+                }
+            }
+        }
+    }
+    let norm = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    WorkloadProfile {
+        name: name.to_string(),
+        inst_mix: InstMix {
+            alu: norm(mix[0], insts),
+            muldiv: norm(mix[1], insts),
+            mem: norm(mix[2], insts),
+            mov: norm(mix[3], insts),
+            call: norm(mix[4], insts),
+            branch: norm(mix[5], insts),
+        },
+        pressure_hist: pressure_hist.map(|n| norm(n, funcs)),
+        loop_depth_hist: depth_hist.map(|n| norm(n, insts)),
+        cfg_shape: CfgShape {
+            avg_blocks: norm(blocks, funcs),
+            avg_block_len: norm(insts, blocks),
+            branch_density: norm(cond_blocks, blocks),
+            avg_funcs: norm(funcs, programs.len()),
+        },
+        call_density: norm(mix[4], insts),
+    }
+}
+
+/// Structural sanity gate for a profile, applied before generation and
+/// when loading from JSON. Rejects non-finite, negative, or vacuous
+/// distributions rather than silently generating garbage.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated constraint.
+pub fn validate_profile(p: &WorkloadProfile) -> Result<(), String> {
+    if p.name.is_empty() {
+        return Err("profile name is empty".into());
+    }
+    let mix = [
+        ("alu", p.inst_mix.alu),
+        ("muldiv", p.inst_mix.muldiv),
+        ("mem", p.inst_mix.mem),
+        ("mov", p.inst_mix.mov),
+        ("call", p.inst_mix.call),
+        ("branch", p.inst_mix.branch),
+    ];
+    let mut mix_sum = 0.0;
+    for (name, v) in mix {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("inst_mix.{name} = {v} (must be finite and >= 0)"));
+        }
+        mix_sum += v;
+    }
+    if mix_sum <= 0.0 {
+        return Err("inst_mix sums to zero".into());
+    }
+    if mix_sum > 1.0 + 1e-6 {
+        return Err(format!("inst_mix sums to {mix_sum} (> 1)"));
+    }
+    for (label, hist) in [
+        ("pressure_hist", &p.pressure_hist[..]),
+        ("loop_depth_hist", &p.loop_depth_hist[..]),
+    ] {
+        let mut sum = 0.0;
+        for (i, &v) in hist.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{label}[{i}] = {v} (must be finite and >= 0)"));
+            }
+            sum += v;
+        }
+        if sum <= 0.0 {
+            return Err(format!("{label} sums to zero"));
+        }
+        if sum > 1.0 + 1e-6 {
+            return Err(format!("{label} sums to {sum} (> 1)"));
+        }
+    }
+    let cfg = &p.cfg_shape;
+    if !cfg.avg_blocks.is_finite() || cfg.avg_blocks < 1.0 {
+        return Err(format!("cfg_shape.avg_blocks = {} (must be >= 1)", cfg.avg_blocks));
+    }
+    if !cfg.avg_block_len.is_finite() || cfg.avg_block_len < 1.0 {
+        return Err(format!(
+            "cfg_shape.avg_block_len = {} (must be >= 1)",
+            cfg.avg_block_len
+        ));
+    }
+    if !cfg.branch_density.is_finite() || !(0.0..=1.0).contains(&cfg.branch_density) {
+        return Err(format!(
+            "cfg_shape.branch_density = {} (must be in [0,1])",
+            cfg.branch_density
+        ));
+    }
+    if !cfg.avg_funcs.is_finite() || cfg.avg_funcs < 1.0 {
+        return Err(format!("cfg_shape.avg_funcs = {} (must be >= 1)", cfg.avg_funcs));
+    }
+    if !p.call_density.is_finite() || !(0.0..=1.0).contains(&p.call_density) {
+        return Err(format!("call_density = {} (must be in [0,1])", p.call_density));
+    }
+    Ok(())
+}
+
+/// SplitMix64 step — the per-program stream split. Program `i` of a
+/// corpus draws from `SmallRng::seed_from_u64(splitmix64(seed, i))`, so
+/// generation order (and compile-thread count) cannot affect content.
+fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sample a bucket index from non-negative weights (need not sum to 1).
+fn sample_bucket(rng: &mut SmallRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut roll = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w {
+            return i;
+        }
+        roll -= w;
+    }
+    weights.len() - 1
+}
+
+/// Map a profile onto one function's generator shape.
+fn shape_from_profile(p: &WorkloadProfile, rng: &mut SmallRng) -> FuncShape {
+    // Step ratios: the generator emits mem/call/expression *steps*; movs
+    // and branches arise structurally. Normalize the mix over the four
+    // step-driven categories so their relative frequencies survive. The
+    // boost factors compensate for structural ALU dilution (loop
+    // increments, working-set folds) measured on re-extracted corpora.
+    let m = &p.inst_mix;
+    let step_mass = (m.alu + m.muldiv + m.mem + m.call).max(1e-9);
+    let mem_ratio = (1.35 * m.mem / step_mass).clamp(0.0, 0.8);
+    let call_ratio = (2.2 * p.call_density.max(m.call) / step_mass).clamp(0.0, 0.6);
+    let muldiv_ratio = (1.4 * m.muldiv / (m.alu + m.muldiv).max(1e-9)).clamp(0.0, 0.9);
+
+    // Loop structure from the depth histogram: the in-loop instruction
+    // mass sets how many loop regions to emit; the deepest populated
+    // bucket sets the nesting allowance.
+    let in_loop: f64 = p.loop_depth_hist[1..].iter().sum();
+    let loops_per_func = if in_loop < 0.05 {
+        0
+    } else {
+        ((in_loop * 4.0).round() as usize).clamp(1, 3)
+    };
+    let max_depth = (1..DEPTH_BUCKETS)
+        .rev()
+        .find(|&d| p.loop_depth_hist[d] > 0.02)
+        .unwrap_or(1) as u32;
+
+    let block_len = (p.cfg_shape.avg_block_len.round() as usize).clamp(3, 24);
+    let branch_ratio = (p.cfg_shape.branch_density * 1.4).clamp(0.05, 0.9);
+
+    // Pressure: sample the bucket, then a value inside it. The generator's
+    // MAXLIVE overshoots its working-set knob — the data base, the fold
+    // accumulator, and one `(i, n)` counter pair per live loop level ride
+    // on top — so subtract a structural overhead that grows with the loop
+    // shape (calibrated against re-extraction of generated corpora).
+    let bucket = sample_bucket(rng, &p.pressure_hist);
+    let lo = bucket * PRESSURE_BUCKET_WIDTH;
+    let target = lo + rng.gen_range(0..PRESSURE_BUCKET_WIDTH);
+    let overhead = 2 + loops_per_func + max_depth as usize;
+    let pressure = target.saturating_sub(overhead).clamp(2, 24);
+
+    FuncShape {
+        pressure,
+        hot_entry: false,
+        block_len,
+        loops_per_func,
+        max_depth,
+        mem_ratio,
+        call_ratio,
+        branch_ratio,
+        trip_range: (6, 24),
+        muldiv_ratio,
+    }
+}
+
+/// Generate `count` functions matching `profile`, packed into programs of
+/// roughly `cfg_shape.avg_funcs` functions each. Every program is
+/// validator-clean ([`dra_ir::validate::validate_program`] runs inside
+/// the generator) and survives the text round trip.
+///
+/// # Errors
+///
+/// Returns the [`validate_profile`] failure for a malformed profile.
+pub fn generate_from_profile(
+    profile: &WorkloadProfile,
+    seed: u64,
+    count: usize,
+) -> Result<Vec<Program>, String> {
+    validate_profile(profile)?;
+    let name: String = profile
+        .name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let mut programs = Vec::new();
+    let mut emitted = 0usize;
+    let mut pi = 0u64;
+    while emitted < count {
+        let sub = splitmix64(seed, pi);
+        let mut rng = SmallRng::seed_from_u64(sub);
+        let base = profile.cfg_shape.avg_funcs.floor() as usize;
+        let frac = profile.cfg_shape.avg_funcs - base as f64;
+        let mut k = (base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)))).clamp(1, 6);
+        k = k.min(count - emitted);
+        let shapes: Vec<FuncShape> =
+            (0..k).map(|_| shape_from_profile(profile, &mut rng)).collect();
+        programs.push(gen_program(&format!("{name}_{pi}"), &shapes, sub));
+        emitted += k;
+        pi += 1;
+    }
+    Ok(programs)
+}
+
+/// The four checked-in reference profiles. Each is a hand-tuned
+/// fingerprint of a workload family the register-allocation literature
+/// leans on; `profiles/*.json` in the repo root are their serialized
+/// forms (regenerated by `drac profile --builtin`).
+pub fn builtin_profiles() -> Vec<WorkloadProfile> {
+    vec![
+        // Dense arithmetic kernels: multiply-accumulate heavy, high
+        // register pressure, tight doubly-nested loops, almost no calls.
+        WorkloadProfile {
+            name: "embedded-dsp".into(),
+            inst_mix: InstMix {
+                alu: 0.42,
+                muldiv: 0.14,
+                mem: 0.12,
+                mov: 0.18,
+                call: 0.01,
+                branch: 0.13,
+            },
+            pressure_hist: [0.0, 0.05, 0.30, 0.45, 0.20, 0.0],
+            loop_depth_hist: [0.25, 0.45, 0.30, 0.0],
+            cfg_shape: CfgShape {
+                avg_blocks: 12.0,
+                avg_block_len: 9.0,
+                branch_density: 0.25,
+                avg_funcs: 2.0,
+            },
+            call_density: 0.01,
+        },
+        // Linked-structure traversal: load/store dominated, small live
+        // sets, shallow loops with data-dependent branching.
+        WorkloadProfile {
+            name: "pointer-chasing".into(),
+            inst_mix: InstMix {
+                alu: 0.28,
+                muldiv: 0.01,
+                mem: 0.32,
+                mov: 0.18,
+                call: 0.03,
+                branch: 0.18,
+            },
+            pressure_hist: [0.10, 0.60, 0.30, 0.0, 0.0, 0.0],
+            loop_depth_hist: [0.35, 0.55, 0.10, 0.0],
+            cfg_shape: CfgShape {
+                avg_blocks: 14.0,
+                avg_block_len: 5.0,
+                branch_density: 0.35,
+                avg_funcs: 2.0,
+            },
+            call_density: 0.03,
+        },
+        // Branch mazes: state machines and parsers — many small blocks,
+        // deep nesting, moderate pressure.
+        WorkloadProfile {
+            name: "deep-cfg".into(),
+            inst_mix: InstMix {
+                alu: 0.34,
+                muldiv: 0.03,
+                mem: 0.12,
+                mov: 0.20,
+                call: 0.02,
+                branch: 0.29,
+            },
+            pressure_hist: [0.05, 0.45, 0.40, 0.10, 0.0, 0.0],
+            loop_depth_hist: [0.20, 0.30, 0.30, 0.20],
+            cfg_shape: CfgShape {
+                avg_blocks: 28.0,
+                avg_block_len: 4.0,
+                branch_density: 0.45,
+                avg_funcs: 2.0,
+            },
+            call_density: 0.02,
+        },
+        // Call-graph heavy: many small functions, frequent calls, light
+        // loops — the clobber-pressure stress case.
+        WorkloadProfile {
+            name: "call-heavy".into(),
+            inst_mix: InstMix {
+                alu: 0.32,
+                muldiv: 0.04,
+                mem: 0.14,
+                mov: 0.22,
+                call: 0.10,
+                branch: 0.18,
+            },
+            pressure_hist: [0.15, 0.50, 0.35, 0.0, 0.0, 0.0],
+            loop_depth_hist: [0.45, 0.45, 0.10, 0.0],
+            cfg_shape: CfgShape {
+                avg_blocks: 10.0,
+                avg_block_len: 5.0,
+                branch_density: 0.30,
+                avg_funcs: 4.0,
+            },
+            call_density: 0.10,
+        },
+    ]
+}
+
+/// Look up a builtin profile by name.
+pub fn builtin_profile(name: &str) -> Option<WorkloadProfile> {
+    builtin_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_validate() {
+        let all = builtin_profiles();
+        assert_eq!(all.len(), 4);
+        for p in &all {
+            validate_profile(p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut p = builtin_profile("call-heavy").unwrap();
+        p.pressure_hist = [0.0; PRESSURE_BUCKETS];
+        assert!(validate_profile(&p).unwrap_err().contains("pressure_hist"));
+        let mut p = builtin_profile("call-heavy").unwrap();
+        p.inst_mix.alu = f64::NAN;
+        assert!(validate_profile(&p).is_err());
+        let mut p = builtin_profile("call-heavy").unwrap();
+        p.cfg_shape.avg_funcs = 0.0;
+        assert!(validate_profile(&p).is_err());
+        assert!(generate_from_profile(&p, 1, 1).is_err());
+    }
+
+    #[test]
+    fn generation_hits_exact_function_count() {
+        let p = builtin_profile("call-heavy").unwrap();
+        for count in [1, 7, 40] {
+            let corpus = generate_from_profile(&p, 42, count).unwrap();
+            let total: usize = corpus.iter().map(|p| p.funcs.len()).sum();
+            assert_eq!(total, count);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let p = builtin_profile("embedded-dsp").unwrap();
+        let a = generate_from_profile(&p, 7, 12).unwrap();
+        let b = generate_from_profile(&p, 7, 12).unwrap();
+        assert_eq!(a, b);
+        let c = generate_from_profile(&p, 8, 12).unwrap();
+        assert_ne!(a, c);
+    }
+
+    /// The fidelity contract: re-extracting a profile from a generated
+    /// corpus must land near the profile that generated it. Tolerances
+    /// are deliberately loose — the generator is calibrated, not exact —
+    /// but tight enough to catch a broken mapping (a category collapsing
+    /// to zero, pressure off by a bucket regime, loops disappearing).
+    #[test]
+    fn generated_corpus_matches_its_profile() {
+        for src in builtin_profiles() {
+            let corpus = generate_from_profile(&src, 1234, 200).unwrap();
+            let got = extract_profile(&src.name, &corpus);
+            validate_profile(&got).unwrap_or_else(|e| panic!("{}: {e}", src.name));
+            for (label, want, have) in [
+                ("alu", src.inst_mix.alu, got.inst_mix.alu),
+                ("muldiv", src.inst_mix.muldiv, got.inst_mix.muldiv),
+                ("mem", src.inst_mix.mem, got.inst_mix.mem),
+                ("mov", src.inst_mix.mov, got.inst_mix.mov),
+                ("call", src.inst_mix.call, got.inst_mix.call),
+                ("branch", src.inst_mix.branch, got.inst_mix.branch),
+            ] {
+                assert!(
+                    (want - have).abs() <= 0.15,
+                    "{}: {label} mix {want:.3} regenerated as {have:.3}",
+                    src.name
+                );
+            }
+            let mean_pressure = |h: &[f64]| {
+                h.iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        w * (i * PRESSURE_BUCKET_WIDTH + PRESSURE_BUCKET_WIDTH / 2) as f64
+                    })
+                    .sum::<f64>()
+            };
+            let want = mean_pressure(&src.pressure_hist);
+            let have = mean_pressure(&got.pressure_hist);
+            assert!(
+                (want - have).abs() <= 0.25 * want.max(1.0),
+                "{}: mean pressure {want:.2} regenerated as {have:.2}",
+                src.name
+            );
+            let depth_l1: f64 = src
+                .loop_depth_hist
+                .iter()
+                .zip(&got.loop_depth_hist)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            assert!(
+                depth_l1 <= 0.6,
+                "{}: depth hist {:?} regenerated as {:?} (L1 {depth_l1:.3})",
+                src.name,
+                src.loop_depth_hist,
+                got.loop_depth_hist
+            );
+            assert!(
+                (src.call_density - got.call_density).abs() <= 0.1,
+                "{}: call density {:.3} regenerated as {:.3}",
+                src.name,
+                src.call_density,
+                got.call_density
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_of_mibench_is_sane() {
+        let programs: Vec<Program> = crate::mibench::benchmark_names()
+            .iter()
+            .map(|n| crate::mibench::benchmark(n))
+            .collect();
+        let p = extract_profile("mibench", &programs);
+        validate_profile(&p).unwrap();
+        let m = &p.inst_mix;
+        let sum = m.alu + m.muldiv + m.mem + m.mov + m.call + m.branch;
+        assert!((sum - 1.0).abs() < 1e-9, "mix sums to {sum}");
+        assert!((p.pressure_hist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((p.loop_depth_hist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mibench lives in loops; most instruction mass is at depth >= 1.
+        assert!(p.loop_depth_hist[0] < 0.5, "depth hist {:?}", p.loop_depth_hist);
+    }
+}

@@ -35,6 +35,19 @@ cargo test -q --test fault_injection
 cargo test -q --test fault_injection decoder_is_total
 echo "fault containment OK"
 
+# Corpus smoke: the profile → generator → batch-compile → checker loop
+# at CI scale. 100 generated functions must compile with zero errors and
+# zero checker violations (the command exits nonzero otherwise), the
+# emitted profile artifact must be a valid dra-profile-v1 document (the
+# generator accepts only validated profiles, so feeding the artifact
+# back through `corpus` is the validation gate), and the corpus
+# telemetry frame must be schema-valid.
+cargo run -q -p dra-core --release --bin drac -- profile --builtin embedded-dsp > /dev/null
+cargo run -q -p dra-core --release --bin drac -- corpus \
+  --profile results/profiles/embedded-dsp.json --count 100 > /dev/null
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry/corpus.json > /dev/null
+echo "corpus smoke OK"
+
 # Serve smoke: a resident daemon on a temp Unix socket, driven through
 # the dra-serve-v1 line protocol — ping, two identical compiles (the
 # second must come from the cross-request result cache), a stats probe,
