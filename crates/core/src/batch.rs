@@ -33,7 +33,7 @@ use crate::lowend::{
     PipelineError,
 };
 use crate::session::CompileSession;
-use crate::telemetry::{take_panic_stage, Telemetry};
+use crate::telemetry::{arm_cancel, take_panic_stage, CancelToken, CancelUnwind, Telemetry};
 use dra_ir::Program;
 use dra_workloads::benchmark;
 use std::any::Any;
@@ -127,6 +127,15 @@ pub enum CellOutcome<R> {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The cell's [`CancelToken`] expired before it finished: a stage
+    /// boundary (or the pre-attempt check) observed cancellation and the
+    /// attempt was abandoned. Never retried — an expired deadline does not
+    /// un-expire.
+    Cancelled {
+        /// The stage boundary that observed cancellation (`"start"` when
+        /// the token was already expired before the first attempt began).
+        stage: String,
+    },
 }
 
 impl<R> CellOutcome<R> {
@@ -139,7 +148,7 @@ impl<R> CellOutcome<R> {
     pub fn as_ok(&self) -> Option<&R> {
         match self {
             CellOutcome::Ok(r) => Some(r),
-            CellOutcome::Failed { .. } => None,
+            _ => None,
         }
     }
 
@@ -147,7 +156,7 @@ impl<R> CellOutcome<R> {
     pub fn into_ok(self) -> Option<R> {
         match self {
             CellOutcome::Ok(r) => Some(r),
-            CellOutcome::Failed { .. } => None,
+            _ => None,
         }
     }
 }
@@ -184,14 +193,51 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// stage attribution instead of killing its worker thread. Returns the
 /// outcome plus the number of retried attempts.
 pub fn run_isolated<R>(retries: u32, f: impl Fn() -> R) -> (CellOutcome<R>, u32) {
+    run_isolated_cancellable(retries, None, f)
+}
+
+/// [`run_isolated`] with an optional cooperative [`CancelToken`].
+///
+/// When a token is supplied it is armed on this thread for the duration of
+/// every attempt, so each telemetry stage boundary inside `f` (and every
+/// explicit [`crate::telemetry::check_cancelled`] site, e.g. the session
+/// cache) doubles as a cancellation checkpoint. An expired token turns the
+/// attempt into [`CellOutcome::Cancelled`] — distinguished from a real
+/// panic by its [`CancelUnwind`] payload — and is never retried: retrying
+/// work whose deadline has passed only deepens an overload. An
+/// already-expired token short-circuits before `f` runs at all (stage
+/// `"start"`).
+pub fn run_isolated_cancellable<R>(
+    retries: u32,
+    cancel: Option<&CancelToken>,
+    f: impl Fn() -> R,
+) -> (CellOutcome<R>, u32) {
     let mut retried = 0u32;
     loop {
         // Clear any stage left over from earlier work on this thread so
         // the attribution below is this attempt's own.
         let _ = take_panic_stage();
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return (
+                CellOutcome::Cancelled {
+                    stage: "start".to_string(),
+                },
+                retried,
+            );
+        }
+        let _armed = cancel.map(arm_cancel);
         match catch_unwind(AssertUnwindSafe(&f)) {
             Ok(r) => return (CellOutcome::Ok(r), retried),
             Err(payload) => {
+                if let Some(c) = payload.downcast_ref::<CancelUnwind>() {
+                    let _ = take_panic_stage();
+                    return (
+                        CellOutcome::Cancelled {
+                            stage: c.stage.clone(),
+                        },
+                        retried,
+                    );
+                }
                 let stage = take_panic_stage().unwrap_or_else(|| "cell".to_string());
                 if retried < retries {
                     retried += 1;
@@ -493,6 +539,12 @@ pub fn run_lowend_matrix_with_telemetry(
         let run = match outcome {
             CellOutcome::Ok(run) => run,
             CellOutcome::Failed { stage, message } => Err(PipelineError::Panic { stage, message }),
+            // Batch cells run without a cancel token; the arm exists for
+            // exhaustiveness (a future deadline-aware batch would land here).
+            CellOutcome::Cancelled { stage } => Err(PipelineError::Panic {
+                stage,
+                message: "cancelled".to_string(),
+            }),
         };
         match &run {
             Ok(r) => {
@@ -563,7 +615,7 @@ mod tests {
                             assert_eq!(stage, "cell", "panic outside any telemetry stage");
                             assert!(message.contains("injected fault in cell 5"), "{message}");
                         }
-                        CellOutcome::Ok(_) => panic!("cell 5 should have failed"),
+                        other => panic!("cell 5 should have failed, got {other:?}"),
                     }
                 } else {
                     assert_eq!(o.as_ok(), Some(&(i * 2)), "cell {i} survived untouched");
@@ -590,7 +642,60 @@ mod tests {
                 assert_eq!(stage, "alloc");
                 assert_eq!(message, "boom");
             }
-            CellOutcome::Ok(_) => panic!("cell should have failed"),
+            other => panic!("cell should have failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_isolated_cancellable_stops_at_the_next_stage_boundary() {
+        crate::telemetry::install_cancel_quiet_hook();
+        let token = CancelToken::new();
+        let (outcome, retried) = run_isolated_cancellable(3, Some(&token), || {
+            let mut t = Telemetry::new();
+            t.time("alloc", || token.cancel());
+            t.time("verify", || unreachable!("stage after cancellation must not run"))
+        });
+        assert_eq!(retried, 0, "cancellation is never retried");
+        match outcome {
+            CellOutcome::Cancelled { stage } => assert_eq!(stage, "verify"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_isolated_cancellable_short_circuits_an_expired_token() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        let (outcome, retried) = run_isolated_cancellable(2, Some(&token), || {
+            ran.store(true, Ordering::SeqCst);
+        });
+        assert!(!ran.load(Ordering::SeqCst), "work never starts");
+        assert_eq!(retried, 0);
+        match outcome {
+            CellOutcome::Cancelled { stage } => assert_eq!(stage, "start"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_isolated_cancellable_without_token_matches_run_isolated() {
+        let (outcome, retried) = run_isolated_cancellable(1, None, || 7);
+        assert_eq!(outcome, CellOutcome::Ok(7));
+        assert_eq!(retried, 0);
+        // Real panics still retry and attribute stages with a token armed.
+        let token = CancelToken::new();
+        let (outcome, retried) = run_isolated_cancellable(2, Some(&token), || {
+            let mut t = Telemetry::new();
+            t.time("repair", || panic!("boom"))
+        });
+        assert_eq!(retried, 2);
+        match outcome {
+            CellOutcome::Failed { stage, message } => {
+                assert_eq!(stage, "repair");
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected Failed, got {other:?}"),
         }
     }
 

@@ -38,7 +38,7 @@
 
 use crate::faults::SplitMix64;
 use crate::lowend::Approach;
-use crate::serve::{serve, ServeAddr, ServeClient, ServeConfig};
+use crate::serve::{serve, Priority, ServeAddr, ServeClient, ServeConfig, DEFAULT_QUEUE_CAP};
 use crate::telemetry::{escape_json, Telemetry};
 use std::io::{self, Write as _};
 use std::path::PathBuf;
@@ -63,6 +63,22 @@ pub struct BenchServeConfig {
     pub bench: String,
     /// Allocation approach every job requests.
     pub approach: Approach,
+    /// When set, sources come from a synthesized corpus instead of
+    /// benchmark clones: the spec is a builtin profile name or a
+    /// `dra-profile-v1` JSON path (see [`crate::resolve_profile`]), and
+    /// every job is a *distinct* generated program — a realistic fleet
+    /// mix rather than one kernel repeated.
+    pub corpus_profile: Option<String>,
+    /// When set, every compile rides `dra-serve-v2` with this relative
+    /// deadline; expired requests count into the deadline-miss rate.
+    pub deadline_ms: Option<u64>,
+    /// Priority every job requests (v2 wire only matters when a
+    /// deadline or a non-default priority is set).
+    pub priority: Priority,
+    /// Per-shard queue bound handed to the daemon
+    /// ([`ServeConfig::queue_cap`]); shed responses count into the
+    /// shed rate instead of the error count.
+    pub queue_cap: usize,
     /// Where to write the JSON report (created, parents included).
     pub out_path: Option<PathBuf>,
     /// When set, writes `results/telemetry/bench_serve.json` under this
@@ -80,6 +96,10 @@ impl BenchServeConfig {
             seed: 0xd5ac_5e1f_0b0e_11ce,
             bench: "crc32".to_string(),
             approach: Approach::Select,
+            corpus_profile: None,
+            deadline_ms: None,
+            priority: Priority::Interactive,
+            queue_cap: DEFAULT_QUEUE_CAP,
             out_path: None,
             telemetry_root: None,
         }
@@ -94,6 +114,12 @@ impl BenchServeConfig {
             ..BenchServeConfig::standard()
         }
     }
+
+    /// Whether any v2-only field is in play (deadline or non-default
+    /// priority); drives which wire the request builders use.
+    pub fn uses_v2(&self) -> bool {
+        self.deadline_ms.is_some() || self.priority != Priority::Interactive
+    }
 }
 
 /// One phase's measured outcome.
@@ -103,8 +129,14 @@ pub struct PhaseStats {
     pub name: &'static str,
     /// Jobs submitted.
     pub jobs: usize,
-    /// `ok:false` responses (0 in a healthy run).
+    /// `ok:false` responses that were *not* load shedding (0 in a
+    /// healthy run).
     pub errors: u64,
+    /// Requests shed by admission control (`overloaded`).
+    pub shed: u64,
+    /// Requests shed by deadline enforcement (`deadline`), queued or
+    /// mid-compile.
+    pub deadline_missed: u64,
     /// Responses served from the result cache.
     pub hits: u64,
     /// p50 client-observed latency, microseconds.
@@ -126,6 +158,16 @@ impl PhaseStats {
     /// Completed jobs per second of phase wall-clock.
     pub fn jobs_per_sec(&self) -> f64 {
         self.jobs as f64 / (self.wall_us.max(1) as f64 / 1e6)
+    }
+
+    /// Fraction of submissions shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / (self.jobs.max(1)) as f64
+    }
+
+    /// Fraction of submissions that missed their deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        self.deadline_missed as f64 / (self.jobs.max(1)) as f64
     }
 }
 
@@ -153,6 +195,10 @@ pub struct BenchServeReport {
     pub bench: String,
     /// Approach requested.
     pub approach: Approach,
+    /// Corpus profile spec, when the workload was synthesized.
+    pub corpus_profile: Option<String>,
+    /// Relative deadline every job carried, when set.
+    pub deadline_ms: Option<u64>,
     /// One entry per worker count.
     pub sweeps: Vec<SweepStats>,
 }
@@ -161,8 +207,16 @@ impl BenchServeReport {
     /// The `dra-serve-bench-v1` JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
+        let corpus = match &self.corpus_profile {
+            Some(p) => format!("\"{}\"", escape_json(p)),
+            None => "null".to_string(),
+        };
+        let deadline = match self.deadline_ms {
+            Some(ms) => ms.to_string(),
+            None => "null".to_string(),
+        };
         out.push_str(&format!(
-            "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"seed\": {},\n  \"jobs\": {},\n  \"clients\": {},\n  \"bench\": \"{}\",\n  \"approach\": \"{}\",\n  \"sweeps\": [",
+            "{{\n  \"schema\": \"{BENCH_SCHEMA}\",\n  \"seed\": {},\n  \"jobs\": {},\n  \"clients\": {},\n  \"bench\": \"{}\",\n  \"approach\": \"{}\",\n  \"corpus_profile\": {corpus},\n  \"deadline_ms\": {deadline},\n  \"sweeps\": [",
             self.seed,
             self.jobs,
             self.clients,
@@ -182,10 +236,14 @@ impl BenchServeReport {
                     out.push(',');
                 }
                 out.push_str(&format!(
-                    "\n      {{\"name\": \"{}\", \"jobs\": {}, \"errors\": {}, \"hits\": {}, \"hit_rate\": {:.4}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"wall_us\": {}, \"jobs_per_sec\": {:.2}}}",
+                    "\n      {{\"name\": \"{}\", \"jobs\": {}, \"errors\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"deadline_missed\": {}, \"deadline_miss_rate\": {:.4}, \"hits\": {}, \"hit_rate\": {:.4}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"wall_us\": {}, \"jobs_per_sec\": {:.2}}}",
                     p.name,
                     p.jobs,
                     p.errors,
+                    p.shed,
+                    p.shed_rate(),
+                    p.deadline_missed,
+                    p.deadline_miss_rate(),
                     p.hits,
                     p.hit_rate(),
                     p.p50_us,
@@ -204,25 +262,34 @@ impl BenchServeReport {
     /// A human-readable table.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        let workload = match &self.corpus_profile {
+            Some(p) => format!("corpus={p}"),
+            None => format!("bench={}", self.bench),
+        };
+        let deadline = match self.deadline_ms {
+            Some(ms) => format!(" deadline={ms}ms"),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "serve bench: {} jobs/phase x {} clients, bench={} approach={}, seed={:#x}\n",
+            "serve bench: {} jobs/phase x {} clients, {workload} approach={}{deadline}, seed={:#x}\n",
             self.jobs,
             self.clients,
-            self.bench,
             self.approach.label(),
             self.seed,
         ));
         out.push_str(
-            "workers phase  jobs errors  hit%   p50_us   p95_us   p99_us  jobs/s\n",
+            "workers phase  jobs errors  shed  miss  hit%   p50_us   p95_us   p99_us  jobs/s\n",
         );
         for sweep in &self.sweeps {
             for p in &sweep.phases {
                 out.push_str(&format!(
-                    "{:>7} {:<5} {:>5} {:>6} {:>5.1} {:>8} {:>8} {:>8} {:>7.1}\n",
+                    "{:>7} {:<5} {:>5} {:>6} {:>5} {:>5} {:>5.1} {:>8} {:>8} {:>8} {:>7.1}\n",
                     sweep.workers,
                     p.name,
                     p.jobs,
                     p.errors,
+                    p.shed,
+                    p.deadline_missed,
                     100.0 * p.hit_rate(),
                     p.p50_us,
                     p.p95_us,
@@ -265,10 +332,44 @@ pub fn workload_sources(bench: &str, seed: u64, jobs: usize) -> Vec<String> {
         .collect()
 }
 
+/// The generated source texts for a corpus profile: `jobs` *distinct*
+/// programs synthesized from the profile's shape distributions
+/// ([`dra_workloads::generate_from_profile`]). Deterministic in
+/// `(profile, seed, jobs)`.
+///
+/// # Errors
+///
+/// Unknown profile spec or a malformed profile document.
+pub fn corpus_sources(profile_spec: &str, seed: u64, jobs: usize) -> Result<Vec<String>, String> {
+    let profile = crate::corpus::resolve_profile(profile_spec)?;
+    // `count` is a *function* budget and each program holds ≤ 6
+    // functions, so jobs*6 guarantees at least `jobs` programs.
+    let programs = dra_workloads::generate_from_profile(&profile, seed, jobs * 6)?;
+    let mut sources: Vec<String> = programs
+        .into_iter()
+        .take(jobs)
+        .map(|p| p.to_string())
+        .collect();
+    if sources.len() < jobs {
+        return Err(format!(
+            "profile {profile_spec:?} yielded {} programs for {jobs} jobs",
+            sources.len()
+        ));
+    }
+    // A trailing comment pins the job index into the text, mirroring
+    // workload_sources (harmless to the parser, visible in cache keys).
+    for (i, s) in sources.iter_mut().enumerate() {
+        s.push_str(&format!("; corpus {seed:x}-{i}\n"));
+    }
+    Ok(sources)
+}
+
 struct PhaseRaw {
     latencies_us: Vec<u64>,
     hits: u64,
     errors: u64,
+    shed: u64,
+    deadline_missed: u64,
     wall_us: u64,
 }
 
@@ -289,39 +390,52 @@ fn run_phase(addr: &ServeAddr, lines: &[String], clients: usize) -> io::Result<P
             continue;
         }
         let addr = addr.clone();
-        handles.push(thread::spawn(move || -> io::Result<(Vec<u64>, u64, u64)> {
+        handles.push(thread::spawn(move || -> io::Result<PhaseRaw> {
             let mut client = ServeClient::connect_with_retry(&addr, Duration::from_secs(5))?;
-            let mut latencies = Vec::with_capacity(mine.len());
-            let mut hits = 0u64;
-            let mut errors = 0u64;
+            let mut raw = PhaseRaw {
+                latencies_us: Vec::with_capacity(mine.len()),
+                hits: 0,
+                errors: 0,
+                shed: 0,
+                deadline_missed: 0,
+                wall_us: 0,
+            };
             for line in &mine {
                 let t0 = Instant::now();
                 let resp = client.request(line)?;
-                latencies.push(t0.elapsed().as_micros() as u64);
+                raw.latencies_us.push(t0.elapsed().as_micros() as u64);
                 if resp.ok {
                     if resp.cached {
-                        hits += 1;
+                        raw.hits += 1;
                     }
                 } else {
-                    errors += 1;
+                    match resp.error.as_ref().map(|(k, _)| k.as_str()) {
+                        Some("overloaded") => raw.shed += 1,
+                        Some("deadline") => raw.deadline_missed += 1,
+                        _ => raw.errors += 1,
+                    }
                 }
             }
-            Ok((latencies, hits, errors))
+            Ok(raw)
         }));
     }
     let mut raw = PhaseRaw {
         latencies_us: Vec::with_capacity(lines.len()),
         hits: 0,
         errors: 0,
+        shed: 0,
+        deadline_missed: 0,
         wall_us: 0,
     };
     for h in handles {
-        let (lat, hits, errors) = h
+        let part = h
             .join()
             .map_err(|_| io::Error::other("bench client panicked"))??;
-        raw.latencies_us.extend(lat);
-        raw.hits += hits;
-        raw.errors += errors;
+        raw.latencies_us.extend(part.latencies_us);
+        raw.hits += part.hits;
+        raw.errors += part.errors;
+        raw.shed += part.shed;
+        raw.deadline_missed += part.deadline_missed;
     }
     raw.wall_us = start.elapsed().as_micros() as u64;
     Ok(raw)
@@ -332,6 +446,8 @@ fn finish_phase(name: &'static str, jobs: usize, raw: PhaseRaw) -> PhaseStats {
         name,
         jobs,
         errors: raw.errors,
+        shed: raw.shed,
+        deadline_missed: raw.deadline_missed,
         hits: raw.hits,
         p50_us: quantile_us(&raw.latencies_us, 0.50),
         p95_us: quantile_us(&raw.latencies_us, 0.95),
@@ -358,30 +474,51 @@ pub fn run_bench_serve(config: &BenchServeConfig) -> io::Result<BenchServeReport
     );
     telemetry.count("bench_serve.clients", config.clients as u64);
 
-    let sources = workload_sources(&config.bench, config.seed, config.jobs);
+    let sources = match &config.corpus_profile {
+        Some(spec) => corpus_sources(spec, config.seed, config.jobs)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+        None => workload_sources(&config.bench, config.seed, config.jobs),
+    };
+    // One request-line builder for both wires: v1 unless a v2-only
+    // field (deadline, non-default priority) is in play.
+    let line_for = |id: &str, src: &str| {
+        if config.uses_v2() {
+            crate::serve::request_compile_source_v2(
+                id,
+                src,
+                config.approach,
+                config.deadline_ms,
+                config.priority,
+            )
+        } else {
+            crate::serve::request_compile_source(id, src, config.approach)
+        }
+    };
     let mut sweeps = Vec::with_capacity(config.workers.len());
     for &workers in &config.workers {
         let sweep_start = Instant::now();
         let mut serve_config = ServeConfig::new(ServeAddr::Tcp("127.0.0.1:0".to_string()));
         serve_config.workers = workers.max(1);
+        serve_config.queue_cap = config.queue_cap;
+        if config.corpus_profile.is_some() {
+            // Generated corpora would measure the remap search, not the
+            // serving path, under the full restart budget.
+            serve_config.setup = crate::corpus::corpus_setup();
+        }
         let handle = serve(serve_config)?;
         let addr = handle.addr().clone();
 
         let unique: Vec<String> = sources
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                crate::serve::request_compile_source(&format!("cold-{i}"), s, config.approach)
-            })
+            .map(|(i, s)| line_for(&format!("cold-{i}"), s))
             .collect();
         let cold = run_phase(&addr, &unique, config.clients)?;
 
         let warm_lines: Vec<String> = sources
             .iter()
             .enumerate()
-            .map(|(i, s)| {
-                crate::serve::request_compile_source(&format!("warm-{i}"), s, config.approach)
-            })
+            .map(|(i, s)| line_for(&format!("warm-{i}"), s))
             .collect();
         let warm = run_phase(&addr, &warm_lines, config.clients)?;
 
@@ -390,11 +527,7 @@ pub fn run_bench_serve(config: &BenchServeConfig) -> io::Result<BenchServeReport
         let dup_lines: Vec<String> = (0..config.jobs)
             .map(|i| {
                 let pick = rng.below(pool as u64) as usize;
-                crate::serve::request_compile_source(
-                    &format!("dup-{i}"),
-                    &sources[pick],
-                    config.approach,
-                )
+                line_for(&format!("dup-{i}"), &sources[pick])
             })
             .collect();
         let dup = run_phase(&addr, &dup_lines, config.clients)?;
@@ -434,6 +567,8 @@ pub fn run_bench_serve(config: &BenchServeConfig) -> io::Result<BenchServeReport
         clients: config.clients,
         bench: config.bench.clone(),
         approach: config.approach,
+        corpus_profile: config.corpus_profile.clone(),
+        deadline_ms: config.deadline_ms,
         sweeps,
     };
 
@@ -491,6 +626,8 @@ mod tests {
             clients: 1,
             bench: "crc32".into(),
             approach: Approach::Select,
+            corpus_profile: Some("embedded-dsp".into()),
+            deadline_ms: Some(250),
             sweeps: vec![SweepStats {
                 workers: 2,
                 server_cache_hits: 5,
@@ -498,6 +635,8 @@ mod tests {
                     name: "cold",
                     jobs: 2,
                     errors: 0,
+                    shed: 1,
+                    deadline_missed: 1,
                     hits: 0,
                     p50_us: 10,
                     p95_us: 20,
@@ -513,6 +652,29 @@ mod tests {
             Some(BENCH_SCHEMA)
         );
         assert!(obj.contains_key("sweeps"));
+        assert_eq!(
+            obj.get("corpus_profile").and_then(|j| j.as_str()),
+            Some("embedded-dsp")
+        );
+        assert_eq!(obj.get("deadline_ms").and_then(|j| j.as_u64()), Some(250));
+        let json = report.to_json();
+        assert!(json.contains("\"shed\": 1"), "{json}");
+        assert!(json.contains("\"shed_rate\": 0.5000"), "{json}");
+        assert!(json.contains("\"deadline_miss_rate\": 0.5000"), "{json}");
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn corpus_sources_are_distinct_parseable_and_replayable() {
+        let a = corpus_sources("embedded-dsp", 7, 5).unwrap();
+        assert_eq!(a.len(), 5);
+        for (i, s) in a.iter().enumerate() {
+            dra_ir::parse::parse_program(s).unwrap_or_else(|e| panic!("source {i}: {e:?}"));
+            for t in &a[i + 1..] {
+                assert_ne!(s, t);
+            }
+        }
+        assert_eq!(a, corpus_sources("embedded-dsp", 7, 5).unwrap());
+        assert!(corpus_sources("no-such-profile", 7, 5).is_err());
     }
 }

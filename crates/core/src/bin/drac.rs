@@ -23,6 +23,7 @@ use dra_core::faults::{run_fault_campaign, PipelineFaults};
 use dra_core::lowend::{compile_and_run, compile_program_telemetry, Approach, LowEndSetup};
 use dra_core::profile::compile_and_run_profiled;
 use dra_core::serve::{serve, ServeAddr, ServeConfig};
+use dra_core::serve_chaos::{run_chaos_serve, ChaosServeConfig};
 use dra_core::telemetry::{validate_telemetry, Telemetry};
 use dra_encoding::EncodingConfig;
 use dra_regalloc::RemapStrategy;
@@ -32,7 +33,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--check] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--check] [--remap-strategy <s>]\n  drac sweep --bench <name> [--check] [--remap-strategy <s>]\n  drac check [--bench <name>] [--approach <a>]\n  drac chaos [--seed <n>] [--faults <n>]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--approach <a>] [--out <path>] [--telemetry-root <dir>]\n  drac profile [--bench <name>] [--name <out-name>] [--builtin <name|all>]   (default: all benchmarks)\n  drac corpus --profile <name|path> --count <n> [--seed <n>] [--threads <n>]\n  drac bench-corpus [--smoke] [--profile <name|path>] [--count <n>] [--seed <n>] [--threads <csv>] [--out <path>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio\nbuiltin profiles: embedded-dsp pointer-chasing deep-cfg call-heavy"
+        "usage:\n  drac list\n  drac compile --bench <name> --approach <a> [--emit ir|stats|bits|json] [--profile] [--check] [--remap-strategy <s>]\n  drac run --bench <name> --approach <a> [--profile] [--check] [--remap-strategy <s>]\n  drac sweep --bench <name> [--check] [--remap-strategy <s>]\n  drac check [--bench <name>] [--approach <a>]\n  drac chaos [--seed <n>] [--faults <n>] [--serve]\n  drac serve --addr <unix:PATH|tcp:HOST:PORT> [--workers <n>] [--retries <n>] [--queue-cap <n>] [--telemetry-root <dir>]\n  drac bench-serve [--smoke] [--workers <csv>] [--jobs <n>] [--clients <n>] [--seed <n>] [--bench <name>] [--corpus <profile>] [--approach <a>] [--deadline-ms <n>] [--queue-cap <n>] [--out <path>] [--telemetry-root <dir>]\n  drac profile [--bench <name>] [--name <out-name>] [--builtin <name|all>]   (default: all benchmarks)\n  drac corpus --profile <name|path> --count <n> [--seed <n>] [--threads <n>]\n  drac bench-corpus [--smoke] [--profile <name|path>] [--count <n>] [--seed <n>] [--threads <csv>] [--out <path>]\n  drac report [<telemetry.json>|<dir>]…   (default: results/telemetry)\n\napproaches: baseline remapping select o-spill coalesce adaptive\nremap strategies: greedy anneal lns bb portfolio\nbuiltin profiles: embedded-dsp pointer-chasing deep-cfg call-heavy"
     );
     ExitCode::FAILURE
 }
@@ -207,23 +208,32 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "chaos" => {
-            let mut seed = 1u64;
+            let mut seed: Option<u64> = None;
             let mut n_faults = 96usize;
+            let mut serve_mode = false;
             let mut it = argv[1..].iter();
             while let Some(a) = it.next() {
-                let value = match a.as_str() {
-                    "--seed" | "--faults" => match it.next().map(|v| v.parse::<u64>()) {
-                        Some(Ok(v)) => v,
-                        _ => return usage(),
-                    },
-                    _ => return usage(),
-                };
                 match a.as_str() {
-                    "--seed" => seed = value,
-                    _ => n_faults = value as usize,
+                    "--serve" => serve_mode = true,
+                    "--seed" | "--faults" => {
+                        let value = match it.next().map(|v| v.parse::<u64>()) {
+                            Some(Ok(v)) => v,
+                            _ => return usage(),
+                        };
+                        if a == "--seed" {
+                            seed = Some(value);
+                        } else {
+                            n_faults = value as usize;
+                        }
+                    }
+                    _ => return usage(),
                 }
             }
-            run_chaos(seed, n_faults)
+            if serve_mode {
+                run_chaos_serve_cmd(seed.unwrap_or(3))
+            } else {
+                run_chaos(seed.unwrap_or(1), n_faults)
+            }
         }
         "check" => {
             let Some(args) = parse_args(&argv[1..]) else {
@@ -396,6 +406,7 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut addr: Option<ServeAddr> = None;
     let mut workers = 0usize;
     let mut retries = 1u32;
+    let mut queue_cap: Option<usize> = None;
     let mut telemetry_root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -412,6 +423,10 @@ fn run_serve(args: &[String]) -> ExitCode {
                 Some(v) => retries = v,
                 None => return usage(),
             },
+            "--queue-cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => queue_cap = Some(v),
+                None => return usage(),
+            },
             "--telemetry-root" => match it.next() {
                 Some(v) => telemetry_root = Some(PathBuf::from(v)),
                 None => return usage(),
@@ -426,6 +441,9 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut config = ServeConfig::new(addr);
     config.workers = workers;
     config.retries = retries;
+    if let Some(cap) = queue_cap {
+        config.queue_cap = cap;
+    }
     config.telemetry_root = telemetry_root.clone();
     let handle = match serve(config) {
         Ok(h) => h,
@@ -499,6 +517,18 @@ fn run_bench_serve_cmd(args: &[String]) -> ExitCode {
                 Some(v) => config.approach = v,
                 None => return usage(),
             },
+            "--corpus" => match it.next() {
+                Some(v) => config.corpus_profile = Some(v.clone()),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.deadline_ms = Some(v),
+                None => return usage(),
+            },
+            "--queue-cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.queue_cap = v,
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(v) => out = Some(PathBuf::from(v)),
                 None => return usage(),
@@ -516,8 +546,11 @@ fn run_bench_serve_cmd(args: &[String]) -> ExitCode {
         config.seed = full.seed;
         config.bench = full.bench;
         config.approach = full.approach;
+        config.corpus_profile = full.corpus_profile;
+        config.deadline_ms = full.deadline_ms;
+        config.queue_cap = full.queue_cap;
     }
-    if !benchmark_names().contains(&config.bench.as_str()) {
+    if config.corpus_profile.is_none() && !benchmark_names().contains(&config.bench.as_str()) {
         eprintln!("bench-serve: unknown benchmark {:?}", config.bench);
         return ExitCode::FAILURE;
     }
@@ -904,6 +937,36 @@ fn run_chaos(seed: u64, n_faults: usize) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("chaos: CONTAINMENT FAILURE");
+        ExitCode::FAILURE
+    }
+}
+
+/// `drac chaos --serve`: the serve-level fault campaign — overload,
+/// deadline storms, worker kills, vanishing clients — run twice under a
+/// watchdog, with the determinism verdict in `results/chaos_serve.json`.
+fn run_chaos_serve_cmd(seed: u64) -> ExitCode {
+    let config = ChaosServeConfig {
+        seed,
+        out_path: Some(PathBuf::from("results/chaos_serve.json")),
+        telemetry_root: Some(PathBuf::from(".")),
+        ..ChaosServeConfig::default()
+    };
+    let report = match run_chaos_serve(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos --serve: INVARIANT VIOLATION: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = &config.out_path {
+        println!("report: {}", path.display());
+    }
+    if report.passed() {
+        println!("chaos --serve: all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos --serve: NONDETERMINISM DETECTED");
         ExitCode::FAILURE
     }
 }

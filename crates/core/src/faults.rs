@@ -523,6 +523,39 @@ impl PipelineFaults {
     }
 }
 
+/// Fault-injection hooks for the *serving* layer (`drac serve`), keyed by
+/// request id so a test or chaos campaign can target exact requests.
+/// Empty (the default) in production. Three escalating failure modes:
+///
+/// * `panic_request_ids` — the job panics **inside** the per-request
+///   `catch_unwind` (exercises request-level containment: the worker
+///   survives, the client gets a `panic` error).
+/// * `kill_request_ids` — the worker thread panics **outside** the
+///   per-request isolation, i.e. the thread dies (exercises worker
+///   supervision: the monitor must answer the lost request and restart
+///   the shard worker).
+/// * `stall_request_ids` — the worker blocks on the server's stall gate
+///   before compiling (simulates a wedged slow request; used to hold
+///   queues full deterministically in overload tests).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeFaults {
+    /// Request ids whose job panics inside the per-request isolation.
+    pub panic_request_ids: BTreeSet<String>,
+    /// Request ids that kill their shard worker thread.
+    pub kill_request_ids: BTreeSet<String>,
+    /// Request ids whose worker stalls until the stall gate opens.
+    pub stall_request_ids: BTreeSet<String>,
+}
+
+impl ServeFaults {
+    /// No injection at all (the default).
+    pub fn is_clean(&self) -> bool {
+        self.panic_request_ids.is_empty()
+            && self.kill_request_ids.is_empty()
+            && self.stall_request_ids.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -145,7 +145,9 @@ fn sweep_grid(
         });
     let mut flat = outcomes.into_iter().map(|o| match o {
         crate::batch::CellOutcome::Ok(r) => r,
-        crate::batch::CellOutcome::Failed { .. } => None,
+        crate::batch::CellOutcome::Failed { .. } | crate::batch::CellOutcome::Cancelled { .. } => {
+            None
+        }
     });
     let per_point: Vec<Vec<Option<PipelinedLoop>>> = reg_ns
         .iter()

@@ -35,6 +35,7 @@ pub mod knob;
 pub mod lowend;
 pub mod profile;
 pub mod serve;
+pub mod serve_chaos;
 pub mod session;
 pub mod telemetry;
 
@@ -62,4 +63,5 @@ pub use lowend::{
     PipelineError,
 };
 pub use profile::{apply_profile, compile_and_run_profiled};
+pub use serve_chaos::{run_chaos_serve, ChaosServeConfig, ChaosServeReport};
 pub use telemetry::{validate_telemetry, Telemetry, TelemetryReport};

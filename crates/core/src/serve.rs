@@ -9,7 +9,7 @@
 //! requests with the same content hash get byte-identical runs no matter
 //! which worker, connection, or ordering served them.
 //!
-//! ## Wire protocol (`dra-serve-v1`)
+//! ## Wire protocol (`dra-serve-v1` / `dra-serve-v2`)
 //!
 //! Line-delimited JSON over the socket: one request per line, one
 //! response line per request. Every request carries `schema`, a caller
@@ -18,61 +18,163 @@
 //!
 //! ```text
 //! {"schema":"dra-serve-v1","id":"r1","kind":"compile","approach":"select","bench":"crc32"}
-//! {"schema":"dra-serve-v1","id":"r2","kind":"compile","approach":"coalesce","source":"fn f { ... }"}
+//! {"schema":"dra-serve-v2","id":"r2","kind":"compile","approach":"coalesce","source":"fn f { ... }","deadline_ms":250,"priority":"batch"}
 //! {"schema":"dra-serve-v1","id":"r3","kind":"ping"}
 //! {"schema":"dra-serve-v1","id":"r4","kind":"stats"}
 //! {"schema":"dra-serve-v1","id":"r5","kind":"shutdown"}
 //! ```
 //!
+//! `dra-serve-v2` is a backward-compatible extension: both schemas are
+//! accepted on the same socket, absent v2 fields keep v1 semantics
+//! (no deadline, `interactive` priority), and responses echo the
+//! request's schema. The v2-only compile fields are `deadline_ms` (shed
+//! the job with a retryable `deadline` error once that many milliseconds
+//! have elapsed since admission — at dequeue, or cooperatively at the
+//! next pipeline stage boundary mid-compile) and `priority`
+//! (`"interactive"` / `"batch"`; under overload, batch is shed first and
+//! interactive may use the queue's reserve headroom).
+//!
 //! Responses are `{"schema":…,"id":…,"ok":true,…}` or
-//! `{"schema":…,"id":…,"ok":false,"error":{"kind":…,"message":…}}`.
-//! Malformed input never kills a connection silently and never reaches a
-//! worker: bad JSON, unknown fields, unknown benchmarks, oversized lines
-//! and truncated trailing lines all produce a structured error response.
+//! `{"schema":…,"id":…,"ok":false,"error":{"kind":…,"retryable":…,"message":…}}`.
+//! `retryable:true` marks load- or lifecycle-induced failures
+//! (`overloaded`, `deadline`, `worker-lost`, `shutdown`) a client should
+//! retry with backoff ([`BackoffPolicy`]); deterministic failures
+//! (parse errors, panics, bad requests) are not retryable. Malformed
+//! input never kills a connection silently and never reaches a worker:
+//! bad JSON, unknown fields, unknown benchmarks, oversized lines and
+//! truncated trailing lines all produce a structured error response.
 //! Worker panics are contained per request by [`run_isolated`] — the
 //! same containment the batch driver uses — and surface as an
 //! `"error":{"kind":"panic",…}` response with stage attribution.
 //!
-//! ## Sharding
+//! ## Sharding, admission control, and supervision
 //!
 //! Jobs are routed to workers by the *result-cache key* (`shard =
 //! key[0] % workers`), so duplicate requests land on the same worker and
 //! hit its just-inserted cache entry instead of racing a recompute on
 //! another shard. Distinct keys spread uniformly (FNV-1a output).
 //!
+//! Each shard's queue is **bounded** ([`ServeConfig::queue_cap`]): at
+//! admission, a batch-priority request finding the queue full gets an
+//! immediate retryable `overloaded` response, while interactive requests
+//! may fill a 2× reserve before they too are shed — load sheds the
+//! cheap-to-retry traffic first. The accept loop doubles as a
+//! **supervisor**: it reaps finished connection threads (counting
+//! panicked ones), detects a dead shard worker (a panic that escaped the
+//! per-request isolation), answers the worker's lost in-flight request
+//! with a retryable `worker-lost` error, and restarts a fresh worker on
+//! the *same* shard state — queue and caches survive the crash
+//! (`serve.worker_restarts`).
+//!
 //! ## Telemetry
 //!
 //! The daemon keeps per-shard [`Telemetry`] (merged in shard order, so
 //! aggregate counters are schedule-invariant for a fixed request set)
 //! plus connection-level counters (`serve.connections`,
-//! `serve.bad_requests`, …). A `stats` request returns the merged frame
+//! `serve.bad_requests`, …). Overload behavior is its own census:
+//! `serve.overload.admitted` / `.shed` / `.shed_interactive` /
+//! `.peak_depth`, `serve.deadline.with_deadline` / `.shed_queued` /
+//! `.cancelled`, plus `serve.worker_restarts`, `serve.worker_lost_requests`
+//! and `serve.conn_panics`. A `stats` request returns the merged frame
 //! inline; shutdown writes it to `results/telemetry/serve.json` when a
 //! telemetry root is configured.
 
-use crate::batch::run_isolated;
+use crate::batch::run_isolated_cancellable;
+use crate::faults::{ServeFaults, SplitMix64};
 use crate::lowend::{Approach, LowEndRun, LowEndSetup};
 use crate::session::{result_key, CompileSession};
-use crate::telemetry::{escape_json, parse_json, Json, Telemetry, TelemetryReport};
-use std::collections::BTreeSet;
+use crate::telemetry::{
+    escape_json, parse_json, CancelToken, Json, Telemetry, TelemetryReport,
+};
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Protocol identifier; every request and response carries it.
+/// Protocol identifier; every v1 request and response carries it.
 pub const SERVE_SCHEMA: &str = "dra-serve-v1";
+
+/// The extended protocol revision: a superset of v1 whose `compile`
+/// requests may carry `deadline_ms` and `priority`.
+pub const SERVE_SCHEMA_V2: &str = "dra-serve-v2";
 
 /// Default cap on a single request line (bytes, newline included).
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Longest request id the server echoes back.
 pub const MAX_ID_BYTES: usize = 256;
+
+/// Default per-shard queue bound ([`ServeConfig::queue_cap`]).
+pub const DEFAULT_QUEUE_CAP: usize = 256;
+
+/// Which protocol revision a request spoke; responses echo it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wire {
+    /// `dra-serve-v1`.
+    V1,
+    /// `dra-serve-v2`.
+    V2,
+}
+
+impl Wire {
+    /// The schema string for this revision.
+    pub fn schema(self) -> &'static str {
+        match self {
+            Wire::V1 => SERVE_SCHEMA,
+            Wire::V2 => SERVE_SCHEMA_V2,
+        }
+    }
+}
+
+/// Request priority under overload (v2; v1 requests are `Interactive`).
+///
+/// `Batch` is shed first: a full queue turns batch admissions into
+/// immediate retryable `overloaded` errors while interactive requests
+/// may still use the queue's reserve headroom. Batch traffic is assumed
+/// to come from harnesses that retry with backoff; interactive traffic
+/// from callers a human is waiting on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Throughput traffic; shed first under overload.
+    Batch,
+    /// Latency-sensitive traffic (the default, and all of v1).
+    #[default]
+    Interactive,
+}
+
+impl Priority {
+    /// Parse the wire label.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// The wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// Whether an error `kind` marks a load- or lifecycle-induced failure
+/// the client should retry (with backoff): the same request may well
+/// succeed once pressure passes or the worker is restarted.
+/// Deterministic failures (bad input, pipeline errors, panics) are not
+/// retryable — retrying them only adds load.
+pub fn retryable_kind(kind: &str) -> bool {
+    matches!(kind, "overloaded" | "deadline" | "worker-lost" | "shutdown")
+}
 
 // ---------------------------------------------------------------------------
 // Addresses, listeners, streams.
@@ -220,6 +322,7 @@ impl Write for Stream {
 // ---------------------------------------------------------------------------
 
 /// What [`LineReader::next_line`] yielded.
+#[derive(Debug)]
 pub enum LineEvent {
     /// A complete line (newline stripped, `\r` trimmed).
     Line(String),
@@ -306,7 +409,7 @@ pub enum JobSpec {
     Source(String),
 }
 
-/// A validated `dra-serve-v1` request.
+/// A validated `dra-serve-v1` / `dra-serve-v2` request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Compile and simulate.
@@ -317,6 +420,11 @@ pub enum Request {
         approach: Approach,
         /// What to compile.
         spec: JobSpec,
+        /// Shed the job once this many milliseconds have passed since
+        /// admission (v2; `None` = no deadline, the v1 semantics).
+        deadline_ms: Option<u64>,
+        /// Overload priority (v2; v1 requests are `Interactive`).
+        priority: Priority,
     },
     /// Liveness probe.
     Ping {
@@ -359,15 +467,17 @@ impl WireError {
     }
 }
 
-/// Parse and validate one request line. Unknown fields are rejected —
-/// a client speaking a future schema revision gets a structured
-/// `bad-request`, not silent misinterpretation.
+/// Parse and validate one request line, returning the request plus the
+/// protocol revision it spoke (responses echo it). Unknown fields are
+/// rejected *per revision* — `deadline_ms` / `priority` on a v1 line are
+/// a structured `bad-request`, not silent misinterpretation, and the
+/// same goes for any future field on either revision.
 ///
 /// # Errors
 ///
 /// [`WireError`] with kind `bad-json` (not JSON / not an object) or
 /// `bad-request` (schema, id, kind, or field violations).
-pub fn parse_request(line: &str) -> Result<Request, WireError> {
+pub fn parse_request(line: &str) -> Result<(Request, Wire), WireError> {
     let doc = parse_json(line).map_err(|e| WireError::new(None, "bad-json", e))?;
     let obj = doc
         .as_obj()
@@ -386,33 +496,46 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         None => return Err(WireError::new(None, "bad-request", "missing \"id\"")),
     };
 
-    match obj.get("schema").and_then(Json::as_str) {
-        Some(SERVE_SCHEMA) => {}
+    let wire = match obj.get("schema").and_then(Json::as_str) {
+        Some(SERVE_SCHEMA) => Wire::V1,
+        Some(SERVE_SCHEMA_V2) => Wire::V2,
         Some(other) => {
             return Err(WireError::new(
                 Some(&id),
                 "bad-request",
-                format!("unsupported schema {other:?} (want {SERVE_SCHEMA:?})"),
+                format!(
+                    "unsupported schema {other:?} (want {SERVE_SCHEMA:?} or {SERVE_SCHEMA_V2:?})"
+                ),
             ))
         }
         None => {
             return Err(WireError::new(
                 Some(&id),
                 "bad-request",
-                format!("missing \"schema\" (want {SERVE_SCHEMA:?})"),
+                format!("missing \"schema\" (want {SERVE_SCHEMA:?} or {SERVE_SCHEMA_V2:?})"),
             ))
         }
-    }
+    };
 
     let kind = match obj.get("kind").and_then(Json::as_str) {
         Some(k) => k,
         None => return Err(WireError::new(Some(&id), "bad-request", "missing \"kind\"")),
     };
 
-    let allowed: &[&str] = match kind {
-        "compile" => &["schema", "id", "kind", "approach", "bench", "source"],
-        "ping" | "stats" | "shutdown" => &["schema", "id", "kind"],
-        other => {
+    let allowed: &[&str] = match (kind, wire) {
+        ("compile", Wire::V1) => &["schema", "id", "kind", "approach", "bench", "source"],
+        ("compile", Wire::V2) => &[
+            "schema",
+            "id",
+            "kind",
+            "approach",
+            "bench",
+            "source",
+            "deadline_ms",
+            "priority",
+        ],
+        ("ping" | "stats" | "shutdown", _) => &["schema", "id", "kind"],
+        (other, _) => {
             return Err(WireError::new(
                 Some(&id),
                 "bad-request",
@@ -431,9 +554,9 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     }
 
     match kind {
-        "ping" => Ok(Request::Ping { id }),
-        "stats" => Ok(Request::Stats { id }),
-        "shutdown" => Ok(Request::Shutdown { id }),
+        "ping" => Ok((Request::Ping { id }, wire)),
+        "stats" => Ok((Request::Stats { id }, wire)),
+        "shutdown" => Ok((Request::Shutdown { id }, wire)),
         _ => {
             let approach = match obj.get("approach").and_then(Json::as_str) {
                 Some(s) => Approach::parse(s).ok_or_else(|| {
@@ -467,7 +590,46 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
                     ))
                 }
             };
-            Ok(Request::Compile { id, approach, spec })
+            let deadline_ms = match obj.get("deadline_ms") {
+                None => None,
+                Some(v) => match v.as_u64() {
+                    Some(ms) => Some(ms),
+                    None => {
+                        return Err(WireError::new(
+                            Some(&id),
+                            "bad-request",
+                            "\"deadline_ms\" must be an unsigned integer",
+                        ))
+                    }
+                },
+            };
+            let priority = match obj.get("priority") {
+                None => Priority::default(),
+                Some(Json::Str(s)) => Priority::parse(s).ok_or_else(|| {
+                    WireError::new(
+                        Some(&id),
+                        "bad-request",
+                        format!("unknown priority {s:?} (want \"interactive\" or \"batch\")"),
+                    )
+                })?,
+                Some(_) => {
+                    return Err(WireError::new(
+                        Some(&id),
+                        "bad-request",
+                        "\"priority\" must be a string",
+                    ))
+                }
+            };
+            Ok((
+                Request::Compile {
+                    id,
+                    approach,
+                    spec,
+                    deadline_ms,
+                    priority,
+                },
+                wire,
+            ))
         }
     }
 }
@@ -512,20 +674,26 @@ pub fn result_json(run: &LowEndRun) -> String {
     )
 }
 
-/// An `ok:false` response line (no trailing newline).
-pub fn response_error(id: Option<&str>, kind: &str, message: &str) -> String {
+/// An `ok:false` response line (no trailing newline). `wire` echoes the
+/// request's protocol revision (errors for lines too broken to recover a
+/// schema from use [`Wire::V1`], the most conservative framing); the
+/// `retryable` flag is derived from `kind` ([`retryable_kind`]).
+pub fn response_error(wire: Wire, id: Option<&str>, kind: &str, message: &str) -> String {
     format!(
-        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+        "{{\"schema\":\"{}\",\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"retryable\":{},\"message\":\"{}\"}}}}",
+        wire.schema(),
         id_json(id),
         escape_json(kind),
+        retryable_kind(kind),
         escape_json(message),
     )
 }
 
 /// A successful compile response line.
-pub fn response_run(id: &str, run: &LowEndRun, cached: bool, micros: u64) -> String {
+pub fn response_run(wire: Wire, id: &str, run: &LowEndRun, cached: bool, micros: u64) -> String {
     format!(
-        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":true,\"kind\":\"compile\",\"cached\":{},\"micros\":{},\"result\":{}}}",
+        "{{\"schema\":\"{}\",\"id\":{},\"ok\":true,\"kind\":\"compile\",\"cached\":{},\"micros\":{},\"result\":{}}}",
+        wire.schema(),
         id_json(Some(id)),
         cached,
         micros,
@@ -533,18 +701,20 @@ pub fn response_run(id: &str, run: &LowEndRun, cached: bool, micros: u64) -> Str
     )
 }
 
-fn response_plain(id: &str, kind: &str) -> String {
+fn response_plain(wire: Wire, id: &str, kind: &str) -> String {
     format!(
-        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":true,\"kind\":\"{}\"}}",
+        "{{\"schema\":\"{}\",\"id\":{},\"ok\":true,\"kind\":\"{}\"}}",
+        wire.schema(),
         id_json(Some(id)),
         kind,
     )
 }
 
 /// A `stats` response embedding the merged telemetry frame.
-pub fn response_stats(id: &str, telemetry: &Telemetry) -> String {
+pub fn response_stats(wire: Wire, id: &str, telemetry: &Telemetry) -> String {
     format!(
-        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"ok\":true,\"kind\":\"stats\",\"stats\":{}}}",
+        "{{\"schema\":\"{}\",\"id\":{},\"ok\":true,\"kind\":\"stats\",\"stats\":{}}}",
+        wire.schema(),
         id_json(Some(id)),
         telemetry.to_json_compact("serve"),
     )
@@ -570,22 +740,25 @@ pub struct Response {
     pub result: Option<std::collections::BTreeMap<String, Json>>,
     /// `(kind, message)` on failures.
     pub error: Option<(String, String)>,
+    /// Whether the error is worth retrying with backoff (false for `ok`
+    /// responses and for v1 servers that never emit the flag).
+    pub retryable: bool,
     /// The embedded telemetry frame (stats responses).
     pub stats: Option<TelemetryReport>,
 }
 
 impl Response {
-    /// Parse one response line.
+    /// Parse one response line (either protocol revision).
     ///
     /// # Errors
     ///
-    /// A description when the line is not a `dra-serve-v1` response
-    /// object.
+    /// A description when the line is not a `dra-serve-v1` /
+    /// `dra-serve-v2` response object.
     pub fn parse(line: &str) -> Result<Response, String> {
         let doc = parse_json(line)?;
         let obj = doc.as_obj().ok_or("response is not a JSON object")?;
         match obj.get("schema").and_then(Json::as_str) {
-            Some(SERVE_SCHEMA) => {}
+            Some(SERVE_SCHEMA) | Some(SERVE_SCHEMA_V2) => {}
             other => return Err(format!("bad response schema {other:?}")),
         }
         let id = obj.get("id").and_then(Json::as_str).map(str::to_string);
@@ -594,6 +767,10 @@ impl Response {
         let cached = matches!(obj.get("cached"), Some(Json::Bool(true)));
         let micros = obj.get("micros").and_then(Json::as_u64).unwrap_or(0);
         let result = obj.get("result").and_then(Json::as_obj).cloned();
+        let retryable = obj
+            .get("error")
+            .and_then(Json::as_obj)
+            .is_some_and(|e| matches!(e.get("retryable"), Some(Json::Bool(true))));
         let error = obj.get("error").and_then(Json::as_obj).map(|e| {
             (
                 e.get("kind")
@@ -636,6 +813,7 @@ impl Response {
             micros,
             result,
             error,
+            retryable,
             stats,
         })
     }
@@ -685,6 +863,54 @@ pub fn request_plain(id: &str, kind: &str) -> String {
     )
 }
 
+fn v2_suffix(deadline_ms: Option<u64>, priority: Priority) -> String {
+    let mut out = String::new();
+    if let Some(ms) = deadline_ms {
+        out.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    if priority != Priority::default() {
+        out.push_str(&format!(",\"priority\":\"{}\"", priority.label()));
+    }
+    out
+}
+
+/// Build a `dra-serve-v2` benchmark compile request line with an
+/// optional deadline and an explicit priority (defaulted fields are
+/// omitted — absent means v1 semantics by construction).
+pub fn request_compile_bench_v2(
+    id: &str,
+    bench: &str,
+    approach: Approach,
+    deadline_ms: Option<u64>,
+    priority: Priority,
+) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA_V2}\",\"id\":\"{}\",\"kind\":\"compile\",\"approach\":\"{}\",\"bench\":\"{}\"{}}}",
+        escape_json(id),
+        escape_json(approach.label()),
+        escape_json(bench),
+        v2_suffix(deadline_ms, priority),
+    )
+}
+
+/// Build a `dra-serve-v2` source-text compile request line (see
+/// [`request_compile_bench_v2`]).
+pub fn request_compile_source_v2(
+    id: &str,
+    source: &str,
+    approach: Approach,
+    deadline_ms: Option<u64>,
+    priority: Priority,
+) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA_V2}\",\"id\":\"{}\",\"kind\":\"compile\",\"approach\":\"{}\",\"source\":\"{}\"{}}}",
+        escape_json(id),
+        escape_json(approach.label()),
+        escape_json(source),
+        v2_suffix(deadline_ms, priority),
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Server.
 // ---------------------------------------------------------------------------
@@ -706,17 +932,28 @@ pub struct ServeConfig {
     pub result_capacity: usize,
     /// Per-line byte cap.
     pub max_line_bytes: usize,
+    /// Per-shard queue bound: batch-priority admissions are shed with a
+    /// retryable `overloaded` error once a shard holds this many queued
+    /// jobs; interactive admissions may fill a 2× reserve before they
+    /// are shed too. `0` disables the bound (the pre-overload-control
+    /// behavior; not recommended for anything long-lived).
+    pub queue_cap: usize,
     /// When set, shutdown writes `results/telemetry/serve.json` under
     /// this root.
     pub telemetry_root: Option<PathBuf>,
-    /// Request ids whose jobs panic on purpose (fault-injection hook for
-    /// the isolation tests; empty in production).
-    pub fault_request_ids: BTreeSet<String>,
+    /// Fault-injection hooks keyed by request id (tests and the serve
+    /// chaos campaign; empty in production).
+    pub faults: ServeFaults,
+    /// The gate stalled workers ([`ServeFaults::stall_request_ids`])
+    /// poll; a test flips it to `true` to release them. Shared so the
+    /// harness keeps a handle after the config moves into the server.
+    pub stall_gate: Arc<AtomicBool>,
 }
 
 impl ServeConfig {
     /// Defaults: single-threaded remap inside each worker (the pool is
-    /// the parallelism), one retry, 1 MiB lines.
+    /// the parallelism), one retry, 1 MiB lines, bounded queues
+    /// ([`DEFAULT_QUEUE_CAP`] per shard).
     pub fn new(addr: ServeAddr) -> ServeConfig {
         let setup = LowEndSetup {
             remap_threads: 1,
@@ -730,8 +967,10 @@ impl ServeConfig {
             source_capacity: crate::batch::DEFAULT_SOURCE_CAPACITY,
             result_capacity: crate::session::DEFAULT_RESULT_CAPACITY,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            queue_cap: DEFAULT_QUEUE_CAP,
             telemetry_root: None,
-            fault_request_ids: BTreeSet::new(),
+            faults: ServeFaults::default(),
+            stall_gate: Arc::new(AtomicBool::new(false)),
         }
     }
 }
@@ -766,17 +1005,160 @@ struct Job {
     approach: Approach,
     spec: JobSpec,
     reply: Arc<ConnWriter>,
+    wire: Wire,
+    priority: Priority,
+    /// Absolute shed time, computed at admission from `deadline_ms`.
+    deadline: Option<Instant>,
+    /// The original relative deadline, for error messages.
+    deadline_ms: Option<u64>,
+}
+
+/// What a shard's queue said to an admission attempt.
+enum Admit {
+    /// Enqueued; the payload is the queue depth right after the push
+    /// (both lanes), for the peak-depth census.
+    Queued(usize),
+    /// Full for this priority — shed the job back to the caller.
+    Overloaded(Job),
+    /// The queue is closed (shutdown drain).
+    Closed(Job),
+}
+
+#[derive(Default)]
+struct QueueInner {
+    interactive: VecDeque<Job>,
+    batch: VecDeque<Job>,
+    closed: bool,
+}
+
+impl QueueInner {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.batch.len()
+    }
+}
+
+/// A bounded, two-lane (interactive-first) MPMC job queue; one per shard.
+///
+/// Replaces the unbounded `mpsc` channel: admission is decided *here*,
+/// under the same lock the workers pop under, so "full" can never race
+/// itself into unbounded growth. `cap` bounds batch admissions; the
+/// interactive lane may grow to `2 * cap` (reserve headroom) before it
+/// too sheds. `cap == 0` means unbounded.
+struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl ShardQueue {
+    fn new(cap: usize) -> ShardQueue {
+        ShardQueue {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Lock the lanes, recovering from poison: jobs are moved in and out
+    /// whole, so the deques are structurally valid at every panic point.
+    fn inner(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admit or shed `job` (never blocks).
+    fn try_push(&self, job: Job) -> Admit {
+        let mut q = self.inner();
+        if q.closed {
+            return Admit::Closed(job);
+        }
+        let limit = match job.priority {
+            _ if self.cap == 0 => usize::MAX,
+            Priority::Batch => self.cap,
+            Priority::Interactive => self.cap.saturating_mul(2),
+        };
+        if q.len() >= limit {
+            return Admit::Overloaded(job);
+        }
+        match job.priority {
+            Priority::Interactive => q.interactive.push_back(job),
+            Priority::Batch => q.batch.push_back(job),
+        }
+        let depth = q.len();
+        drop(q);
+        self.ready.notify_one();
+        Admit::Queued(depth)
+    }
+
+    /// Pop the next job (interactive lane first), blocking while empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.inner();
+        loop {
+            if let Some(job) = q.interactive.pop_front().or_else(|| q.batch.pop_front()) {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self
+                .ready
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stop admissions and wake every blocked worker; queued jobs still
+    /// drain.
+    fn close(&self) {
+        self.inner().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The request a worker is processing right now — enough to answer it if
+/// the worker dies mid-flight (supervision's exactly-one-response duty).
+struct InflightTag {
+    id: String,
+    wire: Wire,
+    reply: Arc<ConnWriter>,
+}
+
+/// Everything that must survive a worker crash: the queue and the
+/// in-flight marker live *outside* the worker thread, so a restarted
+/// worker resumes the same shard (and the shared session keeps its
+/// caches — a crash costs one request, never the warm state).
+struct ShardState {
+    queue: ShardQueue,
+    inflight: Mutex<Option<InflightTag>>,
+    telemetry: Arc<Mutex<Telemetry>>,
+}
+
+impl ShardState {
+    fn take_inflight(&self) -> Option<InflightTag> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    fn set_inflight(&self, tag: Option<InflightTag>) {
+        *self
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = tag;
+    }
 }
 
 /// Everything a connection thread needs, cloned per accept.
 struct ConnCtx {
     running: Arc<AtomicBool>,
     base: Arc<Mutex<Telemetry>>,
-    shard_telemetry: Arc<Vec<Arc<Mutex<Telemetry>>>>,
+    shards: Arc<Vec<Arc<ShardState>>>,
     session: Arc<CompileSession>,
-    senders: Vec<Sender<Job>>,
     max_line_bytes: usize,
     workers: u64,
+    /// High-water mark of any single shard's queue depth.
+    peak_depth: Arc<AtomicU64>,
 }
 
 impl ConnCtx {
@@ -784,11 +1166,11 @@ impl ConnCtx {
         ConnCtx {
             running: Arc::clone(&self.running),
             base: Arc::clone(&self.base),
-            shard_telemetry: Arc::clone(&self.shard_telemetry),
+            shards: Arc::clone(&self.shards),
             session: Arc::clone(&self.session),
-            senders: self.senders.clone(),
             max_line_bytes: self.max_line_bytes,
             workers: self.workers,
+            peak_depth: Arc::clone(&self.peak_depth),
         }
     }
 
@@ -806,13 +1188,17 @@ impl ConnCtx {
             .lock()
             .map(|t| t.clone())
             .unwrap_or_else(|_| Telemetry::new());
-        for shard in self.shard_telemetry.iter() {
-            if let Ok(t) = shard.lock() {
+        for shard in self.shards.iter() {
+            if let Ok(t) = shard.telemetry.lock() {
                 out.merge(&t);
             }
         }
         self.session.record_counters(&mut out);
         out.set_counter("serve.workers", self.workers);
+        out.set_counter(
+            "serve.overload.peak_depth",
+            self.peak_depth.load(Ordering::Relaxed),
+        );
         out
     }
 }
@@ -880,44 +1266,99 @@ fn resolved_workers(requested: usize) -> usize {
     }
 }
 
+/// Spawn one shard worker thread on (possibly pre-existing) shard state.
+fn spawn_worker(
+    shard: Arc<ShardState>,
+    session: Arc<CompileSession>,
+    retries: u32,
+    faults: Arc<ServeFaults>,
+    stall_gate: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    thread::spawn(move || worker_loop(&shard, &session, retries, &faults, &stall_gate, &running))
+}
+
+/// Join every finished connection thread (freeing its handle) and count
+/// the ones that panicked. A plain `retain(|h| !h.is_finished())` — the
+/// previous implementation — leaks the `JoinHandle` result, so a
+/// panicked connection thread was indistinguishable from a clean close.
+fn reap_connections(handles: &mut Vec<JoinHandle<()>>, ctx: &ConnCtx) {
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let h = handles.swap_remove(i);
+            if h.join().is_err() {
+                ctx.count("serve.conn_panics", 1);
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn run_server(
     listener: Listener,
     config: ServeConfig,
     running: Arc<AtomicBool>,
 ) -> io::Result<Telemetry> {
+    crate::telemetry::install_cancel_quiet_hook();
     let workers = resolved_workers(config.workers);
     let session = Arc::new(CompileSession::with_capacities(
         config.setup.clone(),
         config.source_capacity,
         config.result_capacity,
     ));
-    let faults = Arc::new(config.fault_request_ids.clone());
+    let faults = Arc::new(config.faults.clone());
+    let stall_gate = Arc::clone(&config.stall_gate);
 
-    let mut senders = Vec::with_capacity(workers);
-    let mut shard_telemetry = Vec::with_capacity(workers);
-    let mut worker_handles = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = mpsc::channel::<Job>();
-        let telemetry = Arc::new(Mutex::new(Telemetry::new()));
-        senders.push(tx);
-        shard_telemetry.push(Arc::clone(&telemetry));
-        let session = Arc::clone(&session);
-        let faults = Arc::clone(&faults);
-        let retries = config.retries;
-        worker_handles.push(thread::spawn(move || {
-            worker_loop(rx, session, telemetry, retries, faults)
-        }));
-    }
+    let shards: Vec<Arc<ShardState>> = (0..workers)
+        .map(|_| {
+            Arc::new(ShardState {
+                queue: ShardQueue::new(config.queue_cap),
+                inflight: Mutex::new(None),
+                telemetry: Arc::new(Mutex::new(Telemetry::new())),
+            })
+        })
+        .collect();
+    let mut worker_handles: Vec<JoinHandle<()>> = shards
+        .iter()
+        .map(|shard| {
+            spawn_worker(
+                Arc::clone(shard),
+                Arc::clone(&session),
+                config.retries,
+                Arc::clone(&faults),
+                Arc::clone(&stall_gate),
+                Arc::clone(&running),
+            )
+        })
+        .collect();
 
     let ctx = ConnCtx {
         running: Arc::clone(&running),
         base: Arc::new(Mutex::new(Telemetry::new())),
-        shard_telemetry: Arc::new(shard_telemetry),
+        shards: Arc::new(shards),
         session,
-        senders,
         max_line_bytes: config.max_line_bytes,
         workers: workers as u64,
+        peak_depth: Arc::new(AtomicU64::new(0)),
     };
+    // Seed the overload/supervision census at zero so every key is
+    // present even in a calm run (consumers diff telemetry files; an
+    // absent key reads as a schema change rather than a zero).
+    for key in [
+        "serve.overload.admitted",
+        "serve.overload.shed",
+        "serve.overload.shed_interactive",
+        "serve.deadline.with_deadline",
+        "serve.deadline.shed_queued",
+        "serve.deadline.cancelled",
+        "serve.worker_restarts",
+        "serve.worker_lost_requests",
+        "serve.conn_panics",
+    ] {
+        ctx.count(key, 0);
+    }
 
     let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
     while running.load(Ordering::SeqCst) {
@@ -937,44 +1378,76 @@ fn run_server(
             }
         }
         // Reap finished connection threads so a long-lived daemon does
-        // not accumulate handles.
-        conn_handles.retain(|h| !h.is_finished());
+        // not accumulate handles (and panicked ones are counted, not
+        // silently dropped).
+        reap_connections(&mut conn_handles, &ctx);
+        // Supervise the shard workers. While the daemon is running a
+        // worker thread only ever finishes by dying (a panic that
+        // escaped the per-request isolation): answer its lost in-flight
+        // request with a retryable error and restart a fresh worker on
+        // the same shard state — queue and caches survive the crash.
+        for (si, handle) in worker_handles.iter_mut().enumerate() {
+            if !handle.is_finished() {
+                continue;
+            }
+            let shard = &ctx.shards[si];
+            let replacement = spawn_worker(
+                Arc::clone(shard),
+                Arc::clone(&ctx.session),
+                config.retries,
+                Arc::clone(&faults),
+                Arc::clone(&stall_gate),
+                Arc::clone(&running),
+            );
+            let dead = std::mem::replace(handle, replacement);
+            let _ = dead.join();
+            ctx.count("serve.worker_restarts", 1);
+            if let Some(tag) = shard.take_inflight() {
+                ctx.count("serve.worker_lost_requests", 1);
+                tag.reply.send(&response_error(
+                    tag.wire,
+                    Some(&tag.id),
+                    "worker-lost",
+                    &format!("shard {si} worker died mid-request; worker restarted"),
+                ));
+            }
+        }
     }
 
     // Teardown: stop accepting, let connection threads notice `running`
-    // (they poll on a read timeout), then drop the job senders so each
-    // worker drains its queue and exits.
+    // (they poll on a read timeout), then close the shard queues so each
+    // worker drains what was admitted and exits.
     drop(listener);
     if let ServeAddr::Unix(path) = &config.addr {
         let _ = std::fs::remove_file(path);
     }
-    for h in conn_handles {
-        let _ = h.join();
+    while !conn_handles.is_empty() {
+        reap_connections(&mut conn_handles, &ctx);
+        if !conn_handles.is_empty() {
+            thread::sleep(Duration::from_millis(2));
+        }
     }
-    let ConnCtx {
-        base,
-        shard_telemetry,
-        session,
-        senders,
-        max_line_bytes,
-        workers,
-        ..
-    } = ctx;
-    drop(senders);
-    for h in worker_handles {
-        let _ = h.join();
+    for shard in ctx.shards.iter() {
+        shard.queue.close();
+    }
+    for (si, h) in worker_handles.into_iter().enumerate() {
+        let died = h.join().is_err();
+        // A worker that died during the drain is not restarted, but its
+        // in-flight request still gets its one response.
+        if died {
+            if let Some(tag) = ctx.shards[si].take_inflight() {
+                ctx.count("serve.worker_lost_requests", 1);
+                tag.reply.send(&response_error(
+                    tag.wire,
+                    Some(&tag.id),
+                    "worker-lost",
+                    &format!("shard {si} worker died during shutdown drain"),
+                ));
+            }
+        }
     }
 
-    let final_ctx = ConnCtx {
-        running,
-        base,
-        shard_telemetry,
-        session,
-        senders: Vec::new(),
-        max_line_bytes,
-        workers,
-    };
-    let telemetry = final_ctx.snapshot();
+    let telemetry = ctx.snapshot();
     if let Some(root) = &config.telemetry_root {
         telemetry.write_results(root, "serve")?;
     }
@@ -1003,6 +1476,7 @@ fn conn_loop(stream: Stream, ctx: ConnCtx) {
             Ok(LineEvent::Eof { partial: true }) => {
                 ctx.count("serve.truncated", 1);
                 writer.send(&response_error(
+                    Wire::V1,
                     None,
                     "truncated",
                     "request line truncated by connection close",
@@ -1012,6 +1486,7 @@ fn conn_loop(stream: Stream, ctx: ConnCtx) {
             Ok(LineEvent::Oversized) => {
                 ctx.count("serve.oversized", 1);
                 writer.send(&response_error(
+                    Wire::V1,
                     None,
                     "oversized",
                     &format!("request line exceeds {} bytes", ctx.max_line_bytes),
@@ -1030,39 +1505,52 @@ fn handle_line(line: &str, writer: &Arc<ConnWriter>, ctx: &ConnCtx) -> bool {
         return true;
     }
     ctx.count("serve.lines", 1);
-    let request = match parse_request(line) {
+    let (request, wire) = match parse_request(line) {
         Ok(r) => r,
         Err(we) => {
             ctx.count("serve.bad_requests", 1);
-            writer.send(&response_error(we.id.as_deref(), we.kind, &we.message));
+            // A line too broken to recover a schema from answers in v1.
+            writer.send(&response_error(
+                Wire::V1,
+                we.id.as_deref(),
+                we.kind,
+                &we.message,
+            ));
             return true;
         }
     };
     match request {
         Request::Ping { id } => {
             ctx.count("serve.pings", 1);
-            writer.send(&response_plain(&id, "pong"));
+            writer.send(&response_plain(wire, &id, "pong"));
             true
         }
         Request::Stats { id } => {
             ctx.count("serve.stats_requests", 1);
             let snapshot = ctx.snapshot();
-            writer.send(&response_stats(&id, &snapshot));
+            writer.send(&response_stats(wire, &id, &snapshot));
             true
         }
         Request::Shutdown { id } => {
             ctx.count("serve.shutdowns", 1);
-            writer.send(&response_plain(&id, "bye"));
+            writer.send(&response_plain(wire, &id, "bye"));
             ctx.running.store(false, Ordering::SeqCst);
             false
         }
-        Request::Compile { id, approach, spec } => {
+        Request::Compile {
+            id,
+            approach,
+            spec,
+            deadline_ms,
+            priority,
+        } => {
             if let JobSpec::Bench(name) = &spec {
                 // `benchmark()` panics on unknown names; reject here so a
                 // typo is a protocol error, not a contained worker panic.
                 if !dra_workloads::benchmark_names().contains(&name.as_str()) {
                     ctx.count("serve.bad_requests", 1);
                     writer.send(&response_error(
+                        wire,
                         Some(&id),
                         "bad-request",
                         &format!("unknown benchmark {name:?}"),
@@ -1074,21 +1562,49 @@ fn handle_line(line: &str, writer: &Arc<ConnWriter>, ctx: &ConnCtx) -> bool {
                 JobSpec::Bench(name) => result_key("bench", name, approach),
                 JobSpec::Source(text) => result_key("src", text, approach),
             };
-            let shard = (key[0] % ctx.senders.len() as u64) as usize;
+            let shard = (key[0] % ctx.shards.len() as u64) as usize;
+            if deadline_ms.is_some() {
+                ctx.count("serve.deadline.with_deadline", 1);
+            }
             let job = Job {
                 id,
                 approach,
                 spec,
                 reply: Arc::clone(writer),
+                wire,
+                priority,
+                // The clock starts at admission: time spent queued counts
+                // against the deadline (that is the point — a deadline
+                // bounds *response* time, not compile time).
+                deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+                deadline_ms,
             };
-            match ctx.senders[shard].send(job) {
-                Ok(()) => {
+            match ctx.shards[shard].queue.try_push(job) {
+                Admit::Queued(depth) => {
                     ctx.count("serve.dispatched", 1);
+                    ctx.count("serve.overload.admitted", 1);
+                    ctx.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
                     true
                 }
-                Err(mpsc::SendError(job)) => {
-                    // Only reachable mid-shutdown.
+                Admit::Overloaded(job) => {
+                    ctx.count("serve.overload.shed", 1);
+                    if job.priority == Priority::Interactive {
+                        ctx.count("serve.overload.shed_interactive", 1);
+                    }
                     writer.send(&response_error(
+                        job.wire,
+                        Some(&job.id),
+                        "overloaded",
+                        &format!(
+                            "shard {shard} queue is full ({} priority); retry with backoff",
+                            job.priority.label()
+                        ),
+                    ));
+                    true
+                }
+                Admit::Closed(job) => {
+                    writer.send(&response_error(
+                        job.wire,
                         Some(&job.id),
                         "shutdown",
                         "server is shutting down",
@@ -1101,16 +1617,74 @@ fn handle_line(line: &str, writer: &Arc<ConnWriter>, ctx: &ConnCtx) -> bool {
 }
 
 fn worker_loop(
-    rx: Receiver<Job>,
-    session: Arc<CompileSession>,
-    telemetry: Arc<Mutex<Telemetry>>,
+    shard: &ShardState,
+    session: &CompileSession,
     retries: u32,
-    faults: Arc<BTreeSet<String>>,
+    faults: &ServeFaults,
+    stall_gate: &AtomicBool,
+    running: &AtomicBool,
 ) {
-    while let Ok(job) = rx.recv() {
+    while let Some(job) = shard.queue.pop() {
+        // Mark the job in-flight *before* any fallible work, so the
+        // supervisor can answer it if this thread dies processing it.
+        shard.set_inflight(Some(InflightTag {
+            id: job.id.clone(),
+            wire: job.wire,
+            reply: Arc::clone(&job.reply),
+        }));
         let start = Instant::now();
-        let (outcome, _attempts) = run_isolated(retries, || {
-            if faults.contains(&job.id) {
+        // Count the dequeue immediately: `serve.requests` is the "a
+        // worker picked this up" census, visible while the request is
+        // still in flight (the chaos harness synchronizes on it).
+        drop({
+            let mut t = shard
+                .telemetry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            t.count("serve.requests", 1);
+            t
+        });
+        let record = |count_key: &str| {
+            let mut t = shard
+                .telemetry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            t.span_ns("serve.request", start.elapsed().as_nanos() as u64);
+            t.count(count_key, 1);
+            t
+        };
+        // Deadline check at dequeue: a request that expired while queued
+        // is shed without compiling anything.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            drop(record("serve.deadline.shed_queued"));
+            job.reply.send(&response_error(
+                job.wire,
+                Some(&job.id),
+                "deadline",
+                &format!(
+                    "deadline of {} ms expired while queued",
+                    job.deadline_ms.unwrap_or(0)
+                ),
+            ));
+            shard.set_inflight(None);
+            continue;
+        }
+        if faults.kill_request_ids.contains(&job.id) {
+            // Escape the per-request isolation on purpose: the thread
+            // dies with the job still marked in-flight, exercising the
+            // supervisor's restart-and-respond path.
+            panic!("injected worker kill (request {})", job.id);
+        }
+        if faults.stall_request_ids.contains(&job.id) {
+            // A wedged request: block until the harness opens the gate
+            // (or the daemon shuts down — a stall must not outlive it).
+            while !stall_gate.load(Ordering::SeqCst) && running.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let token = CancelToken::with_deadline(job.deadline);
+        let (outcome, _attempts) = run_isolated_cancellable(retries, Some(&token), || {
+            if faults.panic_request_ids.contains(&job.id) {
                 panic!("injected serve fault (request {})", job.id);
             }
             match &job.spec {
@@ -1118,17 +1692,10 @@ fn worker_loop(
                 JobSpec::Source(text) => session.compile_source(text, job.approach),
             }
         });
-        let elapsed = start.elapsed();
-        let micros = elapsed.as_micros() as u64;
-        let mut t = match telemetry.lock() {
-            Ok(t) => t,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        t.count("serve.requests", 1);
-        t.span_ns("serve.request", elapsed.as_nanos() as u64);
+        let micros = start.elapsed().as_micros() as u64;
         match outcome {
             crate::batch::CellOutcome::Ok(Ok((run, cached))) => {
-                t.count("serve.ok", 1);
+                let mut t = record("serve.ok");
                 if cached {
                     t.count("serve.cache_hits", 1);
                 } else {
@@ -1137,30 +1704,87 @@ fn worker_loop(
                     t.merge(&run.telemetry);
                 }
                 drop(t);
-                job.reply.send(&response_run(&job.id, &run, cached, micros));
+                job.reply
+                    .send(&response_run(job.wire, &job.id, &run, cached, micros));
             }
             crate::batch::CellOutcome::Ok(Err(e)) => {
-                t.count("serve.errors", 1);
-                drop(t);
-                job.reply
-                    .send(&response_error(Some(&job.id), e.kind(), &e.to_string()));
+                drop(record("serve.errors"));
+                job.reply.send(&response_error(
+                    job.wire,
+                    Some(&job.id),
+                    e.kind(),
+                    &e.to_string(),
+                ));
             }
             crate::batch::CellOutcome::Failed { stage, message } => {
-                t.count("serve.panics", 1);
-                drop(t);
+                drop(record("serve.panics"));
                 job.reply.send(&response_error(
+                    job.wire,
                     Some(&job.id),
                     "panic",
                     &format!("panic in stage {stage:?}: {message}"),
                 ));
             }
+            crate::batch::CellOutcome::Cancelled { stage } => {
+                drop(record("serve.deadline.cancelled"));
+                job.reply.send(&response_error(
+                    job.wire,
+                    Some(&job.id),
+                    "deadline",
+                    &format!(
+                        "deadline of {} ms expired mid-compile (at stage {stage:?})",
+                        job.deadline_ms.unwrap_or(0)
+                    ),
+                ));
+            }
         }
+        shard.set_inflight(None);
     }
 }
 
 // ---------------------------------------------------------------------------
 // Client.
 // ---------------------------------------------------------------------------
+
+/// Jittered exponential backoff for retrying shed requests.
+///
+/// Delay before retry `n` (0-based) is drawn uniformly from
+/// `[exp/2, exp)` where `exp = min(base_ms << n, cap_ms)` — "equal
+/// jitter", which keeps retries from synchronising into waves while
+/// still guaranteeing at least half the nominal delay.
+#[derive(Clone, Copy, Debug)]
+pub struct BackoffPolicy {
+    /// Total attempts including the first (minimum 1).
+    pub attempts: u32,
+    /// First retry's nominal delay.
+    pub base_ms: u64,
+    /// Ceiling on the nominal delay.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream — fixed seed, fixed delays.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            attempts: 4,
+            base_ms: 10,
+            cap_ms: 200,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    fn delay_ms(&self, retry: u32, rng: &mut SplitMix64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(self.cap_ms.max(1));
+        let half = (exp / 2).max(1);
+        half + rng.below(half)
+    }
+}
 
 /// A blocking line-protocol client.
 pub struct ServeClient {
@@ -1250,6 +1874,31 @@ impl ServeClient {
         self.recv_response()
     }
 
+    /// Send a raw line, retrying retryable errors (`overloaded`,
+    /// `deadline`, `worker-lost`, `shutdown`) with jittered exponential
+    /// backoff. Returns the last response — still `ok:false` when every
+    /// attempt was shed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures on any attempt.
+    pub fn request_with_backoff(
+        &mut self,
+        line: &str,
+        policy: &BackoffPolicy,
+    ) -> io::Result<Response> {
+        let mut rng = SplitMix64::new(policy.seed);
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.request(line)?;
+            attempt += 1;
+            if resp.ok || !resp.retryable || attempt >= policy.attempts.max(1) {
+                return Ok(resp);
+            }
+            thread::sleep(Duration::from_millis(policy.delay_ms(attempt - 1, &mut rng)));
+        }
+    }
+
     /// Compile a builtin benchmark.
     ///
     /// # Errors
@@ -1313,23 +1962,29 @@ mod tests {
 
     #[test]
     fn parse_request_roundtrips_every_kind() {
-        let r = parse_request(&request_compile_bench("a", "crc32", Approach::Select)).unwrap();
+        let (r, wire) = parse_request(&request_compile_bench("a", "crc32", Approach::Select)).unwrap();
+        assert_eq!(wire, Wire::V1);
         assert_eq!(
             r,
             Request::Compile {
                 id: "a".into(),
                 approach: Approach::Select,
                 spec: JobSpec::Bench("crc32".into()),
+                deadline_ms: None,
+                priority: Priority::Interactive,
             }
         );
         let src = "fn f {\n  entry:\n    ret\n}\n";
-        let r = parse_request(&request_compile_source("b", src, Approach::OSpill)).unwrap();
+        let (r, wire) = parse_request(&request_compile_source("b", src, Approach::OSpill)).unwrap();
+        assert_eq!(wire, Wire::V1);
         assert_eq!(
             r,
             Request::Compile {
                 id: "b".into(),
                 approach: Approach::OSpill,
                 spec: JobSpec::Source(src.into()),
+                deadline_ms: None,
+                priority: Priority::Interactive,
             }
         );
         for (kind, want) in [
@@ -1337,8 +1992,73 @@ mod tests {
             ("stats", Request::Stats { id: "c".into() }),
             ("shutdown", Request::Shutdown { id: "c".into() }),
         ] {
-            assert_eq!(parse_request(&request_plain("c", kind)).unwrap(), want);
+            let (got, wire) = parse_request(&request_plain("c", kind)).unwrap();
+            assert_eq!(wire, Wire::V1);
+            assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn parse_request_accepts_v2_deadline_and_priority() {
+        let line = request_compile_bench_v2(
+            "a",
+            "crc32",
+            Approach::Select,
+            Some(250),
+            Priority::Batch,
+        );
+        let (r, wire) = parse_request(&line).unwrap();
+        assert_eq!(wire, Wire::V2);
+        assert_eq!(
+            r,
+            Request::Compile {
+                id: "a".into(),
+                approach: Approach::Select,
+                spec: JobSpec::Bench("crc32".into()),
+                deadline_ms: Some(250),
+                priority: Priority::Batch,
+            }
+        );
+        // Absent v2 fields keep v1 semantics.
+        let line = request_compile_source_v2("b", "fn f {\n  entry:\n    ret\n}\n", Approach::OSpill, None, Priority::Interactive);
+        let (r, wire) = parse_request(&line).unwrap();
+        assert_eq!(wire, Wire::V2);
+        match r {
+            Request::Compile {
+                deadline_ms,
+                priority,
+                ..
+            } => {
+                assert_eq!(deadline_ms, None);
+                assert_eq!(priority, Priority::Interactive);
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
+        // Plain kinds ride v2 too, and responses echo the schema.
+        let (_, wire) = parse_request(
+            "{\"schema\":\"dra-serve-v2\",\"id\":\"p\",\"kind\":\"ping\"}",
+        )
+        .unwrap();
+        assert_eq!(wire, Wire::V2);
+    }
+
+    #[test]
+    fn v2_only_fields_are_rejected_on_v1() {
+        let err = parse_request(
+            "{\"schema\":\"dra-serve-v1\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"select\",\"bench\":\"crc32\",\"deadline_ms\":10}",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "bad-request");
+        let err = parse_request(
+            "{\"schema\":\"dra-serve-v2\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"select\",\"bench\":\"crc32\",\"priority\":\"urgent\"}",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "bad-request");
+        let err = parse_request(
+            "{\"schema\":\"dra-serve-v2\",\"id\":\"x\",\"kind\":\"compile\",\"approach\":\"select\",\"bench\":\"crc32\",\"deadline_ms\":-4}",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, "bad-request");
     }
 
     #[test]
@@ -1400,20 +2120,101 @@ mod tests {
 
     #[test]
     fn response_lines_parse_back() {
-        let e = Response::parse(&response_error(Some("x"), "bad-request", "nope")).unwrap();
+        let e = Response::parse(&response_error(Wire::V1, Some("x"), "bad-request", "nope")).unwrap();
         assert!(!e.ok);
         assert_eq!(e.id.as_deref(), Some("x"));
         assert_eq!(e.error.as_ref().unwrap().0, "bad-request");
+        assert!(!e.retryable);
 
-        let p = Response::parse(&response_plain("y", "pong")).unwrap();
+        let p = Response::parse(&response_plain(Wire::V1, "y", "pong")).unwrap();
         assert!(p.ok);
         assert_eq!(p.kind.as_deref(), Some("pong"));
 
         let mut t = Telemetry::new();
         t.count("serve.requests", 3);
-        let s = Response::parse(&response_stats("z", &t)).unwrap();
+        let s = Response::parse(&response_stats(Wire::V1, "z", &t)).unwrap();
         let stats = s.stats.unwrap();
         assert_eq!(stats.counters.get("serve.requests"), Some(&3));
+    }
+
+    #[test]
+    fn shed_errors_are_marked_retryable_and_echo_the_wire() {
+        for kind in ["overloaded", "deadline", "worker-lost", "shutdown"] {
+            let line = response_error(Wire::V2, Some("x"), kind, "shed");
+            assert!(line.contains("dra-serve-v2"), "line: {line}");
+            let r = Response::parse(&line).unwrap();
+            assert!(r.retryable, "kind {kind} should be retryable");
+        }
+        for kind in ["bad-request", "panic", "parse", "oversized"] {
+            let r = Response::parse(&response_error(Wire::V2, Some("x"), kind, "no")).unwrap();
+            assert!(!r.retryable, "kind {kind} should not be retryable");
+        }
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_bounded_and_grow() {
+        let policy = BackoffPolicy {
+            attempts: 6,
+            base_ms: 8,
+            cap_ms: 64,
+            seed: 42,
+        };
+        let mut a = SplitMix64::new(policy.seed);
+        let mut b = SplitMix64::new(policy.seed);
+        for retry in 0..6 {
+            let da = policy.delay_ms(retry, &mut a);
+            let db = policy.delay_ms(retry, &mut b);
+            assert_eq!(da, db, "same seed, same delays");
+            let exp = (8u64 << retry).min(64);
+            assert!(da >= exp / 2 && da < exp.max(2), "retry {retry}: {da} vs exp {exp}");
+        }
+    }
+
+    fn test_job(id: &str, priority: Priority) -> Job {
+        let (a, _b) = UnixStream::pair().unwrap();
+        Job {
+            id: id.into(),
+            approach: Approach::Select,
+            spec: JobSpec::Bench("crc32".into()),
+            reply: Arc::new(ConnWriter::new(Stream::Unix(a))),
+            wire: Wire::V2,
+            priority,
+            deadline: None,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn shard_queue_sheds_batch_before_interactive() {
+        let q = ShardQueue::new(2);
+        // Batch lane fills at cap.
+        assert!(matches!(q.try_push(test_job("b1", Priority::Batch)), Admit::Queued(1)));
+        assert!(matches!(q.try_push(test_job("b2", Priority::Batch)), Admit::Queued(2)));
+        assert!(matches!(q.try_push(test_job("b3", Priority::Batch)), Admit::Overloaded(_)));
+        // Interactive still has headroom up to 2*cap...
+        assert!(matches!(q.try_push(test_job("i1", Priority::Interactive)), Admit::Queued(3)));
+        assert!(matches!(q.try_push(test_job("i2", Priority::Interactive)), Admit::Queued(4)));
+        // ...then sheds too.
+        assert!(matches!(q.try_push(test_job("i3", Priority::Interactive)), Admit::Overloaded(_)));
+        // Interactive dequeues ahead of earlier-arrived batch.
+        assert_eq!(q.pop().unwrap().id, "i1");
+        assert_eq!(q.pop().unwrap().id, "i2");
+        assert_eq!(q.pop().unwrap().id, "b1");
+        q.close();
+        assert_eq!(q.pop().unwrap().id, "b2");
+        assert!(q.pop().is_none());
+        assert!(matches!(q.try_push(test_job("late", Priority::Batch)), Admit::Closed(_)));
+    }
+
+    #[test]
+    fn shard_queue_cap_zero_is_unbounded() {
+        let q = ShardQueue::new(0);
+        for i in 0..512 {
+            assert!(matches!(
+                q.try_push(test_job(&format!("j{i}"), Priority::Batch)),
+                Admit::Queued(_)
+            ));
+        }
     }
 
     #[test]
@@ -1442,5 +2243,59 @@ mod tests {
             LineEvent::Eof { partial: true } => {}
             _ => panic!("expected partial EOF"),
         }
+    }
+
+    #[test]
+    fn slowloris_byte_at_a_time_still_yields_a_full_line() {
+        // A client dribbling one byte per write must not confuse the
+        // framing: the reader keeps accumulating until the newline.
+        let (a, b) = UnixStream::pair().unwrap();
+        let line = request_plain("slow", "ping");
+        let mut tx = b;
+        let reader_thread = thread::spawn(move || {
+            let mut reader = LineReader::new(Stream::Unix(a), 1024);
+            reader.next_line().unwrap()
+        });
+        for byte in line.as_bytes() {
+            tx.write_all(std::slice::from_ref(byte)).unwrap();
+            tx.flush().unwrap();
+        }
+        tx.write_all(b"\n").unwrap();
+        match reader_thread.join().unwrap() {
+            LineEvent::Line(got) => assert_eq!(got, line),
+            other => panic!("expected Line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slowloris_stall_mid_line_surfaces_timeouts_not_a_hang() {
+        // A client that sends half a line and goes silent: with a read
+        // timeout armed, the reader must keep returning Timeout (so the
+        // serve loop can check shutdown) instead of blocking forever,
+        // and still finish the line when the bytes eventually arrive.
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+        let mut reader = LineReader::new(Stream::Unix(a), 1024);
+        let mut tx = b;
+        tx.write_all(b"{\"schema\":\"dra-serve-v1\",").unwrap();
+        let mut timeouts = 0;
+        loop {
+            match reader.next_line().unwrap() {
+                LineEvent::Timeout => {
+                    timeouts += 1;
+                    if timeouts == 3 {
+                        // Stall observed repeatedly; now complete the line.
+                        tx.write_all(b"\"id\":\"s\",\"kind\":\"ping\"}\n").unwrap();
+                    }
+                }
+                LineEvent::Line(line) => {
+                    let (req, _) = parse_request(&line).unwrap();
+                    assert_eq!(req, Request::Ping { id: "s".into() });
+                    break;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(timeouts >= 3);
     }
 }

@@ -1,0 +1,854 @@
+//! # `drac chaos --serve` — seeded fault campaign against the daemon
+//!
+//! The pipeline chaos harness ([`crate::faults`]) proves panics stay
+//! inside one batch cell. This module makes the same argument for the
+//! *serving* layer: a daemon under overload and partial failure keeps
+//! every protocol promise. Four scenarios, each against a fresh daemon:
+//!
+//! * **deadline-storm** — both workers wedged on stalled requests while
+//!   a flood of short-deadline jobs queues behind them; every flood job
+//!   must be shed at dequeue (`serve.deadline.shed_queued`, never
+//!   compiled) and the wedged jobs themselves — released after their
+//!   own deadlines lapse — must cancel at the first checkpoint
+//!   (`serve.deadline.cancelled`).
+//! * **queue-flood** — tiny queue caps, workers wedged, then more batch
+//!   jobs than the queues can hold plus interactive jobs that fit the
+//!   2× reserve and one per shard that does not. Admission control must
+//!   shed exactly the overflow (immediate retryable `overloaded`), the
+//!   peak queue depth must respect the bound (memory stays bounded),
+//!   and every admitted job must complete once the gate opens.
+//! * **worker-kill** — injected panics that *escape* the per-request
+//!   isolation, killing a worker mid-request on each shard. The
+//!   supervisor must answer the orphaned request (`worker-lost`,
+//!   retryable), restart the worker on the same shard state, and the
+//!   warm result cache must survive the restart (`cached:true` proof).
+//! * **client-vanish** — a client that disconnects after sending a
+//!   compile, another that hangs up mid-line, then a healthy client.
+//!   The daemon must absorb both without a connection-thread panic
+//!   (`serve.conn_panics == 0`) and keep serving.
+//!
+//! ## The three invariants
+//!
+//! 1. **Exactly one response per admitted request.** Every scenario
+//!    tallies response ids against request ids — no request may be
+//!    dropped or double-answered.
+//! 2. **No hangs.** The whole campaign runs under a watchdog; if it
+//!    does not complete in time the process aborts with exit code 3.
+//! 3. **Determinism.** The campaign runs *twice* with the same seed and
+//!    the merged counter totals must match byte for byte. Scenarios are
+//!    constructed so every counter is schedule-invariant: workers are
+//!    wedged behind a gate while admission decisions happen on a single
+//!    pipelined connection, so queue depths, shed counts, and cache
+//!    outcomes do not race. The only carve-outs are
+//!    `serve.stats_requests` and `serve.lines`, which count the
+//!    harness's own synchronization polls (how *often* the harness must
+//!    poll before it observes a state is wall-clock, not workload), and
+//!    the `serve.request` span, which is wall-clock by definition.
+
+use crate::lowend::Approach;
+use crate::serve::{
+    request_compile_source, request_compile_source_v2, serve, Priority, Response, ServeAddr,
+    ServeClient, ServeConfig,
+};
+use crate::session::result_key;
+use crate::telemetry::{escape_json, Telemetry};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Schema identifier for `results/chaos_serve.json`.
+pub const CHAOS_SERVE_SCHEMA: &str = "dra-serve-chaos-v1";
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct ChaosServeConfig {
+    /// Seed naming the campaign (tags request ids and sources).
+    pub seed: u64,
+    /// Abort the process (exit 3) if the campaign runs longer than
+    /// this; `0` disables the watchdog.
+    pub watchdog_secs: u64,
+    /// Where to write the JSON verdict.
+    pub out_path: Option<PathBuf>,
+    /// When set, writes `results/telemetry/chaos_serve.json` under this
+    /// root.
+    pub telemetry_root: Option<PathBuf>,
+}
+
+impl Default for ChaosServeConfig {
+    fn default() -> ChaosServeConfig {
+        ChaosServeConfig {
+            seed: 3,
+            watchdog_secs: 120,
+            out_path: None,
+            telemetry_root: None,
+        }
+    }
+}
+
+/// One scenario's observable outcome (all schedule-invariant).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Requests the harness sent on live connections.
+    pub requests: usize,
+    /// Responses received — must equal `requests`, each id exactly once.
+    pub responses: usize,
+    /// `ok:true` responses.
+    pub ok: u64,
+    /// Requests shed by admission control (`overloaded`).
+    pub shed_overload: u64,
+    /// Requests shed by deadline enforcement (`deadline`).
+    pub shed_deadline: u64,
+    /// Requests answered by the supervisor (`worker-lost`).
+    pub worker_lost: u64,
+    /// Workers restarted during the scenario.
+    pub worker_restarts: u64,
+}
+
+/// The whole campaign's verdict.
+#[derive(Clone, Debug)]
+pub struct ChaosServeReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// First run's scenario outcomes, in order.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// Whether the two same-seed runs produced identical comparable
+    /// counter totals *and* identical scenario outcomes.
+    pub deterministic: bool,
+    /// Comparable counter totals, merged across scenarios (first run).
+    pub counter_totals: BTreeMap<String, u64>,
+}
+
+impl ChaosServeReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.deterministic && self.scenarios.iter().all(|s| s.requests == s.responses)
+    }
+
+    /// The `dra-serve-chaos-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"{CHAOS_SERVE_SCHEMA}\",\n  \"seed\": {},\n  \"deterministic\": {},\n  \"passed\": {},\n  \"scenarios\": [",
+            self.seed,
+            self.deterministic,
+            self.passed(),
+        ));
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"requests\": {}, \"responses\": {}, \"ok\": {}, \"shed_overload\": {}, \"shed_deadline\": {}, \"worker_lost\": {}, \"worker_restarts\": {}}}",
+                escape_json(s.name),
+                s.requests,
+                s.responses,
+                s.ok,
+                s.shed_overload,
+                s.shed_deadline,
+                s.worker_lost,
+                s.worker_restarts,
+            ));
+        }
+        out.push_str("\n  ],\n  \"counter_totals\": {");
+        for (i, (k, v)) in self.counter_totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", escape_json(k)));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// A human-readable verdict table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "serve chaos: seed {}, {} scenarios, deterministic: {}\n",
+            self.seed,
+            self.scenarios.len(),
+            self.deterministic,
+        );
+        out.push_str("scenario        req  resp    ok  shed  dead  lost  restarts\n");
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<15} {:>4} {:>5} {:>5} {:>5} {:>5} {:>5} {:>9}\n",
+                s.name,
+                s.requests,
+                s.responses,
+                s.ok,
+                s.shed_overload,
+                s.shed_deadline,
+                s.worker_lost,
+                s.worker_restarts,
+            ));
+        }
+        out
+    }
+}
+
+/// The compile approach every chaos job uses.
+const APPROACH: Approach = Approach::Select;
+
+/// A small program whose variants seed every scenario: real pipeline
+/// work, but milliseconds of it.
+fn base_source() -> String {
+    dra_workloads::benchmark("crc32").to_string()
+}
+
+/// A variant of `base` whose content hash lands on `shard` (of
+/// `workers`): the nonce comment is invisible to the parser but turns
+/// the result key, which is what the dispatcher shards on.
+fn source_for_shard(base: &str, tag: &str, shard: usize, workers: usize) -> String {
+    for nonce in 0u64..10_000 {
+        let s = format!("{base}\n; chaos {tag}-{nonce}\n");
+        if (result_key("src", &s, APPROACH)[0] % workers as u64) as usize == shard {
+            return s;
+        }
+    }
+    unreachable!("10k nonces without hitting shard {shard} of {workers}")
+}
+
+/// A daemon tuned for chaos: tiny remap budget (the scenarios probe the
+/// serving layer, not the search), single-threaded remap per worker.
+fn chaos_daemon(workers: usize, queue_cap: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(ServeAddr::Tcp("127.0.0.1:0".to_string()));
+    config.workers = workers;
+    config.queue_cap = queue_cap;
+    config.setup.remap_starts = 16;
+    config.setup.remap_threads = 1;
+    config
+}
+
+/// Classify responses into the outcome tallies and enforce the
+/// exactly-once invariant: every id in `sent` answered exactly once,
+/// no unknown ids.
+fn tally(
+    name: &'static str,
+    sent: &[String],
+    responses: &[Response],
+    restarts: u64,
+) -> Result<ScenarioOutcome, String> {
+    let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut outcome = ScenarioOutcome {
+        name,
+        requests: sent.len(),
+        responses: responses.len(),
+        ok: 0,
+        shed_overload: 0,
+        shed_deadline: 0,
+        worker_lost: 0,
+        worker_restarts: restarts,
+    };
+    for r in responses {
+        let id = r
+            .id
+            .as_deref()
+            .ok_or_else(|| format!("{name}: response without an id: {}", r.raw))?;
+        if !sent.iter().any(|s| s == id) {
+            return Err(format!("{name}: response for never-sent id {id:?}"));
+        }
+        *seen.entry(id).or_insert(0) += 1;
+        if r.ok {
+            outcome.ok += 1;
+        } else {
+            match r.error.as_ref().map(|(k, _)| k.as_str()) {
+                Some("overloaded") => outcome.shed_overload += 1,
+                Some("deadline") => outcome.shed_deadline += 1,
+                Some("worker-lost") => outcome.worker_lost += 1,
+                other => {
+                    return Err(format!(
+                        "{name}: unexpected error kind {other:?}: {}",
+                        r.raw
+                    ))
+                }
+            }
+            if !r.retryable {
+                return Err(format!("{name}: shed response not retryable: {}", r.raw));
+            }
+        }
+    }
+    for id in sent {
+        match seen.get(id.as_str()) {
+            Some(1) => {}
+            Some(n) => return Err(format!("{name}: id {id:?} answered {n} times")),
+            None => return Err(format!("{name}: id {id:?} never answered")),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Block until the daemon's `counter` reaches `at_least` (observed via
+/// stats polls on `client`). The poll count is wall-clock-dependent,
+/// which is why `serve.stats_requests` / `serve.lines` are excluded
+/// from the determinism comparison.
+fn wait_for_counter(
+    client: &mut ServeClient,
+    counter: &str,
+    at_least: u64,
+) -> io::Result<()> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = client.stats("chaos-sync")?;
+        let got = resp
+            .stats
+            .as_ref()
+            .and_then(|t| t.counters.get(counter))
+            .copied()
+            .unwrap_or(0);
+        if got >= at_least {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::other(format!(
+                "timed out waiting for {counter} >= {at_least} (at {got})"
+            )));
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn recv_n(client: &mut ServeClient, n: usize) -> io::Result<Vec<Response>> {
+    (0..n).map(|_| client.recv_response()).collect()
+}
+
+/// Scenario 1: short-deadline jobs flood queues wedged behind stalled
+/// workers; everything must be shed by the deadline layer, nothing
+/// compiled.
+fn deadline_storm(seed: u64) -> Result<(ScenarioOutcome, Telemetry), String> {
+    let workers = 2;
+    let config = chaos_daemon(workers, 8);
+    let gate = Arc::clone(&config.stall_gate);
+    let mut config = config;
+    let base = base_source();
+    let mut sent: Vec<String> = Vec::new();
+    // One stalled request per shard, each with a deadline that lapses
+    // while it is wedged: released, it must cancel at the first
+    // checkpoint instead of compiling.
+    let stall_ids = ["storm-stall-0".to_string(), "storm-stall-1".to_string()];
+    for id in &stall_ids {
+        config.faults.stall_request_ids.insert(id.clone());
+    }
+    let handle = serve(config).map_err(|e| format!("deadline-storm: bind: {e}"))?;
+    let mut client = ServeClient::connect_with_retry(handle.addr(), Duration::from_secs(5))
+        .map_err(|e| format!("deadline-storm: connect: {e}"))?;
+
+    for (si, id) in stall_ids.iter().enumerate() {
+        let src = source_for_shard(&base, &format!("{seed:x}-storm-stall{si}"), si, workers);
+        client
+            .send_line(&request_compile_source_v2(
+                id,
+                &src,
+                APPROACH,
+                Some(400),
+                Priority::Interactive,
+            ))
+            .map_err(|e| format!("deadline-storm: send: {e}"))?;
+        sent.push(id.clone());
+    }
+    // Wait until both workers hold their stalled jobs (counted at
+    // dequeue) so the flood queues strictly behind them.
+    wait_for_counter(&mut client, "serve.requests", 2)
+        .map_err(|e| format!("deadline-storm: {e}"))?;
+    // The flood: six jobs with 40 ms deadlines that cannot be served
+    // while the workers are wedged.
+    for i in 0..6 {
+        let id = format!("storm-flood-{i}");
+        let src = format!("{base}\n; chaos {seed:x}-storm-flood-{i}\n");
+        client
+            .send_line(&request_compile_source_v2(
+                &id,
+                &src,
+                APPROACH,
+                Some(40),
+                Priority::Interactive,
+            ))
+            .map_err(|e| format!("deadline-storm: send: {e}"))?;
+        sent.push(id);
+    }
+    // Let every deadline lapse, then open the gate.
+    thread::sleep(Duration::from_millis(600));
+    gate.store(true, Ordering::SeqCst);
+    let responses = recv_n(&mut client, sent.len())
+        .map_err(|e| format!("deadline-storm: recv: {e}"))?;
+
+    handle.shutdown();
+    let telemetry = handle
+        .join()
+        .map_err(|e| format!("deadline-storm: join: {e}"))?;
+    let outcome = tally(
+        "deadline-storm",
+        &sent,
+        &responses,
+        telemetry.counter("serve.worker_restarts"),
+    )?;
+    if outcome.shed_deadline != 8 || outcome.ok != 0 {
+        return Err(format!(
+            "deadline-storm: expected 8 deadline sheds and 0 ok, got {outcome:?}"
+        ));
+    }
+    if telemetry.counter("serve.deadline.shed_queued") != 6
+        || telemetry.counter("serve.deadline.cancelled") != 2
+    {
+        return Err(format!(
+            "deadline-storm: expected 6 queued sheds + 2 cancellations, got {} + {}",
+            telemetry.counter("serve.deadline.shed_queued"),
+            telemetry.counter("serve.deadline.cancelled"),
+        ));
+    }
+    Ok((outcome, telemetry))
+}
+
+/// Scenario 2: more work than the bounded queues accept. Exact shed
+/// counts, bounded peak depth, and completion of everything admitted.
+fn queue_flood(seed: u64) -> Result<(ScenarioOutcome, Telemetry), String> {
+    let workers = 2;
+    let cap = 2;
+    let config = chaos_daemon(workers, cap);
+    let gate = Arc::clone(&config.stall_gate);
+    let mut config = config;
+    let base = base_source();
+    let stall_ids = ["flood-stall-0".to_string(), "flood-stall-1".to_string()];
+    for id in &stall_ids {
+        config.faults.stall_request_ids.insert(id.clone());
+    }
+    let handle = serve(config).map_err(|e| format!("queue-flood: bind: {e}"))?;
+    let mut client = ServeClient::connect_with_retry(handle.addr(), Duration::from_secs(5))
+        .map_err(|e| format!("queue-flood: connect: {e}"))?;
+
+    let mut sent: Vec<String> = Vec::new();
+    for (si, id) in stall_ids.iter().enumerate() {
+        let src = source_for_shard(&base, &format!("{seed:x}-flood-stall{si}"), si, workers);
+        client
+            .send_line(&request_compile_source(id, &src, APPROACH))
+            .map_err(|e| format!("queue-flood: send: {e}"))?;
+        sent.push(id.clone());
+    }
+    // Both workers wedged and their jobs out of the queues: admission
+    // decisions below are now a pure function of send order.
+    wait_for_counter(&mut client, "serve.requests", 2).map_err(|e| format!("queue-flood: {e}"))?;
+
+    // Per shard: 6 batch jobs (cap admits 2, sheds 4), then 3
+    // interactive (2 fit the 2× reserve, 1 sheds).
+    let mut expect_shed = 0usize;
+    let mut expect_admitted = 2; // the stalled jobs
+    for si in 0..workers {
+        for b in 0..6 {
+            let id = format!("flood-batch-{si}-{b}");
+            let src = source_for_shard(&base, &format!("{seed:x}-fb-{si}-{b}"), si, workers);
+            client
+                .send_line(&request_compile_source_v2(
+                    &id,
+                    &src,
+                    APPROACH,
+                    None,
+                    Priority::Batch,
+                ))
+                .map_err(|e| format!("queue-flood: send: {e}"))?;
+            sent.push(id);
+            if b < cap {
+                expect_admitted += 1;
+            } else {
+                expect_shed += 1;
+            }
+        }
+        for iv in 0..3 {
+            let id = format!("flood-inter-{si}-{iv}");
+            let src = source_for_shard(&base, &format!("{seed:x}-fi-{si}-{iv}"), si, workers);
+            client
+                .send_line(&request_compile_source_v2(
+                    &id,
+                    &src,
+                    APPROACH,
+                    None,
+                    Priority::Interactive,
+                ))
+                .map_err(|e| format!("queue-flood: send: {e}"))?;
+            sent.push(id);
+            if iv < cap {
+                expect_admitted += 1;
+            } else {
+                expect_shed += 1;
+            }
+        }
+    }
+    // The shed responses arrive immediately (admission control answers
+    // from the connection thread); the workers are still wedged, so
+    // exactly `expect_shed` responses can exist before the gate opens.
+    let mut responses =
+        recv_n(&mut client, expect_shed).map_err(|e| format!("queue-flood: recv shed: {e}"))?;
+    for r in &responses {
+        if r.error.as_ref().map(|(k, _)| k.as_str()) != Some("overloaded") {
+            return Err(format!("queue-flood: early response not a shed: {}", r.raw));
+        }
+    }
+    gate.store(true, Ordering::SeqCst);
+    responses.extend(
+        recv_n(&mut client, expect_admitted).map_err(|e| format!("queue-flood: recv ok: {e}"))?,
+    );
+
+    handle.shutdown();
+    let telemetry = handle.join().map_err(|e| format!("queue-flood: join: {e}"))?;
+    let outcome = tally(
+        "queue-flood",
+        &sent,
+        &responses,
+        telemetry.counter("serve.worker_restarts"),
+    )?;
+    if outcome.shed_overload != expect_shed as u64 || outcome.ok != expect_admitted as u64 {
+        return Err(format!(
+            "queue-flood: expected {expect_shed} sheds + {expect_admitted} ok, got {outcome:?}"
+        ));
+    }
+    // Bounded memory: the queues never grew past the interactive
+    // reserve, even under flood.
+    let peak = telemetry.counter("serve.overload.peak_depth");
+    if peak > (2 * cap) as u64 {
+        return Err(format!("queue-flood: peak depth {peak} exceeds 2*cap"));
+    }
+    if telemetry.counter("serve.overload.shed_interactive") != 2 {
+        return Err(format!(
+            "queue-flood: expected 2 interactive sheds, got {}",
+            telemetry.counter("serve.overload.shed_interactive")
+        ));
+    }
+    Ok((outcome, telemetry))
+}
+
+/// Scenario 3: worker panics that escape isolation. Supervision must
+/// answer the orphaned requests, restart on the same shard cache, and
+/// the warm cache must survive.
+fn worker_kill(seed: u64) -> Result<(ScenarioOutcome, Telemetry), String> {
+    let workers = 2;
+    let config = chaos_daemon(workers, 8);
+    let mut config = config;
+    let kill_ids = ["kill-0".to_string(), "kill-1".to_string()];
+    for id in &kill_ids {
+        config.faults.kill_request_ids.insert(id.clone());
+    }
+    let handle = serve(config).map_err(|e| format!("worker-kill: bind: {e}"))?;
+    let mut client = ServeClient::connect_with_retry(handle.addr(), Duration::from_secs(5))
+        .map_err(|e| format!("worker-kill: connect: {e}"))?;
+
+    let base = base_source();
+    let mut sent: Vec<String> = Vec::new();
+    let mut responses: Vec<Response> = Vec::new();
+    let warm: Vec<String> = (0..workers)
+        .map(|si| source_for_shard(&base, &format!("{seed:x}-warm-{si}"), si, workers))
+        .collect();
+    // Warm each shard's cache...
+    for (si, src) in warm.iter().enumerate() {
+        let id = format!("warm-{si}");
+        let r = client
+            .request(&request_compile_source(&id, src, APPROACH))
+            .map_err(|e| format!("worker-kill: warm: {e}"))?;
+        if !r.ok || r.cached {
+            return Err(format!("worker-kill: warm compile wrong: {}", r.raw));
+        }
+        sent.push(id);
+        responses.push(r);
+    }
+    // ...kill each shard's worker mid-request...
+    for (si, id) in kill_ids.iter().enumerate() {
+        let src = source_for_shard(&base, &format!("{seed:x}-kill-{si}"), si, workers);
+        let r = client
+            .request(&request_compile_source(id, &src, APPROACH))
+            .map_err(|e| format!("worker-kill: kill: {e}"))?;
+        if r.error.as_ref().map(|(k, _)| k.as_str()) != Some("worker-lost") || !r.retryable {
+            return Err(format!("worker-kill: expected worker-lost: {}", r.raw));
+        }
+        sent.push(id.clone());
+        responses.push(r);
+    }
+    // ...and prove the replacement workers inherited the warm cache.
+    for (si, src) in warm.iter().enumerate() {
+        let id = format!("rewarm-{si}");
+        let r = client
+            .request(&request_compile_source(&id, src, APPROACH))
+            .map_err(|e| format!("worker-kill: rewarm: {e}"))?;
+        if !r.ok || !r.cached {
+            return Err(format!(
+                "worker-kill: cache did not survive restart: {}",
+                r.raw
+            ));
+        }
+        sent.push(id);
+        responses.push(r);
+    }
+
+    handle.shutdown();
+    let telemetry = handle.join().map_err(|e| format!("worker-kill: join: {e}"))?;
+    let outcome = tally(
+        "worker-kill",
+        &sent,
+        &responses,
+        telemetry.counter("serve.worker_restarts"),
+    )?;
+    if outcome.worker_restarts != 2 || outcome.worker_lost != 2 || outcome.ok != 4 {
+        return Err(format!(
+            "worker-kill: expected 2 restarts, 2 lost, 4 ok, got {outcome:?}"
+        ));
+    }
+    if telemetry.counter("serve.worker_lost_requests") != 2 {
+        return Err(format!(
+            "worker-kill: expected 2 lost requests, got {}",
+            telemetry.counter("serve.worker_lost_requests")
+        ));
+    }
+    Ok((outcome, telemetry))
+}
+
+/// Scenario 4: clients that vanish — after a full request, and mid-line
+/// — must not wedge or panic anything; a healthy client still gets
+/// service.
+fn client_vanish(seed: u64) -> Result<(ScenarioOutcome, Telemetry), String> {
+    let workers = 1;
+    let config = chaos_daemon(workers, 4);
+    let handle = serve(config).map_err(|e| format!("client-vanish: bind: {e}"))?;
+    let base = base_source();
+    let orphan_src = format!("{base}\n; chaos {seed:x}-orphan\n");
+
+    // A client that sends a compile and hangs up without reading the
+    // response: the worker's reply hits a dead socket (swallowed), the
+    // compile itself still lands in the cache.
+    {
+        let mut vanisher =
+            ServeClient::connect_with_retry(handle.addr(), Duration::from_secs(5))
+                .map_err(|e| format!("client-vanish: connect: {e}"))?;
+        vanisher
+            .send_line(&request_compile_source("orphan", &orphan_src, APPROACH))
+            .map_err(|e| format!("client-vanish: send: {e}"))?;
+        // Dropping both halves here closes the socket mid-service.
+    }
+    // A client that dies mid-line: truncated frame, structured error
+    // written to a possibly-dead socket, no panic. Raw socket — the
+    // point is an *unterminated* line.
+    {
+        let ServeAddr::Tcp(addr) = handle.addr() else {
+            return Err("client-vanish: expected a TCP daemon".to_string());
+        };
+        let mut half = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("client-vanish: raw connect: {e}"))?;
+        io::Write::write_all(&mut half, b"{\"schema\":\"dra-serve-v1\",\"id\":\"ha")
+            .map_err(|e| format!("client-vanish: raw write: {e}"))?;
+        // Dropped here: EOF with a partial line buffered.
+    }
+
+    let mut client = ServeClient::connect_with_retry(handle.addr(), Duration::from_secs(5))
+        .map_err(|e| format!("client-vanish: connect: {e}"))?;
+    // Wait for the orphan compile to finish and the truncated line to
+    // be flagged, so the healthy requests below observe a fixed state.
+    wait_for_counter(&mut client, "serve.ok", 1).map_err(|e| format!("client-vanish: {e}"))?;
+    wait_for_counter(&mut client, "serve.truncated", 1)
+        .map_err(|e| format!("client-vanish: {e}"))?;
+
+    let mut sent: Vec<String> = Vec::new();
+    let mut responses: Vec<Response> = Vec::new();
+    let r = client
+        .ping("vanish-ping")
+        .map_err(|e| format!("client-vanish: ping: {e}"))?;
+    if !r.ok {
+        return Err(format!("client-vanish: ping failed: {}", r.raw));
+    }
+    sent.push("vanish-ping".to_string());
+    responses.push(r);
+    // The orphan's result must be in the cache: the daemon finished the
+    // request even though its client vanished.
+    let r = client
+        .request(&request_compile_source("vanish-again", &orphan_src, APPROACH))
+        .map_err(|e| format!("client-vanish: compile: {e}"))?;
+    if !r.ok || !r.cached {
+        return Err(format!(
+            "client-vanish: orphan compile not cached: {}",
+            r.raw
+        ));
+    }
+    sent.push("vanish-again".to_string());
+    responses.push(r);
+
+    handle.shutdown();
+    let telemetry = handle
+        .join()
+        .map_err(|e| format!("client-vanish: join: {e}"))?;
+    let outcome = tally(
+        "client-vanish",
+        &sent,
+        &responses,
+        telemetry.counter("serve.worker_restarts"),
+    )?;
+    if telemetry.counter("serve.conn_panics") != 0 {
+        return Err(format!(
+            "client-vanish: {} connection threads panicked",
+            telemetry.counter("serve.conn_panics")
+        ));
+    }
+    if telemetry.counter("serve.truncated") != 1 || telemetry.counter("serve.ok") != 2 {
+        return Err(format!(
+            "client-vanish: expected 1 truncation + 2 ok, got {} + {}",
+            telemetry.counter("serve.truncated"),
+            telemetry.counter("serve.ok"),
+        ));
+    }
+    Ok((outcome, telemetry))
+}
+
+/// Counters whose totals are *expected* to vary run to run: the
+/// harness's own synchronization polls.
+const OBSERVER_COUNTERS: &[&str] = &["serve.stats_requests", "serve.lines"];
+
+fn comparable_counters(frames: &[Telemetry]) -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for t in frames {
+        for (k, v) in t.counters() {
+            if OBSERVER_COUNTERS.contains(&k.as_str()) {
+                continue;
+            }
+            *out.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+    out
+}
+
+fn run_campaign(seed: u64) -> Result<(Vec<ScenarioOutcome>, Vec<Telemetry>), String> {
+    let mut outcomes = Vec::new();
+    let mut frames = Vec::new();
+    for scenario in [deadline_storm, queue_flood, worker_kill, client_vanish] {
+        let (outcome, telemetry) = scenario(seed)?;
+        outcomes.push(outcome);
+        frames.push(telemetry);
+    }
+    Ok((outcomes, frames))
+}
+
+/// Run the campaign twice with the same seed, compare, and write the
+/// verdict artifacts.
+///
+/// # Errors
+///
+/// A description of the first violated invariant. (A *hang* does not
+/// error — the watchdog kills the process with exit code 3.)
+pub fn run_chaos_serve(config: &ChaosServeConfig) -> Result<ChaosServeReport, String> {
+    let done = Arc::new(AtomicBool::new(false));
+    if config.watchdog_secs > 0 {
+        let done = Arc::clone(&done);
+        let limit = Duration::from_secs(config.watchdog_secs);
+        thread::spawn(move || {
+            let start = Instant::now();
+            while start.elapsed() < limit {
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!(
+                "chaos --serve: watchdog fired after {}s — a scenario hung",
+                limit.as_secs()
+            );
+            std::process::exit(3);
+        });
+    }
+
+    let result = (|| {
+        let (outcomes_a, frames_a) = run_campaign(config.seed)?;
+        let (outcomes_b, frames_b) = run_campaign(config.seed)?;
+        let totals_a = comparable_counters(&frames_a);
+        let totals_b = comparable_counters(&frames_b);
+        let deterministic = totals_a == totals_b && outcomes_a == outcomes_b;
+        if !deterministic {
+            for (k, va) in &totals_a {
+                let vb = totals_b.get(k).copied().unwrap_or(0);
+                if *va != vb {
+                    eprintln!("chaos --serve: counter {k}: run A {va}, run B {vb}");
+                }
+            }
+            for (k, vb) in &totals_b {
+                if !totals_a.contains_key(k) {
+                    eprintln!("chaos --serve: counter {k}: run A absent, run B {vb}");
+                }
+            }
+        }
+        let report = ChaosServeReport {
+            seed: config.seed,
+            scenarios: outcomes_a,
+            deterministic,
+            counter_totals: totals_a,
+        };
+        if let Some(path) = &config.out_path {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+            }
+            std::fs::write(path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        if let Some(root) = &config.telemetry_root {
+            let mut merged = Telemetry::new();
+            for t in &frames_a {
+                merged.merge(t);
+            }
+            merged
+                .write_results(root, "chaos_serve")
+                .map_err(|e| format!("telemetry: {e}"))?;
+        }
+        Ok(report)
+    })();
+    done.store(true, Ordering::SeqCst);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_targeted_sources_land_where_aimed() {
+        let base = base_source();
+        for workers in [2usize, 3] {
+            for shard in 0..workers {
+                let s = source_for_shard(&base, "t", shard, workers);
+                assert_eq!(
+                    (result_key("src", &s, APPROACH)[0] % workers as u64) as usize,
+                    shard
+                );
+                dra_ir::parse::parse_program(&s).expect("nonce comment must stay parseable");
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = ChaosServeReport {
+            seed: 3,
+            scenarios: vec![ScenarioOutcome {
+                name: "deadline-storm",
+                requests: 8,
+                responses: 8,
+                ok: 0,
+                shed_overload: 0,
+                shed_deadline: 8,
+                worker_lost: 0,
+                worker_restarts: 0,
+            }],
+            deterministic: true,
+            counter_totals: BTreeMap::from([("serve.requests".to_string(), 8)]),
+        };
+        assert!(report.passed());
+        let doc = crate::telemetry::parse_json(&report.to_json()).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(
+            obj.get("schema").and_then(|j| j.as_str()),
+            Some(CHAOS_SERVE_SCHEMA)
+        );
+        assert!(matches!(
+            obj.get("deterministic"),
+            Some(crate::telemetry::Json::Bool(true))
+        ));
+        // A dropped response fails the verdict.
+        let mut bad = report.clone();
+        bad.scenarios[0].responses = 7;
+        assert!(!bad.passed());
+    }
+}

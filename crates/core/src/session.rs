@@ -180,6 +180,11 @@ impl CompileSession {
         if let Some(hit) = self.results().get(&key) {
             return Ok((Arc::clone(hit), true));
         }
+        // A cache hit is always worth returning even past a deadline (it is
+        // nearly free), but starting a fresh compile for an expired request
+        // is pure waste — check the caller's cancellation token (if any)
+        // before committing to the expensive path.
+        crate::telemetry::check_cancelled("session.compute");
         // Compute outside the lock: a slow compile must not serialize the
         // whole pool behind one request.
         let run = match compute() {

@@ -55,6 +55,8 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 thread_local! {
@@ -65,6 +67,116 @@ thread_local! {
     /// [`StageGuard`] dropped while the thread is panicking. First write
     /// wins so outer spans cannot overwrite the precise site.
     static PANIC_STAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// The cancellation token armed for the work currently running on this
+    /// thread, if any. Checked at every stage boundary ([`enter_stage`]),
+    /// so a long pipeline observes cancellation between `alloc`, `remap`,
+    /// `repair`, `verify`, `simulate`, ... without any stage cooperating.
+    static CANCEL: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// A cooperative cancellation token: an explicit cancel flag plus an
+/// optional wall-clock deadline. Cloning shares the flag (an `Arc`), so a
+/// server can hand the token to a worker and still cancel it from outside.
+///
+/// Cancellation is *cooperative*: nothing is interrupted mid-instruction.
+/// Instead, [`arm_cancel`] installs the token in a thread-local slot and
+/// every [`enter_stage`] boundary (plus explicit [`check_cancelled`]
+/// call-sites such as the session cache) tests it. An expired token makes
+/// the boundary unwind with a [`CancelUnwind`] payload, which
+/// `run_isolated_cancellable` recognizes and converts into
+/// `CellOutcome::Cancelled { stage }` — distinct from a real panic, never
+/// retried.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A token that never expires on its own (cancel via [`Self::cancel`]).
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that expires at `deadline` (`None` behaves like [`Self::new`]).
+    pub fn with_deadline(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            deadline,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Trip the explicit cancel flag (visible to every clone).
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the flag is tripped or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// The unwind payload used by cancellation checkpoints. Carried through
+/// `panic_any` so `catch_unwind` sites can tell "the deadline expired at a
+/// stage boundary" apart from a genuine defect panic.
+#[derive(Clone, Debug)]
+pub struct CancelUnwind {
+    /// The stage boundary (or named checkpoint) that observed cancellation.
+    pub stage: String,
+}
+
+/// RAII restorer for the thread-local cancel slot; see [`arm_cancel`].
+pub struct CancelGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CANCEL.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Install `token` as this thread's active cancellation token until the
+/// guard drops (the previous token, if any, is restored — tokens nest).
+pub fn arm_cancel(token: &CancelToken) -> CancelGuard {
+    let prev = CANCEL.with(|c| c.borrow_mut().replace(token.clone()));
+    CancelGuard { prev }
+}
+
+/// Explicit cancellation checkpoint: if this thread's armed token is
+/// cancelled or past its deadline, unwind with [`CancelUnwind`] naming
+/// `site`. A no-op when no token is armed (every non-serving caller).
+pub fn check_cancelled(site: &str) {
+    let expired = CANCEL.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    });
+    if expired {
+        std::panic::panic_any(CancelUnwind {
+            stage: site.to_string(),
+        });
+    }
+}
+
+/// Install a process-wide panic-hook filter (once) that silences the panic
+/// message for [`CancelUnwind`] payloads. Deadline cancellations are an
+/// expected, counted outcome under load — without this, every shed request
+/// would print a spurious "thread panicked" line. All other panics chain
+/// to the previously installed hook unchanged.
+pub fn install_cancel_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// RAII marker for a named pipeline stage, pushed by [`Telemetry::time`]
@@ -95,7 +207,14 @@ impl Drop for StageGuard {
 }
 
 /// Push `name` onto this thread's stage stack until the guard drops.
+///
+/// Every stage entry doubles as a cancellation checkpoint: if a
+/// [`CancelToken`] is armed on this thread and has expired, the call
+/// unwinds with [`CancelUnwind`] *before* the stage runs, so a request
+/// whose deadline passed mid-pipeline stops at the next stage boundary
+/// instead of burning a full compile.
 pub fn enter_stage(name: &str) -> StageGuard {
+    check_cancelled(name);
     STAGE_STACK.with(|stack| stack.borrow_mut().push(name.to_string()));
     StageGuard(())
 }
@@ -819,6 +938,46 @@ mod tests {
         let src = std::fs::read_to_string(&path).unwrap();
         assert_eq!(validate_telemetry(&src).unwrap().counters["cells"], 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_token_trips_on_flag_and_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled(), "clones share the flag");
+        let expired = CancelToken::with_deadline(Some(Instant::now()));
+        assert!(expired.is_cancelled());
+        let distant =
+            CancelToken::with_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        assert!(!distant.is_cancelled());
+    }
+
+    #[test]
+    fn stage_boundary_unwinds_with_cancel_payload_when_armed() {
+        install_cancel_quiet_hook();
+        let token = CancelToken::new();
+        let caught = std::panic::catch_unwind(|| {
+            let _armed = arm_cancel(&token);
+            let mut t = Telemetry::new();
+            t.time("alloc", || token.cancel());
+            // Next boundary observes the tripped flag.
+            t.time("verify", || unreachable!("stage must not run"))
+        });
+        let payload = caught.expect_err("cancellation unwinds");
+        let cancel = payload
+            .downcast_ref::<CancelUnwind>()
+            .expect("payload is CancelUnwind");
+        assert_eq!(cancel.stage, "verify");
+        // The guard restored the slot: an unarmed thread never trips.
+        let mut t = Telemetry::new();
+        t.time("alloc", || ());
+    }
+
+    #[test]
+    fn check_cancelled_is_a_noop_without_a_token() {
+        check_cancelled("anywhere");
     }
 
     #[test]

@@ -16,3 +16,14 @@ FAULTS="${2:-96}"
 cargo run -q -p dra-core --release --bin drac -- chaos --seed "$SEED" --faults "$FAULTS"
 cargo run -q -p dra-core --release --bin drac -- report results/telemetry/chaos.json > /dev/null
 echo "chaos OK (seed $SEED)"
+
+# Serve-level chaos: the seeded overload/failure campaign against live
+# daemons — deadline storms, queue floods, worker kills, client
+# disconnects — run twice under the same seed. The command exits
+# nonzero unless every admitted request got exactly one response, every
+# killed worker's restart was counted, and counter totals matched
+# across the two runs. The emitted report must validate under
+# `drac report`.
+cargo run -q -p dra-core --release --bin drac -- chaos --serve --seed 3
+cargo run -q -p dra-core --release --bin drac -- report results/telemetry/chaos_serve.json > /dev/null
+echo "serve chaos OK (seed 3)"

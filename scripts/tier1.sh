@@ -89,3 +89,51 @@ cargo run -q -p dra-core --release --bin drac -- report "$SMOKE_DIR/results/tele
 # discovers every frame, serve/bench_serve included.
 cargo run -q -p dra-core --release --bin drac -- report results/telemetry > /dev/null
 echo "serve smoke OK"
+
+# Overload smoke: a one-worker daemon with a queue capacity of 1, hit
+# with a pipelined flood of 24 batch-priority dra-serve-v2 compiles all
+# written before a single response is read. Admission control must
+# answer every id exactly once — ok, or a retryable "overloaded" shed —
+# shed at least one of them, and still shut down cleanly with the
+# socket removed.
+OSOCK="$(mktemp -u /tmp/drac-overload-XXXXXX.sock)"
+trap 'rm -rf "$SMOKE_DIR"; rm -f "$SOCK" "$OSOCK"' EXIT
+cargo run -q -p dra-core --release --bin drac -- serve --addr "unix:$OSOCK" \
+  --workers 1 --queue-cap 1 > /dev/null &
+OVER_PID=$!
+for _ in $(seq 100); do [ -S "$OSOCK" ] && break; sleep 0.1; done
+[ -S "$OSOCK" ] || { echo "overload serve socket never appeared"; exit 1; }
+python3 - "$OSOCK" <<'EOF'
+import json, socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+f = s.makefile("rw")
+n = 24
+for i in range(n):
+    f.write(json.dumps({
+        "schema": "dra-serve-v2", "id": "flood-%d" % i, "kind": "compile",
+        "approach": "select", "bench": "crc32", "priority": "batch",
+    }) + "\n")
+f.flush()
+seen, shed, ok = set(), 0, 0
+for _ in range(n):
+    resp = json.loads(f.readline())
+    rid = resp["id"]
+    assert rid.startswith("flood-") and rid not in seen, resp
+    seen.add(rid)
+    if resp["ok"]:
+        ok += 1
+        continue
+    err = resp["error"]
+    assert err["kind"] == "overloaded" and err["retryable"], resp
+    shed += 1
+assert len(seen) == n, sorted(seen)
+assert ok >= 1, "cap-1 queue admitted nothing"
+assert shed >= 1, "pipelined flood against a cap-1 queue never shed"
+f.write(json.dumps({"schema": "dra-serve-v1", "id": "q", "kind": "shutdown"}) + "\n")
+f.flush()
+assert json.loads(f.readline())["kind"] == "bye"
+EOF
+wait "$OVER_PID"
+[ ! -S "$OSOCK" ] || { echo "stale overload socket left behind"; exit 1; }
+echo "overload smoke OK"

@@ -1,0 +1,355 @@
+//! End-to-end tests of the daemon's overload machinery over real
+//! sockets: deadline shed for requests that expire while queued,
+//! admission-control shed with priority lanes, cooperative mid-compile
+//! cancellation, worker supervision (restart + `worker-lost` answer for
+//! the orphaned request), and the client-side backoff loop actually
+//! recovering from a shed.
+
+use dra_core::lowend::Approach;
+use dra_core::serve::{
+    request_compile_source, request_compile_source_v2, serve, BackoffPolicy, Priority, ServeAddr,
+    ServeClient, ServeConfig,
+};
+use dra_core::session::result_key;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_config(workers: usize, queue_cap: usize) -> ServeConfig {
+    let mut config = ServeConfig::new(ServeAddr::Tcp("127.0.0.1:0".to_string()));
+    config.workers = workers;
+    config.queue_cap = queue_cap;
+    config.setup.remap_starts = 16;
+    config.setup.remap_threads = 1;
+    config
+}
+
+/// A crc32 variant whose result key lands on `shard` of `workers`.
+fn source_for_shard(tag: &str, shard: usize, workers: usize) -> String {
+    let base = dra_workloads::benchmark("crc32").to_string();
+    for nonce in 0u64..10_000 {
+        let s = format!("{base}\n; overload {tag}-{nonce}\n");
+        if (result_key("src", &s, Approach::Select)[0] % workers as u64) as usize == shard {
+            return s;
+        }
+    }
+    unreachable!("no nonce found for shard {shard}/{workers}")
+}
+
+/// Spin until `counter` reaches `at_least` on a dedicated stats client.
+fn wait_for_counter(addr: &ServeAddr, counter: &str, at_least: u64) {
+    let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5)).unwrap();
+    for _ in 0..15_000 {
+        let resp = client.stats("sync").unwrap();
+        let got = resp
+            .stats
+            .as_ref()
+            .and_then(|t| t.counters.get(counter))
+            .copied()
+            .unwrap_or(0);
+        if got >= at_least {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("timed out waiting for {counter} >= {at_least}");
+}
+
+#[test]
+fn deadline_expiring_while_queued_is_shed_without_compiling() {
+    let mut config = chaos_config(1, 8);
+    config.faults.stall_request_ids.insert("wedge".to_string());
+    let gate = Arc::clone(&config.stall_gate);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr().clone();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // Wedge the only worker (no deadline on the wedge itself).
+    let wedge_src = source_for_shard("wedge", 0, 1);
+    client
+        .send_line(&request_compile_source("wedge", &wedge_src, Approach::Select))
+        .unwrap();
+    wait_for_counter(&addr, "serve.requests", 1);
+
+    // Queue a request with a deadline that lapses while it waits.
+    let doomed_src = source_for_shard("doomed", 0, 1);
+    client
+        .send_line(&request_compile_source_v2(
+            "doomed",
+            &doomed_src,
+            Approach::Select,
+            Some(30),
+            Priority::Interactive,
+        ))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    gate.store(true, Ordering::SeqCst);
+
+    // Responses in dequeue order: the wedge compiles, the doomed job is
+    // shed with a retryable deadline error.
+    let wedge = client.recv_response().unwrap();
+    assert!(wedge.ok, "wedge should compile: {}", wedge.raw);
+    let doomed = client.recv_response().unwrap();
+    assert!(!doomed.ok);
+    let (kind, message) = doomed.error.clone().expect("structured error");
+    assert_eq!(kind, "deadline");
+    assert!(doomed.retryable, "deadline sheds must be retryable");
+    assert!(message.contains("while queued"), "message: {message}");
+
+    handle.shutdown();
+    let telemetry = handle.join().expect("clean shutdown");
+    assert_eq!(telemetry.counter("serve.deadline.shed_queued"), 1);
+    assert_eq!(telemetry.counter("serve.deadline.with_deadline"), 1);
+    // Shed at dequeue means the pipeline never ran for it.
+    assert_eq!(telemetry.counter("serve.ok"), 1);
+}
+
+#[test]
+fn deadline_expiring_mid_service_cancels_at_a_checkpoint() {
+    let mut config = chaos_config(1, 8);
+    config.faults.stall_request_ids.insert("slow".to_string());
+    let gate = Arc::clone(&config.stall_gate);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr().clone();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // The stalled request carries its own deadline: dequeued in time,
+    // wedged past it, it must cancel at the first checkpoint after
+    // release instead of compiling a result nobody can use.
+    let src = source_for_shard("slow", 0, 1);
+    client
+        .send_line(&request_compile_source_v2(
+            "slow",
+            &src,
+            Approach::Select,
+            Some(100),
+            Priority::Interactive,
+        ))
+        .unwrap();
+    wait_for_counter(&addr, "serve.requests", 1);
+    std::thread::sleep(Duration::from_millis(250));
+    gate.store(true, Ordering::SeqCst);
+
+    let resp = client.recv_response().unwrap();
+    assert!(!resp.ok);
+    let (kind, message) = resp.error.clone().expect("structured error");
+    assert_eq!(kind, "deadline");
+    assert!(resp.retryable);
+    assert!(message.contains("mid-compile"), "message: {message}");
+
+    handle.shutdown();
+    let telemetry = handle.join().expect("clean shutdown");
+    assert_eq!(telemetry.counter("serve.deadline.cancelled"), 1);
+    assert_eq!(telemetry.counter("serve.ok"), 0);
+}
+
+#[test]
+fn admission_control_sheds_batch_before_interactive() {
+    let mut config = chaos_config(1, 1);
+    config.faults.stall_request_ids.insert("wedge".to_string());
+    let gate = Arc::clone(&config.stall_gate);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr().clone();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    client
+        .send_line(&request_compile_source(
+            "wedge",
+            &source_for_shard("wedge", 0, 1),
+            Approach::Select,
+        ))
+        .unwrap();
+    wait_for_counter(&addr, "serve.requests", 1);
+
+    // cap=1: one batch job queues, the second is shed immediately; an
+    // interactive job still fits the 2x reserve.
+    let lines = [
+        ("b1", Priority::Batch),
+        ("b2", Priority::Batch),
+        ("i1", Priority::Interactive),
+    ];
+    for (i, (id, priority)) in lines.iter().enumerate() {
+        client
+            .send_line(&request_compile_source_v2(
+                id,
+                &source_for_shard(&format!("adm-{i}"), 0, 1),
+                Approach::Select,
+                None,
+                *priority,
+            ))
+            .unwrap();
+    }
+    // Only the shed can answer while the worker is wedged.
+    let shed = client.recv_response().unwrap();
+    assert_eq!(shed.id.as_deref(), Some("b2"));
+    let (kind, message) = shed.error.clone().expect("structured error");
+    assert_eq!(kind, "overloaded");
+    assert!(shed.retryable, "overload sheds must be retryable");
+    assert!(message.contains("queue is full"), "message: {message}");
+
+    gate.store(true, Ordering::SeqCst);
+    // Everything admitted completes: wedge, then i1 (priority lane),
+    // then b1.
+    let mut ids: Vec<String> = (0..3)
+        .map(|_| {
+            let r = client.recv_response().unwrap();
+            assert!(r.ok, "admitted job failed: {}", r.raw);
+            r.id.unwrap()
+        })
+        .collect();
+    ids.sort();
+    assert_eq!(ids, ["b1", "i1", "wedge"]);
+
+    handle.shutdown();
+    let telemetry = handle.join().expect("clean shutdown");
+    assert_eq!(telemetry.counter("serve.overload.shed"), 1);
+    assert_eq!(telemetry.counter("serve.overload.shed_interactive"), 0);
+    assert_eq!(telemetry.counter("serve.overload.admitted"), 3);
+    assert!(telemetry.counter("serve.overload.peak_depth") <= 2);
+}
+
+#[test]
+fn killed_worker_is_restarted_and_the_request_answered() {
+    let mut config = chaos_config(2, 8);
+    config.faults.kill_request_ids.insert("kill".to_string());
+    let handle = serve(config).expect("bind");
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+
+    // Warm the cache on shard 0, then kill shard 0's worker.
+    let warm_src = source_for_shard("warm", 0, 2);
+    let warm = client
+        .request(&request_compile_source("warm", &warm_src, Approach::Select))
+        .unwrap();
+    assert!(warm.ok && !warm.cached);
+
+    let kill_src = source_for_shard("kill", 0, 2);
+    let killed = client
+        .request(&request_compile_source("kill", &kill_src, Approach::Select))
+        .unwrap();
+    assert!(!killed.ok);
+    let (kind, message) = killed.error.clone().expect("structured error");
+    assert_eq!(kind, "worker-lost");
+    assert!(killed.retryable, "worker-lost must be retryable");
+    assert!(message.contains("restarted"), "message: {message}");
+
+    // The replacement worker serves the same shard with the same cache.
+    let again = client
+        .request(&request_compile_source("again", &warm_src, Approach::Select))
+        .unwrap();
+    assert!(again.ok, "replacement worker must serve: {}", again.raw);
+    assert!(again.cached, "shard cache must survive the restart");
+
+    client.shutdown("done").unwrap();
+    let telemetry = handle.join().expect("clean shutdown");
+    assert_eq!(telemetry.counter("serve.worker_restarts"), 1);
+    assert_eq!(telemetry.counter("serve.worker_lost_requests"), 1);
+}
+
+#[test]
+fn backoff_client_recovers_from_a_shed() {
+    let mut config = chaos_config(1, 1);
+    config.faults.stall_request_ids.insert("wedge".to_string());
+    let gate = Arc::clone(&config.stall_gate);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr().clone();
+    let mut filler = ServeClient::connect(&addr).expect("connect");
+
+    filler
+        .send_line(&request_compile_source(
+            "wedge",
+            &source_for_shard("wedge", 0, 1),
+            Approach::Select,
+        ))
+        .unwrap();
+    wait_for_counter(&addr, "serve.requests", 1);
+    // Fill the batch lane so the backoff client's first attempt sheds.
+    filler
+        .send_line(&request_compile_source_v2(
+            "filler",
+            &source_for_shard("filler", 0, 1),
+            Approach::Select,
+            None,
+            Priority::Batch,
+        ))
+        .unwrap();
+    wait_for_counter(&addr, "serve.dispatched", 2);
+
+    // Open the gate shortly after the first (shed) attempt so a retry
+    // finds room.
+    let opener = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        gate.store(true, Ordering::SeqCst);
+    });
+
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let policy = BackoffPolicy {
+        attempts: 8,
+        base_ms: 40,
+        cap_ms: 400,
+        seed: 7,
+    };
+    let line = request_compile_source_v2(
+        "retry",
+        &source_for_shard("retry", 0, 1),
+        Approach::Select,
+        None,
+        Priority::Batch,
+    );
+    let resp = client.request_with_backoff(&line, &policy).unwrap();
+    assert!(
+        resp.ok,
+        "backoff should eventually get through: {}",
+        resp.raw
+    );
+    opener.join().unwrap();
+
+    handle.shutdown();
+    let telemetry = handle.join().expect("clean shutdown");
+    // At least one attempt was shed before one was admitted.
+    assert!(telemetry.counter("serve.overload.shed") >= 1);
+    assert_eq!(telemetry.counter("serve.errors"), 0);
+}
+
+#[test]
+fn queued_requests_are_drained_or_answered_at_shutdown() {
+    // Shutdown with jobs still queued behind a wedged worker: the drain
+    // must still answer every admitted request (workers finish the
+    // queue after the accept loop closes it).
+    let mut config = chaos_config(1, 8);
+    config.faults.stall_request_ids.insert("wedge".to_string());
+    let gate = Arc::clone(&config.stall_gate);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr().clone();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    client
+        .send_line(&request_compile_source(
+            "wedge",
+            &source_for_shard("wedge", 0, 1),
+            Approach::Select,
+        ))
+        .unwrap();
+    wait_for_counter(&addr, "serve.requests", 1);
+    for i in 0..3 {
+        client
+            .send_line(&request_compile_source(
+                &format!("queued-{i}"),
+                &source_for_shard(&format!("q-{i}"), 0, 1),
+                Approach::Select,
+            ))
+            .unwrap();
+    }
+    wait_for_counter(&addr, "serve.dispatched", 4);
+    handle.shutdown();
+    gate.store(true, Ordering::SeqCst);
+
+    let mut seen = Vec::new();
+    for _ in 0..4 {
+        let r = client.recv_response().unwrap();
+        assert!(r.ok, "drained job failed: {}", r.raw);
+        seen.push(r.id.unwrap());
+    }
+    seen.sort();
+    assert_eq!(seen, ["queued-0", "queued-1", "queued-2", "wedge"]);
+    handle.join().expect("clean shutdown");
+}

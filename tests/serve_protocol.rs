@@ -155,7 +155,7 @@ fn worker_panic_is_contained_per_request() {
     let mut config = tcp_config();
     config.workers = 2;
     config.retries = 0;
-    config.fault_request_ids.insert("boom".to_string());
+    config.faults.panic_request_ids.insert("boom".to_string());
     let handle = serve(config).expect("bind");
     let mut client = ServeClient::connect(handle.addr()).expect("connect");
 
